@@ -1,0 +1,39 @@
+//! Security-analysis harness — §5 of the FAST 2008 paper, executable.
+//!
+//! The paper's threat model is a powerful insider ("a disgruntled
+//! employee, or a dishonest CEO") with root on every connected system and
+//! physical access to the device. Its security analysis walks through the
+//! attacks such an insider can mount and argues each is either *detected*,
+//! *harmless*, *refused*, or *recoverable*. This crate turns that prose
+//! into a runnable test battery:
+//!
+//! | §5 claim | attack |
+//! |---|---|
+//! | mwb on the hash "has no effect" | [`attacks::AttackKind::MwbHash`] |
+//! | mwb on data "is detected by the verify operation" | [`attacks::AttackKind::MwbData`] |
+//! | ewb on the hash yields illegal `HH` | [`attacks::AttackKind::EwbHash`] |
+//! | ewb on data "appears as a read error" | [`attacks::AttackKind::EwbDataLight`] / [`attacks::AttackKind::EwbDataHeavy`] |
+//! | splitting/coalescing blocked by known physical addresses | [`attacks::AttackKind::SplitFile`] / [`attacks::AttackKind::CoalesceFiles`] |
+//! | `rm` implies a tamper-evident inode write | [`attacks::AttackKind::RmHeatedFile`] |
+//! | "a copy can always be distinguished from an original" | [`attacks::AttackKind::CopyMask`] |
+//! | cleared directory ⇒ fsck recovers heated files | [`attacks::AttackKind::DirectoryClear`] |
+//! | bulk erase leaves all electrical information | [`attacks::AttackKind::BulkErase`] |
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_attack::attacks::{run, AttackKind, Outcome};
+//!
+//! let report = run(AttackKind::MwbData);
+//! assert_eq!(report.observed, Outcome::Detected);
+//! assert!(report.matches_paper());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod scenario;
+
+pub use attacks::{run, run_all, AttackKind, AttackReport, Outcome};
+pub use scenario::Scenario;

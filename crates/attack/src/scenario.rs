@@ -1,0 +1,95 @@
+//! The standard attack scenario.
+//!
+//! §5's threat model: "a powerful attacker (i.e., a disgruntled employee,
+//! or a dishonest CEO) regrets the existence of a certain stored record,
+//! and … wishes history to be rewritten". The attacker has root on every
+//! connected system and can cable the device to a laptop — in this code
+//! base that is `probe_mut()` / `medium_mut()` access, which bypasses all
+//! SERO protocol checks.
+//!
+//! Every attack runs against the same freshly built world: a file system
+//! with one heated target file (the record the attacker regrets), one
+//! unheated live file, and synced metadata.
+
+use sero_core::line::Line;
+use sero_core::device::SeroDevice;
+use sero_fs::alloc::WriteClass;
+use sero_fs::fs::{FsConfig, SeroFs};
+
+/// The record the attacker wants gone.
+pub const TARGET: &str = "incriminating-ledger";
+
+/// An ordinary unheated file, for contrast.
+pub const BYSTANDER: &str = "scratch-notes";
+
+/// The contents of the target record.
+pub fn target_contents() -> Vec<u8> {
+    b"2007-11-05 transfer 9_500_000 EUR to account CH-91-XXXX (approved: CEO)"
+        .repeat(20)
+}
+
+/// A ready-to-attack world.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The file system under attack.
+    pub fs: SeroFs,
+    /// The heated line protecting the target record.
+    pub target_line: Line,
+}
+
+impl Scenario {
+    /// Builds the standard world on a fresh device.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal inconsistencies — scenario construction is
+    /// infallible by design so every attack starts from the same state.
+    pub fn standard() -> Scenario {
+        let dev = SeroDevice::with_blocks(512);
+        let mut fs = SeroFs::format(dev, FsConfig::default()).expect("format");
+        fs.create(TARGET, &target_contents(), WriteClass::Archival)
+            .expect("create target");
+        fs.create(BYSTANDER, b"meeting notes, nothing to see", WriteClass::Normal)
+            .expect("create bystander");
+        let target_line = fs
+            .heat(TARGET, b"quarterly compliance freeze".to_vec(), 1_199_145_600)
+            .expect("heat target");
+        fs.sync().expect("sync");
+        Scenario { fs, target_line }
+    }
+
+    /// The heated hash block's first electrical-area dot (laptop access).
+    pub fn hash_block_dot(&self, cell: usize) -> u64 {
+        self.fs
+            .device()
+            .probe()
+            .electrical_cell_dot(self.target_line.hash_block(), cell)
+    }
+
+    /// A data block of the target line holding file contents.
+    pub fn target_data_block(&self) -> u64 {
+        // Line layout: hash ‖ inode ‖ data…
+        self.target_line.start() + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_is_clean_before_attack() {
+        let mut s = Scenario::standard();
+        assert_eq!(s.fs.read(TARGET).unwrap(), target_contents());
+        let outcome = s.fs.verify(TARGET).unwrap();
+        assert!(outcome.is_intact());
+        assert!(s.fs.exists(BYSTANDER));
+    }
+
+    #[test]
+    fn scenario_is_reproducible() {
+        let a = Scenario::standard();
+        let b = Scenario::standard();
+        assert_eq!(a.target_line, b.target_line);
+    }
+}

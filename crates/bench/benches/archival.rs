@@ -1,0 +1,94 @@
+//! EXP-ARCH (wall-clock side): Venti store/load/seal and fossil-index
+//! insert/lookup costs on the simulated device.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sero_core::device::SeroDevice;
+use sero_crypto::sha256;
+use sero_fossil::FossilIndex;
+use sero_venti::Venti;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_venti(c: &mut Criterion) {
+    let mut group = c.benchmark_group("venti");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    let object_data: Vec<u8> = (0..20 * 512).map(|i| (i % 241) as u8).collect();
+
+    group.bench_function("store_object_10k", |b| {
+        b.iter_batched(
+            || Venti::new(SeroDevice::with_blocks(512)),
+            |mut v| {
+                black_box(v.store_object(&object_data).unwrap());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("store_object_dedup_hit", |b| {
+        let mut v = Venti::new(SeroDevice::with_blocks(512));
+        v.store_object(&object_data).unwrap();
+        b.iter(|| black_box(v.store_object(&object_data).unwrap()));
+    });
+
+    group.bench_function("load_object_10k", |b| {
+        let mut v = Venti::new(SeroDevice::with_blocks(512));
+        let obj = v.store_object(&object_data).unwrap();
+        b.iter(|| black_box(v.load_object(&obj).unwrap()));
+    });
+
+    group.bench_function("seal_and_verify", |b| {
+        b.iter_batched(
+            || {
+                let mut v = Venti::new(SeroDevice::with_blocks(512));
+                let obj = v.store_object(&object_data).unwrap();
+                (v, obj)
+            },
+            |(mut v, obj)| {
+                let line = v.seal(&obj, vec![], 0).unwrap();
+                black_box(v.verify_seal(line).unwrap());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+fn bench_fossil(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fossil");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    group.bench_function("insert_64", |b| {
+        b.iter_batched(
+            || FossilIndex::new(SeroDevice::with_blocks(1024)),
+            |mut idx| {
+                for i in 0..64u64 {
+                    idx.insert(sha256(&i.to_le_bytes()), i).unwrap();
+                }
+                black_box(idx)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("lookup_hit", |b| {
+        let mut idx = FossilIndex::new(SeroDevice::with_blocks(1024));
+        for i in 0..64u64 {
+            idx.insert(sha256(&i.to_le_bytes()), i).unwrap();
+        }
+        let key = sha256(&33u64.to_le_bytes());
+        b.iter(|| black_box(idx.lookup(&key).unwrap()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_venti, bench_fossil);
+criterion_main!(benches);

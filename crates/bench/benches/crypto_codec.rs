@@ -1,0 +1,109 @@
+//! Substrate microbenchmarks: SHA-256, Manchester cells, CRC-32 and the
+//! sector Reed–Solomon code. These set the constant factors behind every
+//! higher-level number in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sero_codec::manchester;
+use sero_codec::crc32::crc32;
+use sero_codec::rs::ReedSolomon;
+use sero_crypto::sha256;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for size in [64usize, 512, 4096, 65536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| black_box(sha256(data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_manchester(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manchester");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    let payload = vec![0x5au8; 256]; // a full hash block payload
+    group.bench_function("encode_256B", |b| {
+        b.iter(|| black_box(manchester::encode_bytes(black_box(&payload))));
+    });
+    let dots = manchester::encode_bytes(&payload);
+    group.bench_function("decode_256B", |b| {
+        b.iter(|| black_box(manchester::decode(black_box(&dots))));
+    });
+    group.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crc32");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let sector = vec![0x42u8; 532];
+    group.throughput(Throughput::Bytes(532));
+    group.bench_function("sector_532B", |b| {
+        b.iter(|| black_box(crc32(black_box(&sector))));
+    });
+    group.finish();
+}
+
+fn bench_rs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reed_solomon");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    let rs = ReedSolomon::new(14).unwrap();
+    let data = vec![0x77u8; 133]; // one sector lane
+    group.bench_function("encode_lane", |b| {
+        b.iter(|| black_box(rs.encode(black_box(&data))));
+    });
+
+    let clean = rs.encode(&data);
+    group.bench_function("decode_clean_lane", |b| {
+        b.iter(|| {
+            let mut cw = clean.clone();
+            black_box(rs.decode(&mut cw, &[]).unwrap());
+        });
+    });
+
+    group.bench_function("decode_7_errors", |b| {
+        let mut corrupted = clean.clone();
+        for i in 0..7 {
+            corrupted[i * 19] ^= 0x80 | i as u8;
+        }
+        b.iter(|| {
+            let mut cw = corrupted.clone();
+            black_box(rs.decode(&mut cw, &[]).unwrap());
+        });
+    });
+
+    group.bench_function("decode_14_erasures", |b| {
+        let erasures: Vec<usize> = (0..14).map(|i| i * 10).collect();
+        let mut corrupted = clean.clone();
+        for &e in &erasures {
+            corrupted[e] ^= 0xff;
+        }
+        b.iter(|| {
+            let mut cw = corrupted.clone();
+            black_box(rs.decode(&mut cw, &erasures).unwrap());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_manchester, bench_crc, bench_rs);
+criterion_main!(benches);

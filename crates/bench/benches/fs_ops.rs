@@ -1,0 +1,118 @@
+//! EXP-FS (wall-clock side): file-system operation cost, with and without
+//! heated lines present, plus the cleaner under churn.
+//!
+//! §4.1's requirement: the presence of RO lines must "not degrade the
+//! performance of WMRM operations". Comparing `read_cold` / `write_cold`
+//! against their `_among_heat` variants makes that measurable.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sero_core::device::SeroDevice;
+use sero_fs::alloc::WriteClass;
+use sero_fs::fs::{FsConfig, SeroFs};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fresh_fs(blocks: u64) -> SeroFs {
+    SeroFs::format(SeroDevice::with_blocks(blocks), FsConfig::default()).expect("format")
+}
+
+/// A file system that has aged: a third of its files heated.
+fn aged_fs(blocks: u64) -> SeroFs {
+    let mut fs = fresh_fs(blocks);
+    for i in 0..12 {
+        let name = format!("aged-{i}");
+        fs.create(&name, &[i as u8; 2048], WriteClass::Archival).expect("create");
+        if i % 3 == 0 {
+            fs.heat(&name, vec![], i).expect("heat");
+        }
+    }
+    fs
+}
+
+fn bench_fs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fs_ops");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    group.bench_function("create_2k", |b| {
+        b.iter_batched(
+            || (fresh_fs(1024), 0u32),
+            |(mut fs, _)| {
+                fs.create("f", &[7u8; 2048], WriteClass::Normal).unwrap();
+                black_box(fs)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("read_cold", |b| {
+        let mut fs = fresh_fs(1024);
+        fs.create("r", &[7u8; 2048], WriteClass::Normal).unwrap();
+        b.iter(|| black_box(fs.read("r").unwrap()));
+    });
+
+    group.bench_function("read_among_heat", |b| {
+        let mut fs = aged_fs(1024);
+        fs.create("r", &[7u8; 2048], WriteClass::Normal).unwrap();
+        b.iter(|| black_box(fs.read("r").unwrap()));
+    });
+
+    group.bench_function("overwrite_cold", |b| {
+        let mut fs = fresh_fs(2048);
+        fs.create("w", &[7u8; 2048], WriteClass::Normal).unwrap();
+        b.iter(|| fs.write("w", &[8u8; 2048], WriteClass::Normal).unwrap());
+    });
+
+    group.bench_function("overwrite_among_heat", |b| {
+        let mut fs = aged_fs(2048);
+        fs.create("w", &[7u8; 2048], WriteClass::Normal).unwrap();
+        b.iter(|| fs.write("w", &[8u8; 2048], WriteClass::Normal).unwrap());
+    });
+
+    group.bench_function("heat_4_block_file", |b| {
+        b.iter_batched(
+            || {
+                let mut fs = fresh_fs(1024);
+                fs.create("h", &[1u8; 2048], WriteClass::Archival).unwrap();
+                fs
+            },
+            |mut fs| {
+                black_box(fs.heat("h", vec![], 0).unwrap());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("verify_4_block_file", |b| {
+        let mut fs = fresh_fs(1024);
+        fs.create("v", &[1u8; 2048], WriteClass::Archival).unwrap();
+        fs.heat("v", vec![], 0).unwrap();
+        b.iter(|| black_box(fs.verify("v").unwrap()));
+    });
+
+    group.bench_function("cleaner_after_churn", |b| {
+        b.iter_batched(
+            || {
+                let mut fs = fresh_fs(1024);
+                for i in 0..8 {
+                    fs.create(&format!("c{i}"), &[i as u8; 4096], WriteClass::Normal).unwrap();
+                }
+                for i in 0..8 {
+                    fs.remove(&format!("c{i}")).unwrap();
+                }
+                fs
+            },
+            |mut fs| {
+                black_box(fs.run_cleaner(usize::MAX).unwrap());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fs);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! EXP-HEAT — Cost of the heat and verify operations vs line order.
+//!
+//! The heat operation reads 2^N − 1 blocks, hashes them, burns ~500
+//! Manchester cells and verifies the read-back; verify re-reads the data
+//! and the electrical area. Cost should scale linearly in line length
+//! with a constant electrical floor — the reason §4.1 wants large,
+//! well-chosen lines.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use sero_core::device::SeroDevice;
+use sero_core::line::Line;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn prepared_device(order: u32) -> (SeroDevice, Line) {
+    let blocks = (2u64 << order).max(32);
+    let mut dev = SeroDevice::with_blocks(blocks);
+    let line = Line::new(0, order).expect("aligned");
+    for pba in line.data_blocks() {
+        dev.write_block(pba, &[pba as u8; 512]).expect("write");
+    }
+    (dev, line)
+}
+
+fn bench_heat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heat_line");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    for order in [1u32, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, &order| {
+            b.iter_batched(
+                || prepared_device(order),
+                |(mut dev, line)| {
+                    black_box(dev.heat_line(line, vec![], 0).unwrap());
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_line");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    for order in [1u32, 3] {
+        let (mut dev, line) = prepared_device(order);
+        dev.heat_line(line, vec![], 0).expect("heat");
+        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, _| {
+            b.iter(|| black_box(dev.verify_line(line).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heat, bench_verify);
+criterion_main!(benches);

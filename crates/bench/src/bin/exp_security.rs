@@ -1,0 +1,54 @@
+//! EXP-SEC — The §5 security analysis as a paper-vs-measured table.
+//!
+//! Each row is one attack from the paper's integrity/availability
+//! analysis, run against a fresh scenario; the `expected` column is the
+//! paper's prediction, `observed` is what the defender machinery found.
+
+use sero_attack::attacks::{run_all, Outcome};
+
+fn main() {
+    println!("EXP-SEC: §5 attack battery (powerful insider with raw device access)\n");
+    println!(
+        "{:<16} {:<10} {:<10} {:<6} paper quote",
+        "attack", "expected", "observed", "match"
+    );
+    println!("{}", "-".repeat(110));
+
+    let reports = run_all();
+    let mut ok = 0usize;
+    for r in &reports {
+        println!(
+            "{:<16} {:<10} {:<10} {:<6} \"{}\"",
+            r.kind.to_string(),
+            r.expected.to_string(),
+            r.observed.to_string(),
+            if r.matches_paper() { "yes" } else { "NO" },
+            truncate(r.kind.paper_quote(), 60),
+        );
+        ok += r.matches_paper() as usize;
+    }
+    println!("{}", "-".repeat(110));
+
+    let undetected = reports.iter().filter(|r| r.observed == Outcome::Undetected).count();
+    println!("\npaper-vs-measured:");
+    println!(
+        "  'either the attempt … is detected or the integrity is maintained' -> {}/{} rows match, {} undetected : {}",
+        ok,
+        reports.len(),
+        undetected,
+        if ok == reports.len() && undetected == 0 { "REPRODUCED" } else { "NOT reproduced" }
+    );
+
+    println!("\ndetails:");
+    for r in &reports {
+        println!("  {:<16} {}", r.kind.to_string(), r.detail);
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n])
+    }
+}

@@ -1,0 +1,49 @@
+//! FIG7 — Perpendicular anisotropy vs annealing temperature.
+//!
+//! Reproduces the paper's Figure 7 through the same measurement pipeline
+//! the authors used: torque curves at 1350 kA/m, Fourier-transformed to
+//! extract K, for samples annealed at six temperatures.
+//!
+//! Paper: "The perpendicular anisotropy of the unannealed film is
+//! 80 kJ/m³. This value is maintained up to an annealing temperature of
+//! 500 °C. Above 600 °C the value of K drops dramatically."
+
+use sero_media::film::CoPtFilm;
+use sero_media::torque::TorqueMagnetometer;
+
+fn main() {
+    println!("FIG7: perpendicular anisotropy K vs annealing temperature");
+    println!("measurement: torque magnetometry, H = 1350 kA/m, Fourier sin(2θ) extraction\n");
+    println!("{:>12} {:>14} {:>14} {:>16}", "anneal [°C]", "K model", "K measured", "perpendicular?");
+    println!("{:>12} {:>14} {:>14}", "", "[kJ/m³]", "[kJ/m³]");
+
+    let magnetometer = TorqueMagnetometer::paper_setup();
+    let temps = [25.0, 300.0, 400.0, 500.0, 600.0, 650.0, 700.0];
+    let mut measured = Vec::new();
+    for &t in &temps {
+        let film = if t <= 25.0 {
+            CoPtFilm::as_grown()
+        } else {
+            CoPtFilm::as_grown().annealed(t)
+        };
+        let k_model = film.anisotropy_kj_per_m3();
+        let k_meas = magnetometer.measure_k(&film);
+        measured.push(k_meas);
+        println!(
+            "{:>12} {:>14.1} {:>14.1} {:>16}",
+            if t <= 25.0 { "as grown".to_string() } else { format!("{t:.0}") },
+            k_model,
+            k_meas,
+            if film.is_perpendicular() { "yes" } else { "no" }
+        );
+    }
+
+    println!("\n  K  {}", sero_bench::sparkline(&measured));
+    println!("     {}", temps.iter().map(|t| format!("{t:>5.0}")).collect::<String>());
+
+    let flat_to_500 = measured[..4].iter().all(|&k| k > 70.0);
+    let collapse = measured.last().unwrap() < &10.0;
+    println!("\npaper-vs-measured:");
+    println!("  'maintained up to 500 °C'      -> {}", if flat_to_500 { "REPRODUCED" } else { "NOT reproduced" });
+    println!("  'drops dramatically above 600' -> {}", if collapse { "REPRODUCED" } else { "NOT reproduced" });
+}

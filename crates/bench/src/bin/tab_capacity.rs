@@ -1,0 +1,50 @@
+//! TAB-CAP — The §6 capacity ladder and the §1 Terabit sizing.
+//!
+//! Paper: "A matrix with a period of 200 nm can be achieved … An improved
+//! setup with periodicities down to 150 nm has recently been realised, and
+//! a period of 100 nm (being 50 nm dot size and 50 nm spacing) should be
+//! achievable. This will give a capacity of 10 Gbit/cm² (= 65 Gbit/inch²)."
+//! §1: "a total capacity of the order of 1 Terabit".
+
+use sero_media::geometry::Geometry;
+
+fn main() {
+    println!("TAB-CAP: patterned-medium capacity vs dot pitch\n");
+    println!(
+        "{:>10} {:>14} {:>16} {:>18}",
+        "pitch", "density", "density", "area for 1 Tbit"
+    );
+    println!(
+        "{:>10} {:>14} {:>16} {:>18}",
+        "[nm]", "[Gbit/cm²]", "[Gbit/inch²]", "[cm²]"
+    );
+    for &pitch in &[200.0, 150.0, 100.0, 50.0] {
+        let g = Geometry::new(64, 64, pitch);
+        println!(
+            "{:>10.0} {:>14.2} {:>16.1} {:>18.1}",
+            pitch,
+            g.areal_density_gbit_per_cm2(),
+            g.areal_density_gbit_per_inch2(),
+            Geometry::area_cm2_for_bits(pitch, 1e12),
+        );
+    }
+
+    let g100 = Geometry::new(64, 64, 100.0);
+    let cm2 = g100.areal_density_gbit_per_cm2();
+    let in2 = g100.areal_density_gbit_per_inch2();
+    println!("\npaper-vs-measured:");
+    println!(
+        "  '100 nm -> 10 Gbit/cm²'  -> {:.2} : {}",
+        cm2,
+        if (cm2 - 10.0).abs() < 1e-9 { "REPRODUCED" } else { "NOT reproduced" }
+    );
+    println!(
+        "  '= 65 Gbit/inch²'        -> {:.1} : {}",
+        in2,
+        if in2.round() == 65.0 { "REPRODUCED" } else { "NOT reproduced" }
+    );
+    println!(
+        "  '~1 Terabit device'      -> {:.0} cm² of 100 nm medium (plausible for a sled array)",
+        Geometry::area_cm2_for_bits(100.0, 1e12)
+    );
+}

@@ -1,0 +1,124 @@
+//! TAB-ERB — Operation timing relations, measured on the simulated clock.
+//!
+//! Paper §3: "The erb operation is at least 5 times slower than mrb, and
+//! ewb is also slower than mwb because of the local heating process.
+//! Therefore … the idea is to use the erb and ewb operations sparingly."
+
+use sero_core::prelude::*;
+use sero_probe::device::ProbeDevice;
+
+fn time_of<F: FnOnce(&mut ProbeDevice)>(dev: &mut ProbeDevice, f: F) -> u128 {
+    let before = dev.clock().elapsed_ns();
+    f(dev);
+    dev.clock().elapsed_ns() - before
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("TAB-ERB: simulated operation timings (64-probe array, 1 µs/bit channel)\n");
+
+    let mut dev = ProbeDevice::builder().blocks(64).build();
+    dev.mws(0, &[1u8; 512])?;
+
+    // Bit operations.
+    let t_mrb = time_of(&mut dev, |d| {
+        d.mrb(0);
+    });
+    let t_mwb = time_of(&mut dev, |d| {
+        d.mwb(0, true);
+    });
+    let t_erb = time_of(&mut dev, |d| {
+        d.erb(0);
+    });
+    let t_ewb = time_of(&mut dev, |d| {
+        d.ewb(5000);
+    });
+
+    println!("bit operations:");
+    println!("{:>8} {:>12} {:>14}", "op", "time [µs]", "ratio vs mrb");
+    for (name, t) in [("mrb", t_mrb), ("mwb", t_mwb), ("erb", t_erb), ("ewb", t_ewb)] {
+        println!("{:>8} {:>12.1} {:>14.1}", name, t as f64 / 1e3, t as f64 / t_mrb as f64);
+    }
+
+    // Sector operations.
+    dev.mws(1, &[2u8; 512])?;
+    let t_mrs = time_of(&mut dev, |d| {
+        d.mrs(1).unwrap();
+    });
+    let t_mws = time_of(&mut dev, |d| {
+        d.mws(2, &[3u8; 512]).unwrap();
+    });
+    let t_ews = time_of(&mut dev, |d| {
+        d.ews(3, &vec![true; 256]).unwrap(); // a 256-bit hash
+    });
+    let t_ers = time_of(&mut dev, |d| {
+        d.ers(3).unwrap();
+    });
+
+    println!("\nsector operations:");
+    println!("{:>8} {:>12} {:>14}", "op", "time [µs]", "ratio vs mrs");
+    for (name, t) in [("mrs", t_mrs), ("mws", t_mws), ("ers", t_ers), ("ews", t_ews)] {
+        println!("{:>8} {:>12.1} {:>14.1}", name, t as f64 / 1e3, t as f64 / t_mrs as f64);
+    }
+
+    // Ablation: the §3 alternative — elliptic dots with direct in-plane
+    // reads instead of the five-step protocol.
+    let mut elliptic = ProbeDevice::builder()
+        .blocks(8)
+        .pitch_nm(150.0)
+        .elliptic_dots()
+        .build();
+    elliptic.ews(3, &vec![true; 256])?;
+    let t_ers_protocol = time_of(&mut elliptic, |d| {
+        d.ers(3).unwrap();
+    });
+    let t_ers_direct = time_of(&mut elliptic, |d| {
+        d.ers_direct(3).unwrap();
+    });
+    println!("\nelliptic-dot ablation (150 nm pitch: 2.25x density cost):");
+    println!("{:>16} {:>12}", "ers (5-step)", "ers (direct)");
+    println!(
+        "{:>13.1} µs {:>9.1} µs   ({:.1}x faster)",
+        t_ers_protocol as f64 / 1e3,
+        t_ers_direct as f64 / 1e3,
+        t_ers_protocol as f64 / t_ers_direct as f64
+    );
+
+    // Heat-a-line at several orders.
+    println!("\nheat-a-line (hash 256 bits burned electrically):");
+    println!("{:>8} {:>10} {:>14} {:>16}", "order", "blocks", "time [ms]", "per data block");
+    for order in 1..=5u32 {
+        let mut sdev = SeroDevice::with_blocks(64);
+        let line = Line::new(0, order)?;
+        for pba in line.data_blocks() {
+            sdev.write_block(pba, &[7u8; 512])?;
+        }
+        let before = sdev.probe().clock().elapsed_ns();
+        sdev.heat_line(line, vec![], 0)?;
+        let t = sdev.probe().clock().elapsed_ns() - before;
+        println!(
+            "{:>8} {:>10} {:>14.2} {:>13.2} ms",
+            order,
+            line.len(),
+            t as f64 / 1e6,
+            t as f64 / 1e6 / line.data_len() as f64
+        );
+    }
+
+    println!("\npaper-vs-measured:");
+    println!(
+        "  'erb at least 5x slower than mrb' -> {:.1}x : {}",
+        t_erb as f64 / t_mrb as f64,
+        if t_erb >= 5 * t_mrb { "REPRODUCED" } else { "NOT reproduced" }
+    );
+    println!(
+        "  'ewb slower than mwb'             -> {:.0}x : {}",
+        t_ewb as f64 / t_mwb as f64,
+        if t_ewb > t_mwb { "REPRODUCED" } else { "NOT reproduced" }
+    );
+    println!(
+        "  'use ewb sparingly' (ews/mws)     -> {:.0}x : {}",
+        t_ews as f64 / t_mws as f64,
+        if t_ews > 10 * t_mws { "REPRODUCED" } else { "NOT reproduced" }
+    );
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Shared helpers for the SERO experiment regenerators.
+//!
+//! Every figure and table of the paper has a binary in `src/bin/` that
+//! regenerates it (see `DESIGN.md` for the index); Criterion benches in
+//! `benches/` measure the implementation itself. This library holds the
+//! bits they share: fixed-width table printing, ASCII sparklines for scan
+//! data, and the workload driver that replays [`sero_workload::Op`]
+//! streams against a file system.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sero_fs::alloc::WriteClass;
+use sero_fs::fs::SeroFs;
+use sero_workload::Op;
+
+/// Prints a row of fixed-width cells.
+pub fn row(cells: &[&str], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (cell, width) in cells.iter().zip(widths) {
+        out.push_str(&format!("{cell:<width$} "));
+    }
+    out.trim_end().to_string()
+}
+
+/// Renders `values` as a one-line unicode sparkline.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| BARS[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+/// Downsamples `values` to at most `n` points by block averaging.
+pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
+    if values.len() <= n {
+        return values.to_vec();
+    }
+    let chunk = values.len().div_ceil(n);
+    values
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Replay statistics from [`apply_ops`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Operations applied successfully.
+    pub applied: u64,
+    /// Operations refused by the file system (e.g. writes to heated
+    /// files) — the workload generator avoids these, so normally 0.
+    pub refused: u64,
+}
+
+/// Replays a workload stream against `fs`.
+///
+/// # Panics
+///
+/// Panics on unexpected file-system errors (the experiment devices are
+/// sized so the workloads fit).
+pub fn apply_ops(fs: &mut SeroFs, ops: &[Op], timestamp: u64) -> ReplayStats {
+    let mut stats = ReplayStats::default();
+    for op in ops {
+        let outcome = match op {
+            Op::Create { name, data, archival } => {
+                let class = if *archival { WriteClass::Archival } else { WriteClass::Normal };
+                fs.create(name, data, class).map(|_| ())
+            }
+            Op::Overwrite { name, data } => fs.write(name, data, WriteClass::Normal),
+            Op::Delete { name } => fs.remove(name),
+            Op::Read { name } => fs.read(name).map(|_| ()),
+            Op::Heat { name, metadata } => fs.heat(name, metadata.clone(), timestamp).map(|_| ()),
+        };
+        match outcome {
+            Ok(()) => stats.applied += 1,
+            Err(sero_fs::error::FsError::ReadOnlyFile { .. }) => stats.refused += 1,
+            Err(e) => panic!("workload op failed: {e} ({op:?})"),
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sero_core::device::SeroDevice;
+    use sero_fs::fs::FsConfig;
+    use sero_workload::{AuditLogWorkload, Workload};
+
+    #[test]
+    fn sparkline_shapes() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn downsample_preserves_level() {
+        let data: Vec<f64> = (0..100).map(|_| 5.0).collect();
+        let ds = downsample(&data, 10);
+        assert!(ds.len() <= 10);
+        assert!(ds.iter().all(|&v| (v - 5.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn replay_runs_clean() {
+        let mut fs =
+            SeroFs::format(SeroDevice::with_blocks(1024), FsConfig::default()).unwrap();
+        let ops = AuditLogWorkload::small().ops(5);
+        let stats = apply_ops(&mut fs, &ops, 0);
+        assert_eq!(stats.refused, 0);
+        assert_eq!(stats.applied as usize, ops.len());
+    }
+
+    #[test]
+    fn row_formats() {
+        assert_eq!(row(&["a", "bb"], &[3, 3]), "a   bb");
+    }
+}

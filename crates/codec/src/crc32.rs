@@ -1,0 +1,138 @@
+//! CRC-32 (IEEE 802.3) used in the ~15 % sector overhead.
+//!
+//! Pozidis et al.'s probe-storage sector format — which the paper adopts —
+//! reserves about 15 % of each 512-byte sector for "the sector header, error
+//! correction, and cyclic redundancy check". This module supplies the CRC
+//! part; Reed–Solomon supplies the ECC part.
+//!
+//! # Examples
+//!
+//! ```
+//! assert_eq!(sero_codec::crc32::crc32(b"123456789"), 0xCBF4_3926);
+//! ```
+
+/// Reflected polynomial for CRC-32/ISO-HDLC (the "zlib" CRC).
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, computed once at first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// Streaming CRC-32 computation.
+///
+/// # Examples
+///
+/// ```
+/// use sero_codec::crc32::Crc32;
+///
+/// let mut crc = Crc32::new();
+/// crc.update(b"1234");
+/// crc.update(b"56789");
+/// assert_eq!(crc.finalize(), sero_codec::crc32::crc32(b"123456789"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a CRC in the initial (all-ones) state.
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            self.state = (self.state >> 8) ^ t[((self.state ^ b as u32) & 0xff) as usize];
+        }
+    }
+
+    /// Returns the final checksum.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        // Standard CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+        assert_eq!(crc32(&[0xffu8; 32]), 0xFF6C_AB0B);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        for split in [0, 1, 100, 255, 256] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finalize(), crc32(&data));
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let data = vec![0x5au8; 512];
+        let reference = crc32(&data);
+        for byte in [0usize, 100, 511] {
+            for bit in 0..8 {
+                let mut corrupt = data.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), reference, "byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_swap() {
+        assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    }
+}

@@ -1,0 +1,391 @@
+//! Arithmetic in GF(2⁸), the symbol field of the sector Reed–Solomon code.
+//!
+//! Field: GF(2)[x] / (x⁸ + x⁴ + x³ + x² + 1), i.e. the 0x11D polynomial used
+//! by CCSDS and most storage codes; α = 0x02 is primitive.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_codec::gf256::Gf256;
+//!
+//! let a = Gf256::new(0x53);
+//! assert_eq!(a * a.inverse(), Gf256::ONE);
+//! let b = Gf256::new(0xCA);
+//! assert_eq!((a + b) + b, a); // addition is XOR, self-inverse
+//! ```
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Sub};
+
+/// Reduction polynomial x⁸ + x⁴ + x³ + x² + 1 (0x11D).
+const POLY: u16 = 0x11D;
+
+/// Number of nonzero field elements.
+const ORDER: usize = 255;
+
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..ORDER {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        // Duplicate the exp table so products of logs never need reduction.
+        for i in ORDER..512 {
+            exp[i] = exp[i - ORDER];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2⁸).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Gf256(u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The primitive element α = 0x02.
+    pub const ALPHA: Gf256 = Gf256(2);
+
+    /// Wraps a byte as a field element.
+    pub fn new(value: u8) -> Gf256 {
+        Gf256(value)
+    }
+
+    /// The byte representation of the element.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// True for the additive identity.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// α raised to `power` (mod the field order).
+    pub fn alpha_pow(power: usize) -> Gf256 {
+        Gf256(tables().exp[power % ORDER])
+    }
+
+    /// Discrete logarithm base α.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the zero element, which has no logarithm.
+    pub fn log(self) -> usize {
+        assert!(!self.is_zero(), "zero has no discrete logarithm");
+        tables().log[self.0 as usize] as usize
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the zero element.
+    pub fn inverse(self) -> Gf256 {
+        assert!(!self.is_zero(), "zero has no inverse");
+        let t = tables();
+        Gf256(t.exp[ORDER - t.log[self.0 as usize] as usize])
+    }
+
+    /// `self` raised to `exp` (non-negative exponent).
+    pub fn pow(self, exp: usize) -> Gf256 {
+        if self.is_zero() {
+            return if exp == 0 { Gf256::ONE } else { Gf256::ZERO };
+        }
+        let t = tables();
+        let log = t.log[self.0 as usize] as usize;
+        Gf256(t.exp[(log * exp) % ORDER])
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#04x}", self.0)
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(value: u8) -> Gf256 {
+        Gf256(value)
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf256 {
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        // Characteristic 2: subtraction is addition.
+        self + rhs
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.is_zero() || rhs.is_zero() {
+            return Gf256::ZERO;
+        }
+        let t = tables();
+        let idx = t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize;
+        Gf256(t.exp[idx])
+    }
+}
+
+impl MulAssign for Gf256 {
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Gf256 {
+    type Output = Gf256;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: Gf256) -> Gf256 {
+        self * rhs.inverse()
+    }
+}
+
+/// Polynomial over GF(2⁸), highest-degree coefficient first.
+///
+/// Used by the Reed–Solomon encoder/decoder; exposed publicly because the
+/// decoder's intermediate polynomials (syndrome, locator, evaluator) are
+/// useful in tests and teaching tools.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Poly(pub Vec<Gf256>);
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly(vec![Gf256::ZERO])
+    }
+
+    /// Builds a polynomial from byte coefficients, highest degree first.
+    pub fn from_bytes(bytes: &[u8]) -> Poly {
+        Poly(bytes.iter().map(|&b| Gf256::new(b)).collect())
+    }
+
+    /// Degree of the polynomial (0 for constants, including zero).
+    pub fn degree(&self) -> usize {
+        let lead = self.0.iter().position(|c| !c.is_zero());
+        match lead {
+            Some(i) => self.0.len() - 1 - i,
+            None => 0,
+        }
+    }
+
+    /// Evaluates the polynomial at `x` by Horner's rule.
+    pub fn eval(&self, x: Gf256) -> Gf256 {
+        self.0
+            .iter()
+            .fold(Gf256::ZERO, |acc, &c| acc * x + c)
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut out = vec![Gf256::ZERO; self.0.len() + other.0.len() - 1];
+        for (i, &a) in self.0.iter().enumerate() {
+            for (j, &b) in other.0.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly(out)
+    }
+
+    /// Polynomial sum.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let n = self.0.len().max(other.0.len());
+        let mut out = vec![Gf256::ZERO; n];
+        for (i, &c) in self.0.iter().enumerate() {
+            out[n - self.0.len() + i] += c;
+        }
+        for (i, &c) in other.0.iter().enumerate() {
+            out[n - other.0.len() + i] += c;
+        }
+        Poly(out)
+    }
+
+    /// Multiplies every coefficient by `scalar`.
+    pub fn scale(&self, scalar: Gf256) -> Poly {
+        Poly(self.0.iter().map(|&c| c * scalar).collect())
+    }
+
+    /// Removes leading zero coefficients (never shrinks below length 1).
+    pub fn normalized(mut self) -> Poly {
+        while self.0.len() > 1 && self.0[0].is_zero() {
+            self.0.remove(0);
+        }
+        self
+    }
+
+    /// Formal derivative; in characteristic 2 the even-power terms vanish.
+    pub fn derivative(&self) -> Poly {
+        let n = self.0.len();
+        if n <= 1 {
+            return Poly::zero();
+        }
+        let mut out = Vec::with_capacity(n - 1);
+        for (i, &c) in self.0.iter().enumerate().take(n - 1) {
+            let power = n - 1 - i; // degree of this term
+            if power % 2 == 1 {
+                out.push(c);
+            } else {
+                out.push(Gf256::ZERO);
+            }
+        }
+        Poly(out).normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_xor_and_self_inverse() {
+        let a = Gf256::new(0xb4);
+        let b = Gf256::new(0x1f);
+        assert_eq!((a + b).value(), 0xb4 ^ 0x1f);
+        assert_eq!(a + b + b, a);
+        assert_eq!(a - b, a + b);
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for v in 0u8..=255 {
+            let x = Gf256::new(v);
+            assert_eq!(x * Gf256::ONE, x);
+            assert_eq!(x * Gf256::ZERO, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for v in 1u8..=255 {
+            let x = Gf256::new(v);
+            assert_eq!(x * x.inverse(), Gf256::ONE, "value {v:#x}");
+        }
+    }
+
+    #[test]
+    fn multiplication_commutative_associative() {
+        let samples = [0x02u8, 0x1d, 0x80, 0xff, 0x53];
+        for &a in &samples {
+            for &b in &samples {
+                let (x, y) = (Gf256::new(a), Gf256::new(b));
+                assert_eq!(x * y, y * x);
+                for &c in &samples {
+                    let z = Gf256::new(c);
+                    assert_eq!((x * y) * z, x * (y * z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributive_law() {
+        for a in [3u8, 77, 200] {
+            for b in [5u8, 99, 250] {
+                for c in [7u8, 123, 255] {
+                    let (x, y, z) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+                    assert_eq!(x * (y + z), x * y + x * z);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_generates_field() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..255 {
+            seen.insert(Gf256::alpha_pow(i).value());
+        }
+        assert_eq!(seen.len(), 255);
+        assert!(!seen.contains(&0));
+    }
+
+    #[test]
+    fn pow_and_log_agree() {
+        for v in 1u8..=255 {
+            let x = Gf256::new(v);
+            assert_eq!(Gf256::alpha_pow(x.log()), x);
+        }
+        assert_eq!(Gf256::new(5).pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(3), Gf256::ZERO);
+    }
+
+    #[test]
+    fn known_products_for_0x11d() {
+        // x^7 · x = x^8 ≡ x^4 + x^3 + x^2 + 1 = 0x1D under the 0x11D poly.
+        assert_eq!(Gf256::new(0x80) * Gf256::new(0x02), Gf256::new(0x1D));
+        assert_eq!(Gf256::alpha_pow(8), Gf256::new(0x1D));
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        let _ = Gf256::ZERO.inverse();
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        // p(x) = x^2 + 1 over GF(256): p(α) = α² + 1.
+        let p = Poly(vec![Gf256::ONE, Gf256::ZERO, Gf256::ONE]);
+        let expected = Gf256::ALPHA * Gf256::ALPHA + Gf256::ONE;
+        assert_eq!(p.eval(Gf256::ALPHA), expected);
+    }
+
+    #[test]
+    fn poly_mul_matches_manual() {
+        // (x + 1)(x + 1) = x² + 1 in characteristic 2.
+        let p = Poly(vec![Gf256::ONE, Gf256::ONE]);
+        let sq = p.mul(&p);
+        assert_eq!(sq, Poly(vec![Gf256::ONE, Gf256::ZERO, Gf256::ONE]));
+    }
+
+    #[test]
+    fn poly_degree_ignores_leading_zeros() {
+        let p = Poly(vec![Gf256::ZERO, Gf256::ZERO, Gf256::ONE, Gf256::ONE]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.normalized().0.len(), 2);
+    }
+
+    #[test]
+    fn poly_derivative_char2() {
+        // d/dx (x³ + x² + x + 1) = 3x² + 2x + 1 = x² + 1 in char 2.
+        let p = Poly(vec![Gf256::ONE, Gf256::ONE, Gf256::ONE, Gf256::ONE]);
+        let d = p.derivative();
+        assert_eq!(d, Poly(vec![Gf256::ONE, Gf256::ZERO, Gf256::ONE]));
+    }
+}

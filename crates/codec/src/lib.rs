@@ -1,0 +1,167 @@
+//! Coding substrate for the SERO tamper-evident storage stack.
+//!
+//! The FAST 2008 paper layers several codes onto the patterned medium:
+//!
+//! * [`manchester`] — the two-dots-per-bit cell code for electrically
+//!   written (heated) data. `HU` = 0, `UH` = 1, `UU` = blank, and the
+//!   illegal `HH` is physical evidence of tampering (§3, §5.1, Figure 3).
+//! * [`crc32`] + [`rs`] — the ~15 % sector overhead of Pozidis et al.'s
+//!   probe-storage format: a CRC for detection and a Reed–Solomon code for
+//!   correction, including erasure repair of heated dots encountered in
+//!   magnetic data areas.
+//! * [`wom`] — Rivest–Shamir write-once-memory codes, the "more efficient
+//!   coding techniques" the paper's §8 suggests for small line sizes.
+//! * [`gf256`] — the finite-field arithmetic underneath Reed–Solomon.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_codec::{manchester, rs::ReedSolomon};
+//!
+//! // Protect a sector with RS, then record its hash in Manchester cells.
+//! let rs = ReedSolomon::new(16)?;
+//! let sector = vec![7u8; 128];
+//! let codeword = rs.encode(&sector);
+//! let hash_dots = manchester::encode_bytes(&codeword[..4]);
+//! assert_eq!(hash_dots.len(), 4 * 16);
+//! # Ok::<(), sero_codec::rs::RsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod gf256;
+pub mod manchester;
+pub mod rs;
+pub mod wom;
+
+pub use manchester::Cell;
+pub use rs::ReedSolomon;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Manchester round-trips arbitrary bytes.
+        #[test]
+        fn manchester_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let dots = manchester::encode_bytes(&bytes);
+            prop_assert_eq!(manchester::decode(&dots).bytes(), Some(bytes));
+        }
+
+        /// The "at most one heated neighbour" property holds for all data.
+        #[test]
+        fn manchester_run_bound(bytes in proptest::collection::vec(any::<u8>(), 1..64)) {
+            let dots = manchester::encode_bytes(&bytes);
+            prop_assert!(manchester::max_heated_run(&dots) <= 2);
+        }
+
+        /// Heating any single unheated dot of a written cell never decodes
+        /// to a different valid value: it is either detected or harmless.
+        #[test]
+        fn manchester_single_heat_is_tamper_evident(
+            bytes in proptest::collection::vec(any::<u8>(), 1..32),
+            dot in any::<proptest::sample::Index>()
+        ) {
+            let mut dots = manchester::encode_bytes(&bytes);
+            let i = dot.index(dots.len());
+            let original = manchester::decode(&dots).bytes();
+            dots[i] = true; // ewb can only heat
+            let scan = manchester::decode(&dots);
+            if scan.is_clean() {
+                // Heating an already-heated dot is a no-op.
+                prop_assert_eq!(scan.bytes(), original);
+            } else {
+                prop_assert!(!scan.tampered_cells().is_empty());
+            }
+        }
+
+        /// Reed–Solomon corrects any error pattern within capacity.
+        #[test]
+        fn rs_corrects_within_capacity(
+            data in proptest::collection::vec(any::<u8>(), 1..200),
+            nroots in 2usize..32,
+            corruption in proptest::collection::vec((any::<proptest::sample::Index>(), 1u8..=255), 0..16)
+        ) {
+            let nroots = nroots & !1; // even for a clean capacity story
+            let nroots = nroots.max(2);
+            prop_assume!(data.len() + nroots <= 255);
+            let rs = rs::ReedSolomon::new(nroots).unwrap();
+            let clean = rs.encode(&data);
+            let mut cw = clean.clone();
+            let mut positions = std::collections::BTreeSet::new();
+            for (idx, xor) in &corruption {
+                let k = idx.index(cw.len());
+                if positions.insert(k) {
+                    cw[k] ^= xor;
+                }
+                if positions.len() >= nroots / 2 {
+                    break;
+                }
+            }
+            let report = rs.decode(&mut cw, &[]).unwrap();
+            prop_assert_eq!(cw, clean);
+            prop_assert_eq!(report.corrected_errors, positions.len());
+        }
+
+        /// Reed–Solomon with erasures repairs up to nroots known positions.
+        #[test]
+        fn rs_corrects_erasures(
+            data in proptest::collection::vec(any::<u8>(), 8..120),
+            seed in any::<u64>()
+        ) {
+            let rs = rs::ReedSolomon::new(12).unwrap();
+            let clean = rs.encode(&data);
+            let mut cw = clean.clone();
+            // Deterministically pick up to 12 distinct positions.
+            let mut erasures = Vec::new();
+            let mut s = seed;
+            while erasures.len() < 12 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let k = (s >> 33) as usize % cw.len();
+                if !erasures.contains(&k) {
+                    erasures.push(k);
+                }
+            }
+            for &e in &erasures {
+                cw[e] ^= 0x5a;
+            }
+            rs.decode(&mut cw, &erasures).unwrap();
+            prop_assert_eq!(cw, clean);
+        }
+
+        /// CRC catches every corruption we throw at it (probabilistic in
+        /// general; deterministic for short bursts).
+        #[test]
+        fn crc_detects_bursts(
+            data in proptest::collection::vec(any::<u8>(), 1..256),
+            at in any::<proptest::sample::Index>(),
+            burst in 1u32..=0xffff
+        ) {
+            let reference = crc32::crc32(&data);
+            let mut corrupt = data.clone();
+            let i = at.index(corrupt.len());
+            corrupt[i] ^= (burst & 0xff) as u8;
+            if corrupt.len() > i + 1 {
+                corrupt[i + 1] ^= ((burst >> 8) & 0xff) as u8;
+            }
+            if corrupt != data {
+                prop_assert_ne!(crc32::crc32(&corrupt), reference);
+            }
+        }
+
+        /// WOM second writes decode correctly and never clear cells.
+        #[test]
+        fn wom_two_generations(v1 in 0u8..4, v2 in 0u8..4) {
+            let first = wom::RivestShamir22::encode_first(v1);
+            let second = wom::RivestShamir22::encode_second(first, v2).unwrap();
+            prop_assert_eq!(wom::RivestShamir22::decode(second).0, v2);
+            for i in 0..3 {
+                prop_assert!(!first[i] || second[i]);
+            }
+        }
+    }
+}

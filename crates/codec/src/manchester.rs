@@ -1,0 +1,346 @@
+//! Manchester cell coding for electrically written (heated) data.
+//!
+//! The paper adopts Molnar et al.'s PROM trick for the patterned medium:
+//! each logical bit occupies a *cell* of two physical dots, where a dot is
+//! either unheated (`U`) or irreversibly heated (`H`):
+//!
+//! | cell  | meaning                | paper notation |
+//! |-------|------------------------|----------------|
+//! | `UU`  | not yet written        | blank          |
+//! | `HU`  | logical 0              | Figure 3       |
+//! | `UH`  | logical 1              | Figure 3       |
+//! | `HH`  | **evidence of tampering** | §5.1        |
+//!
+//! Because the electrical write `ewb` can only turn `U` into `H` (heating is
+//! irreversible), the only possible modification of a written cell is
+//! `HU → HH` or `UH → HH`, both of which decode to [`Cell::Tampered`]. The
+//! encoding also guarantees that a heated dot has at most one heated
+//! neighbour, which spreads heat load across the medium (§3, "spreading out
+//! heated bits is good for reliability"; ablated in experiment EXP-THERM).
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_codec::manchester::{decode, encode, Cell, Scan};
+//!
+//! let dots = encode([true, false, true].iter().copied());
+//! assert_eq!(dots.len(), 6); // two dots per logical bit
+//! let scan: Scan = decode(&dots);
+//! assert_eq!(scan.bits(), Some(vec![true, false, true]));
+//! assert!(scan.is_clean());
+//! ```
+
+use core::fmt;
+
+/// Decoded state of one two-dot Manchester cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cell {
+    /// `UU` — the cell has never been electrically written.
+    Blank,
+    /// `HU` — an electrically written logical 0.
+    Zero,
+    /// `UH` — an electrically written logical 1.
+    One,
+    /// `HH` — an illegal code: someone heated a dot of a written cell.
+    Tampered,
+}
+
+impl Cell {
+    /// Classifies a pair of dot heat flags (`true` = heated).
+    pub fn from_dots(first: bool, second: bool) -> Cell {
+        match (first, second) {
+            (false, false) => Cell::Blank,
+            (true, false) => Cell::Zero,
+            (false, true) => Cell::One,
+            (true, true) => Cell::Tampered,
+        }
+    }
+
+    /// The logical value carried by the cell, if it holds one.
+    pub fn value(self) -> Option<bool> {
+        match self {
+            Cell::Zero => Some(false),
+            Cell::One => Some(true),
+            Cell::Blank | Cell::Tampered => None,
+        }
+    }
+
+    /// The two dot heat flags that represent this cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`Cell::Tampered`]: the encoder never produces
+    /// the illegal code.
+    pub fn to_dots(self) -> (bool, bool) {
+        match self {
+            Cell::Blank => (false, false),
+            Cell::Zero => (true, false),
+            Cell::One => (false, true),
+            Cell::Tampered => panic!("the HH cell is never encoded, only detected"),
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cell::Blank => "UU",
+            Cell::Zero => "HU",
+            Cell::One => "UH",
+            Cell::Tampered => "HH",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of scanning a run of dots as Manchester cells.
+///
+/// A scan never fails: tampering and blanks are *findings*, not errors,
+/// because detecting them is the whole point of the medium.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scan {
+    cells: Vec<Cell>,
+}
+
+impl Scan {
+    /// The decoded cells in medium order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Indices of cells that decode to the illegal `HH` code.
+    pub fn tampered_cells(&self) -> Vec<usize> {
+        self.indices_of(Cell::Tampered)
+    }
+
+    /// Indices of cells that were never written (`UU`).
+    pub fn blank_cells(&self) -> Vec<usize> {
+        self.indices_of(Cell::Blank)
+    }
+
+    /// True when every cell carries a valid logical value.
+    pub fn is_clean(&self) -> bool {
+        self.cells.iter().all(|c| c.value().is_some())
+    }
+
+    /// True when no cell shows the illegal `HH` code (blank cells allowed).
+    pub fn is_untampered(&self) -> bool {
+        self.cells.iter().all(|c| *c != Cell::Tampered)
+    }
+
+    /// The logical bits, if the scan is clean; `None` otherwise.
+    pub fn bits(&self) -> Option<Vec<bool>> {
+        self.cells.iter().map(|c| c.value()).collect()
+    }
+
+    /// The logical bits packed MSB-first into bytes, if the scan is clean.
+    ///
+    /// Cell count must be a multiple of 8 for a byte-exact result; trailing
+    /// bits are zero-padded.
+    pub fn bytes(&self) -> Option<Vec<u8>> {
+        let bits = self.bits()?;
+        Some(pack_bits(&bits))
+    }
+
+    fn indices_of(&self, kind: Cell) -> Vec<usize> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| (*c == kind).then_some(i))
+            .collect()
+    }
+}
+
+/// Encodes logical bits into dot heat flags, two dots per bit.
+///
+/// `true` in the output means "heat this dot".
+pub fn encode(bits: impl IntoIterator<Item = bool>) -> Vec<bool> {
+    let mut dots = Vec::new();
+    for bit in bits {
+        let cell = if bit { Cell::One } else { Cell::Zero };
+        let (a, b) = cell.to_dots();
+        dots.push(a);
+        dots.push(b);
+    }
+    dots
+}
+
+/// Encodes bytes MSB-first into dot heat flags, 16 dots per byte.
+///
+/// # Examples
+///
+/// ```
+/// let dots = sero_codec::manchester::encode_bytes(&[0x80]);
+/// assert_eq!(dots.len(), 16);
+/// assert_eq!(&dots[..2], &[false, true]); // MSB is 1 -> UH
+/// ```
+pub fn encode_bytes(bytes: &[u8]) -> Vec<bool> {
+    encode(unpack_bits(bytes))
+}
+
+/// Scans dot heat flags as Manchester cells.
+///
+/// # Panics
+///
+/// Panics when `dots.len()` is odd; cells are always two dots.
+pub fn decode(dots: &[bool]) -> Scan {
+    assert!(dots.len() % 2 == 0, "Manchester cells are two dots each");
+    let cells = dots
+        .chunks_exact(2)
+        .map(|pair| Cell::from_dots(pair[0], pair[1]))
+        .collect();
+    Scan { cells }
+}
+
+/// Longest run of consecutively heated dots in `dots`.
+///
+/// For any valid Manchester encoding this is at most 2 (a `UH` cell followed
+/// by an `HU` cell), which is the paper's "at most one heated neighbour"
+/// reliability property.
+pub fn max_heated_run(dots: &[bool]) -> usize {
+    let mut best = 0;
+    let mut run = 0;
+    for &d in dots {
+        if d {
+            run += 1;
+            best = best.max(run);
+        } else {
+            run = 0;
+        }
+    }
+    best
+}
+
+/// Fraction of dots heated by an encoding — exactly one half of the dots of
+/// every written cell, independent of data. This data-independence is what
+/// makes the code *history independent* in the sense of Molnar et al.
+pub fn heated_fraction(dots: &[bool]) -> f64 {
+    if dots.is_empty() {
+        return 0.0;
+    }
+    dots.iter().filter(|&&d| d).count() as f64 / dots.len() as f64
+}
+
+/// Packs bits MSB-first into bytes, zero-padding the final byte.
+pub fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &bit) in bits.iter().enumerate() {
+        if bit {
+            out[i / 8] |= 1 << (7 - (i % 8));
+        }
+    }
+    out
+}
+
+/// Unpacks bytes into bits, MSB first.
+pub fn unpack_bits(bytes: &[u8]) -> Vec<bool> {
+    bytes
+        .iter()
+        .flat_map(|b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_classification() {
+        assert_eq!(Cell::from_dots(false, false), Cell::Blank);
+        assert_eq!(Cell::from_dots(true, false), Cell::Zero);
+        assert_eq!(Cell::from_dots(false, true), Cell::One);
+        assert_eq!(Cell::from_dots(true, true), Cell::Tampered);
+    }
+
+    #[test]
+    fn cell_display_matches_paper_notation() {
+        assert_eq!(Cell::Blank.to_string(), "UU");
+        assert_eq!(Cell::Zero.to_string(), "HU");
+        assert_eq!(Cell::One.to_string(), "UH");
+        assert_eq!(Cell::Tampered.to_string(), "HH");
+    }
+
+    #[test]
+    fn round_trip_bits() {
+        let bits = vec![true, false, false, true, true, true, false];
+        let dots = encode(bits.iter().copied());
+        assert_eq!(decode(&dots).bits(), Some(bits));
+    }
+
+    #[test]
+    fn round_trip_bytes() {
+        let bytes = vec![0x00, 0xff, 0xa5, 0x5a, 0x42];
+        let dots = encode_bytes(&bytes);
+        assert_eq!(dots.len(), bytes.len() * 16);
+        assert_eq!(decode(&dots).bytes(), Some(bytes));
+    }
+
+    #[test]
+    fn tampering_heats_exactly_one_more_dot() {
+        // Any single additional heat on a written cell yields HH, never a
+        // different valid value (§5.1 of the paper).
+        for bit in [false, true] {
+            let mut dots = encode([bit]);
+            // Find the unheated dot of the cell and heat it.
+            let idx = dots.iter().position(|&d| !d).unwrap();
+            dots[idx] = true;
+            let scan = decode(&dots);
+            assert_eq!(scan.cells()[0], Cell::Tampered);
+            assert_eq!(scan.tampered_cells(), vec![0]);
+            assert!(!scan.is_clean());
+            assert!(!scan.is_untampered());
+        }
+    }
+
+    #[test]
+    fn blank_cells_reported() {
+        let mut dots = encode([true, false]);
+        dots.extend([false, false]); // one unwritten cell
+        let scan = decode(&dots);
+        assert_eq!(scan.blank_cells(), vec![2]);
+        assert!(scan.is_untampered());
+        assert!(!scan.is_clean());
+        assert_eq!(scan.bits(), None);
+    }
+
+    #[test]
+    fn heated_runs_at_most_two() {
+        // Worst case is a 1 followed by a 0: UH|HU -> U H H U.
+        let dots = encode([true, false, true, false, true]);
+        assert_eq!(max_heated_run(&dots), 2);
+        let dots = encode([false, true, false, true]);
+        assert!(max_heated_run(&dots) <= 2);
+    }
+
+    #[test]
+    fn heated_fraction_is_half_regardless_of_data() {
+        for pattern in [[false; 8], [true; 8]] {
+            let dots = encode(pattern.iter().copied());
+            assert!((heated_fraction(&dots) - 0.5).abs() < 1e-12);
+        }
+        assert_eq!(heated_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let bytes = vec![0x12, 0x34, 0x56];
+        assert_eq!(pack_bits(&unpack_bits(&bytes)), bytes);
+    }
+
+    #[test]
+    fn pack_pads_final_byte() {
+        assert_eq!(pack_bits(&[true, true, true]), vec![0b1110_0000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two dots")]
+    fn odd_dot_count_panics() {
+        decode(&[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never encoded")]
+    fn tampered_cell_cannot_be_encoded() {
+        let _ = Cell::Tampered.to_dots();
+    }
+}

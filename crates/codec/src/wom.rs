@@ -1,0 +1,294 @@
+//! Write-once-memory (WOM) codes — the paper's §8 efficiency discussion.
+//!
+//! Manchester cells spend two physical dots per logical bit and support a
+//! single write. The paper notes that "for small values of N we could employ
+//! more efficient coding techniques", citing Moran, Naor and Segev's
+//! deterministic WOM strategies. The classic building block is the
+//! Rivest–Shamir ⟨2,2⟩/3 code: **two successive writes** of a 2-bit value
+//! into only **3 write-once cells** (rate 4/3 versus Manchester's 1/2).
+//!
+//! On patterned media a WOM "1" is a heated dot: once set it cannot be
+//! cleared, which is exactly the write-once discipline these codes assume.
+//! The trade-off is that WOM codewords are *not* self-tamper-evident the way
+//! Manchester cells are (there is no illegal pattern), so the SERO device
+//! only considers them for hash areas already protected by verification —
+//! the TAB-OVH experiment quantifies the overhead choice.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_codec::wom::RivestShamir22;
+//!
+//! let first = RivestShamir22::encode_first(0b10);
+//! let (value, gen) = RivestShamir22::decode(first);
+//! assert_eq!(value, 0b10);
+//! assert_eq!(gen, sero_codec::wom::Generation::First);
+//!
+//! let second = RivestShamir22::encode_second(first, 0b01).unwrap();
+//! assert_eq!(RivestShamir22::decode(second).0, 0b01);
+//! ```
+
+use core::fmt;
+
+/// Which write generation a decoded WOM codeword belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Generation {
+    /// Codeword weight ≤ 1: written once.
+    First,
+    /// Codeword weight ≥ 2: rewritten.
+    Second,
+}
+
+/// Errors from WOM encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WomError {
+    /// Value does not fit in two bits.
+    ValueOutOfRange {
+        /// The rejected value.
+        value: u8,
+    },
+    /// The cells have already consumed both write generations.
+    Exhausted,
+}
+
+impl fmt::Display for WomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WomError::ValueOutOfRange { value } => {
+                write!(f, "value {value:#x} does not fit in 2 bits")
+            }
+            WomError::Exhausted => f.write_str("write-once cells already used twice"),
+        }
+    }
+}
+
+impl std::error::Error for WomError {}
+
+/// The Rivest–Shamir ⟨2,2⟩/3 write-once-memory code.
+///
+/// Stores a 2-bit value twice in three write-once cells. `true` means the
+/// cell has been irreversibly set (a heated dot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RivestShamir22;
+
+/// First-generation codewords indexed by value: weight ≤ 1.
+const FIRST: [[bool; 3]; 4] = [
+    [false, false, false], // 00
+    [false, false, true],  // 01
+    [false, true, false],  // 10
+    [true, false, false],  // 11
+];
+
+/// Second-generation codewords indexed by value: weight ≥ 2, and each is a
+/// superset of every first-generation codeword of a *different* value.
+const SECOND: [[bool; 3]; 4] = [
+    [true, true, true],   // 00
+    [true, true, false],  // 01
+    [true, false, true],  // 10
+    [false, true, true],  // 11
+];
+
+impl RivestShamir22 {
+    /// Number of write-once cells per codeword.
+    pub const CELLS: usize = 3;
+    /// Number of logical bits stored per write.
+    pub const BITS: usize = 2;
+    /// Number of guaranteed write generations.
+    pub const WRITES: usize = 2;
+
+    /// Encodes the first write of `value` (2 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `value > 3`; use [`RivestShamir22::try_encode_first`] for
+    /// a fallible variant.
+    pub fn encode_first(value: u8) -> [bool; 3] {
+        Self::try_encode_first(value).expect("value fits in 2 bits")
+    }
+
+    /// Fallible first-write encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomError::ValueOutOfRange`] when `value > 3`.
+    pub fn try_encode_first(value: u8) -> Result<[bool; 3], WomError> {
+        if value > 3 {
+            return Err(WomError::ValueOutOfRange { value });
+        }
+        Ok(FIRST[value as usize])
+    }
+
+    /// Encodes a second write of `value` on top of `current` cells.
+    ///
+    /// Only sets cells (never clears), honouring the write-once physics.
+    /// Rewriting the *same* value leaves the cells untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomError::ValueOutOfRange`] for values above 3 and
+    /// [`WomError::Exhausted`] when `current` is already a second-generation
+    /// codeword of a different value.
+    pub fn encode_second(current: [bool; 3], value: u8) -> Result<[bool; 3], WomError> {
+        if value > 3 {
+            return Err(WomError::ValueOutOfRange { value });
+        }
+        let (cur_value, gen) = Self::decode(current);
+        if cur_value == value {
+            return Ok(current);
+        }
+        match gen {
+            Generation::First => {
+                let target = SECOND[value as usize];
+                debug_assert!(covers(target, current), "second write only sets cells");
+                Ok(target)
+            }
+            Generation::Second => Err(WomError::Exhausted),
+        }
+    }
+
+    /// Decodes three cells into (value, generation).
+    pub fn decode(cells: [bool; 3]) -> (u8, Generation) {
+        let weight = cells.iter().filter(|&&c| c).count();
+        if weight <= 1 {
+            let value = FIRST.iter().position(|c| *c == cells).unwrap() as u8;
+            (value, Generation::First)
+        } else {
+            let value = SECOND.iter().position(|c| *c == cells).unwrap() as u8;
+            (value, Generation::Second)
+        }
+    }
+}
+
+fn covers(superset: [bool; 3], subset: [bool; 3]) -> bool {
+    subset
+        .iter()
+        .zip(superset.iter())
+        .all(|(&s, &sup)| !s || sup)
+}
+
+/// Physical-dots-per-logical-bit overhead of the codes available for the
+/// write-once hash area, for the paper's §8 efficiency comparison (TAB-OVH).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodeOverhead {
+    /// Dots per logical bit for Manchester cells (always 2.0).
+    pub manchester: f64,
+    /// Dots per logical bit for ⟨2,2⟩/3 WOM when both generations are used.
+    pub wom_two_writes: f64,
+    /// Dots per logical bit for ⟨2,2⟩/3 WOM when only one write is used.
+    pub wom_single_write: f64,
+}
+
+/// Returns the overhead comparison used by the TAB-OVH experiment.
+pub fn code_overheads() -> CodeOverhead {
+    CodeOverhead {
+        manchester: 2.0,
+        // 3 cells carry 2 bits twice = 4 bits of information over the
+        // medium's lifetime.
+        wom_two_writes: 3.0 / 4.0,
+        wom_single_write: 3.0 / 2.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_write_round_trips() {
+        for v in 0..4u8 {
+            let cells = RivestShamir22::encode_first(v);
+            assert_eq!(RivestShamir22::decode(cells), (v, Generation::First));
+        }
+    }
+
+    #[test]
+    fn second_write_round_trips_all_pairs() {
+        for v1 in 0..4u8 {
+            for v2 in 0..4u8 {
+                let first = RivestShamir22::encode_first(v1);
+                let second = RivestShamir22::encode_second(first, v2).unwrap();
+                let (decoded, _) = RivestShamir22::decode(second);
+                assert_eq!(decoded, v2, "first {v1} second {v2}");
+            }
+        }
+    }
+
+    #[test]
+    fn second_write_never_clears_cells() {
+        for v1 in 0..4u8 {
+            for v2 in 0..4u8 {
+                let first = RivestShamir22::encode_first(v1);
+                let second = RivestShamir22::encode_second(first, v2).unwrap();
+                for i in 0..3 {
+                    assert!(!first[i] || second[i], "cleared cell {i} ({v1}->{v2})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rewriting_same_value_is_idempotent() {
+        for v in 0..4u8 {
+            let first = RivestShamir22::encode_first(v);
+            assert_eq!(RivestShamir22::encode_second(first, v).unwrap(), first);
+            // Same value again on a second-generation word also succeeds.
+            let second = RivestShamir22::encode_second(first, (v + 1) % 4).unwrap();
+            assert_eq!(
+                RivestShamir22::encode_second(second, (v + 1) % 4).unwrap(),
+                second
+            );
+        }
+    }
+
+    #[test]
+    fn third_distinct_write_rejected() {
+        let first = RivestShamir22::encode_first(0);
+        let second = RivestShamir22::encode_second(first, 1).unwrap();
+        assert_eq!(
+            RivestShamir22::encode_second(second, 2),
+            Err(WomError::Exhausted)
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert_eq!(
+            RivestShamir22::try_encode_first(4),
+            Err(WomError::ValueOutOfRange { value: 4 })
+        );
+        let first = RivestShamir22::encode_first(0);
+        assert!(RivestShamir22::encode_second(first, 9).is_err());
+    }
+
+    #[test]
+    fn generations_distinguished_by_weight() {
+        assert_eq!(
+            RivestShamir22::decode([true, true, false]).1,
+            Generation::Second
+        );
+        assert_eq!(
+            RivestShamir22::decode([false, false, true]).1,
+            Generation::First
+        );
+    }
+
+    #[test]
+    fn overhead_numbers() {
+        let o = code_overheads();
+        assert_eq!(o.manchester, 2.0);
+        assert!(o.wom_two_writes < o.wom_single_write);
+        assert!(o.wom_single_write < o.manchester);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 bits")]
+    fn encode_first_panics_out_of_range() {
+        let _ = RivestShamir22::encode_first(7);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!format!("{}", WomError::Exhausted).is_empty());
+        assert!(!format!("{}", WomError::ValueOutOfRange { value: 9 }).is_empty());
+    }
+}

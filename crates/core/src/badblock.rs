@@ -1,0 +1,254 @@
+//! Bad-block handling that never mistakes heat for damage.
+//!
+//! §3 of the paper: "Bad block handling is a challenge, because a heated
+//! block should not be misinterpreted as a bad block." A conventional
+//! device would remap any unreadable block; a SERO device must first ask
+//! *why* the block is unreadable — a heated hash block is unreadable
+//! magnetically by design, and remapping it would destroy the evidence
+//! chain.
+//!
+//! [`classify_block`] implements the decision procedure: try the magnetic
+//! read; on failure, scan the electrical area. Coherent Manchester cells
+//! identify a heated line head; tampered or malformed cells are standing
+//! evidence; an electrically blank unreadable block is genuinely bad (or
+//! merely unformatted).
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_core::badblock::{classify_block, BlockClass};
+//! use sero_core::device::SeroDevice;
+//! use sero_core::line::Line;
+//!
+//! let mut dev = SeroDevice::with_blocks(8);
+//! for pba in 0..8 {
+//!     dev.write_block(pba, &[1u8; 512])?;
+//! }
+//! dev.heat_line(Line::new(0, 2)?, vec![], 0)?;
+//! assert!(matches!(classify_block(&mut dev, 0)?, BlockClass::HeatedLineHead(_)));
+//! assert!(matches!(classify_block(&mut dev, 5)?, BlockClass::Readable));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::device::{SeroDevice, SeroError};
+use crate::layout::{HashBlockPayload, PayloadError};
+use sero_probe::sector::SectorError;
+
+/// What a block turns out to be on inspection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockClass {
+    /// Magnetically readable: healthy WMRM or heated-line data block.
+    Readable,
+    /// The head of a heated line, carrying a valid hash payload.
+    HeatedLineHead(HashBlockPayload),
+    /// Electrically written but tampered or damaged — evidence, not a bad
+    /// block.
+    HeatedEvidence {
+        /// Why the payload did not decode.
+        reason: String,
+    },
+    /// Every cell reads `HH`: the block was deliberately shredded (§8
+    /// "Deletion"). Distinguishable from vandalism, which is partial.
+    Shredded,
+    /// Never formatted: magnetically unreadable but electrically blank,
+    /// with no coherent sector structure.
+    Unformatted,
+    /// Genuinely bad: formatted data that fails ECC/CRC with no electrical
+    /// explanation.
+    Bad {
+        /// The magnetic read error.
+        reason: String,
+    },
+}
+
+impl BlockClass {
+    /// True when the block must never be remapped or reused.
+    pub fn preserves_evidence(&self) -> bool {
+        matches!(
+            self,
+            BlockClass::HeatedLineHead(_)
+                | BlockClass::HeatedEvidence { .. }
+                | BlockClass::Shredded
+        )
+    }
+}
+
+/// Classifies block `pba` per the decision procedure above.
+///
+/// # Errors
+///
+/// Propagates only infrastructure errors (address out of range).
+pub fn classify_block(dev: &mut SeroDevice, pba: u64) -> Result<BlockClass, SeroError> {
+    // Magnetic attempt first — the cheap path for healthy blocks. Use the
+    // raw probe so registered hash blocks are classified from physics, not
+    // from the in-memory registry.
+    let magnetic = dev.probe_mut().mrs(pba);
+    let magnetic_err = match magnetic {
+        Ok(_) => return Ok(BlockClass::Readable),
+        Err(SectorError::OutOfRange { pba, blocks }) => {
+            return Err(SeroError::Sector(SectorError::OutOfRange { pba, blocks }))
+        }
+        Err(e) => e,
+    };
+
+    // Magnetically unreadable: ask the electrical area why.
+    match dev.scan_block(pba)? {
+        Ok(payload) => Ok(BlockClass::HeatedLineHead(payload)),
+        Err(PayloadError::Blank) => match magnetic_err {
+            SectorError::BadMagic { .. } => Ok(BlockClass::Unformatted),
+            e => Ok(BlockClass::Bad {
+                reason: e.to_string(),
+            }),
+        },
+        Err(PayloadError::Tampered { cells })
+            if cells.len() == sero_probe::sector::ELECTRICAL_CELLS =>
+        {
+            Ok(BlockClass::Shredded)
+        }
+        Err(e) => Ok(BlockClass::HeatedEvidence {
+            reason: e.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::Line;
+
+    fn device() -> SeroDevice {
+        let mut dev = SeroDevice::with_blocks(16);
+        for pba in 0..16 {
+            dev.write_block(pba, &[pba as u8; 512]).unwrap();
+        }
+        dev
+    }
+
+    #[test]
+    fn healthy_block_is_readable() {
+        let mut dev = device();
+        assert_eq!(classify_block(&mut dev, 3).unwrap(), BlockClass::Readable);
+    }
+
+    #[test]
+    fn heated_head_not_misclassified_as_bad() {
+        let mut dev = device();
+        let line = Line::new(4, 2).unwrap();
+        dev.heat_line(line, b"evidence".to_vec(), 7).unwrap();
+        match classify_block(&mut dev, 4).unwrap() {
+            BlockClass::HeatedLineHead(p) => {
+                assert_eq!(p.line(), line);
+                assert_eq!(p.metadata(), b"evidence");
+            }
+            other => panic!("heated head classified as {other:?}"),
+        }
+        // Data blocks of the line remain plain readable.
+        assert_eq!(classify_block(&mut dev, 5).unwrap(), BlockClass::Readable);
+    }
+
+    #[test]
+    fn classification_survives_registry_loss() {
+        // The whole point: classification works from physics alone.
+        let mut dev = device();
+        dev.heat_line(Line::new(8, 2).unwrap(), vec![], 1).unwrap();
+        let mut fresh = dev.clone();
+        fresh.rebuild_registry().unwrap(); // works either way
+        match classify_block(&mut fresh, 8).unwrap() {
+            BlockClass::HeatedLineHead(_) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unformatted_block_detected() {
+        let mut dev = SeroDevice::with_blocks(4);
+        assert_eq!(
+            classify_block(&mut dev, 2).unwrap(),
+            BlockClass::Unformatted
+        );
+    }
+
+    #[test]
+    fn vandalised_hash_block_is_evidence_not_bad() {
+        let mut dev = device();
+        let line = Line::new(0, 2).unwrap();
+        dev.heat_line(line, vec![], 2).unwrap();
+        // Attacker burns extra dots into the hash block.
+        for cell in 0..8 {
+            let dot = dev.probe().block_first_dot(0)
+                + sero_probe::sector::DATA_AREA_FIRST_DOT as u64
+                + cell * 2;
+            dev.probe_mut().ewb(dot);
+            dev.probe_mut().ewb(dot + 1);
+        }
+        match classify_block(&mut dev, 0).unwrap() {
+            BlockClass::HeatedEvidence { reason } => {
+                assert!(reason.contains("tampered") || reason.contains("HH"), "{reason}")
+            }
+            other => panic!("vandalised hash block classified as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_magnetic_block_is_bad() {
+        let mut dev = device();
+        // Corrupt block 6 beyond ECC by randomising its dots magnetically
+        // (no heat involved).
+        let first = dev.probe().block_first_dot(6);
+        for i in 0..sero_probe::sector::SECTOR_DOTS as u64 {
+            let bit = (i * 2654435761) % 3 == 0;
+            dev.probe_mut().medium_mut().write_mag(first + i, bit);
+        }
+        match classify_block(&mut dev, 6).unwrap() {
+            BlockClass::Bad { .. } | BlockClass::Unformatted => {}
+            other => panic!("corrupt block classified as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn evidence_preservation_flags() {
+        assert!(!BlockClass::Readable.preserves_evidence());
+        assert!(!BlockClass::Unformatted.preserves_evidence());
+        assert!(!BlockClass::Bad { reason: String::new() }.preserves_evidence());
+        assert!(BlockClass::HeatedEvidence { reason: String::new() }.preserves_evidence());
+        assert!(BlockClass::Shredded.preserves_evidence());
+    }
+
+    #[test]
+    fn shredded_block_classified_distinctly() {
+        let mut dev = device();
+        let line = Line::new(8, 1).unwrap();
+        dev.heat_line(line, vec![], 3).unwrap();
+        dev.shred_line(line).unwrap();
+        // Both blocks of the line now show the uniform all-HH signature.
+        for pba in line.blocks() {
+            assert_eq!(classify_block(&mut dev, pba).unwrap(), BlockClass::Shredded);
+        }
+        // Shredding is itself loud evidence at the line level.
+        let outcome = dev.verify_line(line).unwrap();
+        assert!(outcome.is_tampered());
+    }
+
+    #[test]
+    fn shred_destroys_content_irreversibly() {
+        let mut dev = device();
+        let line = Line::new(4, 1).unwrap();
+        dev.shred_line(line).unwrap();
+        for pba in line.blocks() {
+            assert!(dev.probe_mut().mrs(pba).is_err(), "shredded block readable");
+            // Rewrites cannot resurrect it.
+            let report = dev.probe_mut().mws(pba, &[1u8; 512]).unwrap();
+            assert_eq!(
+                report.unwritable_dots,
+                sero_probe::sector::SECTOR_DOTS,
+                "every dot must refuse"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let mut dev = device();
+        assert!(classify_block(&mut dev, 99).is_err());
+    }
+}

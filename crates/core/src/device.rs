@@ -1,0 +1,831 @@
+//! The SERO device: WMRM storage whose parts become tamper-evident RO.
+//!
+//! [`SeroDevice`] wraps the probe device with the protocol §3 of the paper
+//! requires:
+//!
+//! * **Proper read/write segregation** — "magnetically written data must
+//!   only be read magnetically and … electrically written data must only be
+//!   read electrically". Magnetic access to a registered hash block is a
+//!   protocol violation; writes to any block of a heated line are refused
+//!   (the line is read-only now).
+//! * **heat a line** — the paper's atomic four-step sequence: read the data
+//!   blocks, hash them *with their physical addresses*, burn the Manchester
+//!   encoding of the hash (plus Figure 3 metadata) into block 0, and verify
+//!   it reads back.
+//! * **verify a line** — recompute the hash and compare against the heated
+//!   one, reporting physical and cryptographic [`Evidence`] rather than a
+//!   bare boolean.
+//! * **registry recovery** — the hash-block payload is self-describing, so
+//!   a full device scan rebuilds the registry after restart, directory
+//!   destruction, or bulk erasure (§5.2's fsck argument).
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_core::device::SeroDevice;
+//! use sero_core::line::Line;
+//!
+//! let mut dev = SeroDevice::with_blocks(16);
+//! let line = Line::new(8, 2)?; // blocks 8..12
+//! for pba in line.data_blocks() {
+//!     dev.write_block(pba, &[pba as u8; 512])?;
+//! }
+//! dev.heat_line(line, b"quarterly audit".to_vec(), 1_199_145_600)?;
+//! assert!(dev.verify_line(line)?.is_intact());
+//! // The line is read-only now.
+//! assert!(dev.write_block(9, &[0u8; 512]).is_err());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::layout::{HashBlockPayload, PayloadError};
+use crate::line::{Line, LineError};
+use crate::tamper::{Evidence, TamperReport, VerifyOutcome};
+use core::fmt;
+use sero_crypto::{Digest, Sha256};
+use sero_probe::device::ProbeDevice;
+use sero_probe::sector::{SectorError, SECTOR_DATA_BYTES};
+use std::collections::BTreeMap;
+
+/// Domain-separation tag for line digests.
+const LINE_HASH_DOMAIN: &[u8] = b"SERO-line-v1";
+
+/// Errors surfaced by the SERO device layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeroError {
+    /// An underlying sector-level failure.
+    Sector(SectorError),
+    /// An invalid line description.
+    Line(LineError),
+    /// Magnetic access to a heated hash block — the protocol forbids
+    /// reading electrical data magnetically.
+    HashBlockAccess {
+        /// The hash block address.
+        pba: u64,
+    },
+    /// Write refused: the block belongs to a heated (read-only) line.
+    ReadOnly {
+        /// The protecting line.
+        line: Line,
+        /// The refused block.
+        pba: u64,
+    },
+    /// The requested line overlaps an already heated line without being
+    /// identical to it.
+    OverlapsHeatedLine {
+        /// The requested line.
+        line: Line,
+        /// The registered line it collides with.
+        existing: Line,
+    },
+    /// A data block could not be read while computing the line hash.
+    DataUnreadable {
+        /// The failing block.
+        pba: u64,
+        /// The device error.
+        source: SectorError,
+    },
+    /// Step 4 of the heat operation failed: the hash does not read back
+    /// (conflicting earlier heat, damaged cells, …). The medium now carries
+    /// the physical evidence.
+    HeatVerifyFailed {
+        /// The line being heated.
+        line: Line,
+        /// What the read-back produced.
+        reason: String,
+    },
+    /// A magnetic write did not take on some dots — unexpected heat damage
+    /// in a supposedly writable block.
+    WriteDegraded {
+        /// The block written.
+        pba: u64,
+        /// Number of dots that refused the write.
+        unwritable_dots: usize,
+    },
+}
+
+impl fmt::Display for SeroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeroError::Sector(e) => write!(f, "sector error: {e}"),
+            SeroError::Line(e) => write!(f, "line error: {e}"),
+            SeroError::HashBlockAccess { pba } => {
+                write!(f, "magnetic access to heated hash block {pba} violates the protocol")
+            }
+            SeroError::ReadOnly { line, pba } => {
+                write!(f, "block {pba} is read-only: protected by heated {line}")
+            }
+            SeroError::OverlapsHeatedLine { line, existing } => {
+                write!(f, "{line} overlaps already heated {existing}")
+            }
+            SeroError::DataUnreadable { pba, source } => {
+                write!(f, "data block {pba} unreadable while hashing: {source}")
+            }
+            SeroError::HeatVerifyFailed { line, reason } => {
+                write!(f, "heat verification failed for {line}: {reason}")
+            }
+            SeroError::WriteDegraded { pba, unwritable_dots } => {
+                write!(f, "write to block {pba} degraded: {unwritable_dots} unwritable dots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SeroError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SeroError::Sector(e) => Some(e),
+            SeroError::Line(e) => Some(e),
+            SeroError::DataUnreadable { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<SectorError> for SeroError {
+    fn from(e: SectorError) -> SeroError {
+        SeroError::Sector(e)
+    }
+}
+
+impl From<LineError> for SeroError {
+    fn from(e: LineError) -> SeroError {
+        SeroError::Line(e)
+    }
+}
+
+/// A registered heated line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineRecord {
+    /// The heated line.
+    pub line: Line,
+    /// Heat timestamp from the payload.
+    pub timestamp: u64,
+    /// The digest burned into the hash block.
+    pub digest: Digest,
+}
+
+/// Result of a full-device registry rebuild.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegistryScan {
+    /// Lines recovered from valid hash blocks.
+    pub lines_found: usize,
+    /// Blocks whose electrical area is written but tampered or malformed —
+    /// each one is standing evidence.
+    pub suspicious_blocks: Vec<u64>,
+    /// Pairs of discovered lines that overlap. Two valid hash payloads can
+    /// only overlap if someone heated a line *inside* an existing one — the
+    /// §5.1 splitting/coalescing attack — so every pair is evidence.
+    pub overlapping_lines: Vec<(Line, Line)>,
+}
+
+/// Capacity accounting of a SERO device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeroStats {
+    /// Total blocks on the device.
+    pub total_blocks: u64,
+    /// Blocks inside heated (read-only) lines, hash blocks included.
+    pub read_only_blocks: u64,
+    /// Blocks still available for write-many use.
+    pub wmrm_blocks: u64,
+    /// Number of heated lines.
+    pub heated_lines: usize,
+}
+
+/// A tamper-evident SERO storage device.
+#[derive(Debug, Clone)]
+pub struct SeroDevice {
+    probe: ProbeDevice,
+    registry: BTreeMap<u64, LineRecord>,
+}
+
+impl SeroDevice {
+    /// Wraps an existing probe device.
+    pub fn new(probe: ProbeDevice) -> SeroDevice {
+        SeroDevice {
+            probe,
+            registry: BTreeMap::new(),
+        }
+    }
+
+    /// Convenience constructor: a default probe device with `blocks`
+    /// 512-byte blocks.
+    pub fn with_blocks(blocks: u64) -> SeroDevice {
+        SeroDevice::new(ProbeDevice::builder().blocks(blocks).build())
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> u64 {
+        self.probe.block_count()
+    }
+
+    /// The underlying probe device (clock, counters, medium inspection).
+    pub fn probe(&self) -> &ProbeDevice {
+        &self.probe
+    }
+
+    /// Mutable access to the underlying probe device.
+    ///
+    /// This deliberately bypasses every SERO protocol check — it is the
+    /// §5 threat model's "connect it to a laptop with the appropriate
+    /// interface". Normal clients never need it.
+    pub fn probe_mut(&mut self) -> &mut ProbeDevice {
+        &mut self.probe
+    }
+
+    /// The registered heated lines, in address order.
+    pub fn heated_lines(&self) -> impl Iterator<Item = &LineRecord> {
+        self.registry.values()
+    }
+
+    /// The heated line containing `pba`, if any is registered.
+    pub fn line_of(&self, pba: u64) -> Option<Line> {
+        self.registry
+            .range(..=pba)
+            .next_back()
+            .map(|(_, r)| r.line)
+            .filter(|l| l.contains(pba))
+    }
+
+    /// True when `pba` may no longer be written through the SERO protocol.
+    pub fn is_read_only(&self, pba: u64) -> bool {
+        self.line_of(pba).is_some()
+    }
+
+    /// Capacity accounting: how much of the device has aged into RO.
+    pub fn stats(&self) -> SeroStats {
+        let ro: u64 = self.registry.values().map(|r| r.line.len()).sum();
+        SeroStats {
+            total_blocks: self.block_count(),
+            read_only_blocks: ro,
+            wmrm_blocks: self.block_count() - ro,
+            heated_lines: self.registry.len(),
+        }
+    }
+
+    /// Reads a WMRM or heated-data block magnetically.
+    ///
+    /// # Errors
+    ///
+    /// [`SeroError::HashBlockAccess`] for registered hash blocks (the
+    /// protocol requires `ers` there); sector errors otherwise.
+    pub fn read_block(&mut self, pba: u64) -> Result<[u8; SECTOR_DATA_BYTES], SeroError> {
+        if let Some(line) = self.line_of(pba) {
+            if line.hash_block() == pba {
+                return Err(SeroError::HashBlockAccess { pba });
+            }
+        }
+        Ok(self.probe.mrs(pba)?.data)
+    }
+
+    /// Writes a block magnetically.
+    ///
+    /// # Errors
+    ///
+    /// [`SeroError::ReadOnly`] inside heated lines;
+    /// [`SeroError::WriteDegraded`] when heat damage kept dots from
+    /// accepting the write; sector errors otherwise.
+    pub fn write_block(&mut self, pba: u64, data: &[u8; SECTOR_DATA_BYTES]) -> Result<(), SeroError> {
+        if let Some(line) = self.line_of(pba) {
+            return Err(SeroError::ReadOnly { line, pba });
+        }
+        let report = self.probe.mws(pba, data)?;
+        if report.unwritable_dots > 0 {
+            return Err(SeroError::WriteDegraded {
+                pba,
+                unwritable_dots: report.unwritable_dots,
+            });
+        }
+        Ok(())
+    }
+
+    /// Computes the line digest: SHA-256 over a domain tag, the line
+    /// coordinates, and each data block's physical address and contents —
+    /// "a secure hash … of the blocks and their addresses" (§3).
+    ///
+    /// # Errors
+    ///
+    /// [`SeroError::DataUnreadable`] when a data block fails to read.
+    pub fn compute_line_digest(&mut self, line: Line) -> Result<Digest, SeroError> {
+        let mut hasher = Sha256::new();
+        hasher.update(LINE_HASH_DOMAIN);
+        hasher.update(&[line.order() as u8]);
+        hasher.update(&line.start().to_le_bytes());
+        for pba in line.data_blocks() {
+            let sector = self
+                .probe
+                .mrs(pba)
+                .map_err(|source| SeroError::DataUnreadable { pba, source })?;
+            hasher.update(&pba.to_le_bytes());
+            hasher.update(&sector.data);
+        }
+        Ok(hasher.finalize())
+    }
+
+    /// Heats `line`: the paper's atomic sequence — read, hash, burn,
+    /// verify. On success the line is registered read-only and the payload
+    /// is returned.
+    ///
+    /// Re-heating a line whose data is unchanged is harmless and
+    /// idempotent; re-heating with changed data fails verification and
+    /// leaves `HH` evidence on the medium.
+    ///
+    /// # Errors
+    ///
+    /// See [`SeroError`]; notably [`SeroError::OverlapsHeatedLine`] for
+    /// straddling requests and [`SeroError::HeatVerifyFailed`] when the
+    /// read-back check of step 4 fails.
+    pub fn heat_line(
+        &mut self,
+        line: Line,
+        metadata: Vec<u8>,
+        timestamp: u64,
+    ) -> Result<HashBlockPayload, SeroError> {
+        if line.end() > self.block_count() {
+            return Err(SeroError::Sector(SectorError::OutOfRange {
+                pba: line.end() - 1,
+                blocks: self.block_count(),
+            }));
+        }
+        for record in self.registry.values() {
+            if record.line.overlaps(&line) && record.line != line {
+                return Err(SeroError::OverlapsHeatedLine {
+                    line,
+                    existing: record.line,
+                });
+            }
+        }
+
+        // Steps 1-2: read the data blocks and hash them with addresses.
+        let digest = self.compute_line_digest(line)?;
+        let payload = HashBlockPayload::new(line, digest, timestamp, metadata)
+            .map_err(|e| SeroError::HeatVerifyFailed {
+                line,
+                reason: e.to_string(),
+            })?;
+
+        // Step 3: burn the Manchester encoding into block 0.
+        self.probe.ews(line.hash_block(), &payload.to_bits())?;
+
+        // Step 4: check the hash reads back, "or else fail".
+        let scan = self.probe.ers(line.hash_block())?;
+        match HashBlockPayload::from_scan(&scan) {
+            Ok(read_back) if read_back == payload => {
+                self.registry.insert(
+                    line.start(),
+                    LineRecord {
+                        line,
+                        timestamp,
+                        digest,
+                    },
+                );
+                Ok(payload)
+            }
+            Ok(read_back) => Err(SeroError::HeatVerifyFailed {
+                line,
+                reason: format!(
+                    "read-back payload disagrees (heated at {} for {})",
+                    read_back.timestamp(),
+                    read_back.line()
+                ),
+            }),
+            Err(e) => Err(SeroError::HeatVerifyFailed {
+                line,
+                reason: e.to_string(),
+            }),
+        }
+    }
+
+    /// Verifies `line` against its heated hash.
+    ///
+    /// # Errors
+    ///
+    /// Only infrastructure failures (line out of range) are errors; every
+    /// tamper finding is reported in the [`VerifyOutcome`].
+    pub fn verify_line(&mut self, line: Line) -> Result<VerifyOutcome, SeroError> {
+        if line.end() > self.block_count() {
+            return Err(SeroError::Sector(SectorError::OutOfRange {
+                pba: line.end() - 1,
+                blocks: self.block_count(),
+            }));
+        }
+        let mut report = TamperReport::new(line);
+
+        let scan = self.probe.ers(line.hash_block())?;
+        let payload = match HashBlockPayload::from_scan(&scan) {
+            Ok(p) => p,
+            Err(PayloadError::Blank) => return Ok(VerifyOutcome::NotHeated),
+            Err(PayloadError::Tampered { cells }) => {
+                report.push(Evidence::TamperedHashCells { cells });
+                return Ok(VerifyOutcome::Tampered(report));
+            }
+            Err(e) => {
+                report.push(Evidence::MalformedHashBlock {
+                    reason: e.to_string(),
+                });
+                return Ok(VerifyOutcome::Tampered(report));
+            }
+        };
+
+        if payload.line() != line {
+            report.push(Evidence::RelocatedPayload {
+                claimed: payload.line(),
+                actual: line,
+            });
+            return Ok(VerifyOutcome::Tampered(report));
+        }
+
+        // Recompute the digest, collecting unreadable blocks as evidence.
+        let mut hasher = Sha256::new();
+        hasher.update(LINE_HASH_DOMAIN);
+        hasher.update(&[line.order() as u8]);
+        hasher.update(&line.start().to_le_bytes());
+        let mut unreadable = false;
+        for pba in line.data_blocks() {
+            match self.probe.mrs(pba) {
+                Ok(sector) => {
+                    hasher.update(&pba.to_le_bytes());
+                    hasher.update(&sector.data);
+                }
+                Err(e) => {
+                    unreadable = true;
+                    report.push(Evidence::UnreadableDataBlock {
+                        pba,
+                        reason: e.to_string(),
+                    });
+                }
+            }
+        }
+        if unreadable {
+            return Ok(VerifyOutcome::Tampered(report));
+        }
+        let computed = hasher.finalize();
+        if computed != *payload.digest() {
+            report.push(Evidence::HashMismatch {
+                stored: *payload.digest(),
+                computed,
+            });
+            return Ok(VerifyOutcome::Tampered(report));
+        }
+
+        // Verified: make sure the registry knows this line.
+        self.registry.insert(
+            line.start(),
+            LineRecord {
+                line,
+                timestamp: payload.timestamp(),
+                digest: computed,
+            },
+        );
+        Ok(VerifyOutcome::Intact { payload })
+    }
+
+    /// Physically shreds every block of `line` — the §8 retention
+    /// mechanism: "physically destroy the expired data by precise local
+    /// heating". The line's registry entry (if any) is retained: the shred
+    /// leaves all-`HH` cells behind, so verification keeps reporting what
+    /// happened rather than pretending the line never existed.
+    ///
+    /// # Errors
+    ///
+    /// Sector-level errors for out-of-range lines.
+    pub fn shred_line(&mut self, line: Line) -> Result<(), SeroError> {
+        if line.end() > self.block_count() {
+            return Err(SeroError::Sector(SectorError::OutOfRange {
+                pba: line.end() - 1,
+                blocks: self.block_count(),
+            }));
+        }
+        for pba in line.blocks() {
+            self.probe.shred(pba)?;
+        }
+        Ok(())
+    }
+
+    /// Scans one block's electrical area and decodes a payload if present.
+    ///
+    /// # Errors
+    ///
+    /// Sector-level errors only; payload findings are in the `Result`'s
+    /// `Ok` layer.
+    pub fn scan_block(&mut self, pba: u64) -> Result<Result<HashBlockPayload, PayloadError>, SeroError> {
+        let scan = self.probe.ers(pba)?;
+        Ok(HashBlockPayload::from_scan(&scan))
+    }
+
+    /// Rebuilds the registry by scanning every block — the recovery path
+    /// after restart or after an attacker "clears the directory structure"
+    /// (§5.2: a fsck-style scan recovers all heated files, slowly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sector-level errors (out-of-range cannot occur here).
+    pub fn rebuild_registry(&mut self) -> Result<RegistryScan, SeroError> {
+        self.registry.clear();
+        let mut result = RegistryScan::default();
+        for pba in 0..self.block_count() {
+            // Cheap pre-probe: payloads are prefix-contiguous, so a block
+            // whose first cells are all blank cannot be a line head (and a
+            // tampered head shows up in the prefix too).
+            let prefix = self.probe.ers_cells(pba, 16)?;
+            if prefix.blank_cells().len() == 16 {
+                continue;
+            }
+            match self.scan_block(pba)? {
+                Ok(payload) => {
+                    // Trust only payloads physically located at their own
+                    // hash block.
+                    if payload.line().hash_block() == pba {
+                        self.registry.insert(
+                            payload.line().start(),
+                            LineRecord {
+                                line: payload.line(),
+                                timestamp: payload.timestamp(),
+                                digest: *payload.digest(),
+                            },
+                        );
+                        result.lines_found += 1;
+                    } else {
+                        result.suspicious_blocks.push(pba);
+                    }
+                }
+                Err(PayloadError::Blank) => {}
+                Err(_) => result.suspicious_blocks.push(pba),
+            }
+        }
+        // Overlapping valid lines are physically impossible through the
+        // protocol: flag every pair as splitting/coalescing evidence.
+        let lines: Vec<Line> = self.registry.values().map(|r| r.line).collect();
+        for (i, a) in lines.iter().enumerate() {
+            for b in lines.iter().skip(i + 1) {
+                if a.overlaps(b) {
+                    result.overlapping_lines.push((*a, *b));
+                }
+            }
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled_device(blocks: u64) -> SeroDevice {
+        let mut dev = SeroDevice::with_blocks(blocks);
+        for pba in 0..blocks {
+            dev.write_block(pba, &[pba as u8; SECTOR_DATA_BYTES]).unwrap();
+        }
+        dev
+    }
+
+    const T0: u64 = 1_199_145_600; // 2008-01-01
+
+    #[test]
+    fn heat_then_verify_intact() {
+        let mut dev = filled_device(16);
+        let line = Line::new(8, 2).unwrap();
+        let payload = dev.heat_line(line, b"meta".to_vec(), T0).unwrap();
+        assert_eq!(payload.line(), line);
+        let outcome = dev.verify_line(line).unwrap();
+        assert!(outcome.is_intact(), "{outcome:?}");
+        assert_eq!(dev.stats().read_only_blocks, 4);
+        assert_eq!(dev.stats().heated_lines, 1);
+    }
+
+    #[test]
+    fn data_blocks_still_readable_after_heat() {
+        // §3: "Blocks 1..2^N−1 of a heated line can still be read
+        // magnetically, hence efficiently, and as often as needed."
+        let mut dev = filled_device(16);
+        let line = Line::new(4, 2).unwrap();
+        dev.heat_line(line, vec![], T0).unwrap();
+        for pba in line.data_blocks() {
+            assert_eq!(dev.read_block(pba).unwrap(), [pba as u8; 512]);
+        }
+    }
+
+    #[test]
+    fn hash_block_magnetic_access_forbidden() {
+        let mut dev = filled_device(8);
+        let line = Line::new(0, 2).unwrap();
+        dev.heat_line(line, vec![], T0).unwrap();
+        assert!(matches!(
+            dev.read_block(0),
+            Err(SeroError::HashBlockAccess { pba: 0 })
+        ));
+    }
+
+    #[test]
+    fn heated_line_is_read_only() {
+        let mut dev = filled_device(8);
+        let line = Line::new(4, 2).unwrap();
+        dev.heat_line(line, vec![], T0).unwrap();
+        for pba in line.blocks() {
+            assert!(dev.is_read_only(pba));
+            assert!(matches!(
+                dev.write_block(pba, &[0u8; 512]),
+                Err(SeroError::ReadOnly { .. })
+            ));
+        }
+        assert!(!dev.is_read_only(3));
+        dev.write_block(3, &[9u8; 512]).unwrap();
+    }
+
+    #[test]
+    fn reheat_unchanged_line_is_idempotent() {
+        let mut dev = filled_device(8);
+        let line = Line::new(0, 2).unwrap();
+        let first = dev.heat_line(line, b"m".to_vec(), T0).unwrap();
+        let second = dev.heat_line(line, b"m".to_vec(), T0).unwrap();
+        assert_eq!(first, second);
+        assert!(dev.verify_line(line).unwrap().is_intact());
+    }
+
+    #[test]
+    fn reheat_with_different_metadata_fails_and_marks() {
+        let mut dev = filled_device(8);
+        let line = Line::new(0, 2).unwrap();
+        dev.heat_line(line, b"original".to_vec(), T0).unwrap();
+        let err = dev.heat_line(line, b"rewrite!".to_vec(), T0 + 5).unwrap_err();
+        assert!(matches!(err, SeroError::HeatVerifyFailed { .. }));
+        // The conflicting heat left HH cells behind.
+        let outcome = dev.verify_line(line).unwrap();
+        let report = outcome.report().expect("tampered");
+        assert!(report
+            .evidence()
+            .iter()
+            .any(|e| e.kind() == "hash-cells-HH"));
+    }
+
+    #[test]
+    fn overlapping_heat_rejected() {
+        let mut dev = filled_device(16);
+        dev.heat_line(Line::new(0, 3).unwrap(), vec![], T0).unwrap();
+        let err = dev
+            .heat_line(Line::new(4, 2).unwrap(), vec![], T0)
+            .unwrap_err();
+        assert!(matches!(err, SeroError::OverlapsHeatedLine { .. }));
+    }
+
+    #[test]
+    fn verify_detects_magnetic_data_rewrite() {
+        // §5.1 "mwb inode/data": changing magnetically written data is
+        // detected by the verify operation.
+        let mut dev = filled_device(16);
+        let line = Line::new(8, 2).unwrap();
+        dev.heat_line(line, vec![], T0).unwrap();
+        // The attacker bypasses the SERO layer and rewrites block 9 via the
+        // raw probe device.
+        dev.probe_mut().mws(9, &[0xEE; 512]).unwrap();
+        let outcome = dev.verify_line(line).unwrap();
+        let report = outcome.report().expect("tampered");
+        assert!(report
+            .evidence()
+            .iter()
+            .any(|e| e.kind() == "hash-mismatch"));
+    }
+
+    #[test]
+    fn verify_not_heated_for_blank_line() {
+        let mut dev = filled_device(8);
+        let line = Line::new(4, 2).unwrap();
+        assert_eq!(dev.verify_line(line).unwrap(), VerifyOutcome::NotHeated);
+    }
+
+    #[test]
+    fn out_of_range_line_rejected() {
+        let mut dev = filled_device(8);
+        let line = Line::new(8, 2).unwrap();
+        assert!(dev.heat_line(line, vec![], T0).is_err());
+        assert!(dev.verify_line(line).is_err());
+    }
+
+    #[test]
+    fn registry_rebuild_recovers_lines() {
+        let mut dev = filled_device(32);
+        let lines = [
+            Line::new(0, 2).unwrap(),
+            Line::new(8, 3).unwrap(),
+            Line::new(24, 1).unwrap(),
+        ];
+        for (i, &line) in lines.iter().enumerate() {
+            dev.heat_line(line, format!("line-{i}").into_bytes(), T0 + i as u64)
+                .unwrap();
+        }
+        // Simulate restart: forget everything.
+        dev.registry.clear();
+        assert!(!dev.is_read_only(0));
+        let scan = dev.rebuild_registry().unwrap();
+        assert_eq!(scan.lines_found, 3);
+        assert!(scan.suspicious_blocks.is_empty());
+        for line in lines {
+            assert!(dev.is_read_only(line.start()));
+            assert!(dev.verify_line(line).unwrap().is_intact());
+        }
+    }
+
+    #[test]
+    fn line_of_finds_containing_line() {
+        let mut dev = filled_device(16);
+        let line = Line::new(8, 3).unwrap();
+        dev.heat_line(line, vec![], T0).unwrap();
+        assert_eq!(dev.line_of(8), Some(line));
+        assert_eq!(dev.line_of(15), Some(line));
+        assert_eq!(dev.line_of(7), None);
+        assert_eq!(dev.line_of(0), None);
+    }
+
+    #[test]
+    fn stats_track_aging() {
+        // §8: "over the lifetime of the device, the read/write area
+        // gradually shrinks".
+        let mut dev = filled_device(32);
+        assert_eq!(dev.stats().wmrm_blocks, 32);
+        dev.heat_line(Line::new(0, 3).unwrap(), vec![], T0).unwrap();
+        assert_eq!(dev.stats().wmrm_blocks, 24);
+        dev.heat_line(Line::new(16, 3).unwrap(), vec![], T0).unwrap();
+        assert_eq!(dev.stats().wmrm_blocks, 16);
+        assert_eq!(dev.stats().read_only_blocks, 16);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let line = Line::new(0, 1).unwrap();
+        for e in [
+            SeroError::HashBlockAccess { pba: 1 },
+            SeroError::ReadOnly { line, pba: 1 },
+            SeroError::OverlapsHeatedLine { line, existing: line },
+            SeroError::HeatVerifyFailed { line, reason: "x".into() },
+            SeroError::WriteDegraded { pba: 0, unwritable_dots: 3 },
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+
+    #[test]
+    fn torn_heat_is_recoverable_by_reheating() {
+        // Power loss mid-heat: only a prefix of the payload's cells were
+        // burned. Because heating identical cells is idempotent, re-running
+        // the heat with unchanged data completes the pattern and the line
+        // verifies — the operation is crash-safe.
+        let mut dev = filled_device(8);
+        let line = Line::new(0, 2).unwrap();
+        let digest = dev.compute_line_digest(line).unwrap();
+        let payload =
+            crate::layout::HashBlockPayload::new(line, digest, T0, b"meta".to_vec()).unwrap();
+        let bits = payload.to_bits();
+
+        // The torn write: only the first 40% of the cells land.
+        let partial = &bits[..bits.len() * 2 / 5];
+        dev.probe_mut().ews(line.hash_block(), partial).unwrap();
+
+        // Before recovery the block reads as malformed (torn) — evidence,
+        // not a valid line.
+        match dev.scan_block(0).unwrap() {
+            Err(crate::layout::PayloadError::Malformed { .. }) => {}
+            other => panic!("torn heat should scan malformed, got {other:?}"),
+        }
+
+        // Recovery: run the same heat again (same data, same timestamp,
+        // same metadata). Prefix cells re-heat idempotently.
+        let healed = dev.heat_line(line, b"meta".to_vec(), T0).unwrap();
+        assert_eq!(healed, payload);
+        assert!(dev.verify_line(line).unwrap().is_intact());
+    }
+
+    #[test]
+    fn torn_heat_with_changed_data_still_fails_loudly() {
+        // If the data changed between the torn heat and the retry, the
+        // retry conflicts with the burned prefix and leaves HH evidence.
+        let mut dev = filled_device(8);
+        let line = Line::new(0, 2).unwrap();
+        let digest = dev.compute_line_digest(line).unwrap();
+        let payload =
+            crate::layout::HashBlockPayload::new(line, digest, T0, vec![]).unwrap();
+        let bits = payload.to_bits();
+        dev.probe_mut()
+            .ews(line.hash_block(), &bits[..bits.len() / 2])
+            .unwrap();
+
+        // Data block rewritten before the retry.
+        dev.probe_mut().mws(1, &[0xCC; 512]).unwrap();
+        let err = dev.heat_line(line, vec![], T0).unwrap_err();
+        assert!(matches!(err, SeroError::HeatVerifyFailed { .. }));
+        let outcome = dev.verify_line(line).unwrap();
+        assert!(outcome.is_tampered());
+    }
+
+    #[test]
+    fn shredded_line_fails_verification_with_evidence() {
+        let mut dev = filled_device(8);
+        let line = Line::new(4, 2).unwrap();
+        dev.heat_line(line, vec![], T0).unwrap();
+        dev.shred_line(line).unwrap();
+        let outcome = dev.verify_line(line).unwrap();
+        let report = outcome.report().expect("shred is loud");
+        assert!(report
+            .evidence()
+            .iter()
+            .any(|e| e.kind() == "hash-cells-HH"));
+    }
+}

@@ -1,0 +1,435 @@
+//! The hash-block payload — Figure 3's on-medium layout.
+//!
+//! Block 0 of a heated line is written electrically. The paper's Figure 3
+//! puts "the 512-bit Manchester encoding of the 256-bit hash in block 0 …
+//! this leaves 4096−512=3584 bits of space for meta data, signatures, etc."
+//! We structure that space as a self-describing record:
+//!
+//! ```text
+//! magic u16 | version u8 | order u8 | start u64 | timestamp u64 |
+//! digest [u8; 32] | meta_len u16 | metadata … | crc32 u32
+//! ```
+//!
+//! The record carries the line's *own* start address and order: a payload
+//! copied to a different physical location contradicts itself, which —
+//! together with the physical addresses inside the hash — defeats the
+//! §5.1 splitting/coalescing and §5.2 copy-masking attacks.
+//!
+//! Everything is Manchester-encoded two dots per bit, so the whole record
+//! consumes at most the 4096-dot electrical area (2048 logical bits = 256
+//! bytes).
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_core::layout::HashBlockPayload;
+//! use sero_core::line::Line;
+//! use sero_crypto::Digest;
+//!
+//! let line = Line::new(8, 3)?;
+//! let payload = HashBlockPayload::new(line, Digest::ZERO, 1_200_000_000, b"db-snapshot".to_vec())?;
+//! let bits = payload.to_bits();
+//! assert!(bits.len() <= 2048);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::line::{Line, LineError};
+use core::fmt;
+use sero_codec::crc32::crc32;
+use sero_codec::manchester::{self, Scan};
+use sero_crypto::Digest;
+
+/// Payload magic: distinguishes a heated hash block from random damage.
+pub const PAYLOAD_MAGIC: u16 = 0x53E0;
+
+/// Payload format version.
+pub const PAYLOAD_VERSION: u8 = 1;
+
+/// Logical bits available in a block's electrical area.
+pub const PAYLOAD_CAPACITY_BITS: usize = 2048;
+
+/// Fixed bytes: magic 2 + version 1 + order 1 + start 8 + timestamp 8 +
+/// digest 32 + meta_len 2 + crc 4.
+const FIXED_BYTES: usize = 58;
+
+/// Maximum free-form metadata bytes.
+pub const MAX_METADATA_BYTES: usize = PAYLOAD_CAPACITY_BITS / 8 - FIXED_BYTES;
+
+/// Errors reading or building a hash-block payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PayloadError {
+    /// The electrical area contains no written cells at all: the block was
+    /// never heated.
+    Blank,
+    /// One or more cells show the illegal `HH` code — physical evidence of
+    /// tampering with the hash block itself.
+    Tampered {
+        /// Indices of the tampered cells.
+        cells: Vec<usize>,
+    },
+    /// The cells decode but the record is inconsistent (bad magic, bad
+    /// CRC, truncation, undecodable line). Raw damage and half-finished
+    /// heat operations land here.
+    Malformed {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Metadata exceeds [`MAX_METADATA_BYTES`].
+    MetadataTooLong {
+        /// Supplied length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for PayloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PayloadError::Blank => f.write_str("electrical area is blank (never heated)"),
+            PayloadError::Tampered { cells } => {
+                write!(f, "{} tampered (HH) cells in hash block", cells.len())
+            }
+            PayloadError::Malformed { reason } => write!(f, "malformed hash payload: {reason}"),
+            PayloadError::MetadataTooLong { len } => {
+                write!(f, "metadata of {len} bytes exceeds {MAX_METADATA_BYTES}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PayloadError {}
+
+/// The decoded contents of a heated line's block 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashBlockPayload {
+    line: Line,
+    timestamp: u64,
+    digest: Digest,
+    metadata: Vec<u8>,
+}
+
+impl HashBlockPayload {
+    /// Builds a payload for `line` with the given digest, heat timestamp
+    /// (seconds since the epoch) and free-form metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`PayloadError::MetadataTooLong`] when metadata exceeds
+    /// [`MAX_METADATA_BYTES`].
+    pub fn new(
+        line: Line,
+        digest: Digest,
+        timestamp: u64,
+        metadata: Vec<u8>,
+    ) -> Result<HashBlockPayload, PayloadError> {
+        if metadata.len() > MAX_METADATA_BYTES {
+            return Err(PayloadError::MetadataTooLong {
+                len: metadata.len(),
+            });
+        }
+        Ok(HashBlockPayload {
+            line,
+            timestamp,
+            digest,
+            metadata,
+        })
+    }
+
+    /// The line this payload describes.
+    pub fn line(&self) -> Line {
+        self.line
+    }
+
+    /// Heat timestamp, seconds since the epoch.
+    pub fn timestamp(&self) -> u64 {
+        self.timestamp
+    }
+
+    /// The SHA-256 digest of the line's data blocks and addresses.
+    pub fn digest(&self) -> &Digest {
+        &self.digest
+    }
+
+    /// The free-form metadata ("signatures, etc." per Figure 3).
+    pub fn metadata(&self) -> &[u8] {
+        &self.metadata
+    }
+
+    /// Serialises the payload to bytes (without Manchester encoding).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FIXED_BYTES + self.metadata.len());
+        out.extend_from_slice(&PAYLOAD_MAGIC.to_le_bytes());
+        out.push(PAYLOAD_VERSION);
+        out.push(self.line.order() as u8);
+        out.extend_from_slice(&self.line.start().to_le_bytes());
+        out.extend_from_slice(&self.timestamp.to_le_bytes());
+        out.extend_from_slice(self.digest.as_bytes());
+        out.extend_from_slice(&(self.metadata.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.metadata);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// The logical bits to hand to `ews` — MSB-first bits of
+    /// [`HashBlockPayload::to_bytes`].
+    pub fn to_bits(&self) -> Vec<bool> {
+        manchester::unpack_bits(&self.to_bytes())
+    }
+
+    /// Decodes a payload from an `ers` scan of a block's electrical area.
+    ///
+    /// # Errors
+    ///
+    /// * [`PayloadError::Blank`] — no cell was ever written.
+    /// * [`PayloadError::Tampered`] — `HH` cells found in the written
+    ///   region (or anywhere in a blank-looking block).
+    /// * [`PayloadError::Malformed`] — magic/CRC/structure failures.
+    pub fn from_scan(scan: &Scan) -> Result<HashBlockPayload, PayloadError> {
+        let cells = scan.cells();
+
+        // Tampering anywhere is conclusive physical evidence; report it
+        // before attempting structure.
+        let tampered = scan.tampered_cells();
+        if !tampered.is_empty() {
+            return Err(PayloadError::Tampered { cells: tampered });
+        }
+
+        // Completely blank: never heated.
+        let written: Vec<usize> = cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.value().map(|_| i))
+            .collect();
+        if written.is_empty() {
+            return Err(PayloadError::Blank);
+        }
+
+        // The record is a prefix of the cells; bits after it must be blank.
+        let take_bits = |from: usize, count: usize| -> Result<Vec<bool>, PayloadError> {
+            if from + count > cells.len() {
+                return Err(PayloadError::Malformed {
+                    reason: format!("record needs {} cells, block has {}", from + count, cells.len()),
+                });
+            }
+            cells[from..from + count]
+                .iter()
+                .map(|c| {
+                    c.value().ok_or_else(|| PayloadError::Malformed {
+                        reason: "written record interrupted by blank cell".to_string(),
+                    })
+                })
+                .collect()
+        };
+
+        let header_bits = take_bits(0, (FIXED_BYTES - 4 - 32 - 2) * 8)?; // magic..timestamp
+        let header = manchester::pack_bits(&header_bits);
+        let magic = u16::from_le_bytes([header[0], header[1]]);
+        if magic != PAYLOAD_MAGIC {
+            return Err(PayloadError::Malformed {
+                reason: format!("bad magic {magic:#06x}"),
+            });
+        }
+        let version = header[2];
+        if version != PAYLOAD_VERSION {
+            return Err(PayloadError::Malformed {
+                reason: format!("unsupported version {version}"),
+            });
+        }
+        let order = header[3] as u32;
+        let start = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        let timestamp = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+        let line = Line::new(start, order).map_err(|e: LineError| PayloadError::Malformed {
+            reason: format!("undecodable line: {e}"),
+        })?;
+
+        let mut cursor = header_bits.len();
+        let digest_bits = take_bits(cursor, 32 * 8)?;
+        cursor += 32 * 8;
+        let digest_bytes: [u8; 32] = manchester::pack_bits(&digest_bits)
+            .try_into()
+            .expect("32 bytes");
+        let digest = Digest::from_bytes(digest_bytes);
+
+        let len_bits = take_bits(cursor, 16)?;
+        cursor += 16;
+        let meta_len =
+            u16::from_le_bytes(manchester::pack_bits(&len_bits).try_into().expect("2 bytes"))
+                as usize;
+        if meta_len > MAX_METADATA_BYTES {
+            return Err(PayloadError::Malformed {
+                reason: format!("metadata length {meta_len} exceeds capacity"),
+            });
+        }
+        let meta_bits = take_bits(cursor, meta_len * 8)?;
+        cursor += meta_len * 8;
+        let metadata = manchester::pack_bits(&meta_bits);
+
+        let crc_bits = take_bits(cursor, 32)?;
+        let stored_crc =
+            u32::from_le_bytes(manchester::pack_bits(&crc_bits).try_into().expect("4 bytes"));
+
+        let payload = HashBlockPayload {
+            line,
+            timestamp,
+            digest,
+            metadata,
+        };
+        let bytes = payload.to_bytes();
+        let computed_crc = crc32(&bytes[..bytes.len() - 4]);
+        if computed_crc != stored_crc {
+            return Err(PayloadError::Malformed {
+                reason: format!("crc mismatch: stored {stored_crc:#010x}, computed {computed_crc:#010x}"),
+            });
+        }
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sero_codec::manchester::decode as decode_dots;
+    use sero_crypto::sha256;
+
+    fn sample() -> HashBlockPayload {
+        let line = Line::new(32, 4).unwrap();
+        HashBlockPayload::new(
+            line,
+            sha256(b"the line data"),
+            1_199_145_600, // 2008-01-01, the paper's year
+            b"fast08".to_vec(),
+        )
+        .unwrap()
+    }
+
+    /// Encode to bits, "write" and "read" through Manchester dots.
+    fn round_trip_through_dots(p: &HashBlockPayload) -> Result<HashBlockPayload, PayloadError> {
+        let dots = manchester::encode(p.to_bits());
+        // Pad to the full 4096-dot electrical area with blanks.
+        let mut full = dots;
+        full.resize(4096, false);
+        HashBlockPayload::from_scan(&decode_dots(&full))
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = sample();
+        let q = round_trip_through_dots(&p).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(q.line().start(), 32);
+        assert_eq!(q.line().order(), 4);
+        assert_eq!(q.timestamp(), 1_199_145_600);
+        assert_eq!(q.metadata(), b"fast08");
+    }
+
+    #[test]
+    fn fits_figure3_budget() {
+        // Hash = 256 bits → 512 physical bits; whole record must fit the
+        // 4096-dot area with room to spare.
+        let p = sample();
+        assert!(p.to_bits().len() <= PAYLOAD_CAPACITY_BITS);
+        let max_meta = HashBlockPayload::new(
+            Line::new(0, 1).unwrap(),
+            Digest::ZERO,
+            0,
+            vec![0xaa; MAX_METADATA_BYTES],
+        )
+        .unwrap();
+        assert_eq!(max_meta.to_bits().len(), PAYLOAD_CAPACITY_BITS);
+    }
+
+    #[test]
+    fn metadata_limit_enforced() {
+        let r = HashBlockPayload::new(
+            Line::new(0, 1).unwrap(),
+            Digest::ZERO,
+            0,
+            vec![0; MAX_METADATA_BYTES + 1],
+        );
+        assert!(matches!(r, Err(PayloadError::MetadataTooLong { .. })));
+    }
+
+    #[test]
+    fn blank_area_reports_blank() {
+        let scan = decode_dots(&vec![false; 4096]);
+        assert_eq!(HashBlockPayload::from_scan(&scan), Err(PayloadError::Blank));
+    }
+
+    #[test]
+    fn tampered_cell_reported_first() {
+        let p = sample();
+        let mut dots = manchester::encode(p.to_bits());
+        dots.resize(4096, false);
+        // Heat the complementary dot of cell 3: HH.
+        let cell3 = 6;
+        dots[cell3] = true;
+        dots[cell3 + 1] = true;
+        match HashBlockPayload::from_scan(&decode_dots(&dots)) {
+            Err(PayloadError::Tampered { cells }) => assert_eq!(cells, vec![3]),
+            other => panic!("expected tampered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_record_is_malformed() {
+        let p = sample();
+        let bits = p.to_bits();
+        let dots = manchester::encode(bits[..bits.len() - 40].iter().copied());
+        let mut full = dots;
+        full.resize(4096, false);
+        match HashBlockPayload::from_scan(&decode_dots(&full)) {
+            Err(PayloadError::Malformed { reason }) => {
+                assert!(reason.contains("blank") || reason.contains("crc"), "{reason}")
+            }
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_malformed() {
+        // Random coherent cells that do not start with the magic.
+        let bits = manchester::unpack_bits(&[0xffu8; 58]);
+        let mut dots = manchester::encode(bits);
+        dots.resize(4096, false);
+        match HashBlockPayload::from_scan(&decode_dots(&dots)) {
+            Err(PayloadError::Malformed { reason }) => assert!(reason.contains("magic")),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc_catches_payload_damage() {
+        // Flip one *cell value* (would require physically impossible
+        // unheating, but the decoder must still catch inconsistencies, e.g.
+        // from a mis-aimed second heat that made a blank cell valid).
+        let p = sample();
+        let mut bits = p.to_bits();
+        let timestamp_bit = (2 + 1 + 1 + 8) * 8 + 3; // inside timestamp
+        bits[timestamp_bit] = !bits[timestamp_bit];
+        let mut dots = manchester::encode(bits);
+        dots.resize(4096, false);
+        match HashBlockPayload::from_scan(&decode_dots(&dots)) {
+            Err(PayloadError::Malformed { reason }) => assert!(reason.contains("crc"), "{reason}"),
+            other => panic!("expected crc failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_metadata_ok() {
+        let p = HashBlockPayload::new(Line::new(2, 1).unwrap(), sha256(b"x"), 42, vec![]).unwrap();
+        let q = round_trip_through_dots(&p).unwrap();
+        assert!(q.metadata().is_empty());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            PayloadError::Blank,
+            PayloadError::Tampered { cells: vec![1] },
+            PayloadError::Malformed { reason: "x".into() },
+            PayloadError::MetadataTooLong { len: 999 },
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Lines: the unit of the heat operation.
+//!
+//! §3 of the paper: "Our heat operation works on a *line*, which is a
+//! sequence of 2^N contiguous blocks aligned on a 2^N boundary." Block 0 of
+//! the line receives the electrically written hash; blocks 1 … 2^N − 1 hold
+//! the protected data and remain magnetically readable.
+//!
+//! Alignment is what lets the verifier know *exactly* where to look for
+//! hashes: given any block address, the candidate hash blocks are the
+//! aligned line heads containing it — no index needed, which is the §5.1
+//! defence against splitting/coalescing attacks.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_core::line::Line;
+//!
+//! let line = Line::new(8, 3)?; // blocks 8..16, hash in block 8
+//! assert_eq!(line.hash_block(), 8);
+//! assert_eq!(line.data_blocks().collect::<Vec<_>>(), (9..16).collect::<Vec<_>>());
+//! assert!(line.contains(12));
+//! # Ok::<(), sero_core::line::LineError>(())
+//! ```
+
+use core::fmt;
+
+/// Maximum supported line order (2^16 blocks = 32 MiB lines).
+pub const MAX_ORDER: u32 = 16;
+
+/// Errors constructing a [`Line`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineError {
+    /// The start address is not aligned on the 2^order boundary.
+    Misaligned {
+        /// The rejected start block.
+        start: u64,
+        /// The requested order.
+        order: u32,
+    },
+    /// Order 0 lines have no data blocks; orders above [`MAX_ORDER`] are
+    /// unsupported.
+    BadOrder {
+        /// The rejected order.
+        order: u32,
+    },
+}
+
+impl fmt::Display for LineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LineError::Misaligned { start, order } => {
+                write!(f, "line start {start} not aligned on 2^{order} boundary")
+            }
+            LineError::BadOrder { order } => {
+                write!(f, "line order {order} outside 1..={MAX_ORDER}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LineError {}
+
+/// A 2^order-block aligned line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Line {
+    start: u64,
+    order: u32,
+}
+
+impl Line {
+    /// Creates a line of 2^`order` blocks starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// [`LineError::Misaligned`] when `start` is not a multiple of
+    /// 2^`order`; [`LineError::BadOrder`] for order 0 or above
+    /// [`MAX_ORDER`].
+    pub fn new(start: u64, order: u32) -> Result<Line, LineError> {
+        if order == 0 || order > MAX_ORDER {
+            return Err(LineError::BadOrder { order });
+        }
+        let len = 1u64 << order;
+        if start % len != 0 {
+            return Err(LineError::Misaligned { start, order });
+        }
+        Ok(Line { start, order })
+    }
+
+    /// The aligned line of the given order containing `block`.
+    ///
+    /// # Errors
+    ///
+    /// [`LineError::BadOrder`] for unsupported orders.
+    pub fn containing(block: u64, order: u32) -> Result<Line, LineError> {
+        if order == 0 || order > MAX_ORDER {
+            return Err(LineError::BadOrder { order });
+        }
+        let len = 1u64 << order;
+        Ok(Line {
+            start: block - (block % len),
+            order,
+        })
+    }
+
+    /// First block of the line (the hash block).
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// The line's order N (the line spans 2^N blocks).
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// Number of blocks in the line, 2^order.
+    pub fn len(&self) -> u64 {
+        1u64 << self.order
+    }
+
+    /// Lines are never empty (order ≥ 1); provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of data blocks protected by the line (2^order − 1).
+    pub fn data_len(&self) -> u64 {
+        self.len() - 1
+    }
+
+    /// The block receiving the electrically written hash.
+    pub fn hash_block(&self) -> u64 {
+        self.start
+    }
+
+    /// One past the last block of the line.
+    pub fn end(&self) -> u64 {
+        self.start + self.len()
+    }
+
+    /// Iterator over the protected data blocks (start+1 .. end).
+    pub fn data_blocks(&self) -> impl Iterator<Item = u64> {
+        self.start + 1..self.end()
+    }
+
+    /// Iterator over all blocks including the hash block.
+    pub fn blocks(&self) -> impl Iterator<Item = u64> {
+        self.start..self.end()
+    }
+
+    /// True when `block` falls inside the line.
+    pub fn contains(&self, block: u64) -> bool {
+        block >= self.start && block < self.end()
+    }
+
+    /// True when the two lines share any block.
+    pub fn overlaps(&self, other: &Line) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// Space overhead of the heated hash: 1 block in 2^order (§8:
+    /// "For large N the amount of space wasted is negligible").
+    pub fn overhead_fraction(&self) -> f64 {
+        1.0 / self.len() as f64
+    }
+}
+
+impl fmt::Display for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line[{}..{}, order {}]", self.start, self.end(), self.order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let line = Line::new(16, 2).unwrap();
+        assert_eq!(line.start(), 16);
+        assert_eq!(line.len(), 4);
+        assert_eq!(line.data_len(), 3);
+        assert_eq!(line.hash_block(), 16);
+        assert_eq!(line.end(), 20);
+        assert_eq!(line.blocks().count(), 4);
+        assert_eq!(line.data_blocks().collect::<Vec<_>>(), vec![17, 18, 19]);
+        assert!(!line.is_empty());
+    }
+
+    #[test]
+    fn alignment_enforced() {
+        assert!(Line::new(8, 3).is_ok());
+        assert!(matches!(
+            Line::new(9, 3),
+            Err(LineError::Misaligned { start: 9, order: 3 })
+        ));
+        assert!(Line::new(12, 2).is_ok());
+        assert!(Line::new(12, 3).is_err());
+    }
+
+    #[test]
+    fn order_bounds() {
+        assert!(matches!(Line::new(0, 0), Err(LineError::BadOrder { order: 0 })));
+        assert!(Line::new(0, MAX_ORDER).is_ok());
+        assert!(Line::new(0, MAX_ORDER + 1).is_err());
+    }
+
+    #[test]
+    fn containing_rounds_down() {
+        let line = Line::containing(13, 3).unwrap();
+        assert_eq!(line.start(), 8);
+        assert!(line.contains(13));
+        let line = Line::containing(16, 3).unwrap();
+        assert_eq!(line.start(), 16);
+    }
+
+    #[test]
+    fn contains_and_overlaps() {
+        let a = Line::new(0, 3).unwrap(); // 0..8
+        let b = Line::new(8, 3).unwrap(); // 8..16
+        let c = Line::new(4, 2).unwrap(); // 4..8
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(a.contains(7));
+        assert!(!a.contains(8));
+    }
+
+    #[test]
+    fn overhead_shrinks_with_order() {
+        // §8: 1 block out of 2^N.
+        let small = Line::new(0, 1).unwrap();
+        let large = Line::new(0, 10).unwrap();
+        assert_eq!(small.overhead_fraction(), 0.5);
+        assert!((large.overhead_fraction() - 1.0 / 1024.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_and_errors() {
+        assert_eq!(Line::new(8, 2).unwrap().to_string(), "line[8..12, order 2]");
+        assert!(!format!("{}", LineError::BadOrder { order: 0 }).is_empty());
+        assert!(!format!("{}", LineError::Misaligned { start: 3, order: 2 }).is_empty());
+    }
+}

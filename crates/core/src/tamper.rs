@@ -1,0 +1,253 @@
+//! Tamper verdicts and evidence reporting.
+//!
+//! §5 of the paper: "We are not able to prevent tampering either, but we
+//! are able to detect tampering." Verification therefore never returns a
+//! bare boolean — it returns *evidence*: what physical finding, where, and
+//! what attack class it corresponds to in the paper's analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_core::tamper::{Evidence, TamperReport};
+//! use sero_core::line::Line;
+//!
+//! let report = TamperReport::new(Line::new(0, 2).unwrap())
+//!     .with(Evidence::TamperedHashCells { cells: vec![3, 7] });
+//! assert!(report.is_tampered());
+//! println!("{report}");
+//! ```
+
+use crate::line::Line;
+use core::fmt;
+use sero_crypto::Digest;
+
+/// A single piece of physical or cryptographic evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Evidence {
+    /// `HH` cells in the hash block — someone ran `ewb` over written
+    /// Manchester cells (§5.1 "ewb hash": `UH → HH` / `HU → HH`).
+    TamperedHashCells {
+        /// Indices of the illegal cells.
+        cells: Vec<usize>,
+    },
+    /// The hash block's record is structurally damaged (torn heat, raw dot
+    /// damage, wrong magic or CRC).
+    MalformedHashBlock {
+        /// Decoder's reason.
+        reason: String,
+    },
+    /// The recomputed digest of the data blocks does not match the heated
+    /// digest (§5.1 "mwb inode/data": magnetic rewrites of protected data).
+    HashMismatch {
+        /// Digest stored in the heated hash block.
+        stored: Digest,
+        /// Digest recomputed from the data blocks.
+        computed: Digest,
+    },
+    /// A protected data block no longer reads back (§5.1 "ewb inode/data":
+    /// heated dots in the data appear as read errors beyond ECC).
+    UnreadableDataBlock {
+        /// The block's physical address.
+        pba: u64,
+        /// The device error encountered.
+        reason: String,
+    },
+    /// The payload claims a different line than the physical location it
+    /// was read from — a §5.1 splitting/coalescing or §5.2 copy-mask
+    /// attempt.
+    RelocatedPayload {
+        /// Line the payload claims to protect.
+        claimed: Line,
+        /// Line it was physically read from.
+        actual: Line,
+    },
+}
+
+impl Evidence {
+    /// Short classification label used in reports and experiment tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Evidence::TamperedHashCells { .. } => "hash-cells-HH",
+            Evidence::MalformedHashBlock { .. } => "hash-malformed",
+            Evidence::HashMismatch { .. } => "hash-mismatch",
+            Evidence::UnreadableDataBlock { .. } => "data-unreadable",
+            Evidence::RelocatedPayload { .. } => "payload-relocated",
+        }
+    }
+}
+
+impl fmt::Display for Evidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Evidence::TamperedHashCells { cells } => {
+                write!(f, "{} HH cell(s) in heated hash (first at {:?})", cells.len(), cells.first())
+            }
+            Evidence::MalformedHashBlock { reason } => write!(f, "malformed hash block: {reason}"),
+            Evidence::HashMismatch { stored, computed } => {
+                write!(f, "hash mismatch: heated {stored} vs computed {computed}")
+            }
+            Evidence::UnreadableDataBlock { pba, reason } => {
+                write!(f, "data block {pba} unreadable: {reason}")
+            }
+            Evidence::RelocatedPayload { claimed, actual } => {
+                write!(f, "payload claims {claimed} but lives at {actual}")
+            }
+        }
+    }
+}
+
+/// The evidence collected while verifying one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TamperReport {
+    line: Line,
+    evidence: Vec<Evidence>,
+}
+
+impl TamperReport {
+    /// An empty report for `line`.
+    pub fn new(line: Line) -> TamperReport {
+        TamperReport {
+            line,
+            evidence: Vec::new(),
+        }
+    }
+
+    /// Adds a finding (builder style).
+    pub fn with(mut self, evidence: Evidence) -> TamperReport {
+        self.evidence.push(evidence);
+        self
+    }
+
+    /// Adds a finding in place.
+    pub fn push(&mut self, evidence: Evidence) {
+        self.evidence.push(evidence);
+    }
+
+    /// The line the report concerns.
+    pub fn line(&self) -> Line {
+        self.line
+    }
+
+    /// All findings.
+    pub fn evidence(&self) -> &[Evidence] {
+        &self.evidence
+    }
+
+    /// True when any evidence was found.
+    pub fn is_tampered(&self) -> bool {
+        !self.evidence.is_empty()
+    }
+}
+
+impl fmt::Display for TamperReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.evidence.is_empty() {
+            return write!(f, "{}: intact", self.line);
+        }
+        writeln!(f, "{}: TAMPER EVIDENCE ({} finding(s))", self.line, self.evidence.len())?;
+        for e in &self.evidence {
+            writeln!(f, "  - [{}] {}", e.kind(), e)?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of verifying a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// The heated hash matches the data at its recorded addresses.
+    Intact {
+        /// The payload read from the hash block.
+        payload: crate::layout::HashBlockPayload,
+    },
+    /// The line's hash block is blank: the line was never heated, so
+    /// there is nothing to verify against.
+    NotHeated,
+    /// Evidence of tampering was found.
+    Tampered(TamperReport),
+}
+
+impl VerifyOutcome {
+    /// True for [`VerifyOutcome::Intact`].
+    pub fn is_intact(&self) -> bool {
+        matches!(self, VerifyOutcome::Intact { .. })
+    }
+
+    /// True for [`VerifyOutcome::Tampered`].
+    pub fn is_tampered(&self) -> bool {
+        matches!(self, VerifyOutcome::Tampered(_))
+    }
+
+    /// The report, when tampered.
+    pub fn report(&self) -> Option<&TamperReport> {
+        match self {
+            VerifyOutcome::Tampered(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sero_crypto::sha256;
+
+    #[test]
+    fn report_accumulates() {
+        let line = Line::new(4, 2).unwrap();
+        let mut report = TamperReport::new(line);
+        assert!(!report.is_tampered());
+        report.push(Evidence::HashMismatch {
+            stored: sha256(b"a"),
+            computed: sha256(b"b"),
+        });
+        report.push(Evidence::UnreadableDataBlock {
+            pba: 6,
+            reason: "uncorrectable".into(),
+        });
+        assert!(report.is_tampered());
+        assert_eq!(report.evidence().len(), 2);
+        assert_eq!(report.line(), line);
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let all = [
+            Evidence::TamperedHashCells { cells: vec![] },
+            Evidence::MalformedHashBlock { reason: String::new() },
+            Evidence::HashMismatch { stored: Digest::ZERO, computed: Digest::ZERO },
+            Evidence::UnreadableDataBlock { pba: 0, reason: String::new() },
+            Evidence::RelocatedPayload {
+                claimed: Line::new(0, 1).unwrap(),
+                actual: Line::new(2, 1).unwrap(),
+            },
+        ];
+        let kinds: std::collections::HashSet<&str> = all.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), all.len());
+        for e in &all {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+
+    #[test]
+    fn display_intact_and_tampered() {
+        let line = Line::new(0, 1).unwrap();
+        let clean = TamperReport::new(line);
+        assert!(format!("{clean}").contains("intact"));
+        let dirty = clean.with(Evidence::TamperedHashCells { cells: vec![9] });
+        let text = format!("{dirty}");
+        assert!(text.contains("TAMPER"));
+        assert!(text.contains("hash-cells-HH"));
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let line = Line::new(0, 1).unwrap();
+        let t = VerifyOutcome::Tampered(TamperReport::new(line));
+        assert!(t.is_tampered());
+        assert!(!t.is_intact());
+        assert!(t.report().is_some());
+        assert!(!VerifyOutcome::NotHeated.is_tampered());
+        assert!(VerifyOutcome::NotHeated.report().is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! Minimal hexadecimal encoding/decoding used for digests and reports.
+//!
+//! # Examples
+//!
+//! ```
+//! assert_eq!(sero_crypto::hex::encode(&[0xde, 0xad]), "dead");
+//! assert_eq!(sero_crypto::hex::decode("dead").unwrap(), vec![0xde, 0xad]);
+//! ```
+
+use core::fmt;
+
+/// Error returned when parsing hexadecimal text fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseHexError {
+    /// The input length was odd or did not match the expected length.
+    BadLength {
+        /// Number of hex characters expected (0 when only evenness matters).
+        expected: usize,
+        /// Number of characters actually supplied.
+        actual: usize,
+    },
+    /// A character outside `[0-9a-fA-F]` was found.
+    BadChar {
+        /// Byte offset of the offending character.
+        index: usize,
+        /// The offending character.
+        ch: char,
+    },
+}
+
+impl fmt::Display for ParseHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseHexError::BadLength { expected, actual } if *expected == 0 => {
+                write!(f, "hex string has odd length {actual}")
+            }
+            ParseHexError::BadLength { expected, actual } => {
+                write!(f, "hex string has length {actual}, expected {expected}")
+            }
+            ParseHexError::BadChar { index, ch } => {
+                write!(f, "invalid hex character {ch:?} at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseHexError {}
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes `bytes` as lowercase hexadecimal.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hexadecimal string into bytes.
+///
+/// # Errors
+///
+/// Returns [`ParseHexError::BadLength`] for odd-length input and
+/// [`ParseHexError::BadChar`] for non-hex characters.
+pub fn decode(s: &str) -> Result<Vec<u8>, ParseHexError> {
+    if s.len() % 2 != 0 {
+        return Err(ParseHexError::BadLength {
+            expected: 0,
+            actual: s.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for i in (0..bytes.len()).step_by(2) {
+        let hi = nibble(bytes[i]).ok_or(ParseHexError::BadChar {
+            index: i,
+            ch: bytes[i] as char,
+        })?;
+        let lo = nibble(bytes[i + 1]).ok_or(ParseHexError::BadChar {
+            index: i + 1,
+            ch: bytes[i + 1] as char,
+        })?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn nibble(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert!(matches!(
+            decode("abc"),
+            Err(ParseHexError::BadLength { actual: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_char_rejected_with_position() {
+        assert_eq!(
+            decode("azzz"),
+            Err(ParseHexError::BadChar { index: 1, ch: 'z' })
+        );
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = ParseHexError::BadChar { index: 3, ch: 'g' };
+        assert!(format!("{e}").contains("index 3"));
+    }
+}

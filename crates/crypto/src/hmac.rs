@@ -1,0 +1,148 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! The SERO paper deliberately uses *no* cryptographic keys: heated hashes
+//! give integrity only. HMAC is provided for the metadata area of a heated
+//! block (Figure 3 leaves 3584 bits for "meta data, signatures, etc."), so
+//! that deployments which *do* have a key escrow can bind heated lines to an
+//! authority. It is optional everywhere in the stack.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_crypto::hmac::hmac_sha256;
+//!
+//! let tag = hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+//! assert_eq!(
+//!     tag.to_hex(),
+//!     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+//! );
+//! ```
+
+use crate::sha256::{Digest, Sha256, BLOCK_LEN};
+
+/// Incremental HMAC-SHA-256 computation.
+///
+/// # Examples
+///
+/// ```
+/// use sero_crypto::hmac::{hmac_sha256, HmacSha256};
+///
+/// let mut mac = HmacSha256::new(b"key");
+/// mac.update(b"msg");
+/// assert_eq!(mac.finalize(), hmac_sha256(b"key", b"msg"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacSha256 {
+    /// Creates a MAC instance for `key`.
+    ///
+    /// Keys longer than the SHA-256 block size are hashed first, as the RFC
+    /// requires.
+    pub fn new(key: &[u8]) -> HmacSha256 {
+        let mut padded = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = crate::sha256::sha256(key);
+            padded[..digest.as_bytes().len()].copy_from_slice(digest.as_bytes());
+        } else {
+            padded[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = padded[i] ^ 0x36;
+            opad[i] = padded[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacSha256 { inner, outer }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Completes the MAC and returns the tag.
+    pub fn finalize(mut self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        self.outer.update(inner_digest.as_bytes());
+        self.outer.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA-256 of `message` under `key`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3_binary() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            tag.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            tag.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut mac = HmacSha256::new(b"key");
+        mac.update(b"split ");
+        mac.update(b"message");
+        assert_eq!(mac.finalize(), hmac_sha256(b"key", b"split message"));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_tags() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Cryptographic substrate for the SERO tamper-evident storage stack.
+//!
+//! The FAST 2008 paper *Towards Tamper-evident Storage on Patterned Media*
+//! stores a secure hash of each heated line in write-once Manchester cells.
+//! This crate provides that hash — [`sha256`] implemented from scratch per
+//! FIPS 180-4 and validated against NIST vectors — plus [`hmac`] for the
+//! optional keyed metadata described in the paper's Figure 3, and [`hex`]
+//! utilities used by reports and tools.
+//!
+//! The paper's proposal is deliberately key-free: it provides data integrity
+//! (hashing plus hardware support), not confidentiality or authenticity.
+//! Nothing in this crate manages keys for the core protocol.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_crypto::sha256::sha256;
+//!
+//! // Hash a line's worth of blocks together with their physical addresses,
+//! // exactly as the SERO heat operation does.
+//! let block: [u8; 512] = [0x42; 512];
+//! let pba: u64 = 4096;
+//! let mut hasher = sero_crypto::sha256::Sha256::new();
+//! hasher.update(&pba.to_le_bytes());
+//! hasher.update(&block);
+//! let digest = hasher.finalize();
+//! assert_eq!(digest.as_bytes().len(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hex;
+pub mod hmac;
+pub mod sha256;
+
+pub use sha256::{sha256, Digest, Sha256};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Incremental hashing over arbitrary chunkings equals one-shot.
+        #[test]
+        fn incremental_matches_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                       splits in proptest::collection::vec(0usize..2048, 0..8)) {
+            let expected = sha256(&data);
+            let mut points: Vec<usize> = splits.into_iter().map(|s| s % (data.len() + 1)).collect();
+            points.sort_unstable();
+            let mut h = Sha256::new();
+            let mut prev = 0;
+            for p in points {
+                h.update(&data[prev..p]);
+                prev = p;
+            }
+            h.update(&data[prev..]);
+            prop_assert_eq!(h.finalize(), expected);
+        }
+
+        /// Flipping one bit always changes the digest.
+        #[test]
+        fn bit_flip_changes_digest(data in proptest::collection::vec(any::<u8>(), 1..512),
+                                   byte in 0usize..512, bit in 0u8..8) {
+            let byte = byte % data.len();
+            let mut flipped = data.clone();
+            flipped[byte] ^= 1 << bit;
+            prop_assert_ne!(sha256(&data), sha256(&flipped));
+        }
+
+        /// Hex round-trips for arbitrary data.
+        #[test]
+        fn hex_round_trip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            prop_assert_eq!(hex::decode(&hex::encode(&data)).unwrap(), data);
+        }
+
+        /// Digest bit iterator agrees with manual bit extraction.
+        #[test]
+        fn digest_bits_agree(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let d = sha256(&data);
+            let bits: Vec<bool> = d.bits().collect();
+            for (i, bit) in bits.iter().enumerate() {
+                let byte = d.as_bytes()[i / 8];
+                let expect = (byte >> (7 - (i % 8))) & 1 == 1;
+                prop_assert_eq!(*bit, expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Block map, segment table and the clustering allocation policy.
+//!
+//! §4.1 of the paper: the file system should "cluster lines into segments
+//! that are likely to be heated at the same time", producing "a bimodal
+//! distribution of heated segments; that is we have only mostly heated
+//! segments and mostly unheated segments". The allocator implements that
+//! policy — and its strawman — directly:
+//!
+//! * [`ClusterPolicy::HeatAffinity`] — ordinary data grows from the low
+//!   end of the device; heat-candidate (archival) data grows from the high
+//!   end. Heated lines therefore concentrate in a few segments.
+//! * [`ClusterPolicy::Naive`] — one log for everything; heated lines end
+//!   up sprinkled across the whole device. Experiment EXP-FS measures the
+//!   difference.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_fs::alloc::{Allocator, BlockUse, ClusterPolicy, WriteClass};
+//!
+//! let mut alloc = Allocator::new(256, 64, 8, ClusterPolicy::HeatAffinity);
+//! let normal = alloc.alloc_block(WriteClass::Normal).unwrap();
+//! let archival = alloc.alloc_block(WriteClass::Archival).unwrap();
+//! assert!(normal < archival); // opposite ends of the device
+//! alloc.set_use(normal, BlockUse::Data { ino: 1 });
+//! ```
+
+use core::fmt;
+use sero_core::line::Line;
+
+/// How the file system intends to use a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteClass {
+    /// Ordinary read-write data.
+    Normal,
+    /// Data expected to be heated soon (snapshots, audit logs, …).
+    Archival,
+}
+
+/// Allocation policy, per §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusterPolicy {
+    /// Route archival writes to their own region for bimodal segments.
+    HeatAffinity,
+    /// Ignore hints; one log for everything (the paper's implicit
+    /// baseline).
+    Naive,
+}
+
+/// What a block currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockUse {
+    /// Unused and writable.
+    Free,
+    /// Live file data.
+    Data {
+        /// Owning inode.
+        ino: u64,
+    },
+    /// An inode's main block.
+    InodeBlock {
+        /// The inode stored here.
+        ino: u64,
+    },
+    /// An inode's indirect pointer block.
+    Indirect {
+        /// Owning inode.
+        ino: u64,
+    },
+    /// The heated hash block of a line.
+    HashBlock,
+    /// Checkpoint region (never allocated, never cleaned).
+    Checkpoint,
+    /// Dead data awaiting the cleaner.
+    Dead,
+}
+
+impl BlockUse {
+    /// True for block states the cleaner may relocate (when unheated).
+    pub fn is_movable_live(&self) -> bool {
+        matches!(
+            self,
+            BlockUse::Data { .. } | BlockUse::InodeBlock { .. } | BlockUse::Indirect { .. }
+        )
+    }
+}
+
+/// Per-segment usage summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Free (writable) blocks.
+    pub free: u64,
+    /// Live blocks (data, inode, indirect) outside heated lines.
+    pub live: u64,
+    /// Dead blocks awaiting cleaning.
+    pub dead: u64,
+    /// Blocks pinned by heated lines (hash blocks and heated live data).
+    pub heated: u64,
+    /// Checkpoint blocks.
+    pub reserved: u64,
+}
+
+impl SegmentInfo {
+    /// Fraction of the segment pinned by heated lines.
+    pub fn heated_fraction(&self) -> f64 {
+        let total = self.free + self.live + self.dead + self.heated + self.reserved;
+        if total == 0 {
+            0.0
+        } else {
+            self.heated as f64 / total as f64
+        }
+    }
+}
+
+/// The block map and allocation state.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    uses: Vec<BlockUse>,
+    heated: Vec<bool>,
+    segment_blocks: u64,
+    policy: ClusterPolicy,
+    normal_cursor: u64,
+    archival_cursor: u64,
+}
+
+impl fmt::Display for Allocator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "allocator[{} blocks, {} free]",
+            self.uses.len(),
+            self.free_blocks()
+        )
+    }
+}
+
+impl Allocator {
+    /// Creates an allocator over `total_blocks`, with `segment_blocks` per
+    /// segment and the first `checkpoint_blocks` reserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `segment_blocks` divides `total_blocks` and the
+    /// checkpoint fits in the first segment.
+    pub fn new(
+        total_blocks: u64,
+        segment_blocks: u64,
+        checkpoint_blocks: u64,
+        policy: ClusterPolicy,
+    ) -> Allocator {
+        assert!(segment_blocks > 0 && total_blocks % segment_blocks == 0,
+            "segments must tile the device");
+        assert!(checkpoint_blocks <= segment_blocks,
+            "checkpoint must fit the first segment");
+        let mut uses = vec![BlockUse::Free; total_blocks as usize];
+        for u in uses.iter_mut().take(checkpoint_blocks as usize) {
+            *u = BlockUse::Checkpoint;
+        }
+        Allocator {
+            heated: vec![false; total_blocks as usize],
+            uses,
+            segment_blocks,
+            policy,
+            normal_cursor: checkpoint_blocks,
+            archival_cursor: total_blocks,
+        }
+    }
+
+    /// Total blocks managed.
+    pub fn total_blocks(&self) -> u64 {
+        self.uses.len() as u64
+    }
+
+    /// Blocks per segment.
+    pub fn segment_blocks(&self) -> u64 {
+        self.segment_blocks
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> u64 {
+        self.total_blocks() / self.segment_blocks
+    }
+
+    /// The clustering policy in force.
+    pub fn policy(&self) -> ClusterPolicy {
+        self.policy
+    }
+
+    /// Current use of `block`.
+    pub fn block_use(&self, block: u64) -> BlockUse {
+        self.uses[block as usize]
+    }
+
+    /// Records what `block` now holds.
+    pub fn set_use(&mut self, block: u64, new_use: BlockUse) {
+        self.uses[block as usize] = new_use;
+    }
+
+    /// Marks every block of `line` as pinned by heat.
+    pub fn pin_line(&mut self, line: Line) {
+        for b in line.blocks() {
+            self.heated[b as usize] = true;
+        }
+    }
+
+    /// True when `block` lies inside a heated line.
+    pub fn is_heated(&self, block: u64) -> bool {
+        self.heated[block as usize]
+    }
+
+    /// Count of free blocks device-wide.
+    pub fn free_blocks(&self) -> u64 {
+        self.uses.iter().filter(|u| **u == BlockUse::Free).count() as u64
+    }
+
+    /// Count of dead blocks device-wide.
+    pub fn dead_blocks(&self) -> u64 {
+        self.uses.iter().filter(|u| **u == BlockUse::Dead).count() as u64
+    }
+
+    /// Allocates one block for `class`, without marking it used (callers
+    /// call [`Allocator::set_use`] after the write lands).
+    ///
+    /// Under [`ClusterPolicy::HeatAffinity`], normal writes sweep up from
+    /// the low end and archival writes sweep down from the high end. Under
+    /// [`ClusterPolicy::Naive`] both classes share the normal sweep.
+    /// Returns `None` when the sweep finds no free block — time to clean.
+    pub fn alloc_block(&mut self, class: WriteClass) -> Option<u64> {
+        let archival = self.policy == ClusterPolicy::HeatAffinity && class == WriteClass::Archival;
+        if archival {
+            // Sweep downwards.
+            let mut cursor = self.archival_cursor;
+            while cursor > 0 {
+                cursor -= 1;
+                if self.uses[cursor as usize] == BlockUse::Free {
+                    self.archival_cursor = cursor;
+                    return Some(cursor);
+                }
+            }
+            None
+        } else {
+            let mut cursor = self.normal_cursor;
+            while cursor < self.total_blocks() {
+                if self.uses[cursor as usize] == BlockUse::Free {
+                    self.normal_cursor = cursor + 1;
+                    return Some(cursor);
+                }
+                cursor += 1;
+            }
+            // Wrap once: cleaned space may lie behind the cursor.
+            let mut cursor = 0;
+            while cursor < self.normal_cursor {
+                if self.uses[cursor as usize] == BlockUse::Free {
+                    self.normal_cursor = cursor + 1;
+                    return Some(cursor);
+                }
+                cursor += 1;
+            }
+            None
+        }
+    }
+
+    /// Finds a free, aligned line of 2^`order` blocks for heating. Archival
+    /// affinity searches from the high end of the device.
+    pub fn alloc_line(&mut self, order: u32, class: WriteClass) -> Option<Line> {
+        let len = 1u64 << order;
+        let slots = self.total_blocks() / len;
+        let archival = self.policy == ClusterPolicy::HeatAffinity && class == WriteClass::Archival;
+        let candidates: Box<dyn Iterator<Item = u64>> = if archival {
+            Box::new((0..slots).rev())
+        } else {
+            Box::new(0..slots)
+        };
+        for slot in candidates {
+            let start = slot * len;
+            let all_free = (start..start + len).all(|b| self.uses[b as usize] == BlockUse::Free);
+            if all_free {
+                return Some(Line::new(start, order).expect("aligned by construction"));
+            }
+        }
+        None
+    }
+
+    /// Per-segment usage summaries.
+    pub fn segments(&self) -> Vec<SegmentInfo> {
+        let mut out = vec![SegmentInfo::default(); self.segment_count() as usize];
+        for (i, u) in self.uses.iter().enumerate() {
+            let seg = &mut out[i / self.segment_blocks as usize];
+            if self.heated[i] {
+                seg.heated += 1;
+                continue;
+            }
+            match u {
+                BlockUse::Free => seg.free += 1,
+                BlockUse::Dead => seg.dead += 1,
+                BlockUse::Checkpoint => seg.reserved += 1,
+                _ => seg.live += 1,
+            }
+        }
+        out
+    }
+
+    /// Blocks of `segment` in ascending order.
+    pub fn segment_range(&self, segment: u64) -> core::ops::Range<u64> {
+        let start = segment * self.segment_blocks;
+        start..start + self.segment_blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(policy: ClusterPolicy) -> Allocator {
+        Allocator::new(256, 64, 8, policy)
+    }
+
+    #[test]
+    fn checkpoint_reserved() {
+        let a = alloc(ClusterPolicy::Naive);
+        for b in 0..8 {
+            assert_eq!(a.block_use(b), BlockUse::Checkpoint);
+        }
+        assert_eq!(a.free_blocks(), 248);
+    }
+
+    #[test]
+    fn affinity_separates_classes() {
+        let mut a = alloc(ClusterPolicy::HeatAffinity);
+        let n1 = a.alloc_block(WriteClass::Normal).unwrap();
+        let n2 = a.alloc_block(WriteClass::Normal).unwrap();
+        let r1 = a.alloc_block(WriteClass::Archival).unwrap();
+        let r2 = a.alloc_block(WriteClass::Archival).unwrap();
+        assert_eq!((n1, n2), (8, 9));
+        assert_eq!((r1, r2), (255, 254));
+    }
+
+    #[test]
+    fn naive_mixes_classes() {
+        let mut a = alloc(ClusterPolicy::Naive);
+        let n = a.alloc_block(WriteClass::Normal).unwrap();
+        let r = a.alloc_block(WriteClass::Archival).unwrap();
+        assert_eq!((n, r), (8, 9), "naive interleaves both classes in one log");
+    }
+
+    #[test]
+    fn alloc_skips_used_blocks() {
+        let mut a = alloc(ClusterPolicy::Naive);
+        let b1 = a.alloc_block(WriteClass::Normal).unwrap();
+        a.set_use(b1, BlockUse::Data { ino: 1 });
+        let b2 = a.alloc_block(WriteClass::Normal).unwrap();
+        assert_ne!(b1, b2);
+    }
+
+    #[test]
+    fn alloc_wraps_to_cleaned_space() {
+        let mut a = Allocator::new(64, 64, 0, ClusterPolicy::Naive);
+        // Fill everything.
+        let mut got = Vec::new();
+        while let Some(b) = a.alloc_block(WriteClass::Normal) {
+            a.set_use(b, BlockUse::Data { ino: 1 });
+            got.push(b);
+        }
+        assert_eq!(got.len(), 64);
+        // Free an early block; the allocator must find it again.
+        a.set_use(5, BlockUse::Free);
+        assert_eq!(a.alloc_block(WriteClass::Normal), Some(5));
+    }
+
+    #[test]
+    fn line_allocation_is_aligned_and_directional() {
+        let mut a = alloc(ClusterPolicy::HeatAffinity);
+        let archival = a.alloc_line(3, WriteClass::Archival).unwrap();
+        assert_eq!(archival.start(), 248, "archival lines from the top");
+        let normal = a.alloc_line(3, WriteClass::Normal).unwrap();
+        assert_eq!(normal.start(), 8, "block 0..8 are checkpoint; 8 is aligned");
+        assert_eq!(normal.start() % normal.len(), 0);
+    }
+
+    #[test]
+    fn line_allocation_avoids_used_space() {
+        let mut a = Allocator::new(64, 64, 0, ClusterPolicy::Naive);
+        a.set_use(2, BlockUse::Data { ino: 9 });
+        let line = a.alloc_line(2, WriteClass::Archival).unwrap();
+        assert_eq!(line.start(), 4, "slot 0..4 is blocked by block 2");
+    }
+
+    #[test]
+    fn line_allocation_fails_when_fragmented() {
+        let mut a = Allocator::new(16, 16, 0, ClusterPolicy::Naive);
+        // Poison one block in every 4-aligned slot.
+        for s in [0u64, 4, 8, 12] {
+            a.set_use(s + 1, BlockUse::Dead);
+        }
+        assert!(a.alloc_line(2, WriteClass::Archival).is_none());
+        assert!(a.alloc_line(1, WriteClass::Archival).is_some());
+    }
+
+    #[test]
+    fn segment_accounting() {
+        let mut a = alloc(ClusterPolicy::Naive);
+        for b in 8..20 {
+            a.set_use(b, BlockUse::Data { ino: 1 });
+        }
+        for b in 20..24 {
+            a.set_use(b, BlockUse::Dead);
+        }
+        let line = Line::new(32, 3).unwrap();
+        a.pin_line(line);
+        let segs = a.segments();
+        assert_eq!(segs[0].reserved, 8);
+        assert_eq!(segs[0].live, 12);
+        assert_eq!(segs[0].dead, 4);
+        assert_eq!(segs[0].heated, 8);
+        assert_eq!(segs[0].free, 64 - 8 - 12 - 4 - 8);
+        assert!((segs[0].heated_fraction() - 8.0 / 64.0).abs() < 1e-12);
+        assert_eq!(segs[1].free, 64);
+    }
+
+    #[test]
+    fn heated_pinning_tracked() {
+        let mut a = alloc(ClusterPolicy::Naive);
+        let line = Line::new(64, 2).unwrap();
+        a.pin_line(line);
+        for b in line.blocks() {
+            assert!(a.is_heated(b));
+        }
+        assert!(!a.is_heated(63));
+        assert!(!a.is_heated(68));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile")]
+    fn untiled_segments_panic() {
+        Allocator::new(100, 64, 0, ClusterPolicy::Naive);
+    }
+}

@@ -1,0 +1,166 @@
+//! The segment cleaner — §4.1's heated-line-aware garbage collector.
+//!
+//! The paper: "once a line has been heated it cannot be copied by the
+//! garbage collector, since a heated line leaves no reusable space behind.
+//! Copying a heated line just decreases the free space … Therefore …
+//! heated lines should also be clustered" and "the garbage collector skips
+//! over heated segments, avoiding reading and writing them repeatedly,
+//! thus saving on disk bandwidth."
+//!
+//! The cleaner is greedy on dead-block count: it reclaims segments with
+//! the most garbage first, relocating live movable blocks to the current
+//! log head. Blocks pinned by heated lines are never touched; a segment
+//! whose only non-free content is heated is skipped outright, and that
+//! skip is counted so EXP-FS can show the bandwidth saved by bimodality.
+
+use crate::alloc::{BlockUse, WriteClass};
+use crate::error::FsError;
+use crate::fs::SeroFs;
+use sero_probe::sector::SECTOR_DATA_BYTES;
+
+/// Outcome of one cleaner invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleanStats {
+    /// Segments inspected.
+    pub segments_examined: u64,
+    /// Segments from which blocks were reclaimed.
+    pub segments_cleaned: u64,
+    /// Live blocks copied to the log head.
+    pub blocks_copied: u64,
+    /// Dead blocks returned to the free pool.
+    pub blocks_reclaimed: u64,
+    /// Segments skipped because heat pinned them and nothing was dead.
+    pub segments_skipped_heated: u64,
+}
+
+impl CleanStats {
+    /// Write amplification: blocks copied per block reclaimed.
+    pub fn write_amplification(&self) -> f64 {
+        if self.blocks_reclaimed == 0 {
+            0.0
+        } else {
+            self.blocks_copied as f64 / self.blocks_reclaimed as f64
+        }
+    }
+}
+
+impl SeroFs {
+    /// Runs the cleaner over at most `max_segments` victim segments,
+    /// greediest (most dead blocks) first.
+    ///
+    /// # Errors
+    ///
+    /// Device errors while relocating live data. Running out of space for
+    /// relocation aborts the current segment gracefully rather than
+    /// erroring: the dead blocks already reclaimed remain reclaimed.
+    pub fn run_cleaner(&mut self, max_segments: usize) -> Result<CleanStats, FsError> {
+        let mut stats = CleanStats::default();
+        self.stats.cleaner_runs += 1;
+
+        // Victim selection: order by dead blocks, descending.
+        let segments = self.alloc.segments();
+        let mut victims: Vec<(u64, u64, u64)> = segments
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, s.dead, s.heated))
+            .collect();
+        victims.sort_by(|a, b| b.1.cmp(&a.1));
+
+        let mut cleaned = 0usize;
+        for (seg, dead, heated) in victims {
+            if cleaned >= max_segments {
+                break;
+            }
+            stats.segments_examined += 1;
+            if dead == 0 {
+                if heated > 0 {
+                    stats.segments_skipped_heated += 1;
+                    self.stats.cleaner_skipped_heated += 1;
+                }
+                // Sorted descending: nothing further has garbage.
+                break;
+            }
+            cleaned += 1;
+
+            // Phase 1: reclaim dead blocks (always safe).
+            for block in self.alloc.segment_range(seg) {
+                if self.alloc.block_use(block) == BlockUse::Dead && !self.alloc.is_heated(block) {
+                    self.alloc.set_use(block, BlockUse::Free);
+                    stats.blocks_reclaimed += 1;
+                    self.stats.cleaner_reclaimed += 1;
+                }
+            }
+
+            // Phase 2: compact — move live movable blocks out so the
+            // segment can become clean. Heated blocks stay forever.
+            for block in self.alloc.segment_range(seg) {
+                let block_use = self.alloc.block_use(block);
+                if self.alloc.is_heated(block) || !block_use.is_movable_live() {
+                    continue;
+                }
+                let target = match self.alloc.alloc_block(WriteClass::Normal) {
+                    Some(t) => t,
+                    None => break, // device too full to compact further
+                };
+                if target == block || self.alloc.segment_range(seg).contains(&target) {
+                    // Refusing to shuffle within the victim segment; put the
+                    // cursor block back and stop compacting this segment.
+                    self.alloc.set_use(target, BlockUse::Free);
+                    break;
+                }
+                let content: [u8; SECTOR_DATA_BYTES] = self.dev.read_block(block)?;
+                self.dev.write_block(target, &content)?;
+                stats.blocks_copied += 1;
+                self.stats.cleaner_copied += 1;
+
+                match block_use {
+                    BlockUse::Data { ino } => {
+                        self.alloc.set_use(target, BlockUse::Data { ino });
+                        if let Some(inode) = self.inodes.get_mut(&ino) {
+                            for b in inode.blocks.iter_mut() {
+                                if *b == block {
+                                    *b = target;
+                                }
+                            }
+                        }
+                    }
+                    BlockUse::InodeBlock { ino } => {
+                        self.alloc.set_use(target, BlockUse::InodeBlock { ino });
+                        self.inode_loc.insert(ino, target);
+                        // The moved copy embeds stale pointers; rewrite it
+                        // freshly at the new home so mount stays coherent.
+                        self.rewrite_inode_at(ino, target)?;
+                    }
+                    BlockUse::Indirect { ino } => {
+                        self.alloc.set_use(target, BlockUse::Indirect { ino });
+                        self.indirect_loc.insert(ino, target);
+                        self.rewrite_indirect_at(ino, target)?;
+                    }
+                    _ => unreachable!("filtered by is_movable_live"),
+                }
+                self.alloc.set_use(block, BlockUse::Free);
+            }
+            stats.segments_cleaned += 1;
+        }
+        Ok(stats)
+    }
+
+    fn rewrite_inode_at(&mut self, ino: u64, block: u64) -> Result<(), FsError> {
+        let indirect = self.indirect_loc.get(&ino).copied();
+        if let Some(inode) = self.inodes.get(&ino) {
+            let (main, _) = inode.encode(indirect)?;
+            self.dev.write_block(block, &main)?;
+        }
+        Ok(())
+    }
+
+    fn rewrite_indirect_at(&mut self, ino: u64, block: u64) -> Result<(), FsError> {
+        if let Some(inode) = self.inodes.get(&ino) {
+            let (_, indirect) = inode.encode(Some(block))?;
+            if let Some(data) = indirect {
+                self.dev.write_block(block, &data)?;
+            }
+        }
+        Ok(())
+    }
+}

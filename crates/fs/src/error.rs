@@ -1,0 +1,112 @@
+//! File-system error type.
+
+use core::fmt;
+use sero_core::device::SeroError;
+use sero_core::line::Line;
+
+/// Errors surfaced by the SERO file system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// A device-layer failure.
+    Device(SeroError),
+    /// No such file.
+    NotFound {
+        /// The missing name.
+        name: String,
+    },
+    /// A file with this name already exists.
+    Exists {
+        /// The conflicting name.
+        name: String,
+    },
+    /// The file is protected by a heated line; the operation would alter
+    /// history.
+    ReadOnlyFile {
+        /// The file's name.
+        name: String,
+        /// The protecting line.
+        line: Line,
+    },
+    /// Not enough contiguous free space (after cleaning) for the request.
+    NoSpace {
+        /// Blocks requested.
+        needed: u64,
+        /// Free blocks remaining (possibly fragmented).
+        free: u64,
+    },
+    /// File exceeds the maximum supported size.
+    FileTooLarge {
+        /// Requested size in bytes.
+        size: usize,
+        /// Maximum supported size in bytes.
+        max: usize,
+    },
+    /// Name rejected (empty or longer than an inode can embed).
+    BadName {
+        /// The rejected name.
+        name: String,
+    },
+    /// On-disk structure failed to parse during mount or recovery.
+    Corrupt {
+        /// What failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::Device(e) => write!(f, "device error: {e}"),
+            FsError::NotFound { name } => write!(f, "no such file: {name:?}"),
+            FsError::Exists { name } => write!(f, "file exists: {name:?}"),
+            FsError::ReadOnlyFile { name, line } => {
+                write!(f, "file {name:?} is heated ({line}); history cannot be altered")
+            }
+            FsError::NoSpace { needed, free } => {
+                write!(f, "no space: need {needed} contiguous blocks, {free} free")
+            }
+            FsError::FileTooLarge { size, max } => {
+                write!(f, "file of {size} bytes exceeds maximum {max}")
+            }
+            FsError::BadName { name } => write!(f, "bad file name {name:?}"),
+            FsError::Corrupt { reason } => write!(f, "corrupt file system: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SeroError> for FsError {
+    fn from(e: SeroError) -> FsError {
+        FsError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let line = Line::new(0, 1).unwrap();
+        let all = [
+            FsError::NotFound { name: "x".into() },
+            FsError::Exists { name: "x".into() },
+            FsError::ReadOnlyFile { name: "x".into(), line },
+            FsError::NoSpace { needed: 8, free: 2 },
+            FsError::FileTooLarge { size: 1, max: 0 },
+            FsError::BadName { name: String::new() },
+            FsError::Corrupt { reason: "r".into() },
+        ];
+        for e in all {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

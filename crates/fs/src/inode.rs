@@ -1,0 +1,458 @@
+//! Inodes: one 512-byte block per file, with an optional indirect block.
+//!
+//! The inode embeds the file's *name* as well as its block pointers. The
+//! name is redundant with the directory — deliberately so: §5.2 of the
+//! paper argues that after an attacker "clears the directory structure, …
+//! a fsck style scan of the medium would definitely recover (albeit
+//! slowly) all the heated files". Our fsck does exactly that, and the
+//! embedded name is what lets recovered files keep their identity.
+//!
+//! Heated files record their protecting line in the inode, so the verify
+//! path needs no external index.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_fs::inode::{FileKind, Inode};
+//!
+//! let inode = Inode::new(7, "ledger.db", FileKind::Regular);
+//! let (main, indirect) = inode.encode(None)?;
+//! let (decoded, indirect_ptr) = Inode::decode(&main)?;
+//! assert_eq!(decoded.name, "ledger.db");
+//! assert_eq!(indirect_ptr, None);
+//! assert!(indirect.is_none());
+//! # Ok::<(), sero_fs::error::FsError>(())
+//! ```
+
+use crate::error::FsError;
+use sero_core::line::Line;
+use sero_probe::sector::SECTOR_DATA_BYTES;
+
+/// Inode magic ("SINO" in a hex dump).
+pub const INODE_MAGIC: u32 = 0x53494E4F;
+
+/// Maximum file-name bytes embedded in an inode.
+pub const MAX_NAME_BYTES: usize = 64;
+
+/// Direct block pointers per inode.
+pub const NDIRECT: usize = 49;
+
+/// Pointers in an indirect block.
+pub const INDIRECT_PTRS: usize = SECTOR_DATA_BYTES / 8;
+
+/// Maximum data blocks per file.
+pub const MAX_BLOCKS: usize = NDIRECT + INDIRECT_PTRS;
+
+/// Maximum file size in bytes.
+pub const MAX_FILE_BYTES: usize = MAX_BLOCKS * SECTOR_DATA_BYTES;
+
+/// What an inode describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileKind {
+    /// An ordinary file.
+    Regular,
+    /// The directory file (reserved for future hierarchical layouts).
+    Directory,
+}
+
+impl FileKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FileKind::Regular => 1,
+            FileKind::Directory => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<FileKind, FsError> {
+        match b {
+            1 => Ok(FileKind::Regular),
+            2 => Ok(FileKind::Directory),
+            other => Err(FsError::Corrupt {
+                reason: format!("unknown file kind {other}"),
+            }),
+        }
+    }
+}
+
+/// An in-memory inode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// Inode number.
+    pub ino: u64,
+    /// File size in bytes.
+    pub size: u64,
+    /// File kind.
+    pub kind: FileKind,
+    /// Hard-link count (§5.2: `ln` on a heated file would have to bump
+    /// this, which is tamper-evident).
+    pub link_count: u16,
+    /// Modification time, seconds since the epoch.
+    pub mtime: u64,
+    /// The protecting heated line, if the file has been heated.
+    pub heated: Option<Line>,
+    /// The file's name (embedded for fsck recovery).
+    pub name: String,
+    /// Data block addresses, in file order.
+    pub blocks: Vec<u64>,
+}
+
+impl Inode {
+    /// A fresh empty inode.
+    pub fn new(ino: u64, name: &str, kind: FileKind) -> Inode {
+        Inode {
+            ino,
+            size: 0,
+            kind,
+            link_count: 1,
+            mtime: 0,
+            heated: None,
+            name: name.to_string(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Number of 512-byte blocks the file occupies.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the pointer list spills into an indirect block.
+    pub fn needs_indirect(&self) -> bool {
+        self.blocks.len() > NDIRECT
+    }
+
+    /// Serialises the inode. When [`Inode::needs_indirect`], the caller
+    /// must supply the address where the indirect block will live, and the
+    /// second returned sector holds the spilled pointers.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadName`] for empty/oversized names,
+    /// [`FsError::FileTooLarge`] past [`MAX_BLOCKS`], and
+    /// [`FsError::Corrupt`] when an indirect address is needed but missing.
+    pub fn encode(
+        &self,
+        indirect_addr: Option<u64>,
+    ) -> Result<([u8; SECTOR_DATA_BYTES], Option<[u8; SECTOR_DATA_BYTES]>), FsError> {
+        let name_bytes = self.name.as_bytes();
+        if name_bytes.is_empty() || name_bytes.len() > MAX_NAME_BYTES {
+            return Err(FsError::BadName {
+                name: self.name.clone(),
+            });
+        }
+        if self.blocks.len() > MAX_BLOCKS {
+            return Err(FsError::FileTooLarge {
+                size: self.blocks.len() * SECTOR_DATA_BYTES,
+                max: MAX_FILE_BYTES,
+            });
+        }
+        if self.needs_indirect() && indirect_addr.is_none() {
+            return Err(FsError::Corrupt {
+                reason: "indirect block address required".to_string(),
+            });
+        }
+
+        let mut main = [0u8; SECTOR_DATA_BYTES];
+        let mut w = Writer::new(&mut main);
+        w.u32(INODE_MAGIC);
+        w.u64(self.ino);
+        w.u64(self.size);
+        w.u8(self.kind.to_byte());
+        w.u16(self.link_count);
+        w.u64(self.mtime);
+        match self.heated {
+            Some(line) => {
+                w.u64(line.start());
+                w.u8(line.order() as u8);
+            }
+            None => {
+                w.u64(u64::MAX);
+                w.u8(0);
+            }
+        }
+        w.u8(name_bytes.len() as u8);
+        w.bytes_padded(name_bytes, MAX_NAME_BYTES);
+        w.u16(self.blocks.len() as u16);
+        w.u64(if self.needs_indirect() {
+            indirect_addr.unwrap_or(0)
+        } else {
+            0
+        });
+        for &b in self.blocks.iter().take(NDIRECT) {
+            w.u64(b);
+        }
+
+        let indirect = if self.needs_indirect() {
+            let mut ind = [0u8; SECTOR_DATA_BYTES];
+            let mut wi = Writer::new(&mut ind);
+            for &b in self.blocks.iter().skip(NDIRECT) {
+                wi.u64(b);
+            }
+            Some(ind)
+        } else {
+            None
+        };
+        Ok((main, indirect))
+    }
+
+    /// Decodes an inode's main block. For files with indirect pointers the
+    /// returned inode holds only the direct blocks; feed the indirect block
+    /// to [`Inode::attach_indirect`]. The second value is the indirect
+    /// block's address, when one exists.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupt`] for bad magic, kinds, names, or lines.
+    pub fn decode(main: &[u8; SECTOR_DATA_BYTES]) -> Result<(Inode, Option<u64>), FsError> {
+        let mut r = Reader::new(main);
+        if r.u32() != INODE_MAGIC {
+            return Err(FsError::Corrupt {
+                reason: "bad inode magic".to_string(),
+            });
+        }
+        let ino = r.u64();
+        let size = r.u64();
+        let kind = FileKind::from_byte(r.u8())?;
+        let link_count = r.u16();
+        let mtime = r.u64();
+        let heated_start = r.u64();
+        let heated_order = r.u8();
+        let heated = if heated_start == u64::MAX {
+            None
+        } else {
+            Some(
+                Line::new(heated_start, heated_order as u32).map_err(|e| FsError::Corrupt {
+                    reason: format!("inode carries invalid line: {e}"),
+                })?,
+            )
+        };
+        let name_len = r.u8() as usize;
+        if name_len == 0 || name_len > MAX_NAME_BYTES {
+            return Err(FsError::Corrupt {
+                reason: format!("bad inode name length {name_len}"),
+            });
+        }
+        let name_raw = r.bytes(MAX_NAME_BYTES);
+        let name = String::from_utf8(name_raw[..name_len].to_vec()).map_err(|_| FsError::Corrupt {
+            reason: "inode name is not UTF-8".to_string(),
+        })?;
+        let n_blocks = r.u16() as usize;
+        if n_blocks > MAX_BLOCKS {
+            return Err(FsError::Corrupt {
+                reason: format!("inode claims {n_blocks} blocks"),
+            });
+        }
+        let indirect_ptr = r.u64();
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks.min(NDIRECT) {
+            blocks.push(r.u64());
+        }
+        let inode = Inode {
+            ino,
+            size,
+            kind,
+            link_count,
+            mtime,
+            heated,
+            name,
+            blocks,
+        };
+        let needs = n_blocks > NDIRECT;
+        Ok((inode, needs.then_some(indirect_ptr)))
+    }
+
+    /// Appends the pointers stored in an indirect block.
+    ///
+    /// `expected_total` is the block count recorded in the main inode.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupt`] when the count disagrees.
+    pub fn attach_indirect(
+        &mut self,
+        indirect: &[u8; SECTOR_DATA_BYTES],
+        expected_total: usize,
+    ) -> Result<(), FsError> {
+        if expected_total > MAX_BLOCKS || expected_total < self.blocks.len() {
+            return Err(FsError::Corrupt {
+                reason: "inconsistent indirect block count".to_string(),
+            });
+        }
+        let spill = expected_total - NDIRECT.min(self.blocks.len());
+        let mut r = Reader::new(indirect);
+        for _ in 0..spill {
+            self.blocks.push(r.u64());
+        }
+        Ok(())
+    }
+}
+
+struct Writer<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> Writer<'a> {
+    fn new(buf: &'a mut [u8]) -> Writer<'a> {
+        Writer { buf, pos: 0 }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf[self.pos] = v;
+        self.pos += 1;
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf[self.pos..self.pos + 2].copy_from_slice(&v.to_le_bytes());
+        self.pos += 2;
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf[self.pos..self.pos + 4].copy_from_slice(&v.to_le_bytes());
+        self.pos += 4;
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf[self.pos..self.pos + 8].copy_from_slice(&v.to_le_bytes());
+        self.pos += 8;
+    }
+    fn bytes_padded(&mut self, data: &[u8], width: usize) {
+        self.buf[self.pos..self.pos + data.len()].copy_from_slice(data);
+        self.pos += width;
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+    fn u8(&mut self) -> u8 {
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+    fn u16(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.buf[self.pos..self.pos + 2].try_into().expect("2"));
+        self.pos += 2;
+        v
+    }
+    fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("4"));
+        self.pos += 4;
+        v
+    }
+    fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().expect("8"));
+        self.pos += 8;
+        v
+    }
+    fn bytes(&mut self, n: usize) -> &'a [u8] {
+        let v = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_small_file() {
+        let mut inode = Inode::new(42, "report.txt", FileKind::Regular);
+        inode.size = 1000;
+        inode.mtime = 777;
+        inode.blocks = vec![10, 11, 12];
+        let (main, ind) = inode.encode(None).unwrap();
+        assert!(ind.is_none());
+        let (decoded, ptr) = Inode::decode(&main).unwrap();
+        assert_eq!(ptr, None);
+        assert_eq!(decoded, inode);
+    }
+
+    #[test]
+    fn round_trip_heated_file() {
+        let mut inode = Inode::new(7, "ledger", FileKind::Regular);
+        inode.heated = Some(Line::new(64, 3).unwrap());
+        inode.blocks = vec![66, 67];
+        let (main, _) = inode.encode(None).unwrap();
+        let (decoded, _) = Inode::decode(&main).unwrap();
+        assert_eq!(decoded.heated, Some(Line::new(64, 3).unwrap()));
+    }
+
+    #[test]
+    fn round_trip_indirect_file() {
+        let mut inode = Inode::new(9, "big.bin", FileKind::Regular);
+        inode.blocks = (100..100 + 80).collect();
+        inode.size = 80 * 512;
+        let (main, ind) = inode.encode(Some(5000)).unwrap();
+        let ind = ind.expect("indirect block present");
+        let (mut decoded, ptr) = Inode::decode(&main).unwrap();
+        assert_eq!(ptr, Some(5000));
+        assert_eq!(decoded.blocks.len(), NDIRECT);
+        decoded.attach_indirect(&ind, 80).unwrap();
+        assert_eq!(decoded.blocks, inode.blocks);
+    }
+
+    #[test]
+    fn max_blocks_round_trip() {
+        let mut inode = Inode::new(1, "max", FileKind::Regular);
+        inode.blocks = (0..MAX_BLOCKS as u64).collect();
+        let (main, ind) = inode.encode(Some(9)).unwrap();
+        let (mut decoded, _) = Inode::decode(&main).unwrap();
+        decoded.attach_indirect(&ind.unwrap(), MAX_BLOCKS).unwrap();
+        assert_eq!(decoded.blocks.len(), MAX_BLOCKS);
+    }
+
+    #[test]
+    fn too_many_blocks_rejected() {
+        let mut inode = Inode::new(1, "huge", FileKind::Regular);
+        inode.blocks = (0..MAX_BLOCKS as u64 + 1).collect();
+        assert!(matches!(
+            inode.encode(Some(9)),
+            Err(FsError::FileTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn indirect_without_address_rejected() {
+        let mut inode = Inode::new(1, "big", FileKind::Regular);
+        inode.blocks = (0..(NDIRECT as u64) + 1).collect();
+        assert!(inode.encode(None).is_err());
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        let inode = Inode::new(1, "", FileKind::Regular);
+        assert!(matches!(inode.encode(None), Err(FsError::BadName { .. })));
+        let long = "x".repeat(MAX_NAME_BYTES + 1);
+        let inode = Inode::new(1, &long, FileKind::Regular);
+        assert!(inode.encode(None).is_err());
+    }
+
+    #[test]
+    fn garbage_block_rejected() {
+        let garbage = [0x5au8; SECTOR_DATA_BYTES];
+        assert!(matches!(
+            Inode::decode(&garbage),
+            Err(FsError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn directory_kind_round_trips() {
+        let inode = Inode::new(0, "/", FileKind::Directory);
+        let (main, _) = inode.encode(None).unwrap();
+        let (decoded, _) = Inode::decode(&main).unwrap();
+        assert_eq!(decoded.kind, FileKind::Directory);
+    }
+
+    #[test]
+    fn utf8_names_round_trip() {
+        let inode = Inode::new(3, "データ.db", FileKind::Regular);
+        let (main, _) = inode.encode(None).unwrap();
+        let (decoded, _) = Inode::decode(&main).unwrap();
+        assert_eq!(decoded.name, "データ.db");
+    }
+}

@@ -1,0 +1,318 @@
+//! SERO-aware log-structured file system — §4 of the FAST 2008 paper.
+//!
+//! The paper's file-system requirements, mapped to modules:
+//!
+//! | paper claim (§4) | module |
+//! |---|---|
+//! | cluster writes LFS-style; cluster heat-candidates for **bimodal** segments | [`alloc`] |
+//! | heated lines are immovable; the cleaner skips heated segments | [`cleaner`] |
+//! | heat a file in place, never copy it again | [`fs::SeroFs::heat`] |
+//! | `rm`/`ln` on heated files is refused / tamper-evident | [`fs::SeroFs::remove`] |
+//! | a cleared directory is recoverable by a medium scan | [`fsck`] |
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_fs::prelude::*;
+//! use sero_core::device::SeroDevice;
+//!
+//! let mut fs = SeroFs::format(SeroDevice::with_blocks(256), FsConfig::default())?;
+//! fs.create("wal.log", b"begin; commit;", WriteClass::Normal)?;
+//! fs.write("wal.log", b"begin; commit; begin;", WriteClass::Normal)?;
+//! assert_eq!(fs.read("wal.log")?.len(), 21);
+//! # Ok::<(), sero_fs::error::FsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod cleaner;
+pub mod error;
+pub mod fs;
+pub mod fsck;
+pub mod inode;
+pub mod retention;
+
+pub use error::FsError;
+pub use fs::{FsConfig, SeroFs};
+
+/// Convenient re-exports of the types most users need.
+pub mod prelude {
+    pub use crate::alloc::{ClusterPolicy, WriteClass};
+    pub use crate::cleaner::CleanStats;
+    pub use crate::error::FsError;
+    pub use crate::fs::{FileInfo, FsConfig, FsStats, SeroFs};
+    pub use crate::fsck::{recover_heated_files, RecoveredFile};
+    pub use crate::inode::{FileKind, Inode};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::alloc::{ClusterPolicy, WriteClass};
+    use crate::error::FsError;
+    use crate::fs::{FsConfig, SeroFs};
+    use sero_core::device::SeroDevice;
+
+    fn fresh(blocks: u64) -> SeroFs {
+        SeroFs::format(SeroDevice::with_blocks(blocks), FsConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn create_read_round_trip() {
+        let mut fs = fresh(256);
+        let data: Vec<u8> = (0..3000).map(|i| (i % 251) as u8).collect();
+        fs.create("blob", &data, WriteClass::Normal).unwrap();
+        assert_eq!(fs.read("blob").unwrap(), data);
+        assert_eq!(fs.stat("blob").unwrap().size, 3000);
+        assert_eq!(fs.stat("blob").unwrap().blocks, 6);
+    }
+
+    #[test]
+    fn empty_file_round_trip() {
+        let mut fs = fresh(256);
+        fs.create("empty", b"", WriteClass::Normal).unwrap();
+        assert_eq!(fs.read("empty").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn overwrite_updates_content_and_frees_blocks() {
+        let mut fs = fresh(256);
+        fs.create("f", &[1u8; 2048], WriteClass::Normal).unwrap();
+        let free_before = fs.free_blocks();
+        fs.write("f", &[2u8; 512], WriteClass::Normal).unwrap();
+        assert_eq!(fs.read("f").unwrap(), vec![2u8; 512]);
+        // Old blocks are dead, not free, until the cleaner runs.
+        assert!(fs.free_blocks() < free_before);
+        fs.run_cleaner(usize::MAX).unwrap();
+        assert!(fs.free_blocks() >= free_before + 3);
+    }
+
+    #[test]
+    fn duplicate_and_missing_names() {
+        let mut fs = fresh(256);
+        fs.create("a", b"1", WriteClass::Normal).unwrap();
+        assert!(matches!(
+            fs.create("a", b"2", WriteClass::Normal),
+            Err(FsError::Exists { .. })
+        ));
+        assert!(matches!(fs.read("zzz"), Err(FsError::NotFound { .. })));
+        assert!(matches!(
+            fs.create("", b"", WriteClass::Normal),
+            Err(FsError::BadName { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut fs = fresh(256);
+        fs.create("tmp", &[1u8; 4096], WriteClass::Normal).unwrap();
+        fs.remove("tmp").unwrap();
+        assert!(!fs.exists("tmp"));
+        assert!(matches!(fs.read("tmp"), Err(FsError::NotFound { .. })));
+        fs.run_cleaner(usize::MAX).unwrap();
+        assert_eq!(fs.stats().files_removed, 1);
+    }
+
+    #[test]
+    fn heat_makes_file_immutable_and_verifiable() {
+        let mut fs = fresh(256);
+        fs.create("frozen", &[9u8; 1500], WriteClass::Archival).unwrap();
+        let line = fs.heat("frozen", b"case-41".to_vec(), 1234).unwrap();
+        assert_eq!(fs.stat("frozen").unwrap().heated, Some(line));
+
+        // Contents unchanged, still efficiently readable.
+        assert_eq!(fs.read("frozen").unwrap(), vec![9u8; 1500]);
+
+        // Immutable now.
+        assert!(matches!(
+            fs.write("frozen", b"x", WriteClass::Normal),
+            Err(FsError::ReadOnlyFile { .. })
+        ));
+        assert!(matches!(
+            fs.remove("frozen"),
+            Err(FsError::ReadOnlyFile { .. })
+        ));
+
+        // Verifies intact; heat is idempotent.
+        assert!(fs.verify("frozen").unwrap().is_intact());
+        assert_eq!(fs.heat("frozen", vec![], 0).unwrap(), line);
+    }
+
+    #[test]
+    fn verify_unheated_reports_not_heated() {
+        let mut fs = fresh(256);
+        fs.create("live", b"data", WriteClass::Normal).unwrap();
+        assert!(matches!(
+            fs.verify("live").unwrap(),
+            sero_core::tamper::VerifyOutcome::NotHeated
+        ));
+    }
+
+    #[test]
+    fn heat_detects_subsequent_raw_tampering() {
+        let mut fs = fresh(256);
+        fs.create("books", &[4u8; 1024], WriteClass::Archival).unwrap();
+        let line = fs.heat("books", vec![], 0).unwrap();
+        // The insider rewrites a protected block via the raw probe device.
+        fs.device_mut()
+            .probe_mut()
+            .mws(line.start() + 2, &[0xEEu8; 512])
+            .unwrap();
+        let outcome = fs.verify("books").unwrap();
+        assert!(outcome.is_tampered());
+    }
+
+    #[test]
+    fn sync_and_mount_round_trip() {
+        let mut fs = fresh(256);
+        fs.create("a", &[1u8; 700], WriteClass::Normal).unwrap();
+        fs.create("b", &[2u8; 100], WriteClass::Archival).unwrap();
+        fs.heat("b", vec![], 77).unwrap();
+        fs.sync().unwrap();
+
+        let dev = fs.into_device();
+        let mut fs2 = SeroFs::mount(dev).unwrap();
+        let mut names = fs2.list();
+        names.sort();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(fs2.read("a").unwrap(), vec![1u8; 700]);
+        assert_eq!(fs2.read("b").unwrap(), vec![2u8; 100]);
+        assert!(fs2.stat("b").unwrap().heated.is_some());
+        assert!(fs2.verify("b").unwrap().is_intact());
+        // Heated file still immutable after remount.
+        assert!(fs2.write("b", b"!", WriteClass::Normal).is_err());
+    }
+
+    #[test]
+    fn mount_preserves_allocation_no_corruption_on_new_writes() {
+        let mut fs = fresh(256);
+        fs.create("old", &[5u8; 1024], WriteClass::Normal).unwrap();
+        fs.sync().unwrap();
+        let mut fs2 = SeroFs::mount(fs.into_device()).unwrap();
+        fs2.create("new", &[6u8; 2048], WriteClass::Normal).unwrap();
+        assert_eq!(fs2.read("old").unwrap(), vec![5u8; 1024]);
+        assert_eq!(fs2.read("new").unwrap(), vec![6u8; 2048]);
+    }
+
+    #[test]
+    fn indirect_files_survive_sync_mount() {
+        let mut fs = fresh(512);
+        let data: Vec<u8> = (0..60 * 512).map(|i| (i % 256) as u8).collect();
+        fs.create("big", &data, WriteClass::Normal).unwrap();
+        fs.sync().unwrap();
+        let mut fs2 = SeroFs::mount(fs.into_device()).unwrap();
+        assert_eq!(fs2.read("big").unwrap(), data);
+    }
+
+    #[test]
+    fn heat_large_file_with_indirect_block() {
+        let mut fs = fresh(512);
+        let data: Vec<u8> = (0..55 * 512).map(|i| (i % 253) as u8).collect();
+        fs.create("big", &data, WriteClass::Archival).unwrap();
+        let line = fs.heat("big", vec![], 0).unwrap();
+        assert!(line.len() >= 58);
+        assert!(fs.verify("big").unwrap().is_intact());
+        assert_eq!(fs.read("big").unwrap(), data);
+    }
+
+    #[test]
+    fn cleaner_reclaims_dead_segments() {
+        let mut fs = fresh(256);
+        // Churn: create and delete to build garbage.
+        for round in 0..6 {
+            let name = format!("churn-{round}");
+            fs.create(&name, &[round as u8; 4096], WriteClass::Normal).unwrap();
+        }
+        for round in 0..6 {
+            fs.remove(&format!("churn-{round}")).unwrap();
+        }
+        let stats = fs.run_cleaner(usize::MAX).unwrap();
+        assert!(stats.blocks_reclaimed >= 48, "{stats:?}");
+    }
+
+    #[test]
+    fn cleaner_never_moves_heated_lines() {
+        let mut fs = fresh(256);
+        fs.create("pinned", &[1u8; 1024], WriteClass::Archival).unwrap();
+        let line = fs.heat("pinned", vec![], 0).unwrap();
+        // Build and clear garbage around it.
+        for i in 0..10 {
+            fs.create(&format!("g{i}"), &[0u8; 2048], WriteClass::Normal).unwrap();
+        }
+        for i in 0..10 {
+            fs.remove(&format!("g{i}")).unwrap();
+        }
+        fs.run_cleaner(usize::MAX).unwrap();
+        // The heated line is untouched and still verifies.
+        assert_eq!(fs.stat("pinned").unwrap().heated, Some(line));
+        assert!(fs.verify("pinned").unwrap().is_intact());
+        assert_eq!(fs.read("pinned").unwrap(), vec![1u8; 1024]);
+    }
+
+    #[test]
+    fn affinity_policy_yields_bimodal_segments() {
+        // EXP-FS in miniature: interleave churn with archival heat under
+        // both policies and compare segment purity.
+        let score = |policy: ClusterPolicy| -> f64 {
+            let mut fs = SeroFs::format(
+                SeroDevice::with_blocks(1024),
+                FsConfig {
+                    segment_blocks: 64,
+                    checkpoint_blocks: 16,
+                    policy,
+                },
+            )
+            .unwrap();
+            for i in 0..8 {
+                fs.create(&format!("live-{i}"), &[i as u8; 2048], WriteClass::Normal)
+                    .unwrap();
+                fs.create(&format!("arch-{i}"), &[i as u8; 1024], WriteClass::Archival)
+                    .unwrap();
+                fs.heat(&format!("arch-{i}"), vec![], i).unwrap();
+                // Post-heat churn: live data keeps arriving, and under a
+                // naive policy it lands next to the heated lines.
+                fs.create(&format!("post-{i}"), &[i as u8; 2048], WriteClass::Normal)
+                    .unwrap();
+            }
+            fs.bimodality_score()
+        };
+        let affinity = score(ClusterPolicy::HeatAffinity);
+        let naive = score(ClusterPolicy::Naive);
+        assert!(
+            affinity >= naive,
+            "affinity {affinity} should be at least as bimodal as naive {naive}"
+        );
+        assert!(
+            affinity > 0.9,
+            "affinity policy should keep heated segments pure: {affinity}"
+        );
+        assert!(naive < 0.5, "naive policy should mix segments: {naive}");
+    }
+
+    #[test]
+    fn space_decreases_only_on_new_data_not_on_heat() {
+        // §4.1 claim (2): "space decreases only if new data is written and
+        // not when lines are heated" — modulo the hash+inode line overhead.
+        let mut fs = fresh(256);
+        fs.create("x", &[1u8; 4096], WriteClass::Archival).unwrap();
+        fs.run_cleaner(usize::MAX).unwrap();
+        let before = fs.free_blocks();
+        fs.heat("x", vec![], 0).unwrap();
+        fs.run_cleaner(usize::MAX).unwrap();
+        let after = fs.free_blocks();
+        // The 8-block data file moved into a 16-block line; net loss is
+        // bounded by the line slack + hash + inode, not by a copy of the
+        // whole file sticking around.
+        assert!(before - after <= 8, "heat consumed {} blocks", before - after);
+    }
+
+    #[test]
+    fn no_space_reported_when_full() {
+        let mut fs = fresh(64); // one segment of 64 blocks, 16 checkpoint
+        let r1 = fs.create("a", &[0u8; 30 * 512], WriteClass::Normal);
+        assert!(r1.is_ok());
+        let r2 = fs.create("b", &[0u8; 30 * 512], WriteClass::Normal);
+        assert!(matches!(r2, Err(FsError::NoSpace { .. })), "{r2:?}");
+    }
+}

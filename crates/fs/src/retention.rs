@@ -1,0 +1,254 @@
+//! Retention management — §8 "Deletion".
+//!
+//! Heated data outlives every software delete, which collides with
+//! regulated retention periods. The paper weighs three answers:
+//!
+//! 1. encrypt and discard keys — "vulnerable to attacks by a dishonest
+//!    CEO" (a copied key defeats it), so not modelled as the primary path;
+//! 2. a physical shred operation — implemented as
+//!    [`sero_core::device::SeroDevice::shred_line`], equally CEO-vulnerable;
+//! 3. **"We would advocate data to be segregated by expiry date, thus
+//!    making it possible to take a device physically out of service."**
+//!
+//! [`RetentionPool`] implements option 3: one SERO file system per expiry
+//! epoch. Records land on the device of their epoch and are heated there;
+//! when an epoch expires, its *whole device* is decommissioned — the only
+//! deletion that leaves nothing behind, because "the medium can safely be
+//! decommissioned by the time all data has expired".
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_fs::retention::RetentionPool;
+//!
+//! let mut pool = RetentionPool::new(256);
+//! pool.store("ledger-2008", b"rows...", 2015)?; // expires in 2015
+//! pool.store("ledger-2009", b"rows...", 2016)?;
+//! assert_eq!(pool.verify_epoch(2015)?, 1);
+//! let report = pool.decommission(2015, 2016)?; // it is now 2016
+//! assert_eq!(report.files_destroyed, 1);
+//! assert!(pool.read("ledger-2008").is_err()); // physically gone
+//! assert!(pool.read("ledger-2009").is_ok());
+//! # Ok::<(), sero_fs::error::FsError>(())
+//! ```
+
+use crate::alloc::WriteClass;
+use crate::error::FsError;
+use crate::fs::{FsConfig, SeroFs};
+use core::fmt;
+use sero_core::device::SeroDevice;
+use std::collections::BTreeMap;
+
+/// Outcome of retiring an epoch's device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecommissionReport {
+    /// The epoch retired.
+    pub epoch: u64,
+    /// Files that ceased to exist with the device.
+    pub files_destroyed: usize,
+    /// Heated lines that ceased to exist with the device.
+    pub lines_destroyed: usize,
+}
+
+impl fmt::Display for DecommissionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epoch {} decommissioned: {} file(s), {} heated line(s) destroyed with the medium",
+            self.epoch, self.files_destroyed, self.lines_destroyed
+        )
+    }
+}
+
+/// A set of SERO file systems segregated by expiry epoch.
+#[derive(Debug)]
+pub struct RetentionPool {
+    blocks_per_device: u64,
+    epochs: BTreeMap<u64, SeroFs>,
+    /// name → epoch directory, for cross-epoch lookup.
+    names: BTreeMap<String, u64>,
+}
+
+impl RetentionPool {
+    /// Creates a pool whose per-epoch devices have `blocks_per_device`
+    /// blocks.
+    pub fn new(blocks_per_device: u64) -> RetentionPool {
+        RetentionPool {
+            blocks_per_device,
+            epochs: BTreeMap::new(),
+            names: BTreeMap::new(),
+        }
+    }
+
+    /// Epochs currently holding live devices.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.epochs.keys().copied().collect()
+    }
+
+    /// Epochs whose retention period has passed at time `now`.
+    pub fn expired(&self, now: u64) -> Vec<u64> {
+        self.epochs.keys().copied().filter(|&e| e <= now).collect()
+    }
+
+    /// Stores and heats `data` under `name` on the device of
+    /// `expiry_epoch`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Exists`] for duplicate names (across all epochs — one
+    /// namespace); file-system errors otherwise.
+    pub fn store(&mut self, name: &str, data: &[u8], expiry_epoch: u64) -> Result<(), FsError> {
+        if self.names.contains_key(name) {
+            return Err(FsError::Exists {
+                name: name.to_string(),
+            });
+        }
+        let blocks = self.blocks_per_device;
+        let fs = match self.epochs.entry(expiry_epoch) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(v) => v.insert(SeroFs::format(
+                SeroDevice::with_blocks(blocks),
+                FsConfig::default(),
+            )?),
+        };
+        fs.create(name, data, WriteClass::Archival)?;
+        fs.heat(name, format!("expires {expiry_epoch}").into_bytes(), expiry_epoch)?;
+        self.names.insert(name.to_string(), expiry_epoch);
+        Ok(())
+    }
+
+    /// Reads a record, wherever its epoch lives.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for unknown or decommissioned records.
+    pub fn read(&mut self, name: &str) -> Result<Vec<u8>, FsError> {
+        let &epoch = self.names.get(name).ok_or_else(|| FsError::NotFound {
+            name: name.to_string(),
+        })?;
+        let fs = self.epochs.get_mut(&epoch).ok_or_else(|| FsError::NotFound {
+            name: name.to_string(),
+        })?;
+        fs.read(name)
+    }
+
+    /// Verifies every heated record of `epoch`; returns how many are
+    /// intact.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for unknown epochs.
+    pub fn verify_epoch(&mut self, epoch: u64) -> Result<usize, FsError> {
+        let fs = self.epochs.get_mut(&epoch).ok_or_else(|| FsError::NotFound {
+            name: format!("epoch {epoch}"),
+        })?;
+        let mut intact = 0;
+        for name in fs.list() {
+            if fs.verify(&name)?.is_intact() {
+                intact += 1;
+            }
+        }
+        Ok(intact)
+    }
+
+    /// Physically retires the device holding `epoch`. Refuses while the
+    /// retention period still runs (`now < epoch`) — even the operator
+    /// cannot shorten retention through this interface.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for unknown epochs; [`FsError::Corrupt`] when
+    /// the epoch has not expired yet.
+    pub fn decommission(&mut self, epoch: u64, now: u64) -> Result<DecommissionReport, FsError> {
+        if !self.epochs.contains_key(&epoch) {
+            return Err(FsError::NotFound {
+                name: format!("epoch {epoch}"),
+            });
+        }
+        if now < epoch {
+            return Err(FsError::Corrupt {
+                reason: format!("epoch {epoch} has not expired at {now}; retention forbids early destruction"),
+            });
+        }
+        let fs = self.epochs.remove(&epoch).expect("checked");
+        let files: Vec<String> = fs.list();
+        let lines = fs.device().stats().heated_lines;
+        for name in &files {
+            self.names.remove(name);
+        }
+        // Dropping `fs` drops the simulated medium: the shredder truck.
+        Ok(DecommissionReport {
+            epoch,
+            files_destroyed: files.len(),
+            lines_destroyed: lines,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_segregate_by_epoch() {
+        let mut pool = RetentionPool::new(256);
+        pool.store("a-2015", b"a", 2015).unwrap();
+        pool.store("b-2015", b"b", 2015).unwrap();
+        pool.store("c-2020", b"c", 2020).unwrap();
+        assert_eq!(pool.epochs(), vec![2015, 2020]);
+        assert_eq!(pool.verify_epoch(2015).unwrap(), 2);
+        assert_eq!(pool.verify_epoch(2020).unwrap(), 1);
+        assert_eq!(pool.read("c-2020").unwrap(), b"c");
+    }
+
+    #[test]
+    fn early_decommission_refused() {
+        let mut pool = RetentionPool::new(256);
+        pool.store("r", b"x", 2015).unwrap();
+        assert!(pool.decommission(2015, 2014).is_err());
+        assert_eq!(pool.read("r").unwrap(), b"x");
+    }
+
+    #[test]
+    fn decommission_destroys_exactly_one_epoch() {
+        let mut pool = RetentionPool::new(256);
+        pool.store("old", b"old", 2010).unwrap();
+        pool.store("new", b"new", 2030).unwrap();
+        let report = pool.decommission(2010, 2020).unwrap();
+        assert_eq!(report.files_destroyed, 1);
+        assert_eq!(report.lines_destroyed, 1);
+        assert!(matches!(pool.read("old"), Err(FsError::NotFound { .. })));
+        assert_eq!(pool.read("new").unwrap(), b"new");
+        assert_eq!(pool.expired(2020), Vec::<u64>::new());
+        assert!(!report.to_string().is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_refused_across_epochs() {
+        let mut pool = RetentionPool::new(256);
+        pool.store("x", b"1", 2015).unwrap();
+        assert!(matches!(
+            pool.store("x", b"2", 2020),
+            Err(FsError::Exists { .. })
+        ));
+    }
+
+    #[test]
+    fn stored_records_are_immediately_immutable() {
+        let mut pool = RetentionPool::new(256);
+        pool.store("rec", &vec![7u8; 2000], 2015).unwrap();
+        let fs = pool.epochs.get_mut(&2015).unwrap();
+        assert!(fs.write("rec", b"doctored", WriteClass::Normal).is_err());
+        assert!(fs.remove("rec").is_err());
+    }
+
+    #[test]
+    fn expired_lists_due_epochs() {
+        let mut pool = RetentionPool::new(256);
+        pool.store("a", b"a", 2010).unwrap();
+        pool.store("b", b"b", 2020).unwrap();
+        pool.store("c", b"c", 2030).unwrap();
+        assert_eq!(pool.expired(2025), vec![2010, 2020]);
+        assert_eq!(pool.expired(2005), Vec::<u64>::new());
+    }
+}

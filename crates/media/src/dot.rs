@@ -1,0 +1,317 @@
+//! The tri-state magnetic dot and its packed storage.
+//!
+//! Figure 2 of the paper defines the state machine of one bit:
+//!
+//! * `0` / `1` — magnetisation down / up along the perpendicular easy axis.
+//!   `mwb` moves freely between these; `mrb` senses them.
+//! * `H` — heated. The electrical write `ewb` destroys the multilayer
+//!   interfaces, the easy axis falls in-plane, and the dot can never hold a
+//!   perpendicular bit again. `H` is **absorbing**: no operation leaves it.
+//!
+//! Reading a heated dot magnetically "would yield a more or less random
+//! result" (§3) — randomness is injected where reads happen, not stored
+//! here, so the state itself stays deterministic and snapshot-friendly.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_media::dot::{DotArray, DotState};
+//!
+//! let mut dots = DotArray::new(8);
+//! dots.write_mag(3, true);
+//! assert_eq!(dots.state(3), DotState::Up);
+//! dots.heat(3);
+//! assert_eq!(dots.state(3), DotState::Heated);
+//! dots.write_mag(3, false); // no effect: H is absorbing
+//! assert_eq!(dots.state(3), DotState::Heated);
+//! ```
+
+use core::fmt;
+
+/// Physical state of a single dot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DotState {
+    /// Magnetised downwards — logical 0.
+    Down,
+    /// Magnetised upwards — logical 1.
+    Up,
+    /// Irreversibly heated — the paper's `H`.
+    Heated,
+}
+
+impl DotState {
+    /// The logical bit stored magnetically, if any.
+    pub fn magnetic_bit(self) -> Option<bool> {
+        match self {
+            DotState::Down => Some(false),
+            DotState::Up => Some(true),
+            DotState::Heated => None,
+        }
+    }
+
+    /// True for the heated (destroyed) state.
+    pub fn is_heated(self) -> bool {
+        self == DotState::Heated
+    }
+
+    fn to_bits(self) -> u8 {
+        match self {
+            DotState::Down => 0b00,
+            DotState::Up => 0b01,
+            DotState::Heated => 0b10,
+        }
+    }
+
+    fn from_bits(bits: u8) -> DotState {
+        match bits & 0b11 {
+            0b00 => DotState::Down,
+            0b01 => DotState::Up,
+            _ => DotState::Heated,
+        }
+    }
+}
+
+impl fmt::Display for DotState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            DotState::Down => '0',
+            DotState::Up => '1',
+            DotState::Heated => 'H',
+        };
+        write!(f, "{c}")
+    }
+}
+
+impl Default for DotState {
+    /// Fresh media leave the factory demagnetised; we model that as all
+    /// dots down (logical 0).
+    fn default() -> DotState {
+        DotState::Down
+    }
+}
+
+/// Densely packed array of dot states, two bits per dot.
+///
+/// A 2²⁰-block medium holds ~5 × 10⁹ dots; packing keeps simulations of
+/// file-system-sized media in tens of megabytes.
+#[derive(Clone, PartialEq, Eq)]
+pub struct DotArray {
+    words: Vec<u8>,
+    len: u64,
+    heated: u64,
+}
+
+impl fmt::Debug for DotArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DotArray")
+            .field("len", &self.len)
+            .field("heated", &self.heated)
+            .finish()
+    }
+}
+
+impl DotArray {
+    /// Creates `len` dots, all in the default [`DotState::Down`] state.
+    pub fn new(len: u64) -> DotArray {
+        let bytes = (len as usize).div_ceil(4);
+        DotArray {
+            words: vec![0u8; bytes],
+            len,
+            heated: 0,
+        }
+    }
+
+    /// Number of dots.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the array holds no dots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of heated dots (maintained incrementally).
+    pub fn heated_count(&self) -> u64 {
+        self.heated
+    }
+
+    /// The state of dot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn state(&self, index: u64) -> DotState {
+        assert!(index < self.len, "dot index {index} out of range");
+        let byte = self.words[(index / 4) as usize];
+        DotState::from_bits(byte >> ((index % 4) * 2))
+    }
+
+    fn set_state(&mut self, index: u64, state: DotState) {
+        let slot = (index / 4) as usize;
+        let shift = (index % 4) * 2;
+        let mask = 0b11u8 << shift;
+        self.words[slot] = (self.words[slot] & !mask) | (state.to_bits() << shift);
+    }
+
+    /// Magnetic write (`mwb`): sets the magnetisation direction.
+    ///
+    /// Has no effect on heated dots — there is no perpendicular axis left to
+    /// magnetise (Figure 2 bottom: `mwb 0/1` loops on `H`). Returns whether
+    /// the write took effect.
+    pub fn write_mag(&mut self, index: u64, bit: bool) -> bool {
+        match self.state(index) {
+            DotState::Heated => false,
+            _ => {
+                self.set_state(index, if bit { DotState::Up } else { DotState::Down });
+                true
+            }
+        }
+    }
+
+    /// Electrical write (`ewb`): irreversibly heats the dot.
+    ///
+    /// Returns `true` when the dot was newly heated, `false` when it was
+    /// already heated (reheating is idempotent and harmless).
+    pub fn heat(&mut self, index: u64) -> bool {
+        match self.state(index) {
+            DotState::Heated => false,
+            _ => {
+                self.set_state(index, DotState::Heated);
+                self.heated += 1;
+                true
+            }
+        }
+    }
+
+    /// Ground-truth heat inspection — what a forensic magnetic-imaging pass
+    /// would reveal (§8 "Forensics").
+    pub fn is_heated(&self, index: u64) -> bool {
+        self.state(index).is_heated()
+    }
+
+    /// Focused-ion-beam reconstruction: physically rebuilds a destroyed
+    /// dot's multilayer so it holds `bit` again — the §8 "skilled FIB
+    /// operator" adversary. Returns whether the dot was heated before.
+    ///
+    /// This deliberately violates the Figure 2 state machine (nothing the
+    /// *device* can do leaves `H`); only [`crate::medium::Medium`] exposes
+    /// it, tagged so forensic imaging can find the scar.
+    pub(crate) fn fib_rewrite(&mut self, index: u64, bit: bool) -> bool {
+        let was_heated = self.is_heated(index);
+        if was_heated {
+            self.heated -= 1;
+        }
+        self.set_state(index, if bit { DotState::Up } else { DotState::Down });
+        was_heated
+    }
+
+    /// Iterator over all dot states in index order.
+    pub fn iter(&self) -> impl Iterator<Item = DotState> + '_ {
+        (0..self.len).map(move |i| self.state(i))
+    }
+
+    /// Fraction of dots heated.
+    pub fn heated_fraction(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.heated as f64 / self.len as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_state_is_down() {
+        let dots = DotArray::new(16);
+        assert!(dots.iter().all(|s| s == DotState::Down));
+        assert_eq!(dots.heated_count(), 0);
+    }
+
+    #[test]
+    fn magnetic_writes_flip_freely() {
+        let mut dots = DotArray::new(4);
+        assert!(dots.write_mag(1, true));
+        assert_eq!(dots.state(1), DotState::Up);
+        assert!(dots.write_mag(1, false));
+        assert_eq!(dots.state(1), DotState::Down);
+        assert!(dots.write_mag(1, true));
+        assert_eq!(dots.state(1), DotState::Up);
+    }
+
+    #[test]
+    fn heat_is_absorbing() {
+        let mut dots = DotArray::new(4);
+        dots.write_mag(2, true);
+        assert!(dots.heat(2));
+        assert_eq!(dots.state(2), DotState::Heated);
+        // mwb on H: no effect.
+        assert!(!dots.write_mag(2, false));
+        assert_eq!(dots.state(2), DotState::Heated);
+        // Re-heating: idempotent, not counted twice.
+        assert!(!dots.heat(2));
+        assert_eq!(dots.heated_count(), 1);
+    }
+
+    #[test]
+    fn heated_count_tracks() {
+        let mut dots = DotArray::new(100);
+        for i in (0..100).step_by(3) {
+            dots.heat(i);
+        }
+        assert_eq!(dots.heated_count(), 34);
+        assert!((dots.heated_fraction() - 0.34).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packing_is_independent_per_dot() {
+        // Dots sharing a byte must not interfere.
+        let mut dots = DotArray::new(8);
+        dots.write_mag(0, true);
+        dots.heat(1);
+        dots.write_mag(2, true);
+        dots.write_mag(3, false);
+        assert_eq!(dots.state(0), DotState::Up);
+        assert_eq!(dots.state(1), DotState::Heated);
+        assert_eq!(dots.state(2), DotState::Up);
+        assert_eq!(dots.state(3), DotState::Down);
+        dots.write_mag(0, false);
+        assert_eq!(dots.state(1), DotState::Heated);
+        assert_eq!(dots.state(2), DotState::Up);
+    }
+
+    #[test]
+    fn magnetic_bit_mapping() {
+        assert_eq!(DotState::Down.magnetic_bit(), Some(false));
+        assert_eq!(DotState::Up.magnetic_bit(), Some(true));
+        assert_eq!(DotState::Heated.magnetic_bit(), None);
+    }
+
+    #[test]
+    fn display_notation() {
+        assert_eq!(DotState::Down.to_string(), "0");
+        assert_eq!(DotState::Up.to_string(), "1");
+        assert_eq!(DotState::Heated.to_string(), "H");
+    }
+
+    #[test]
+    fn odd_sizes_work() {
+        for len in [1u64, 3, 5, 7, 9, 1023] {
+            let mut dots = DotArray::new(len);
+            dots.heat(len - 1);
+            assert_eq!(dots.heated_count(), 1);
+            assert_eq!(dots.state(len - 1), DotState::Heated);
+        }
+        assert!(DotArray::new(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        DotArray::new(4).state(4);
+    }
+}

@@ -1,0 +1,310 @@
+//! The Co/Pt multilayer film and its response to annealing.
+//!
+//! §7 of the paper: the dots are stacks of ultra-thin Co (magnetic) and Pt
+//! (non-magnetic) layers, each under 1 nm. The many Co–Pt interfaces force
+//! the easy axis of magnetisation perpendicular to the film. Above a
+//! critical temperature the interfaces mix irreversibly; the perpendicular
+//! interface anisotropy is destroyed and the easy axis rotates back
+//! in-plane. At still higher temperatures an fcc Co–Pt (111) crystal phase
+//! grows — but its easy axes are *tilted*, so crystallisation cannot restore
+//! the perpendicular property (the paper's Figure 9 discussion).
+//!
+//! The measured behaviour this module reproduces (paper Figure 7):
+//! K ≈ 80 kJ/m³ as grown, maintained up to 500 °C, collapsing above 600 °C.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_media::film::CoPtFilm;
+//!
+//! let film = CoPtFilm::as_grown();
+//! assert!(film.is_perpendicular());
+//! let cooked = film.annealed(700.0);
+//! assert!(!cooked.is_perpendicular()); // irreversibly destroyed
+//! ```
+
+use core::fmt;
+
+/// Interface-mixing midpoint: the anneal temperature (°C) at which half the
+/// interface anisotropy is lost. Chosen so K is flat to 500 °C and collapses
+/// above 600 °C, matching Figure 7.
+pub const MIXING_MIDPOINT_C: f64 = 645.0;
+
+/// Width (°C) of the interface-mixing transition.
+pub const MIXING_WIDTH_C: f64 = 16.0;
+
+/// Crystallisation midpoint (°C) for the fcc Co–Pt (111) phase of Figure 9.
+pub const CRYSTALLISATION_MIDPOINT_C: f64 = 660.0;
+
+/// Width (°C) of the crystallisation transition.
+pub const CRYSTALLISATION_WIDTH_C: f64 = 22.0;
+
+/// Interface anisotropy contribution of a pristine film, kJ/m³.
+const K_INTERFACE_MAX: f64 = 88.0;
+
+/// Shape (demagnetising) penalty pulling the easy axis in-plane, kJ/m³.
+const K_SHAPE: f64 = 8.0;
+
+/// A Co/Pt multilayer film sample.
+///
+/// `interface_quality` ∈ [0, 1] tracks how sharp the Co–Pt interfaces still
+/// are; `crystalline_fraction` ∈ [0, 1] tracks how much fcc Co–Pt has grown.
+/// Both evolve irreversibly under [`CoPtFilm::anneal`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoPtFilm {
+    co_thickness_nm: f64,
+    pt_thickness_nm: f64,
+    bilayers: u32,
+    interface_quality: f64,
+    crystalline_fraction: f64,
+    ms_ka_per_m: f64,
+}
+
+impl Default for CoPtFilm {
+    fn default() -> CoPtFilm {
+        CoPtFilm::as_grown()
+    }
+}
+
+impl fmt::Display for CoPtFilm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[Co({:.1} nm)/Pt({:.1} nm)]x{} Q={:.3} X={:.3}",
+            self.co_thickness_nm,
+            self.pt_thickness_nm,
+            self.bilayers,
+            self.interface_quality,
+            self.crystalline_fraction
+        )
+    }
+}
+
+impl CoPtFilm {
+    /// The paper's film: ~0.6 nm layers (from the low-angle XRD peak at
+    /// 2θ ≈ 8°), tens of layers, sharp interfaces, no crystal phase.
+    pub fn as_grown() -> CoPtFilm {
+        CoPtFilm {
+            co_thickness_nm: 0.6,
+            pt_thickness_nm: 0.6,
+            bilayers: 20,
+            interface_quality: 1.0,
+            crystalline_fraction: 0.0,
+            ms_ka_per_m: 300.0,
+        }
+    }
+
+    /// A film with custom layer thicknesses (nm) and bilayer count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive thicknesses or zero bilayers.
+    pub fn with_layers(co_nm: f64, pt_nm: f64, bilayers: u32) -> CoPtFilm {
+        assert!(co_nm > 0.0 && pt_nm > 0.0 && bilayers > 0, "degenerate film");
+        CoPtFilm {
+            co_thickness_nm: co_nm,
+            pt_thickness_nm: pt_nm,
+            bilayers,
+            ..CoPtFilm::as_grown()
+        }
+    }
+
+    /// Bilayer period Λ in nanometres — sets the low-angle XRD peak.
+    pub fn bilayer_period_nm(&self) -> f64 {
+        self.co_thickness_nm + self.pt_thickness_nm
+    }
+
+    /// Number of bilayers in the stack.
+    pub fn bilayers(&self) -> u32 {
+        self.bilayers
+    }
+
+    /// Total film thickness in nanometres.
+    pub fn total_thickness_nm(&self) -> f64 {
+        self.bilayer_period_nm() * self.bilayers as f64
+    }
+
+    /// Remaining interface sharpness, 1.0 = pristine.
+    pub fn interface_quality(&self) -> f64 {
+        self.interface_quality
+    }
+
+    /// Fraction of the film converted to the fcc Co–Pt phase.
+    pub fn crystalline_fraction(&self) -> f64 {
+        self.crystalline_fraction
+    }
+
+    /// Saturation magnetisation in kA/m.
+    pub fn ms_ka_per_m(&self) -> f64 {
+        self.ms_ka_per_m
+    }
+
+    /// Equilibrium interface quality after holding at `temp_c` — the
+    /// sigmoidal mixing isotherm.
+    pub fn equilibrium_quality(temp_c: f64) -> f64 {
+        1.0 / (1.0 + ((temp_c - MIXING_MIDPOINT_C) / MIXING_WIDTH_C).exp())
+    }
+
+    /// Equilibrium crystalline fraction after holding at `temp_c`.
+    pub fn equilibrium_crystallinity(temp_c: f64) -> f64 {
+        1.0 / (1.0 + ((CRYSTALLISATION_MIDPOINT_C - temp_c) / CRYSTALLISATION_WIDTH_C).exp())
+    }
+
+    /// Anneals the film at `temp_c` (one standard treatment).
+    ///
+    /// Both structural changes are irreversible: quality only decreases,
+    /// crystallinity only increases, regardless of the order of anneals.
+    pub fn anneal(&mut self, temp_c: f64) {
+        self.interface_quality = self
+            .interface_quality
+            .min(Self::equilibrium_quality(temp_c));
+        self.crystalline_fraction = self
+            .crystalline_fraction
+            .max(Self::equilibrium_crystallinity(temp_c));
+    }
+
+    /// Returns an annealed copy (builder-style convenience).
+    pub fn annealed(mut self, temp_c: f64) -> CoPtFilm {
+        self.anneal(temp_c);
+        self
+    }
+
+    /// Effective perpendicular anisotropy K in kJ/m³ — what the torque
+    /// magnetometer of Figure 7 measures. Positive K means the easy axis is
+    /// perpendicular (out-of-plane); negative means it has fallen in-plane.
+    pub fn anisotropy_kj_per_m3(&self) -> f64 {
+        K_INTERFACE_MAX * self.interface_quality - K_SHAPE
+    }
+
+    /// True while the film still supports perpendicular recording.
+    pub fn is_perpendicular(&self) -> bool {
+        self.anisotropy_kj_per_m3() > 0.0
+    }
+
+    /// The lowest anneal temperature (°C) that destroys perpendicular
+    /// anisotropy, found by bisection on the equilibrium isotherm. The
+    /// thermal model uses this as the dot-destruction threshold.
+    pub fn destruction_temperature_c() -> f64 {
+        let target = K_SHAPE / K_INTERFACE_MAX; // quality at K = 0
+        let (mut lo, mut hi) = (MIXING_MIDPOINT_C - 300.0, MIXING_MIDPOINT_C + 300.0);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if Self::equilibrium_quality(mid) > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_grown_matches_paper() {
+        let film = CoPtFilm::as_grown();
+        let k = film.anisotropy_kj_per_m3();
+        assert!((k - 80.0).abs() < 0.5, "as-grown K = {k}, paper says 80 kJ/m³");
+        assert!(film.is_perpendicular());
+        assert_eq!(film.crystalline_fraction(), 0.0);
+    }
+
+    #[test]
+    fn k_maintained_to_500c() {
+        // Figure 7: "This value is maintained up to an annealing
+        // temperature of 500 °C."
+        for t in [100.0, 200.0, 300.0, 400.0, 500.0] {
+            let k = CoPtFilm::as_grown().annealed(t).anisotropy_kj_per_m3();
+            assert!(k > 75.0, "K({t}) = {k} should stay near 80");
+        }
+    }
+
+    #[test]
+    fn k_collapses_above_600c() {
+        // Figure 7: "Above 600 °C the value of K drops dramatically."
+        let k600 = CoPtFilm::as_grown().annealed(600.0).anisotropy_kj_per_m3();
+        let k650 = CoPtFilm::as_grown().annealed(650.0).anisotropy_kj_per_m3();
+        let k700 = CoPtFilm::as_grown().annealed(700.0).anisotropy_kj_per_m3();
+        assert!(k600 > 50.0, "600 °C not yet collapsed: {k600}");
+        assert!(k650 < k600 / 2.0, "650 °C should be well down: {k650}");
+        assert!(k700 < 0.0, "700 °C destroys perpendicular anisotropy: {k700}");
+    }
+
+    #[test]
+    fn annealing_is_irreversible() {
+        let mut film = CoPtFilm::as_grown();
+        film.anneal(700.0);
+        let destroyed_k = film.anisotropy_kj_per_m3();
+        // A later low-temperature treatment cannot heal the interfaces.
+        film.anneal(100.0);
+        assert_eq!(film.anisotropy_kj_per_m3(), destroyed_k);
+        assert!(!film.is_perpendicular());
+    }
+
+    #[test]
+    fn anneal_order_does_not_matter_for_extremes() {
+        let a = CoPtFilm::as_grown().annealed(400.0).annealed(700.0);
+        let b = CoPtFilm::as_grown().annealed(700.0).annealed(400.0);
+        assert!((a.anisotropy_kj_per_m3() - b.anisotropy_kj_per_m3()).abs() < 1e-9);
+        assert!((a.crystalline_fraction() - b.crystalline_fraction()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crystallisation_grows_with_temperature() {
+        // Figure 9: the fcc CoPt (111) peak appears in the 700 °C sample.
+        let x25 = CoPtFilm::as_grown().crystalline_fraction();
+        let x600 = CoPtFilm::as_grown().annealed(600.0).crystalline_fraction();
+        let x700 = CoPtFilm::as_grown().annealed(700.0).crystalline_fraction();
+        assert!(x25 < 0.01);
+        assert!(x600 < 0.2);
+        assert!(x700 > 0.7);
+    }
+
+    #[test]
+    fn crystallisation_cannot_restore_perpendicularity() {
+        // §7: the fct/fcc phase has tilted easy axes, "So there is no risk
+        // that after excessive heating the perpendicular anisotropy can be
+        // restored by crystallisation."
+        let film = CoPtFilm::as_grown().annealed(900.0);
+        assert!(film.crystalline_fraction() > 0.99);
+        assert!(!film.is_perpendicular());
+    }
+
+    #[test]
+    fn destruction_temperature_is_between_600_and_700() {
+        let t = CoPtFilm::destruction_temperature_c();
+        assert!(t > 600.0 && t < 700.0, "destruction at {t} °C");
+        // Annealing just above destroys, just below does not.
+        assert!(!CoPtFilm::as_grown().annealed(t + 5.0).is_perpendicular());
+        assert!(CoPtFilm::as_grown().annealed(t - 5.0).is_perpendicular());
+    }
+
+    #[test]
+    fn bilayer_period_matches_xrd_inference() {
+        // The paper infers ~0.6 nm layers from the 8° low-angle peak.
+        let film = CoPtFilm::as_grown();
+        assert!((film.bilayer_period_nm() - 1.2).abs() < 1e-12);
+        assert!((film.total_thickness_nm() - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_layers() {
+        let film = CoPtFilm::with_layers(0.4, 0.8, 15);
+        assert!((film.bilayer_period_nm() - 1.2).abs() < 1e-12);
+        assert_eq!(film.bilayers(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_film_panics() {
+        CoPtFilm::with_layers(0.0, 0.6, 10);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!CoPtFilm::as_grown().to_string().is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Forensic magnetic imaging — §8 "Forensics".
+//!
+//! The paper's last line of defence against the ultimate adversary: "We
+//! are confident that even a skilled focused ion beam (FIB) operator would
+//! find it difficult to reconstruct a perfect out-of-plane dot … Using
+//! magnetic imaging techniques, a forensics team would probably have no
+//! difficulty identifying a reconstructed out-of-plane dot from an
+//! original out-of-plane dot."
+//!
+//! [`MagneticImager`] models a spin-stand / MFM imaging pass over a dot
+//! range: each FIB-reconstructed dot is flagged with high (configurable)
+//! probability per pass, and passes are independent, so repeated imaging
+//! drives the miss rate to zero.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_media::forensics::MagneticImager;
+//! use sero_media::geometry::Geometry;
+//! use sero_media::medium::Medium;
+//! use rand::SeedableRng;
+//!
+//! let mut medium = Medium::new(Geometry::new(8, 8, 100.0));
+//! medium.heat(5);
+//! medium.fib_reconstruct(5, true); // the adversary rebuilds the dot
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let report = MagneticImager::default().inspect(&medium, 0..64, &mut rng);
+//! assert_eq!(report.reconstructed_found, vec![5]);
+//! ```
+
+use crate::medium::Medium;
+use rand::Rng;
+
+/// Result of one imaging pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ImagingReport {
+    /// Dots identified as FIB reconstructions.
+    pub reconstructed_found: Vec<u64>,
+    /// Dots inspected.
+    pub dots_inspected: u64,
+}
+
+impl ImagingReport {
+    /// True when the pass found any reconstruction scar.
+    pub fn found_tampering(&self) -> bool {
+        !self.reconstructed_found.is_empty()
+    }
+}
+
+/// A forensic magnetic imaging instrument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MagneticImager {
+    /// Per-pass probability of identifying a reconstructed dot.
+    detection_probability: f64,
+}
+
+impl Default for MagneticImager {
+    /// The paper's "probably no difficulty": 98 % per pass.
+    fn default() -> MagneticImager {
+        MagneticImager {
+            detection_probability: 0.98,
+        }
+    }
+}
+
+impl MagneticImager {
+    /// An imager with an explicit per-pass detection probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < p <= 1.0`.
+    pub fn with_sensitivity(p: f64) -> MagneticImager {
+        assert!(p > 0.0 && p <= 1.0, "probability in (0, 1]");
+        MagneticImager {
+            detection_probability: p,
+        }
+    }
+
+    /// Images dots in `range`, flagging reconstruction scars.
+    pub fn inspect<R: Rng + ?Sized>(
+        &self,
+        medium: &Medium,
+        range: core::ops::Range<u64>,
+        rng: &mut R,
+    ) -> ImagingReport {
+        let mut report = ImagingReport::default();
+        for idx in range {
+            report.dots_inspected += 1;
+            if medium.is_reconstructed(idx) && rng.random_bool(self.detection_probability) {
+                report.reconstructed_found.push(idx);
+            }
+        }
+        report
+    }
+
+    /// Images `range` in `passes` independent passes, unioning findings —
+    /// how a real investigation beats per-pass misses.
+    pub fn inspect_repeatedly<R: Rng + ?Sized>(
+        &self,
+        medium: &Medium,
+        range: core::ops::Range<u64>,
+        passes: u32,
+        rng: &mut R,
+    ) -> ImagingReport {
+        let mut found = std::collections::BTreeSet::new();
+        let mut inspected = 0;
+        for _ in 0..passes {
+            let pass = self.inspect(medium, range.clone(), rng);
+            inspected = pass.dots_inspected;
+            found.extend(pass.reconstructed_found);
+        }
+        ImagingReport {
+            reconstructed_found: found.into_iter().collect(),
+            dots_inspected: inspected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn medium_with_reconstructions(n: u64) -> Medium {
+        let mut m = Medium::new(Geometry::new(16, 16, 100.0));
+        for i in 0..n {
+            m.heat(i * 3);
+            m.fib_reconstruct(i * 3, i % 2 == 0);
+        }
+        m
+    }
+
+    #[test]
+    fn reconstruction_restores_magnetic_function() {
+        // The adversary really does regain a working dot…
+        let mut m = Medium::new(Geometry::new(4, 4, 100.0));
+        let mut rng = StdRng::seed_from_u64(2);
+        m.heat(3);
+        assert!(m.is_heated(3));
+        m.fib_reconstruct(3, true);
+        assert!(!m.is_heated(3));
+        assert_eq!(m.read_mag(3, &mut rng), true);
+        assert!(m.write_mag(3, false));
+        assert_eq!(m.heated_count(), 0);
+    }
+
+    #[test]
+    fn imaging_finds_the_scar() {
+        // …but the scar is physically there.
+        let m = medium_with_reconstructions(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = MagneticImager::default().inspect_repeatedly(&m, 0..256, 3, &mut rng);
+        assert_eq!(report.reconstructed_found.len(), 8);
+        assert!(report.found_tampering());
+    }
+
+    #[test]
+    fn clean_medium_images_clean() {
+        let mut m = Medium::new(Geometry::new(8, 8, 100.0));
+        m.heat(5); // ordinary heat is not a reconstruction
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = MagneticImager::default().inspect(&m, 0..64, &mut rng);
+        assert!(!report.found_tampering());
+        assert_eq!(report.dots_inspected, 64);
+    }
+
+    #[test]
+    fn repeated_passes_beat_per_pass_misses() {
+        let m = medium_with_reconstructions(20);
+        let mut rng = StdRng::seed_from_u64(5);
+        let weak = MagneticImager::with_sensitivity(0.4);
+        let one_pass = weak.inspect(&m, 0..256, &mut rng).reconstructed_found.len();
+        let many_pass = weak
+            .inspect_repeatedly(&m, 0..256, 20, &mut rng)
+            .reconstructed_found
+            .len();
+        assert!(many_pass >= one_pass);
+        // Per-dot miss probability after 20 passes at 40 %: 0.6^20 ≈ 4e-5.
+        assert_eq!(many_pass, 20, "twenty passes at 40% find everything");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_sensitivity_panics() {
+        MagneticImager::with_sensitivity(0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Medium geometry: the regular dot matrix and its capacity arithmetic.
+//!
+//! The paper's §6 gives the geometry ladder for the Twente µSPAM medium:
+//! a 200 nm period is demonstrated, 150 nm realised in an improved setup,
+//! and a 100 nm period (50 nm dots, 50 nm spacing) "should be achievable",
+//! giving 10 Gbit/cm² (= 65 Gbit/inch²). §1 sizes the device at "the order
+//! of 1 Terabit". The TAB-CAP experiment regenerates those numbers from
+//! this module.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_media::geometry::Geometry;
+//!
+//! let geom = Geometry::new(64, 64, 100.0);
+//! assert_eq!(geom.dot_count(), 4096);
+//! assert!((geom.areal_density_gbit_per_cm2() - 10.0).abs() < 1e-9);
+//! ```
+
+use core::fmt;
+
+/// Square-centimetres per square-inch.
+const CM2_PER_INCH2: f64 = 2.54 * 2.54;
+
+/// A dot-matrix geometry: `rows × cols` dots at a fixed pitch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometry {
+    rows: u32,
+    cols: u32,
+    pitch_nm: f64,
+    dot_diameter_nm: f64,
+}
+
+/// Error produced by [`Geometry::try_new`] for degenerate matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadGeometryError;
+
+impl fmt::Display for BadGeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("geometry needs nonzero rows, cols and positive pitch")
+    }
+}
+
+impl std::error::Error for BadGeometryError {}
+
+impl Geometry {
+    /// Creates a geometry with dots of half the pitch in diameter (the
+    /// paper's 50 nm dot / 50 nm spacing split).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero rows/cols or non-positive pitch; use
+    /// [`Geometry::try_new`] for a fallible variant.
+    pub fn new(rows: u32, cols: u32, pitch_nm: f64) -> Geometry {
+        Geometry::try_new(rows, cols, pitch_nm).expect("valid geometry")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadGeometryError`] on zero rows/cols or non-positive,
+    /// non-finite pitch.
+    pub fn try_new(rows: u32, cols: u32, pitch_nm: f64) -> Result<Geometry, BadGeometryError> {
+        if rows == 0 || cols == 0 || !(pitch_nm > 0.0) || !pitch_nm.is_finite() {
+            return Err(BadGeometryError);
+        }
+        Ok(Geometry {
+            rows,
+            cols,
+            pitch_nm,
+            dot_diameter_nm: pitch_nm / 2.0,
+        })
+    }
+
+    /// Number of dot rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of dot columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Dot period in nanometres.
+    pub fn pitch_nm(&self) -> f64 {
+        self.pitch_nm
+    }
+
+    /// Dot diameter in nanometres.
+    pub fn dot_diameter_nm(&self) -> f64 {
+        self.dot_diameter_nm
+    }
+
+    /// Total number of dots (= raw bit capacity).
+    pub fn dot_count(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+
+    /// Linear index of the dot at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates lie outside the matrix.
+    pub fn index(&self, row: u32, col: u32) -> u64 {
+        assert!(row < self.rows && col < self.cols, "dot coordinate out of range");
+        row as u64 * self.cols as u64 + col as u64
+    }
+
+    /// Row/column of a linear dot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index lies outside the matrix.
+    pub fn coords(&self, index: u64) -> (u32, u32) {
+        assert!(index < self.dot_count(), "dot index out of range");
+        ((index / self.cols as u64) as u32, (index % self.cols as u64) as u32)
+    }
+
+    /// Physical position of a dot centre in nanometres.
+    pub fn position_nm(&self, index: u64) -> (f64, f64) {
+        let (r, c) = self.coords(index);
+        (c as f64 * self.pitch_nm, r as f64 * self.pitch_nm)
+    }
+
+    /// Euclidean distance between two dot centres in nanometres.
+    pub fn distance_nm(&self, a: u64, b: u64) -> f64 {
+        let (ax, ay) = self.position_nm(a);
+        let (bx, by) = self.position_nm(b);
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Indices of dots within `radius_nm` of `index`, excluding itself.
+    pub fn neighbours_within(&self, index: u64, radius_nm: f64) -> Vec<u64> {
+        let (row, col) = self.coords(index);
+        let span = (radius_nm / self.pitch_nm).ceil() as i64;
+        let mut out = Vec::new();
+        for dr in -span..=span {
+            for dc in -span..=span {
+                if dr == 0 && dc == 0 {
+                    continue;
+                }
+                let r = row as i64 + dr;
+                let c = col as i64 + dc;
+                if r < 0 || c < 0 || r >= self.rows as i64 || c >= self.cols as i64 {
+                    continue;
+                }
+                let candidate = self.index(r as u32, c as u32);
+                if self.distance_nm(index, candidate) <= radius_nm {
+                    out.push(candidate);
+                }
+            }
+        }
+        out
+    }
+
+    /// Areal density in Gbit/cm² — one dot per pitch².
+    pub fn areal_density_gbit_per_cm2(&self) -> f64 {
+        let dots_per_cm = 1.0e7 / self.pitch_nm;
+        dots_per_cm * dots_per_cm / 1.0e9
+    }
+
+    /// Areal density in Gbit/inch².
+    pub fn areal_density_gbit_per_inch2(&self) -> f64 {
+        self.areal_density_gbit_per_cm2() * CM2_PER_INCH2
+    }
+
+    /// Medium area in cm² for this matrix.
+    pub fn area_cm2(&self) -> f64 {
+        let w = self.cols as f64 * self.pitch_nm / 1.0e7;
+        let h = self.rows as f64 * self.pitch_nm / 1.0e7;
+        w * h
+    }
+
+    /// Medium area in cm² required for `bits` at this pitch — the §1
+    /// "order of 1 Terabit" sizing.
+    pub fn area_cm2_for_bits(pitch_nm: f64, bits: f64) -> f64 {
+        let density = 1.0e14 / (pitch_nm * pitch_nm); // bits per cm²
+        bits / density
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_density_ladder() {
+        // §6: a 100 nm period gives 10 Gbit/cm² = 65 Gbit/inch².
+        let g = Geometry::new(8, 8, 100.0);
+        assert!((g.areal_density_gbit_per_cm2() - 10.0).abs() < 1e-9);
+        let inch = g.areal_density_gbit_per_inch2();
+        assert!((inch - 64.516).abs() < 0.01, "got {inch}");
+        assert!(inch.round() == 65.0);
+
+        // Demonstrated 200 nm: 4x sparser.
+        let g200 = Geometry::new(8, 8, 200.0);
+        assert!((g200.areal_density_gbit_per_cm2() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn terabit_sizing() {
+        // 1 Tbit at 100 nm pitch needs 100 cm² of medium.
+        let area = Geometry::area_cm2_for_bits(100.0, 1e12);
+        assert!((area - 100.0).abs() < 1e-6);
+        // At 50 nm pitch, 25 cm².
+        let area = Geometry::area_cm2_for_bits(50.0, 1e12);
+        assert!((area - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn index_coords_round_trip() {
+        let g = Geometry::new(7, 11, 150.0);
+        for idx in 0..g.dot_count() {
+            let (r, c) = g.coords(idx);
+            assert_eq!(g.index(r, c), idx);
+        }
+    }
+
+    #[test]
+    fn positions_and_distance() {
+        let g = Geometry::new(4, 4, 100.0);
+        assert_eq!(g.position_nm(0), (0.0, 0.0));
+        assert_eq!(g.position_nm(5), (100.0, 100.0));
+        let d = g.distance_nm(0, 5);
+        assert!((d - 100.0 * 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neighbours_within_radius() {
+        let g = Geometry::new(5, 5, 100.0);
+        let centre = g.index(2, 2);
+        let four = g.neighbours_within(centre, 100.0);
+        assert_eq!(four.len(), 4); // von Neumann neighbourhood
+        let eight = g.neighbours_within(centre, 150.0);
+        assert_eq!(eight.len(), 8); // Moore neighbourhood
+        // Corners see fewer neighbours.
+        assert_eq!(g.neighbours_within(0, 100.0).len(), 2);
+    }
+
+    #[test]
+    fn area_math() {
+        let g = Geometry::new(1000, 1000, 100.0);
+        // 1000 dots * 100 nm = 0.1 mm = 0.01 cm per side.
+        assert!((g.area_cm2() - 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_geometry_rejected() {
+        assert!(Geometry::try_new(0, 4, 100.0).is_err());
+        assert!(Geometry::try_new(4, 0, 100.0).is_err());
+        assert!(Geometry::try_new(4, 4, 0.0).is_err());
+        assert!(Geometry::try_new(4, 4, -1.0).is_err());
+        assert!(Geometry::try_new(4, 4, f64::NAN).is_err());
+        assert!(!format!("{BadGeometryError}").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_coords_panic() {
+        Geometry::new(2, 2, 100.0).index(2, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Patterned magnetic medium simulator — the physics substrate of the SERO
+//! tamper-evident storage stack (FAST 2008 reproduction).
+//!
+//! The paper's medium is a regular matrix of Co/Pt multilayer dots with
+//! perpendicular easy axes, read and written by a micro scanning probe
+//! array. Its headline physical result is that precise local heating
+//! destroys a dot's multilayer interfaces irreversibly, flipping the easy
+//! axis in-plane — turning the dot into a permanent, physically
+//! unforgeable mark. This crate simulates everything the paper measures or
+//! assumes about that medium:
+//!
+//! * [`geometry`] — the dot matrix and the §6 capacity arithmetic
+//!   (100 nm pitch ⇒ 10 Gbit/cm² = 65 Gbit/inch²).
+//! * [`dot`] / [`medium`] — the Figure 2 tri-state dot (0/1/H with H
+//!   absorbing), packed dense enough to simulate file-system-sized media.
+//! * [`film`] — Co/Pt interface-mixing kinetics behind Figure 7's K(T).
+//! * [`torque`] — the torque-magnetometry pipeline the paper used to
+//!   *measure* Figure 7 (1350 kA/m field, Fourier extraction).
+//! * [`xrd`] — low- and high-angle diffraction producing Figures 8 and 9.
+//! * [`thermal`] — the §7 neighbour-disturb model of the `ewb` heat pulse.
+//! * [`mfm`] — the Figure 6 cantilever read channel, whose `Weak`
+//!   detections turn heated dots into ECC erasures.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_media::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // Build a medium, store a bit, destroy the dot, observe the evidence.
+//! let mut medium = Medium::new(Geometry::new(32, 32, 100.0));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! medium.write_mag(100, true);
+//! ThermalModel::well_designed(100.0).heat_dot(&mut medium, 100, &mut rng);
+//! assert!(medium.is_heated(100));
+//! assert_eq!(ReadChannel::default().detect(&medium, 100, &mut rng), Detection::Weak);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod film;
+pub mod forensics;
+pub mod geometry;
+pub mod medium;
+pub mod mfm;
+pub mod thermal;
+pub mod torque;
+pub mod xrd;
+
+/// Convenient re-exports of the types most users need.
+pub mod prelude {
+    pub use crate::dot::DotState;
+    pub use crate::film::CoPtFilm;
+    pub use crate::geometry::Geometry;
+    pub use crate::medium::Medium;
+    pub use crate::mfm::{Detection, ReadChannel};
+    pub use crate::thermal::{HeatOutcome, ThermalModel};
+    pub use crate::torque::TorqueMagnetometer;
+    pub use crate::xrd::Diffractometer;
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::dot::{DotArray, DotState};
+    use proptest::prelude::*;
+
+    /// Operations of the Figure 2 state machine.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Mwb(bool),
+        Ewb,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            any::<bool>().prop_map(Op::Mwb),
+            Just(Op::Ewb),
+        ]
+    }
+
+    proptest! {
+        /// FIG2 invariant: H is absorbing. Once a dot is heated, no
+        /// operation sequence ever returns it to a magnetic state.
+        #[test]
+        fn heated_state_is_absorbing(ops in proptest::collection::vec(op_strategy(), 1..64)) {
+            let mut dots = DotArray::new(1);
+            let mut heated_seen = false;
+            for op in ops {
+                match op {
+                    Op::Mwb(bit) => { dots.write_mag(0, bit); }
+                    Op::Ewb => { dots.heat(0); heated_seen = true; }
+                }
+                if heated_seen {
+                    prop_assert_eq!(dots.state(0), DotState::Heated);
+                }
+            }
+        }
+
+        /// Without ewb, the dot always reflects the last magnetic write.
+        #[test]
+        fn magnetic_state_tracks_last_write(bits in proptest::collection::vec(any::<bool>(), 1..64)) {
+            let mut dots = DotArray::new(1);
+            for &bit in &bits {
+                dots.write_mag(0, bit);
+            }
+            let expect = if *bits.last().unwrap() { DotState::Up } else { DotState::Down };
+            prop_assert_eq!(dots.state(0), expect);
+        }
+
+        /// The heated counter equals the number of distinct heated dots for
+        /// any operation interleaving.
+        #[test]
+        fn heated_count_is_exact(targets in proptest::collection::vec(0u64..32, 0..128)) {
+            let mut dots = DotArray::new(32);
+            let mut reference = std::collections::HashSet::new();
+            for t in targets {
+                dots.heat(t);
+                reference.insert(t);
+            }
+            prop_assert_eq!(dots.heated_count(), reference.len() as u64);
+        }
+    }
+}

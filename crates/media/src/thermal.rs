@@ -1,0 +1,301 @@
+//! Thermal model of the electrical write — §7's neighbour-disturb analysis.
+//!
+//! The paper envisages heating a dot "by passing a current from the probe
+//! tip to the dot" and flags the key reliability risk: "the effect of
+//! heating one dot on the neighbouring dots … the magnetic state, or even
+//! the write-ability of the adjacent dot could be affected". It also gives
+//! the mitigation: "by properly designing the thermal properties of the dot
+//! and the substrate, most of the heat can be conducted away into the
+//! substrate, rather than dissipating away laterally".
+//!
+//! We model one `ewb` pulse as a radial Gaussian temperature field around
+//! the target dot. The lateral spread σ encodes the thermal design quality:
+//! a well-engineered substrate sinks heat vertically (small σ); a poor one
+//! lets it diffuse sideways (large σ). Neighbours are:
+//!
+//! * **destroyed** when their peak temperature exceeds the film's interface
+//!   mixing threshold (they become `H` too — collateral damage), or
+//! * **disturbed** when it exceeds the magnetic disturb threshold: their
+//!   stored bit is randomised but the dot remains writable (thermal
+//!   erasure).
+//!
+//! Experiment EXP-THERM sweeps σ and shows why the Manchester layout's
+//! "at most one heated neighbour" spacing matters.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_media::geometry::Geometry;
+//! use sero_media::medium::Medium;
+//! use sero_media::thermal::ThermalModel;
+//! use rand::SeedableRng;
+//!
+//! let mut medium = Medium::new(Geometry::new(8, 8, 100.0));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let model = ThermalModel::well_designed(100.0);
+//! let outcome = model.heat_dot(&mut medium, 27, &mut rng);
+//! assert!(outcome.target_heated);
+//! assert!(outcome.destroyed_neighbours.is_empty()); // good design
+//! ```
+
+use crate::film::CoPtFilm;
+use crate::medium::Medium;
+use rand::Rng;
+
+/// Ambient temperature of the operating device, °C.
+pub const AMBIENT_C: f64 = 25.0;
+
+/// Temperature above which a neighbour's *magnetic state* may flip even
+/// though its multilayer survives (thermally assisted reversal), °C.
+pub const DISTURB_THRESHOLD_C: f64 = 250.0;
+
+/// Outcome of one thermally modelled `ewb` pulse.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HeatOutcome {
+    /// Whether the target dot transitioned to `H` (false if it already was).
+    pub target_heated: bool,
+    /// Neighbours whose multilayer was also destroyed (collateral `H`).
+    pub destroyed_neighbours: Vec<u64>,
+    /// Neighbours whose magnetic bit was randomised by the heat pulse.
+    pub disturbed_neighbours: Vec<u64>,
+}
+
+impl HeatOutcome {
+    /// True when the pulse affected only its target.
+    pub fn is_clean(&self) -> bool {
+        self.destroyed_neighbours.is_empty() && self.disturbed_neighbours.is_empty()
+    }
+}
+
+/// A Gaussian tip-heating model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    peak_temp_c: f64,
+    lateral_sigma_nm: f64,
+    destruction_temp_c: f64,
+}
+
+impl ThermalModel {
+    /// A well-designed thermal stack for the given dot pitch: heat sinks
+    /// into the substrate and the nearest neighbour stays below the disturb
+    /// threshold.
+    pub fn well_designed(pitch_nm: f64) -> ThermalModel {
+        ThermalModel::new(750.0, pitch_nm * 0.35)
+    }
+
+    /// A marginal design: nearest neighbours get disturbed but survive.
+    pub fn marginal(pitch_nm: f64) -> ThermalModel {
+        ThermalModel::new(750.0, pitch_nm * 0.75)
+    }
+
+    /// A poor design: heat pools laterally instead of sinking into the
+    /// substrate, so the spot runs hotter *and* wider — nearest neighbours
+    /// are destroyed outright.
+    pub fn poorly_designed(pitch_nm: f64) -> ThermalModel {
+        ThermalModel::new(1200.0, pitch_nm * 1.1)
+    }
+
+    /// A model with explicit tip peak temperature (°C) and lateral Gaussian
+    /// spread (nm).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the peak temperature cannot destroy even the target dot,
+    /// or on non-positive spread.
+    pub fn new(peak_temp_c: f64, lateral_sigma_nm: f64) -> ThermalModel {
+        let destruction = CoPtFilm::destruction_temperature_c();
+        assert!(
+            peak_temp_c > destruction,
+            "tip peak {peak_temp_c} °C cannot destroy the dot (needs > {destruction:.0} °C)"
+        );
+        assert!(lateral_sigma_nm > 0.0, "lateral spread must be positive");
+        ThermalModel {
+            peak_temp_c,
+            lateral_sigma_nm,
+            destruction_temp_c: destruction,
+        }
+    }
+
+    /// Tip peak temperature, °C.
+    pub fn peak_temp_c(&self) -> f64 {
+        self.peak_temp_c
+    }
+
+    /// Lateral Gaussian spread, nm.
+    pub fn lateral_sigma_nm(&self) -> f64 {
+        self.lateral_sigma_nm
+    }
+
+    /// Temperature reached at `distance_nm` from the tip centre.
+    pub fn temperature_at(&self, distance_nm: f64) -> f64 {
+        let rise = self.peak_temp_c - AMBIENT_C;
+        AMBIENT_C
+            + rise * (-(distance_nm * distance_nm) / (2.0 * self.lateral_sigma_nm.powi(2))).exp()
+    }
+
+    /// Radius inside which dots are destroyed, nm.
+    pub fn destruction_radius_nm(&self) -> f64 {
+        self.radius_for(self.destruction_temp_c)
+    }
+
+    /// Radius inside which magnetic states are disturbed, nm.
+    pub fn disturb_radius_nm(&self) -> f64 {
+        self.radius_for(DISTURB_THRESHOLD_C)
+    }
+
+    fn radius_for(&self, temp_c: f64) -> f64 {
+        let rise = self.peak_temp_c - AMBIENT_C;
+        let needed = temp_c - AMBIENT_C;
+        if needed >= rise {
+            return 0.0;
+        }
+        self.lateral_sigma_nm * (2.0 * (rise / needed).ln()).sqrt()
+    }
+
+    /// Performs a physically modelled `ewb` on `medium` dot `target`.
+    ///
+    /// The target is heated; every neighbour within the destruction radius
+    /// is heated too; every neighbour within the disturb radius has its
+    /// magnetic bit randomised.
+    pub fn heat_dot<R: Rng + ?Sized>(
+        &self,
+        medium: &mut Medium,
+        target: u64,
+        rng: &mut R,
+    ) -> HeatOutcome {
+        let mut outcome = HeatOutcome {
+            target_heated: medium.heat(target),
+            ..HeatOutcome::default()
+        };
+
+        let disturb_radius = self.disturb_radius_nm();
+        let geometry = *medium.geometry();
+        for neighbour in geometry.neighbours_within(target, disturb_radius) {
+            let temp = self.temperature_at(geometry.distance_nm(target, neighbour));
+            if temp >= self.destruction_temp_c {
+                if medium.heat(neighbour) {
+                    outcome.destroyed_neighbours.push(neighbour);
+                }
+            } else if temp >= DISTURB_THRESHOLD_C && !medium.is_heated(neighbour) {
+                medium.write_mag(neighbour, rng.random());
+                outcome.disturbed_neighbours.push(neighbour);
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn medium() -> Medium {
+        Medium::new(Geometry::new(9, 9, 100.0))
+    }
+
+    #[test]
+    fn well_designed_pulse_is_clean() {
+        let mut m = medium();
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..m.dot_count() {
+            m.write_mag(i, true);
+        }
+        let model = ThermalModel::well_designed(100.0);
+        let centre = m.geometry().index(4, 4);
+        let outcome = model.heat_dot(&mut m, centre, &mut rng);
+        assert!(outcome.target_heated);
+        assert!(outcome.is_clean(), "outcome {outcome:?}");
+        // All 80 other dots still hold their bit.
+        let intact = (0..m.dot_count())
+            .filter(|&i| i != centre)
+            .filter(|&i| m.state(i) == crate::dot::DotState::Up)
+            .count();
+        assert_eq!(intact, 80);
+    }
+
+    #[test]
+    fn marginal_design_disturbs_but_preserves_writability() {
+        let mut m = medium();
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..m.dot_count() {
+            m.write_mag(i, true);
+        }
+        let model = ThermalModel::marginal(100.0);
+        let centre = m.geometry().index(4, 4);
+        let outcome = model.heat_dot(&mut m, centre, &mut rng);
+        assert!(!outcome.disturbed_neighbours.is_empty());
+        assert!(outcome.destroyed_neighbours.is_empty());
+        // Disturbed dots are still writable.
+        for &n in &outcome.disturbed_neighbours {
+            assert!(m.write_mag(n, true));
+        }
+    }
+
+    #[test]
+    fn poor_design_destroys_neighbours() {
+        let mut m = medium();
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = ThermalModel::poorly_designed(100.0);
+        let centre = m.geometry().index(4, 4);
+        let outcome = model.heat_dot(&mut m, centre, &mut rng);
+        assert!(
+            outcome.destroyed_neighbours.len() >= 4,
+            "poor design should take out the von Neumann neighbours: {outcome:?}"
+        );
+        for &n in &outcome.destroyed_neighbours {
+            assert!(m.is_heated(n));
+        }
+    }
+
+    #[test]
+    fn temperature_profile_monotone() {
+        let model = ThermalModel::well_designed(100.0);
+        assert!((model.temperature_at(0.0) - model.peak_temp_c()).abs() < 1e-9);
+        let temps: Vec<f64> = (0..10).map(|i| model.temperature_at(i as f64 * 25.0)).collect();
+        for w in temps.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+        // Far away: ambient.
+        assert!((model.temperature_at(1e6) - AMBIENT_C).abs() < 1e-6);
+    }
+
+    #[test]
+    fn radii_ordering() {
+        let model = ThermalModel::marginal(100.0);
+        assert!(model.destruction_radius_nm() < model.disturb_radius_nm());
+        // Destruction radius under half a pitch keeps writes safe.
+        let good = ThermalModel::well_designed(100.0);
+        assert!(good.destruction_radius_nm() < 100.0);
+    }
+
+    #[test]
+    fn reheating_target_reports_not_newly_heated() {
+        let mut m = medium();
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = ThermalModel::well_designed(100.0);
+        let first = model.heat_dot(&mut m, 0, &mut rng);
+        assert!(first.target_heated);
+        let second = model.heat_dot(&mut m, 0, &mut rng);
+        assert!(!second.target_heated);
+    }
+
+    #[test]
+    fn edge_dots_do_not_panic() {
+        let mut m = medium();
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = ThermalModel::poorly_designed(100.0);
+        for corner in [0, 8, 72, 80] {
+            model.heat_dot(&mut m, corner, &mut rng);
+        }
+        assert!(m.heated_count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot destroy")]
+    fn cold_tip_rejected() {
+        ThermalModel::new(400.0, 35.0);
+    }
+}

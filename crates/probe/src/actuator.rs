@@ -1,0 +1,131 @@
+//! The electrostatic stepper actuator that moves the medium sled.
+//!
+//! §6 of the paper: "An electrostatic stepper actuator, such as the µWalker
+//! or Harmonica drive is used to move the medium" beneath the fixed probe
+//! array. We model a two-axis stepper whose axes move simultaneously, so a
+//! seek costs the Chebyshev distance in steps (one step = one dot pitch)
+//! plus a settle time. Scanning a track costs one step per dot column.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_probe::actuator::Actuator;
+//! use sero_probe::timing::CostModel;
+//!
+//! let mut walker = Actuator::new(CostModel::default());
+//! let t = walker.seek(10, 4);
+//! assert_eq!(walker.position(), (10, 4));
+//! assert!(t > 0);
+//! ```
+
+use crate::timing::CostModel;
+
+/// A two-axis stepper actuator with a current position in dot coordinates.
+#[derive(Debug, Clone)]
+pub struct Actuator {
+    row: u32,
+    col: u32,
+    cost: CostModel,
+    total_steps: u64,
+    total_seeks: u64,
+}
+
+impl Actuator {
+    /// A parked actuator at the origin.
+    pub fn new(cost: CostModel) -> Actuator {
+        Actuator {
+            row: 0,
+            col: 0,
+            cost,
+            total_steps: 0,
+            total_seeks: 0,
+        }
+    }
+
+    /// Current sled position as (row, col).
+    pub fn position(&self) -> (u32, u32) {
+        (self.row, self.col)
+    }
+
+    /// Total steps travelled over the actuator's lifetime.
+    pub fn total_steps(&self) -> u64 {
+        self.total_steps
+    }
+
+    /// Total seeks performed.
+    pub fn total_seeks(&self) -> u64 {
+        self.total_seeks
+    }
+
+    /// Moves to (`row`, `col`), returning the simulated cost in ns.
+    ///
+    /// Both axes step simultaneously, so the step count is the Chebyshev
+    /// distance; a non-zero move also pays the settle time.
+    pub fn seek(&mut self, row: u32, col: u32) -> u64 {
+        let dr = self.row.abs_diff(row) as u64;
+        let dc = self.col.abs_diff(col) as u64;
+        let steps = dr.max(dc);
+        self.row = row;
+        self.col = col;
+        self.total_seeks += 1;
+        self.total_steps += steps;
+        if steps == 0 {
+            0
+        } else {
+            steps * self.cost.t_step_ns + self.cost.t_settle_ns
+        }
+    }
+
+    /// Advances one column while scanning a track, returning the cost in ns.
+    pub fn scan_step(&mut self) -> u64 {
+        self.col = self.col.saturating_add(1);
+        self.total_steps += 1;
+        self.cost.t_step_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chebyshev_seek_cost() {
+        let cost = CostModel::default();
+        let mut a = Actuator::new(cost);
+        let t = a.seek(3, 7);
+        assert_eq!(t, 7 * cost.t_step_ns + cost.t_settle_ns);
+        assert_eq!(a.position(), (3, 7));
+        assert_eq!(a.total_steps(), 7);
+    }
+
+    #[test]
+    fn zero_seek_is_free() {
+        let mut a = Actuator::new(CostModel::default());
+        a.seek(2, 2);
+        let t = a.seek(2, 2);
+        assert_eq!(t, 0, "no movement, no settle");
+        assert_eq!(a.total_seeks(), 2);
+    }
+
+    #[test]
+    fn nearby_seeks_cheaper_than_far() {
+        let mut a = Actuator::new(CostModel::default());
+        a.seek(0, 0);
+        let near = a.seek(1, 0);
+        a.seek(0, 0);
+        let far = a.seek(1000, 0);
+        assert!(far > near * 100);
+    }
+
+    #[test]
+    fn scan_steps_accumulate() {
+        let cost = CostModel::default();
+        let mut a = Actuator::new(cost);
+        let mut total = 0;
+        for _ in 0..10 {
+            total += a.scan_step();
+        }
+        assert_eq!(total, 10 * cost.t_step_ns);
+        assert_eq!(a.position(), (0, 10));
+    }
+}

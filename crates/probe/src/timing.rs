@@ -1,0 +1,161 @@
+//! Simulated-time cost model for the probe device.
+//!
+//! The paper gives *relative* costs, not absolute ones: `erb` is "at least
+//! 5 times slower than `mrb`" (it is literally three magnetic reads plus two
+//! magnetic writes), and `ewb` "is also slower than `mwb` because of the
+//! local heating process"; the heat operation is therefore to be used
+//! sparingly. Absolute per-tip rates are taken from the probe-storage
+//! literature the paper builds on (Pozidis et al.: channel rates of order
+//! 10⁵–10⁶ bit/s per tip).
+//!
+//! All times are tracked on a simulated clock in nanoseconds, so benchmark
+//! results report the *device's* time, independent of host speed.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_probe::timing::CostModel;
+//!
+//! let cost = CostModel::default();
+//! // The paper's 5x claim falls straight out of the protocol.
+//! assert!(cost.erb_ns() >= 5 * cost.mrb_ns);
+//! assert!(cost.t_ewb_ns > 10 * cost.t_mwb_ns);
+//! ```
+
+use core::fmt;
+
+/// Per-operation costs in simulated nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// One magnetic bit read (per-tip dwell), ns.
+    pub mrb_ns: u64,
+    /// One magnetic bit write, ns.
+    pub t_mwb_ns: u64,
+    /// One electrical bit write — the heating pulse, ns.
+    pub t_ewb_ns: u64,
+    /// One actuator step of one dot pitch, ns.
+    pub t_step_ns: u64,
+    /// Actuator settle time after a seek, ns.
+    pub t_settle_ns: u64,
+}
+
+impl Default for CostModel {
+    /// 1 Mbit/s per-tip channel (1 µs per bit), 100 µs heat pulses, 10 µs
+    /// actuator steps with 50 µs settle.
+    fn default() -> CostModel {
+        CostModel {
+            mrb_ns: 1_000,
+            t_mwb_ns: 1_000,
+            t_ewb_ns: 100_000,
+            t_step_ns: 10_000,
+            t_settle_ns: 50_000,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of one `erb` — the paper's five-step protocol: 3 reads + 2
+    /// writes.
+    pub fn erb_ns(&self) -> u64 {
+        3 * self.mrb_ns + 2 * self.t_mwb_ns
+    }
+}
+
+/// A monotonically advancing simulated clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SimClock {
+    now_ns: u128,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// Advances the clock by `ns` nanoseconds.
+    pub fn advance(&mut self, ns: u64) {
+        self.now_ns += ns as u128;
+    }
+
+    /// Elapsed simulated time in nanoseconds.
+    pub fn elapsed_ns(&self) -> u128 {
+        self.now_ns
+    }
+
+    /// Elapsed simulated time in milliseconds (fractional).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.now_ns as f64 / 1e6
+    }
+}
+
+impl fmt::Display for SimClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ms", self.elapsed_ms())
+    }
+}
+
+/// Counters for every primitive the device executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Magnetic bit reads.
+    pub mrb: u64,
+    /// Magnetic bit writes.
+    pub mwb: u64,
+    /// Electrical bit writes (heat pulses).
+    pub ewb: u64,
+    /// Electrical bit reads (five-step protocol invocations).
+    pub erb: u64,
+    /// Seek operations.
+    pub seeks: u64,
+    /// Total actuator steps travelled.
+    pub steps: u64,
+    /// Magnetic sector reads.
+    pub mrs: u64,
+    /// Magnetic sector writes.
+    pub mws: u64,
+    /// Electrical sector reads.
+    pub ers: u64,
+    /// Electrical sector writes.
+    pub ews: u64,
+}
+
+impl OpCounters {
+    /// Sum of all bit-level operations.
+    pub fn bit_ops(&self) -> u64 {
+        self.mrb + self.mwb + self.ewb + self.erb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_relative_costs() {
+        let c = CostModel::default();
+        assert_eq!(c.erb_ns(), 5_000);
+        assert!(c.erb_ns() >= 5 * c.mrb_ns, "erb at least 5x mrb (paper §3)");
+        assert_eq!(c.t_ewb_ns / c.t_mwb_ns, 100, "heating is 100x a magnetic write");
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut clock = SimClock::new();
+        assert_eq!(clock.elapsed_ns(), 0);
+        clock.advance(1_500_000);
+        clock.advance(500_000);
+        assert_eq!(clock.elapsed_ns(), 2_000_000);
+        assert!((clock.elapsed_ms() - 2.0).abs() < 1e-12);
+        assert_eq!(clock.to_string(), "2.000 ms");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut ops = OpCounters::default();
+        ops.mrb += 3;
+        ops.mwb += 2;
+        ops.erb += 1;
+        assert_eq!(ops.bit_ops(), 6);
+    }
+}

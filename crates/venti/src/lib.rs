@@ -1,0 +1,611 @@
+//! Venti-style content-addressed archival storage on a SERO device.
+//!
+//! §4.2 of the paper: "Venti uses a secure hash as the address of a node …
+//! Venti builds a hierarchy of nodes from the leaves upwards by storing the
+//! hashes of the children of a node in the parent. The hash of the root
+//! node represents the entire hierarchy. As long as the hash of the root
+//! is stored securely, tampering can be detected. … A SERO device would be
+//! appropriate to keep the hash of a node secure. The most relevant node
+//! to be heated is the root node, because this protects the entire
+//! hierarchy."
+//!
+//! This crate implements that design:
+//!
+//! * [`Venti::write_chunk`] — content-addressed 512-byte chunks; reads
+//!   re-hash and compare, so any medium corruption is self-detected.
+//! * [`Venti::store_object`] — leaves-up hash trees over arbitrary data;
+//!   identical content deduplicates automatically.
+//! * [`Venti::seal`] — burn a root digest into a heated line, making the
+//!   whole hierarchy tamper-evident; [`Venti::verify_seal`] walks the tree
+//!   and checks every node against its address.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_core::device::SeroDevice;
+//! use sero_venti::Venti;
+//!
+//! let mut venti = Venti::new(SeroDevice::with_blocks(128));
+//! let snapshot = b"monday's database pages ...".repeat(40);
+//! let object = venti.store_object(&snapshot)?;
+//! let line = venti.seal(&object, b"monday".to_vec(), 0)?;
+//! assert_eq!(venti.load_object(&object)?, snapshot);
+//! assert!(venti.verify_seal(line)?.is_intact);
+//! # Ok::<(), sero_venti::VentiError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+use sero_core::device::{SeroDevice, SeroError};
+use sero_core::line::Line;
+use sero_crypto::{sha256, Digest, Sha256};
+use std::collections::HashMap;
+
+/// Chunk payload size (one device block).
+pub const CHUNK_BYTES: usize = 512;
+
+/// Digests per pointer block: 2-byte magic + 1-byte count + 15 × 32 ≤ 512.
+pub const FANOUT: usize = 15;
+
+/// Pointer-block magic.
+const POINTER_MAGIC: [u8; 2] = *b"VP";
+
+/// Seal-record magic.
+const SEAL_MAGIC: [u8; 4] = *b"VSEA";
+
+/// Errors from the Venti store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VentiError {
+    /// The store ran out of blocks.
+    NoSpace,
+    /// No chunk with this address is known.
+    NotFound {
+        /// The missing address.
+        digest: Digest,
+    },
+    /// A chunk read back does not hash to its address — medium corruption
+    /// or tampering, self-detected by content addressing.
+    HashMismatch {
+        /// The address requested.
+        expected: Digest,
+        /// What the stored bytes hash to now.
+        actual: Digest,
+        /// Device block holding the chunk.
+        pba: u64,
+    },
+    /// A pointer block or seal record failed to parse.
+    Malformed {
+        /// What failed.
+        reason: String,
+    },
+    /// Device-level failure.
+    Device(SeroError),
+}
+
+impl fmt::Display for VentiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VentiError::NoSpace => f.write_str("venti store is full"),
+            VentiError::NotFound { digest } => write!(f, "no chunk addressed {digest}"),
+            VentiError::HashMismatch { expected, actual, pba } => {
+                write!(f, "chunk at block {pba} hashes to {actual}, address says {expected}")
+            }
+            VentiError::Malformed { reason } => write!(f, "malformed venti structure: {reason}"),
+            VentiError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VentiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VentiError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SeroError> for VentiError {
+    fn from(e: SeroError) -> VentiError {
+        VentiError::Device(e)
+    }
+}
+
+/// Handle to a stored object: its root address, byte length and tree depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectRef {
+    /// Root digest (a chunk for depth 0, a pointer block otherwise).
+    pub root: Digest,
+    /// Object length in bytes.
+    pub size: u64,
+    /// Tree depth: 0 = root is a data chunk.
+    pub depth: u8,
+}
+
+/// Result of verifying a sealed hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealVerdict {
+    /// Whether the heated line *and* the full tree verified.
+    pub is_intact: bool,
+    /// Findings, empty when intact.
+    pub findings: Vec<String>,
+    /// The object reference recovered from the seal record.
+    pub object: Option<ObjectRef>,
+}
+
+/// A content-addressed archival store over a SERO device.
+#[derive(Debug, Clone)]
+pub struct Venti {
+    dev: SeroDevice,
+    index: HashMap<Digest, u64>,
+    cursor: u64,
+}
+
+impl Venti {
+    /// Wraps `dev` as an empty store.
+    pub fn new(dev: SeroDevice) -> Venti {
+        Venti {
+            dev,
+            index: HashMap::new(),
+            cursor: 0,
+        }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &SeroDevice {
+        &self.dev
+    }
+
+    /// Mutable device access (attack surface for the security analysis).
+    pub fn device_mut(&mut self) -> &mut SeroDevice {
+        &mut self.dev
+    }
+
+    /// Number of distinct chunks stored.
+    pub fn chunk_count(&self) -> usize {
+        self.index.len()
+    }
+
+    fn alloc(&mut self) -> Result<u64, VentiError> {
+        while self.cursor < self.dev.block_count() {
+            let pba = self.cursor;
+            self.cursor += 1;
+            if !self.dev.is_read_only(pba) {
+                return Ok(pba);
+            }
+        }
+        Err(VentiError::NoSpace)
+    }
+
+    /// Stores up to 512 bytes as one chunk and returns its address.
+    /// Identical content is written once ("write coalescing").
+    ///
+    /// # Errors
+    ///
+    /// [`VentiError::NoSpace`]; device errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` exceeds [`CHUNK_BYTES`].
+    pub fn write_chunk(&mut self, data: &[u8]) -> Result<Digest, VentiError> {
+        assert!(data.len() <= CHUNK_BYTES, "chunk larger than a block");
+        let mut padded = [0u8; CHUNK_BYTES];
+        padded[..data.len()].copy_from_slice(data);
+        let digest = sha256(&padded);
+        if self.index.contains_key(&digest) {
+            return Ok(digest); // dedup
+        }
+        let pba = self.alloc()?;
+        self.dev.write_block(pba, &padded)?;
+        self.index.insert(digest, pba);
+        Ok(digest)
+    }
+
+    /// Reads the chunk addressed by `digest`, re-hashing to check it.
+    ///
+    /// # Errors
+    ///
+    /// [`VentiError::NotFound`]; [`VentiError::HashMismatch`] when the
+    /// stored bytes no longer match their address — "a computed hash that
+    /// does not match the address of the node presents evidence of
+    /// tampering".
+    pub fn read_chunk(&mut self, digest: &Digest) -> Result<[u8; CHUNK_BYTES], VentiError> {
+        let &pba = self
+            .index
+            .get(digest)
+            .ok_or(VentiError::NotFound { digest: *digest })?;
+        let data = self.dev.read_block(pba)?;
+        let actual = sha256(&data);
+        if actual != *digest {
+            return Err(VentiError::HashMismatch {
+                expected: *digest,
+                actual,
+                pba,
+            });
+        }
+        Ok(data)
+    }
+
+    /// Stores `data` as a leaves-up hash tree, returning its root handle.
+    ///
+    /// # Errors
+    ///
+    /// [`VentiError::NoSpace`]; device errors.
+    pub fn store_object(&mut self, data: &[u8]) -> Result<ObjectRef, VentiError> {
+        // Leaves.
+        let mut level: Vec<Digest> = Vec::new();
+        if data.is_empty() {
+            level.push(self.write_chunk(&[])?);
+        }
+        for chunk in data.chunks(CHUNK_BYTES) {
+            level.push(self.write_chunk(chunk)?);
+        }
+
+        // Build upwards until a single root remains.
+        let mut depth = 0u8;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(FANOUT));
+            for group in level.chunks(FANOUT) {
+                let block = encode_pointer_block(group);
+                next.push(self.write_chunk(&block)?);
+            }
+            level = next;
+            depth += 1;
+        }
+        Ok(ObjectRef {
+            root: level[0],
+            size: data.len() as u64,
+            depth,
+        })
+    }
+
+    /// Loads and verifies the object behind `object`.
+    ///
+    /// # Errors
+    ///
+    /// Any hash mismatch anywhere in the tree.
+    pub fn load_object(&mut self, object: &ObjectRef) -> Result<Vec<u8>, VentiError> {
+        let mut out = Vec::with_capacity(object.size as usize);
+        self.load_rec(&object.root, object.depth, &mut out)?;
+        out.truncate(object.size as usize);
+        Ok(out)
+    }
+
+    fn load_rec(&mut self, digest: &Digest, depth: u8, out: &mut Vec<u8>) -> Result<(), VentiError> {
+        let block = self.read_chunk(digest)?;
+        if depth == 0 {
+            out.extend_from_slice(&block);
+            return Ok(());
+        }
+        for child in decode_pointer_block(&block)? {
+            self.load_rec(&child, depth - 1, out)?;
+        }
+        Ok(())
+    }
+
+    /// Seals `object` by heating a line whose data block carries the seal
+    /// record — the paper's "heating the line that represents a node …
+    /// the most relevant node to be heated is the root node".
+    ///
+    /// # Errors
+    ///
+    /// [`VentiError::NoSpace`] when no aligned pair of blocks remains;
+    /// device errors from the heat protocol.
+    pub fn seal(
+        &mut self,
+        object: &ObjectRef,
+        label: Vec<u8>,
+        timestamp: u64,
+    ) -> Result<Line, VentiError> {
+        // Find a free aligned order-1 line at or after the cursor.
+        let mut start = self.cursor.div_ceil(2) * 2;
+        let line = loop {
+            if start + 2 > self.dev.block_count() {
+                return Err(VentiError::NoSpace);
+            }
+            if !self.dev.is_read_only(start) && !self.dev.is_read_only(start + 1) {
+                break Line::new(start, 1).expect("aligned");
+            }
+            start += 2;
+        };
+        self.cursor = self.cursor.max(line.end());
+
+        let mut record = [0u8; CHUNK_BYTES];
+        record[..4].copy_from_slice(&SEAL_MAGIC);
+        record[4..36].copy_from_slice(object.root.as_bytes());
+        record[36..44].copy_from_slice(&object.size.to_le_bytes());
+        record[44] = object.depth;
+        let label_len = label.len().min(200);
+        record[45] = label_len as u8;
+        record[46..46 + label_len].copy_from_slice(&label[..label_len]);
+        self.dev.write_block(line.start() + 1, &record)?;
+        self.dev.heat_line(line, label, timestamp)?;
+        Ok(line)
+    }
+
+    /// Verifies a sealed hierarchy end to end: the heated line, the seal
+    /// record, and every node of the tree.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure failures only; all findings are data.
+    pub fn verify_seal(&mut self, line: Line) -> Result<SealVerdict, VentiError> {
+        let mut findings = Vec::new();
+
+        // 1. The heated line itself.
+        match self.dev.verify_line(line)? {
+            sero_core::tamper::VerifyOutcome::Intact { .. } => {}
+            sero_core::tamper::VerifyOutcome::NotHeated => {
+                findings.push("seal line is not heated".to_string());
+                return Ok(SealVerdict {
+                    is_intact: false,
+                    findings,
+                    object: None,
+                });
+            }
+            sero_core::tamper::VerifyOutcome::Tampered(report) => {
+                findings.push(format!("seal line tampered: {report}"));
+                return Ok(SealVerdict {
+                    is_intact: false,
+                    findings,
+                    object: None,
+                });
+            }
+        }
+
+        // 2. The seal record.
+        let record = self.dev.read_block(line.start() + 1)?;
+        if record[..4] != SEAL_MAGIC {
+            findings.push("seal record magic missing".to_string());
+            return Ok(SealVerdict {
+                is_intact: false,
+                findings,
+                object: None,
+            });
+        }
+        let mut root = [0u8; 32];
+        root.copy_from_slice(&record[4..36]);
+        let object = ObjectRef {
+            root: Digest::from_bytes(root),
+            size: u64::from_le_bytes(record[36..44].try_into().expect("8")),
+            depth: record[44],
+        };
+
+        // 3. The whole hierarchy.
+        match self.load_object(&object) {
+            Ok(_) => Ok(SealVerdict {
+                is_intact: true,
+                findings,
+                object: Some(object),
+            }),
+            Err(e) => {
+                findings.push(format!("hierarchy verification failed: {e}"));
+                Ok(SealVerdict {
+                    is_intact: false,
+                    findings,
+                    object: Some(object),
+                })
+            }
+        }
+    }
+
+    /// Rebuilds the chunk index by re-hashing every block — the recovery
+    /// path after restart (content addressing makes the index soft state).
+    ///
+    /// # Errors
+    ///
+    /// Device errors while scanning.
+    pub fn rebuild_index(&mut self) -> Result<usize, VentiError> {
+        self.index.clear();
+        let mut found = 0;
+        for pba in 0..self.dev.block_count() {
+            if self.dev.is_read_only(pba) {
+                continue;
+            }
+            if let Ok(data) = self.dev.read_block(pba) {
+                self.index.insert(sha256(&data), pba);
+                found += 1;
+            }
+        }
+        Ok(found)
+    }
+}
+
+fn encode_pointer_block(children: &[Digest]) -> Vec<u8> {
+    debug_assert!(children.len() <= FANOUT);
+    let mut out = Vec::with_capacity(CHUNK_BYTES);
+    out.extend_from_slice(&POINTER_MAGIC);
+    out.push(children.len() as u8);
+    for d in children {
+        out.extend_from_slice(d.as_bytes());
+    }
+    out
+}
+
+fn decode_pointer_block(block: &[u8; CHUNK_BYTES]) -> Result<Vec<Digest>, VentiError> {
+    if block[..2] != POINTER_MAGIC {
+        return Err(VentiError::Malformed {
+            reason: "pointer block magic missing".to_string(),
+        });
+    }
+    let count = block[2] as usize;
+    if count == 0 || count > FANOUT {
+        return Err(VentiError::Malformed {
+            reason: format!("pointer block fanout {count}"),
+        });
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut d = [0u8; 32];
+        d.copy_from_slice(&block[3 + i * 32..3 + (i + 1) * 32]);
+        out.push(Digest::from_bytes(d));
+    }
+    Ok(out)
+}
+
+/// A convenience hasher for building snapshot labels.
+pub fn label_for(parts: &[&[u8]]) -> Digest {
+    let mut h = Sha256::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(blocks: u64) -> Venti {
+        Venti::new(SeroDevice::with_blocks(blocks))
+    }
+
+    #[test]
+    fn chunk_round_trip_and_dedup() {
+        let mut v = store(64);
+        let a = v.write_chunk(b"hello").unwrap();
+        let b = v.write_chunk(b"hello").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(v.chunk_count(), 1);
+        let back = v.read_chunk(&a).unwrap();
+        assert_eq!(&back[..5], b"hello");
+    }
+
+    #[test]
+    fn object_round_trip_multilevel() {
+        let mut v = store(512);
+        // 40 chunks -> 3 pointer blocks -> 1 root: depth 2.
+        let data: Vec<u8> = (0..40 * 512).map(|i| (i % 251) as u8).collect();
+        let obj = v.store_object(&data).unwrap();
+        assert_eq!(obj.depth, 2);
+        assert_eq!(v.load_object(&obj).unwrap(), data);
+    }
+
+    #[test]
+    fn small_and_empty_objects() {
+        let mut v = store(64);
+        let empty = v.store_object(b"").unwrap();
+        assert_eq!(empty.depth, 0);
+        assert_eq!(v.load_object(&empty).unwrap(), Vec::<u8>::new());
+        let one = v.store_object(b"x").unwrap();
+        assert_eq!(v.load_object(&one).unwrap(), b"x");
+    }
+
+    #[test]
+    fn snapshots_share_chunks() {
+        // Venti's daily-snapshot story: day 2 shares unchanged chunks.
+        let mut v = store(512);
+        let day1: Vec<u8> = vec![1u8; 20 * 512];
+        let mut day2 = day1.clone();
+        day2[0] = 99; // one page changed
+        v.store_object(&day1).unwrap();
+        let before = v.chunk_count();
+        v.store_object(&day2).unwrap();
+        let added = v.chunk_count() - before;
+        assert!(added <= 3, "one data chunk + pointer path, got {added}");
+    }
+
+    #[test]
+    fn corruption_detected_by_address() {
+        let mut v = store(128);
+        let digest = v.write_chunk(b"ledger row").unwrap();
+        let pba = v.index[&digest];
+        v.device_mut().probe_mut().mws(pba, &[0xAA; 512]).unwrap();
+        match v.read_chunk(&digest) {
+            Err(VentiError::HashMismatch { expected, pba: p, .. }) => {
+                assert_eq!(expected, digest);
+                assert_eq!(p, pba);
+            }
+            other => panic!("corruption not detected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seal_and_verify_intact() {
+        let mut v = store(256);
+        let data = vec![7u8; 10 * 512];
+        let obj = v.store_object(&data).unwrap();
+        let line = v.seal(&obj, b"friday".to_vec(), 42).unwrap();
+        let verdict = v.verify_seal(line).unwrap();
+        assert!(verdict.is_intact, "{:?}", verdict.findings);
+        assert_eq!(verdict.object, Some(obj));
+    }
+
+    #[test]
+    fn seal_protects_entire_hierarchy() {
+        // Tamper with a *leaf* chunk: the sealed root must catch it.
+        let mut v = store(256);
+        let data: Vec<u8> = (0..8 * 512).map(|i| (i % 7) as u8).collect();
+        let obj = v.store_object(&data).unwrap();
+        let line = v.seal(&obj, vec![], 0).unwrap();
+
+        let leaf = sha256(&{
+            let mut c = [0u8; 512];
+            c.copy_from_slice(&data[..512]);
+            c
+        });
+        let pba = v.index[&leaf];
+        v.device_mut().probe_mut().mws(pba, &[0xEE; 512]).unwrap();
+
+        let verdict = v.verify_seal(line).unwrap();
+        assert!(!verdict.is_intact);
+        assert!(verdict.findings[0].contains("hierarchy"));
+    }
+
+    #[test]
+    fn sealed_record_rewrite_detected() {
+        let mut v = store(256);
+        let obj = v.store_object(&[1u8; 1024]).unwrap();
+        let line = v.seal(&obj, vec![], 0).unwrap();
+        // Attacker rewrites the seal record block itself.
+        v.device_mut()
+            .probe_mut()
+            .mws(line.start() + 1, &[0u8; 512])
+            .unwrap();
+        let verdict = v.verify_seal(line).unwrap();
+        assert!(!verdict.is_intact);
+        assert!(verdict.findings[0].contains("tampered"));
+    }
+
+    #[test]
+    fn index_rebuild_preserves_access() {
+        let mut v = store(128);
+        let data = vec![3u8; 5 * 512];
+        let obj = v.store_object(&data).unwrap();
+        v.index.clear();
+        v.rebuild_index().unwrap();
+        assert_eq!(v.load_object(&obj).unwrap(), data);
+    }
+
+    #[test]
+    fn store_fills_and_errors() {
+        let mut v = store(8);
+        // Distinct chunks so deduplication cannot save the day.
+        let data: Vec<u8> = (0..16 * 512).map(|i| (i / 512) as u8 ^ (i % 256) as u8).collect();
+        let r = v.store_object(&data);
+        assert!(matches!(r, Err(VentiError::NoSpace)));
+    }
+
+    #[test]
+    fn missing_chunk_reported() {
+        let mut v = store(16);
+        let ghost = sha256(b"never stored");
+        assert!(matches!(
+            v.read_chunk(&ghost),
+            Err(VentiError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            VentiError::NoSpace,
+            VentiError::NotFound { digest: Digest::ZERO },
+            VentiError::Malformed { reason: "x".into() },
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

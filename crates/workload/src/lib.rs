@@ -1,0 +1,366 @@
+//! Workload generators for the SERO experiments.
+//!
+//! §1 of the paper motivates SERO with concrete usage patterns: databases
+//! that "write and rewrite data often until the moment has arrived to take
+//! a snapshot for auditing and compliance purposes", append-heavy audit
+//! logs, and general file populations that age. Each generator here emits
+//! a deterministic, seeded stream of abstract [`Op`]s that the benchmark
+//! harness replays against the file system — the generators know nothing
+//! about `sero-fs`, so the same streams can drive baselines.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_workload::{DbSnapshotWorkload, Workload};
+//!
+//! let ops = DbSnapshotWorkload::small().ops(42);
+//! assert!(!ops.is_empty());
+//! // Same seed, same stream.
+//! assert_eq!(ops, DbSnapshotWorkload::small().ops(42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One abstract file-system operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Create `name` with `data`; `archival` hints the §4.1 clustering.
+    Create {
+        /// File name.
+        name: String,
+        /// File contents.
+        data: Vec<u8>,
+        /// Heat-affinity hint.
+        archival: bool,
+    },
+    /// Overwrite `name` with `data`.
+    Overwrite {
+        /// File name.
+        name: String,
+        /// New contents.
+        data: Vec<u8>,
+    },
+    /// Delete `name`.
+    Delete {
+        /// File name.
+        name: String,
+    },
+    /// Read `name` fully.
+    Read {
+        /// File name.
+        name: String,
+    },
+    /// Heat `name` with `metadata`.
+    Heat {
+        /// File name.
+        name: String,
+        /// Metadata for the heated hash block.
+        metadata: Vec<u8>,
+    },
+}
+
+/// A deterministic workload generator.
+pub trait Workload {
+    /// A short identifier used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Generates the full operation stream for `seed`.
+    fn ops(&self, seed: u64) -> Vec<Op>;
+}
+
+fn payload(rng: &mut StdRng, bytes: usize) -> Vec<u8> {
+    let mut data = vec![0u8; bytes];
+    rng.fill(&mut data[..]);
+    data
+}
+
+/// The paper's §1 motivating pattern: random page updates punctuated by
+/// heated snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbSnapshotWorkload {
+    /// Number of database pages (each its own file).
+    pub pages: usize,
+    /// Bytes per page.
+    pub page_bytes: usize,
+    /// Random page updates between snapshots.
+    pub updates_per_epoch: usize,
+    /// Number of snapshot epochs.
+    pub epochs: usize,
+    /// Bytes per snapshot file.
+    pub snapshot_bytes: usize,
+}
+
+impl DbSnapshotWorkload {
+    /// A laptop-scale configuration used by tests and examples.
+    pub fn small() -> DbSnapshotWorkload {
+        DbSnapshotWorkload {
+            pages: 16,
+            page_bytes: 1024,
+            updates_per_epoch: 24,
+            epochs: 3,
+            snapshot_bytes: 4096,
+        }
+    }
+}
+
+impl Workload for DbSnapshotWorkload {
+    fn name(&self) -> &'static str {
+        "db-snapshot"
+    }
+
+    fn ops(&self, seed: u64) -> Vec<Op> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ops = Vec::new();
+        for p in 0..self.pages {
+            ops.push(Op::Create {
+                name: format!("page-{p:04}"),
+                data: payload(&mut rng, self.page_bytes),
+                archival: false,
+            });
+        }
+        for epoch in 0..self.epochs {
+            for _ in 0..self.updates_per_epoch {
+                let p = rng.random_range(0..self.pages);
+                ops.push(Op::Overwrite {
+                    name: format!("page-{p:04}"),
+                    data: payload(&mut rng, self.page_bytes),
+                });
+            }
+            let snap = format!("snapshot-{epoch:02}");
+            ops.push(Op::Create {
+                name: snap.clone(),
+                data: payload(&mut rng, self.snapshot_bytes),
+                archival: true,
+            });
+            ops.push(Op::Heat {
+                name: snap,
+                metadata: format!("epoch-{epoch}").into_bytes(),
+            });
+        }
+        ops
+    }
+}
+
+/// Compliance-style audit logging: append batches, heat each batch as it
+/// closes (the WORM-like usage the paper's §2 surveys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditLogWorkload {
+    /// Number of closed batches.
+    pub batches: usize,
+    /// Events per batch.
+    pub events_per_batch: usize,
+    /// Bytes per event record.
+    pub event_bytes: usize,
+}
+
+impl AuditLogWorkload {
+    /// A laptop-scale configuration.
+    pub fn small() -> AuditLogWorkload {
+        AuditLogWorkload {
+            batches: 6,
+            events_per_batch: 20,
+            event_bytes: 96,
+        }
+    }
+}
+
+impl Workload for AuditLogWorkload {
+    fn name(&self) -> &'static str {
+        "audit-log"
+    }
+
+    fn ops(&self, seed: u64) -> Vec<Op> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ops = Vec::new();
+        for b in 0..self.batches {
+            let mut batch = Vec::with_capacity(self.events_per_batch * self.event_bytes);
+            for e in 0..self.events_per_batch {
+                let mut event = format!("t={b:04}.{e:04} ").into_bytes();
+                event.extend(payload(&mut rng, self.event_bytes.saturating_sub(event.len())));
+                batch.extend(event);
+            }
+            let name = format!("audit-{b:04}");
+            ops.push(Op::Create {
+                name: name.clone(),
+                data: batch,
+                archival: true,
+            });
+            ops.push(Op::Heat {
+                name,
+                metadata: format!("batch-{b}").into_bytes(),
+            });
+        }
+        ops
+    }
+}
+
+/// General file aging with a hot/cold skew: a fraction of files absorbs
+/// most rewrites while cold files are occasionally deleted and replaced —
+/// the churn that makes LFS cleaning interesting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileAgingWorkload {
+    /// Number of live files.
+    pub files: usize,
+    /// Total operations after creation.
+    pub operations: usize,
+    /// Fraction of files considered hot.
+    pub hot_fraction: f64,
+    /// Probability an operation hits the hot set.
+    pub hot_bias: f64,
+    /// File size in bytes.
+    pub file_bytes: usize,
+    /// Fraction of cold-file operations that heat instead of rewrite.
+    pub heat_probability: f64,
+}
+
+impl FileAgingWorkload {
+    /// A laptop-scale configuration.
+    pub fn small() -> FileAgingWorkload {
+        FileAgingWorkload {
+            files: 24,
+            operations: 120,
+            hot_fraction: 0.25,
+            hot_bias: 0.8,
+            file_bytes: 1536,
+            heat_probability: 0.15,
+        }
+    }
+}
+
+impl Workload for FileAgingWorkload {
+    fn name(&self) -> &'static str {
+        "file-aging"
+    }
+
+    fn ops(&self, seed: u64) -> Vec<Op> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ops = Vec::new();
+        let hot_count = ((self.files as f64 * self.hot_fraction) as usize).max(1);
+        let mut heated = vec![false; self.files];
+        let mut generation = vec![0usize; self.files];
+
+        for f in 0..self.files {
+            ops.push(Op::Create {
+                name: format!("file-{f:04}.0"),
+                data: payload(&mut rng, self.file_bytes),
+                archival: false,
+            });
+        }
+        for _ in 0..self.operations {
+            let hot = rng.random_bool(self.hot_bias);
+            let f = if hot {
+                rng.random_range(0..hot_count)
+            } else {
+                rng.random_range(hot_count..self.files)
+            };
+            let name = format!("file-{f:04}.{}", generation[f]);
+            if heated[f] {
+                ops.push(Op::Read { name });
+            } else if !hot && rng.random_bool(self.heat_probability) {
+                ops.push(Op::Heat {
+                    name,
+                    metadata: b"aged-out".to_vec(),
+                });
+                heated[f] = true;
+            } else if !hot && rng.random_bool(0.2) {
+                ops.push(Op::Delete { name });
+                generation[f] += 1;
+                ops.push(Op::Create {
+                    name: format!("file-{f:04}.{}", generation[f]),
+                    data: payload(&mut rng, self.file_bytes),
+                    archival: false,
+                });
+            } else {
+                ops.push(Op::Overwrite {
+                    name,
+                    data: payload(&mut rng, self.file_bytes),
+                });
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all() -> Vec<Box<dyn Workload>> {
+        vec![
+            Box::new(DbSnapshotWorkload::small()),
+            Box::new(AuditLogWorkload::small()),
+            Box::new(FileAgingWorkload::small()),
+        ]
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for w in all() {
+            assert_eq!(w.ops(7), w.ops(7), "{} not deterministic", w.name());
+            assert_ne!(w.ops(7), w.ops(8), "{} ignores seed", w.name());
+        }
+    }
+
+    #[test]
+    fn db_snapshot_shape() {
+        let w = DbSnapshotWorkload::small();
+        let ops = w.ops(1);
+        let heats = ops.iter().filter(|o| matches!(o, Op::Heat { .. })).count();
+        assert_eq!(heats, w.epochs);
+        let creates = ops.iter().filter(|o| matches!(o, Op::Create { .. })).count();
+        assert_eq!(creates, w.pages + w.epochs);
+        // Snapshots are archival; pages are not.
+        for op in &ops {
+            if let Op::Create { name, archival, .. } = op {
+                assert_eq!(*archival, name.starts_with("snapshot"), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn audit_log_heats_every_batch() {
+        let w = AuditLogWorkload::small();
+        let ops = w.ops(2);
+        let creates = ops.iter().filter(|o| matches!(o, Op::Create { .. })).count();
+        let heats = ops.iter().filter(|o| matches!(o, Op::Heat { .. })).count();
+        assert_eq!(creates, w.batches);
+        assert_eq!(heats, w.batches);
+        // Strict alternation: a batch is heated as soon as it closes.
+        for pair in ops.chunks(2) {
+            assert!(matches!(pair[0], Op::Create { .. }));
+            assert!(matches!(pair[1], Op::Heat { .. }));
+        }
+    }
+
+    #[test]
+    fn aging_never_touches_heated_files_destructively() {
+        let ops = FileAgingWorkload::small().ops(3);
+        let mut heated = std::collections::HashSet::new();
+        for op in &ops {
+            match op {
+                Op::Heat { name, .. } => {
+                    heated.insert(name.clone());
+                }
+                Op::Overwrite { name, .. } | Op::Delete { name } => {
+                    assert!(!heated.contains(name), "destructive op on heated {name}");
+                }
+                _ => {}
+            }
+        }
+        assert!(!heated.is_empty(), "aging should heat some cold files");
+    }
+
+    #[test]
+    fn op_sizes_match_config() {
+        let w = FileAgingWorkload::small();
+        for op in w.ops(4) {
+            if let Op::Create { data, .. } | Op::Overwrite { data, .. } = op {
+                assert_eq!(data.len(), w.file_bytes);
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The complete §5 attack battery, as a drill.
+//!
+//! Runs every attack from the paper's security analysis against a fresh
+//! scenario (a heated "incriminating ledger") and prints a
+//! paper-vs-observed table.
+//!
+//! Run with: `cargo run --example attack_drill`
+
+use sero::attack::attacks::{run_all, Outcome};
+
+fn main() {
+    println!("== §5 attack drill: a dishonest CEO vs the SERO device ==\n");
+    println!(
+        "{:<16} {:<10} {:<10} {:<4} detail",
+        "attack", "expected", "observed", "ok?"
+    );
+    println!("{}", "-".repeat(100));
+
+    let reports = run_all();
+    let mut matches = 0;
+    for report in &reports {
+        println!(
+            "{:<16} {:<10} {:<10} {:<4} {}",
+            report.kind.to_string(),
+            report.expected.to_string(),
+            report.observed.to_string(),
+            if report.matches_paper() { "yes" } else { "NO" },
+            report.detail
+        );
+        matches += report.matches_paper() as usize;
+    }
+
+    println!("{}", "-".repeat(100));
+    println!("{matches}/{} attacks behave exactly as §5 predicts", reports.len());
+    let undetected = reports.iter().filter(|r| r.observed == Outcome::Undetected).count();
+    println!("undetected attacks: {undetected}");
+
+    println!("\npaper quotes:");
+    for report in &reports {
+        println!("  [{}] \"{}\"", report.kind, report.kind.paper_quote());
+    }
+    assert_eq!(undetected, 0, "an attack escaped detection!");
+}

@@ -1,0 +1,52 @@
+//! **sero** — tamper-evident SERO storage on simulated patterned magnetic
+//! media.
+//!
+//! A full reproduction of *Towards Tamper-evident Storage on Patterned
+//! Media* (Hartel, Abelmann, Khatib — FAST 2008), from the Co/Pt
+//! interface-mixing physics up to a heated-line-aware log-structured file
+//! system, plus the archival substrates (Venti, fossilised index) and the
+//! complete §5 attack battery.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | layer | crate |
+//! |---|---|
+//! | medium physics (anisotropy, XRD, thermal, MFM) | [`media`] |
+//! | probe device (bit/sector ops, timing) | [`probe`] |
+//! | hashing | [`crypto`] |
+//! | Manchester / CRC / Reed–Solomon / WOM codes | [`codec`] |
+//! | **SERO device: heat & verify lines** | [`core`] |
+//! | log-structured file system | [`fs`] |
+//! | content-addressed archival store | [`venti`] |
+//! | fossilised index | [`fossil`] |
+//! | §5 attack battery | [`attack`] |
+//! | workload generators | [`workload`] |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sero::core::prelude::*;
+//!
+//! let mut dev = SeroDevice::with_blocks(32);
+//! let line = Line::new(8, 2)?;
+//! for pba in line.data_blocks() {
+//!     dev.write_block(pba, &[0xAB; 512])?;
+//! }
+//! dev.heat_line(line, b"frozen evidence".to_vec(), 1_199_145_600)?;
+//! assert!(dev.verify_line(line)?.is_intact());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sero_attack as attack;
+pub use sero_codec as codec;
+pub use sero_core as core;
+pub use sero_crypto as crypto;
+pub use sero_fossil as fossil;
+pub use sero_fs as fs;
+pub use sero_media as media;
+pub use sero_probe as probe;
+pub use sero_venti as venti;
+pub use sero_workload as workload;

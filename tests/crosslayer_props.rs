@@ -1,0 +1,91 @@
+//! Cross-layer property tests: invariants that must hold across crate
+//! boundaries for arbitrary inputs.
+
+use proptest::prelude::*;
+use sero::core::device::SeroDevice;
+use sero::core::line::Line;
+use sero::fs::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever bytes a file holds, heat → verify is intact, the content
+    /// is unchanged, and any single-byte flip through the raw device is
+    /// caught.
+    #[test]
+    fn heat_verify_detects_every_flip(
+        content in proptest::collection::vec(any::<u8>(), 1..4000),
+        flip_at in any::<proptest::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut fs = SeroFs::format(SeroDevice::with_blocks(512), FsConfig::default()).unwrap();
+        fs.create("f", &content, WriteClass::Archival).unwrap();
+        let line = fs.heat("f", vec![], 0).unwrap();
+        prop_assert!(fs.verify("f").unwrap().is_intact());
+        prop_assert_eq!(fs.read("f").unwrap(), content.clone());
+
+        // Flip one byte of one protected data block via the raw device.
+        let victim = line.start() + 2; // first data block
+        let sector = fs.device_mut().probe_mut().mrs(victim).unwrap();
+        let mut doctored = sector.data;
+        doctored[flip_at.index(512)] ^= xor;
+        fs.device_mut().probe_mut().mws(victim, &doctored).unwrap();
+
+        prop_assert!(fs.verify("f").unwrap().is_tampered());
+    }
+
+    /// Sync + mount round-trips arbitrary file populations.
+    #[test]
+    fn remount_preserves_everything(
+        sizes in proptest::collection::vec(1usize..3000, 1..8),
+        heat_mask in any::<u8>(),
+    ) {
+        let mut fs = SeroFs::format(SeroDevice::with_blocks(1024), FsConfig::default()).unwrap();
+        let mut expected = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let name = format!("file-{i}");
+            let data = vec![(i as u8).wrapping_mul(37); size];
+            let heat = (heat_mask >> (i % 8)) & 1 == 1;
+            let class = if heat { WriteClass::Archival } else { WriteClass::Normal };
+            fs.create(&name, &data, class).unwrap();
+            if heat {
+                fs.heat(&name, vec![], i as u64).unwrap();
+            }
+            expected.push((name, data, heat));
+        }
+        fs.sync().unwrap();
+        let mut fs2 = SeroFs::mount(fs.into_device()).unwrap();
+        for (name, data, heated) in expected {
+            prop_assert_eq!(fs2.read(&name).unwrap(), data);
+            prop_assert_eq!(fs2.stat(&name).unwrap().heated.is_some(), heated);
+            if heated {
+                prop_assert!(fs2.verify(&name).unwrap().is_intact());
+            }
+        }
+    }
+
+    /// Device-level: any set of non-overlapping lines heats and verifies
+    /// independently, and the registry rebuild finds exactly that set.
+    #[test]
+    fn registry_scan_is_exact(present in proptest::collection::vec(any::<bool>(), 8)) {
+        let mut dev = SeroDevice::with_blocks(64);
+        for pba in 0..64 {
+            dev.write_block(pba, &[pba as u8; 512]).unwrap();
+        }
+        let mut heated = Vec::new();
+        for (slot, &on) in present.iter().enumerate() {
+            if on {
+                let line = Line::new(slot as u64 * 8, 3).unwrap();
+                dev.heat_line(line, vec![], slot as u64).unwrap();
+                heated.push(line);
+            }
+        }
+        let scan = dev.rebuild_registry().unwrap();
+        prop_assert_eq!(scan.lines_found, heated.len());
+        prop_assert!(scan.suspicious_blocks.is_empty());
+        prop_assert!(scan.overlapping_lines.is_empty());
+        for line in heated {
+            prop_assert!(dev.verify_line(line).unwrap().is_intact());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end integration: the full stack working together — file system
+//! over SERO device over probe simulator, with archival substrates and
+//! the attack battery on top.
+
+use sero::attack::attacks::{run_all, Outcome};
+use sero::core::device::SeroDevice;
+use sero::crypto::sha256;
+use sero::fossil::FossilIndex;
+use sero::fs::fsck;
+use sero::fs::prelude::*;
+use sero::venti::Venti;
+use sero::workload::{AuditLogWorkload, DbSnapshotWorkload, Workload, Op};
+
+fn apply(fs: &mut SeroFs, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Create { name, data, archival } => {
+                let class = if *archival { WriteClass::Archival } else { WriteClass::Normal };
+                fs.create(name, data, class).unwrap();
+            }
+            Op::Overwrite { name, data } => fs.write(name, data, WriteClass::Normal).unwrap(),
+            Op::Delete { name } => fs.remove(name).unwrap(),
+            Op::Read { name } => {
+                fs.read(name).unwrap();
+            }
+            Op::Heat { name, metadata } => {
+                fs.heat(name, metadata.clone(), 0).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn audit_workload_end_to_end() {
+    let mut fs = SeroFs::format(SeroDevice::with_blocks(2048), FsConfig::default()).unwrap();
+    let workload = AuditLogWorkload::small();
+    apply(&mut fs, &workload.ops(11));
+
+    // Every batch verifies; every batch is immutable; bimodality holds.
+    for b in 0..workload.batches {
+        let name = format!("audit-{b:04}");
+        assert!(fs.verify(&name).unwrap().is_intact());
+        assert!(fs.write(&name, b"x", WriteClass::Normal).is_err());
+    }
+    assert!(fs.bimodality_score() > 0.9);
+
+    // Survives sync + remount with everything intact.
+    fs.sync().unwrap();
+    let mut fs2 = SeroFs::mount(fs.into_device()).unwrap();
+    for b in 0..workload.batches {
+        let name = format!("audit-{b:04}");
+        assert!(fs2.verify(&name).unwrap().is_intact());
+    }
+}
+
+#[test]
+fn db_snapshot_workload_with_recovery() {
+    let mut fs = SeroFs::format(SeroDevice::with_blocks(2048), FsConfig::default()).unwrap();
+    let workload = DbSnapshotWorkload::small();
+    apply(&mut fs, &workload.ops(12));
+    fs.sync().unwrap();
+
+    let snapshot_data: Vec<Vec<u8>> = (0..workload.epochs)
+        .map(|e| fs.read(&format!("snapshot-{e:02}")).unwrap())
+        .collect();
+
+    // Catastrophe: checkpoint wiped.
+    let mut dev = fs.into_device();
+    for b in 0..16 {
+        dev.probe_mut().mws(b, &[0u8; 512]).unwrap();
+    }
+    let recovered = fsck::recover_heated_files(&mut dev).unwrap();
+    assert_eq!(recovered.len(), workload.epochs, "all snapshots recovered");
+    for r in &recovered {
+        assert!(r.intact, "{} failed verification", r.name);
+        let epoch: usize = r.name["snapshot-".len()..].parse().unwrap();
+        assert_eq!(r.data, snapshot_data[epoch]);
+    }
+}
+
+#[test]
+fn fs_and_raw_lines_coexist() {
+    // The file system shares the device with application-managed lines
+    // (e.g. a Venti seal) without stepping on them.
+    let mut fs = SeroFs::format(SeroDevice::with_blocks(512), FsConfig::default()).unwrap();
+    fs.create("file", &[1u8; 4096], WriteClass::Normal).unwrap();
+
+    // An application heats a raw line through the device, in space the FS
+    // has not touched (high blocks are archival-reserved; pick the middle).
+    let line = sero::core::line::Line::new(256, 2).unwrap();
+    for pba in line.data_blocks() {
+        fs.device_mut().write_block(pba, &[0xAA; 512]).unwrap();
+    }
+    fs.device_mut().heat_line(line, b"app line".to_vec(), 1).unwrap();
+
+    // FS keeps working, the raw line verifies, fsck skips it gracefully.
+    fs.create("file2", &[2u8; 2048], WriteClass::Normal).unwrap();
+    assert_eq!(fs.read("file2").unwrap(), vec![2u8; 2048]);
+    assert!(fs.device_mut().verify_line(line).unwrap().is_intact());
+    let mut dev = fs.into_device();
+    let recovered = fsck::recover_heated_files(&mut dev).unwrap();
+    assert!(recovered.is_empty(), "raw app lines are not files");
+}
+
+#[test]
+fn archival_stores_share_one_medium_model() {
+    // Venti and the fossil index each on their own device, both surviving
+    // an index/registry wipe because all their trust is physical.
+    let mut venti = Venti::new(SeroDevice::with_blocks(1024));
+    let data: Vec<u8> = (0..30 * 512).map(|i| (i % 199) as u8).collect();
+    let obj = venti.store_object(&data).unwrap();
+    let line = venti.seal(&obj, b"seal".to_vec(), 5).unwrap();
+    venti.rebuild_index().unwrap();
+    assert_eq!(venti.load_object(&obj).unwrap(), data);
+    assert!(venti.verify_seal(line).unwrap().is_intact);
+
+    let mut index = FossilIndex::new(SeroDevice::with_blocks(1024));
+    for i in 0..100u64 {
+        index.insert(sha256(&i.to_le_bytes()), i).unwrap();
+    }
+    assert!(index.fossilised_nodes() > 0);
+    let (verified, findings) = index.verify_fossils().unwrap();
+    assert_eq!(verified, index.fossilised_nodes());
+    assert!(findings.is_empty());
+}
+
+#[test]
+fn full_attack_battery_matches_paper() {
+    let reports = run_all();
+    assert_eq!(reports.len(), 13);
+    for report in &reports {
+        assert!(report.matches_paper(), "{report}");
+        assert_ne!(report.observed, Outcome::Undetected, "{report}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Robustness integration tests: degraded channels, detection statistics,
+//! and never-wrong-silently guarantees across the stack.
+
+use sero::core::device::SeroDevice;
+use sero::core::journal::{InstructionJournal, JournalEntry};
+use sero::core::line::Line;
+use sero::media::mfm::ReadChannel;
+use sero::probe::device::{DotProbe, ProbeDevice};
+
+/// A moderately degraded channel (14 dB) must still deliver exact sector
+/// data — the ECC budget exists precisely for this.
+#[test]
+fn noisy_channel_reads_stay_exact() {
+    let channel = ReadChannel::new(1.0, 0.2, 0.08, 0.5); // 14 dB
+    let mut dev = ProbeDevice::builder()
+        .blocks(8)
+        .channel(channel)
+        .seed(77)
+        .build();
+    let data = {
+        let mut d = [0u8; 512];
+        for (i, b) in d.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(41).wrapping_add(3);
+        }
+        d
+    };
+    dev.mws(2, &data).unwrap();
+    let mut ok = 0;
+    for _ in 0..40 {
+        match dev.mrs(2) {
+            Ok(sector) => {
+                assert_eq!(sector.data, data, "ECC must never hand back wrong bytes");
+                ok += 1;
+            }
+            Err(_) => {} // a loud failure is acceptable, silence is not
+        }
+    }
+    assert!(ok >= 36, "14 dB channel should mostly succeed: {ok}/40");
+}
+
+/// At a hopeless SNR the device must fail *loudly*: every read either
+/// returns the exact data or an error — never silently corrupted bytes.
+#[test]
+fn terrible_channel_never_lies() {
+    let channel = ReadChannel::new(1.0, 0.45, 0.08, 0.5); // ~7 dB
+    let mut dev = ProbeDevice::builder()
+        .blocks(4)
+        .channel(channel)
+        .seed(99)
+        .build();
+    let data = [0xC3u8; 512];
+    dev.mws(1, &data).unwrap();
+    for _ in 0..60 {
+        if let Ok(sector) = dev.mrs(1) {
+            assert_eq!(sector.data, data, "CRC+RS let a corrupted sector through");
+        }
+    }
+}
+
+/// erb classification statistics on the default channel: both error
+/// directions must be rare.
+#[test]
+fn erb_statistics() {
+    let mut dev = ProbeDevice::builder().blocks(4).seed(5).build();
+    dev.mwb(10, true);
+    dev.ewb(20);
+
+    let mut false_heated = 0;
+    let mut missed_heated = 0;
+    for _ in 0..300 {
+        if dev.erb(10).is_heated() {
+            false_heated += 1;
+        }
+        if !dev.erb(20).is_heated() {
+            missed_heated += 1;
+        }
+    }
+    assert!(false_heated <= 3, "intact dot flagged heated {false_heated}/300");
+    assert!(missed_heated <= 3, "heated dot missed {missed_heated}/300");
+    // And erb left the magnetic bit in place every time.
+    assert!(matches!(dev.erb(10), DotProbe::Unheated { bit: true } | DotProbe::Heated));
+}
+
+/// The journal replays exactly what was recorded, across several sealed
+/// batches with varied entry sizes.
+#[test]
+fn journal_multi_batch_round_trip() {
+    let mut dev = SeroDevice::with_blocks(128);
+    let mut journal = InstructionJournal::new(64, 64, 2).unwrap();
+    let mut written = Vec::new();
+    for batch in 0..3 {
+        for i in 0..7 {
+            let entry = JournalEntry::new(
+                batch * 100 + i,
+                &format!("host-{}", i % 3),
+                &"x".repeat(10 + (i as usize * 23) % 150),
+            );
+            written.push(entry.clone());
+            journal.record(&mut dev, entry).unwrap();
+        }
+        journal.seal(&mut dev, batch * 100 + 99).unwrap();
+    }
+    assert_eq!(journal.sealed_lines().len(), 3);
+    let replayed = InstructionJournal::replay(&mut dev, 64, 64).unwrap();
+    assert_eq!(replayed, written);
+    let (intact, findings) = journal.verify_all(&mut dev).unwrap();
+    assert_eq!(intact, 3);
+    assert!(findings.is_empty());
+}
+
+/// Heat lines of every supported small order on one device and verify the
+/// registry sees exactly that population after recovery.
+#[test]
+fn mixed_order_population_recovers() {
+    let mut dev = SeroDevice::with_blocks(64);
+    for pba in 0..64 {
+        dev.write_block(pba, &[pba as u8; 512]).unwrap();
+    }
+    let lines = [
+        Line::new(0, 1).unwrap(),
+        Line::new(4, 2).unwrap(),
+        Line::new(8, 3).unwrap(),
+        Line::new(16, 4).unwrap(),
+        Line::new(32, 1).unwrap(),
+    ];
+    for (i, &line) in lines.iter().enumerate() {
+        dev.heat_line(line, vec![i as u8], i as u64).unwrap();
+    }
+    let scan = dev.rebuild_registry().unwrap();
+    assert_eq!(scan.lines_found, lines.len());
+    assert!(scan.overlapping_lines.is_empty());
+    for &line in &lines {
+        assert!(dev.verify_line(line).unwrap().is_intact());
+    }
+    // Unheated space still works.
+    assert!(dev.write_block(34, &[7u8; 512]).is_ok());
+}
+
+/// Elliptic-dot devices run the whole SERO protocol too — shape is
+/// orthogonal to the logical stack.
+#[test]
+fn elliptic_device_full_protocol() {
+    let probe = ProbeDevice::builder()
+        .blocks(16)
+        .pitch_nm(150.0)
+        .elliptic_dots()
+        .build();
+    let mut dev = SeroDevice::new(probe);
+    let line = Line::new(8, 2).unwrap();
+    for pba in line.data_blocks() {
+        dev.write_block(pba, &[0x42; 512]).unwrap();
+    }
+    dev.heat_line(line, b"elliptic".to_vec(), 1).unwrap();
+    assert!(dev.verify_line(line).unwrap().is_intact());
+    dev.probe_mut().mws(9, &[0u8; 512]).unwrap();
+    assert!(dev.verify_line(line).unwrap().is_tampered());
+}
