@@ -53,9 +53,19 @@ impl AttackKind {
     pub fn all() -> &'static [AttackKind] {
         use AttackKind::*;
         &[
-            MwbHash, MwbData, EwbHash, EwbDataLight, EwbDataHeavy, SplitFile,
-            CoalesceFiles, RmHeatedFile, CopyMask, DirectoryClear, BulkErase,
-            ShredRecord, FibForgery,
+            MwbHash,
+            MwbData,
+            EwbHash,
+            EwbDataLight,
+            EwbDataHeavy,
+            SplitFile,
+            CoalesceFiles,
+            RmHeatedFile,
+            CopyMask,
+            DirectoryClear,
+            BulkErase,
+            ShredRecord,
+            FibForgery,
         ]
     }
 
@@ -199,9 +209,9 @@ pub fn run(kind: AttackKind) -> AttackReport {
 }
 
 fn fib_forgery(mut s: Scenario) -> AttackReport {
+    use rand::SeedableRng;
     use sero_core::layout::HashBlockPayload;
     use sero_media::forensics::MagneticImager;
-    use rand::SeedableRng;
 
     let line = s.target_line;
 
@@ -217,7 +227,11 @@ fn fib_forgery(mut s: Scenario) -> AttackReport {
     // Step 2: compute the digest the forged line *should* carry, and read
     // the original payload to preserve its metadata and timestamp.
     let new_digest = s.fs.device_mut().compute_line_digest(line).expect("digest");
-    let old_scan = s.fs.device_mut().probe_mut().ers(line.hash_block()).expect("ers");
+    let old_scan =
+        s.fs.device_mut()
+            .probe_mut()
+            .ers(line.hash_block())
+            .expect("ers");
     let old_payload = HashBlockPayload::from_scan(&old_scan).expect("valid before forgery");
     let forged = HashBlockPayload::new(
         line,
@@ -238,7 +252,11 @@ fn fib_forgery(mut s: Scenario) -> AttackReport {
         }
         let dot = s.hash_block_dot(cell);
         // HU=0 heats the first dot, UH=1 the second.
-        let (old_heated, new_heated) = if old_bit { (dot + 1, dot) } else { (dot, dot + 1) };
+        let (old_heated, new_heated) = if old_bit {
+            (dot + 1, dot)
+        } else {
+            (dot, dot + 1)
+        };
         let medium = s.fs.device_mut().probe_mut().medium_mut();
         medium.fib_reconstruct(old_heated, false);
         rebuilt += 1;
@@ -246,7 +264,10 @@ fn fib_forgery(mut s: Scenario) -> AttackReport {
     }
 
     // The forgery beats logical verification…
-    let verify_passes = s.fs.verify(crate::scenario::TARGET).map(|o| o.is_intact()).unwrap_or(false);
+    let verify_passes =
+        s.fs.verify(crate::scenario::TARGET)
+            .map(|o| o.is_intact())
+            .unwrap_or(false);
 
     // …but forensic magnetic imaging of the hash block finds the scars.
     let first = s.fs.device().probe().block_first_dot(line.hash_block());
@@ -283,7 +304,11 @@ fn shred_record(mut s: Scenario) -> AttackReport {
     // Defender: the data is unrecoverable, but the destruction is
     // unmistakable: the line fails verification AND every block carries
     // the uniform all-HH shred signature.
-    let verify_tampered = s.fs.device_mut().verify_line(line).expect("verify").is_tampered();
+    let verify_tampered =
+        s.fs.device_mut()
+            .verify_line(line)
+            .expect("verify")
+            .is_tampered();
     let shred_signature = line.blocks().all(|pba| {
         matches!(
             classify_block(s.fs.device_mut(), pba),
@@ -342,7 +367,11 @@ fn mwb_hash(mut s: Scenario) -> AttackReport {
     AttackReport {
         kind: AttackKind::MwbHash,
         expected: Outcome::Harmless,
-        observed: if intact { Outcome::Harmless } else { Outcome::Detected },
+        observed: if intact {
+            Outcome::Harmless
+        } else {
+            Outcome::Detected
+        },
         detail,
     }
 }
@@ -352,12 +381,19 @@ fn mwb_data(mut s: Scenario) -> AttackReport {
     let mut doctored = [0u8; 512];
     doctored[..28].copy_from_slice(b"2007-11-05 transfer 1 EUR   ");
     let block = s.target_data_block();
-    s.fs.device_mut().probe_mut().mws(block, &doctored).expect("raw write");
+    s.fs.device_mut()
+        .probe_mut()
+        .mws(block, &doctored)
+        .expect("raw write");
     let (intact, detail) = verify_outcome(&mut s);
     AttackReport {
         kind: AttackKind::MwbData,
         expected: Outcome::Detected,
-        observed: if intact { Outcome::Undetected } else { Outcome::Detected },
+        observed: if intact {
+            Outcome::Undetected
+        } else {
+            Outcome::Detected
+        },
         detail,
     }
 }
@@ -374,7 +410,11 @@ fn ewb_hash(mut s: Scenario) -> AttackReport {
     AttackReport {
         kind: AttackKind::EwbHash,
         expected: Outcome::Detected,
-        observed: if intact { Outcome::Undetected } else { Outcome::Detected },
+        observed: if intact {
+            Outcome::Undetected
+        } else {
+            Outcome::Detected
+        },
         detail,
     }
 }
@@ -404,7 +444,11 @@ fn ewb_data(mut s: Scenario, scattered: usize, burst: bool) -> AttackReport {
     AttackReport {
         kind,
         expected,
-        observed: if intact { Outcome::Harmless } else { Outcome::Detected },
+        observed: if intact {
+            Outcome::Harmless
+        } else {
+            Outcome::Detected
+        },
         detail,
     }
 }
@@ -488,7 +532,11 @@ fn coalesce(mut s: Scenario) -> AttackReport {
     AttackReport {
         kind: AttackKind::CoalesceFiles,
         expected: Outcome::Detected,
-        observed: if intact { Outcome::Undetected } else { Outcome::Detected },
+        observed: if intact {
+            Outcome::Undetected
+        } else {
+            Outcome::Detected
+        },
         detail,
     }
 }
@@ -519,7 +567,10 @@ fn copy_mask(mut s: Scenario) -> AttackReport {
     let copy = Line::new(copy_start, victim.order()).expect("aligned");
     for (src, dst) in victim.data_blocks().zip(copy.data_blocks()) {
         let sector = s.fs.device_mut().probe_mut().mrs(src).expect("read");
-        s.fs.device_mut().probe_mut().mws(dst, &sector.data).expect("write");
+        s.fs.device_mut()
+            .probe_mut()
+            .mws(dst, &sector.data)
+            .expect("write");
     }
     // He even uses the legitimate heat command for the copy.
     s.fs.device_mut()
@@ -543,9 +594,7 @@ fn copy_mask(mut s: Scenario) -> AttackReport {
         } else {
             Outcome::Undetected
         },
-        detail: format!(
-            "original intact: {original_intact}; copy distinguishable: {copy_differs}"
-        ),
+        detail: format!("original intact: {original_intact}; copy distinguishable: {copy_differs}"),
     }
 }
 
@@ -562,7 +611,11 @@ fn directory_clear(s: Scenario) -> AttackReport {
     AttackReport {
         kind: AttackKind::DirectoryClear,
         expected: Outcome::Recovered,
-        observed: if found { Outcome::Recovered } else { Outcome::Undetected },
+        observed: if found {
+            Outcome::Recovered
+        } else {
+            Outcome::Undetected
+        },
         detail: format!("fsck recovered {} heated file(s)", recovered.len()),
     }
 }
@@ -583,7 +636,11 @@ fn bulk_erase(s: Scenario) -> AttackReport {
     AttackReport {
         kind: AttackKind::BulkErase,
         expected: Outcome::Detected,
-        observed: if evidence { Outcome::Detected } else { Outcome::Undetected },
+        observed: if evidence {
+            Outcome::Detected
+        } else {
+            Outcome::Undetected
+        },
         detail: format!(
             "{} heated line(s) survived the degausser; verify: tampered={}",
             scan.lines_found,

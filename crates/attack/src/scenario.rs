@@ -11,8 +11,8 @@
 //! with one heated target file (the record the attacker regrets), one
 //! unheated live file, and synced metadata.
 
-use sero_core::line::Line;
 use sero_core::device::SeroDevice;
+use sero_core::line::Line;
 use sero_fs::alloc::WriteClass;
 use sero_fs::fs::{FsConfig, SeroFs};
 
@@ -24,8 +24,7 @@ pub const BYSTANDER: &str = "scratch-notes";
 
 /// The contents of the target record.
 pub fn target_contents() -> Vec<u8> {
-    b"2007-11-05 transfer 9_500_000 EUR to account CH-91-XXXX (approved: CEO)"
-        .repeat(20)
+    b"2007-11-05 transfer 9_500_000 EUR to account CH-91-XXXX (approved: CEO)".repeat(20)
 }
 
 /// A ready-to-attack world.
@@ -49,10 +48,18 @@ impl Scenario {
         let mut fs = SeroFs::format(dev, FsConfig::default()).expect("format");
         fs.create(TARGET, &target_contents(), WriteClass::Archival)
             .expect("create target");
-        fs.create(BYSTANDER, b"meeting notes, nothing to see", WriteClass::Normal)
-            .expect("create bystander");
+        fs.create(
+            BYSTANDER,
+            b"meeting notes, nothing to see",
+            WriteClass::Normal,
+        )
+        .expect("create bystander");
         let target_line = fs
-            .heat(TARGET, b"quarterly compliance freeze".to_vec(), 1_199_145_600)
+            .heat(
+                TARGET,
+                b"quarterly compliance freeze".to_vec(),
+                1_199_145_600,
+            )
             .expect("heat target");
         fs.sync().expect("sync");
         Scenario { fs, target_line }

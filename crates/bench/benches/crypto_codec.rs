@@ -3,8 +3,8 @@
 //! higher-level number in EXPERIMENTS.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sero_codec::manchester;
 use sero_codec::crc32::crc32;
+use sero_codec::manchester;
 use sero_codec::rs::ReedSolomon;
 use sero_crypto::sha256;
 use std::hint::black_box;

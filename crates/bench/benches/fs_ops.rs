@@ -21,7 +21,8 @@ fn aged_fs(blocks: u64) -> SeroFs {
     let mut fs = fresh_fs(blocks);
     for i in 0..12 {
         let name = format!("aged-{i}");
-        fs.create(&name, &[i as u8; 2048], WriteClass::Archival).expect("create");
+        fs.create(&name, &[i as u8; 2048], WriteClass::Archival)
+            .expect("create");
         if i % 3 == 0 {
             fs.heat(&name, vec![], i).expect("heat");
         }
@@ -97,7 +98,8 @@ fn bench_fs(c: &mut Criterion) {
             || {
                 let mut fs = fresh_fs(1024);
                 for i in 0..8 {
-                    fs.create(&format!("c{i}"), &[i as u8; 4096], WriteClass::Normal).unwrap();
+                    fs.create(&format!("c{i}"), &[i as u8; 4096], WriteClass::Normal)
+                        .unwrap();
                 }
                 for i in 0..8 {
                     fs.remove(&format!("c{i}")).unwrap();

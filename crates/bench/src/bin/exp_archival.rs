@@ -99,7 +99,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  tampering with a fossilised node is detected -> {} finding(s) : {}",
         findings.len(),
-        if !findings.is_empty() { "REPRODUCED" } else { "NOT reproduced" }
+        if !findings.is_empty() {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     Ok(())
 }

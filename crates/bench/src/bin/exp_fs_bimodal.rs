@@ -89,7 +89,13 @@ fn main() {
     for r in [&affinity, &naive] {
         println!(
             "{:>16} {:>12.2} {:>8} {:>9} {:>15} {:>9} {:>12.1}",
-            r.policy, r.bimodality, r.mixed, r.touched, r.stranded_live, r.skipped_heated, r.device_ms
+            r.policy,
+            r.bimodality,
+            r.mixed,
+            r.touched,
+            r.stranded_live,
+            r.skipped_heated,
+            r.device_ms
         );
     }
 
@@ -115,7 +121,8 @@ fn main() {
 
     // Claim (2): heating consumes bounded overhead, not a copy of the data.
     let mut fs = SeroFs::format(SeroDevice::with_blocks(256), FsConfig::default()).expect("format");
-    fs.create("x", &[1u8; 8 * 512], sero_fs::alloc::WriteClass::Archival).expect("create");
+    fs.create("x", &[1u8; 8 * 512], sero_fs::alloc::WriteClass::Archival)
+        .expect("create");
     fs.run_cleaner(usize::MAX).expect("clean");
     let before = fs.free_blocks();
     fs.heat("x", vec![], 0).expect("heat");

@@ -8,10 +8,10 @@
 //! devices can be taken out of service. §8 "Tamper-evident storage as a
 //! building block": device-maintained instruction logs "can be heated".
 
+use sero_core::badblock::{classify_block, BlockClass};
 use sero_core::device::SeroDevice;
 use sero_core::journal::{InstructionJournal, JournalEntry};
 use sero_core::line::Line;
-use sero_core::badblock::{classify_block, BlockClass};
 use sero_fs::retention::RetentionPool;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("retention pool (one device per expiry epoch):");
     let mut pool = RetentionPool::new(256);
     for year in [2010u64, 2010, 2015, 2015, 2015, 2020] {
-        let name = format!("record-{}-{}", year, pool.epochs().len() * 7 + pool.expired(9999).len());
+        let name = format!(
+            "record-{}-{}",
+            year,
+            pool.epochs().len() * 7 + pool.expired(9999).len()
+        );
         let _ = pool.store(&name, format!("body of {name}").as_bytes(), year);
     }
     println!("  epochs live: {:?}", pool.epochs());
@@ -31,7 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let early = pool.decommission(2020, 2016);
-    println!("  early decommission of 2020 at t=2016: {}", if early.is_err() { "REFUSED" } else { "allowed?!" });
+    println!(
+        "  early decommission of 2020 at t=2016: {}",
+        if early.is_err() {
+            "REFUSED"
+        } else {
+            "allowed?!"
+        }
+    );
     let report = pool.decommission(2010, 2016)?;
     println!("  {report}");
     println!("  remaining epochs: {:?}", pool.epochs());
@@ -48,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let class = classify_block(&mut dev, line.start())?;
     println!(
         "  after shred: block class {:?}, verify tampered: {}",
-        match class { BlockClass::Shredded => "Shredded", _ => "other" },
+        match class {
+            BlockClass::Shredded => "Shredded",
+            _ => "other",
+        },
         dev.verify_line(line)?.is_tampered()
     );
 
@@ -67,7 +81,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         journal.record(&mut jdev, JournalEntry::new(t, actor, op))?;
     }
     journal.seal(&mut jdev, 5)?;
-    println!("  {} batch(es) sealed; pending {}", journal.sealed_lines().len(), journal.pending_entries());
+    println!(
+        "  {} batch(es) sealed; pending {}",
+        journal.sealed_lines().len(),
+        journal.pending_entries()
+    );
 
     // Host compromise: replay the sealed history from the bare medium.
     let replayed = InstructionJournal::replay(&mut jdev, 32, 32)?;
@@ -82,7 +100,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  'the logs can be heated' -> {} instruction(s) replayed from sealed lines : {}",
         replayed.len(),
-        if replayed.len() == script.len() { "REPRODUCED" } else { "NOT reproduced" }
+        if replayed.len() == script.len() {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     Ok(())
 }

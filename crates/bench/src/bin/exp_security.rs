@@ -29,7 +29,10 @@ fn main() {
     }
     println!("{}", "-".repeat(110));
 
-    let undetected = reports.iter().filter(|r| r.observed == Outcome::Undetected).count();
+    let undetected = reports
+        .iter()
+        .filter(|r| r.observed == Outcome::Undetected)
+        .count();
     println!("\npaper-vs-measured:");
     println!(
         "  'either the attempt … is detected or the integrity is maintained' -> {}/{} rows match, {} undetected : {}",

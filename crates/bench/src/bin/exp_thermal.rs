@@ -13,8 +13,8 @@
 //! heated neighbour" spreading against a dense strawman encoding.
 
 use sero_codec::manchester;
-use sero_probe::device::ProbeDevice;
 use sero_media::thermal::ThermalModel;
+use sero_probe::device::ProbeDevice;
 
 fn run_design(name: &str, thermal: ThermalModel) -> (String, usize, usize, bool) {
     let mut dev = ProbeDevice::builder()
@@ -105,12 +105,20 @@ fn main() {
         "  'adjacent dot could be affected'    -> poor design: {} destroyed, data intact: {} : {}",
         results[2].0,
         results[2].2,
-        if results[2].0 > 0 { "REPRODUCED" } else { "NOT reproduced" }
+        if results[2].0 > 0 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "  'at most one heated neighbour'      -> Manchester run {} vs dense run {} : {}",
         manchester::max_heated_run(&manchester_dots),
         manchester::max_heated_run(&dense_dots),
-        if manchester::max_heated_run(&manchester_dots) <= 2 { "REPRODUCED" } else { "NOT reproduced" }
+        if manchester::max_heated_run(&manchester_dots) <= 2 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

@@ -85,7 +85,11 @@ fn main() {
     println!("mismatches against Figure 2: {mismatches}");
     println!(
         "\npaper-vs-measured: 'ewb is an irreversible process' -> {}",
-        if mismatches == 0 { "REPRODUCED" } else { "NOT reproduced" }
+        if mismatches == 0 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     assert_eq!(mismatches, 0);
 }

@@ -21,7 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Block 0: first 24 Manchester cells of the electrical area.
     let scan = dev.probe_mut().ers(line.hash_block())?;
     let cells: Vec<String> = scan.cells()[..24].iter().map(Cell::to_string).collect();
-    println!("{:>6} {:>10}  {} …", line.hash_block(), "hash+meta", cells.join(" "));
+    println!(
+        "{:>6} {:>10}  {} …",
+        line.hash_block(),
+        "hash+meta",
+        cells.join(" ")
+    );
     let written = scan.cells().iter().filter(|c| c.value().is_some()).count();
     println!(
         "{:>6} {:>10}  ({} written cells = {} logical bits; digest {}…)",
@@ -36,12 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for pba in line.data_blocks() {
         let first_dot = dev.probe().block_first_dot(pba);
         let bits: String = (0..32)
-            .map(|i| {
-                match dev.probe().medium().state(first_dot + i) {
-                    sero_media::dot::DotState::Up => '1',
-                    sero_media::dot::DotState::Down => '0',
-                    sero_media::dot::DotState::Heated => 'H',
-                }
+            .map(|i| match dev.probe().medium().state(first_dot + i) {
+                sero_media::dot::DotState::Up => '1',
+                sero_media::dot::DotState::Down => '0',
+                sero_media::dot::DotState::Heated => 'H',
             })
             .collect();
         println!("{:>6} {:>10}  {} … (512 B data)", pba, "data", bits);

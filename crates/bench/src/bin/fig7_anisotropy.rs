@@ -14,7 +14,10 @@ use sero_media::torque::TorqueMagnetometer;
 fn main() {
     println!("FIG7: perpendicular anisotropy K vs annealing temperature");
     println!("measurement: torque magnetometry, H = 1350 kA/m, Fourier sin(2θ) extraction\n");
-    println!("{:>12} {:>14} {:>14} {:>16}", "anneal [°C]", "K model", "K measured", "perpendicular?");
+    println!(
+        "{:>12} {:>14} {:>14} {:>16}",
+        "anneal [°C]", "K model", "K measured", "perpendicular?"
+    );
     println!("{:>12} {:>14} {:>14}", "", "[kJ/m³]", "[kJ/m³]");
 
     let magnetometer = TorqueMagnetometer::paper_setup();
@@ -31,7 +34,11 @@ fn main() {
         measured.push(k_meas);
         println!(
             "{:>12} {:>14.1} {:>14.1} {:>16}",
-            if t <= 25.0 { "as grown".to_string() } else { format!("{t:.0}") },
+            if t <= 25.0 {
+                "as grown".to_string()
+            } else {
+                format!("{t:.0}")
+            },
             k_model,
             k_meas,
             if film.is_perpendicular() { "yes" } else { "no" }
@@ -39,11 +46,31 @@ fn main() {
     }
 
     println!("\n  K  {}", sero_bench::sparkline(&measured));
-    println!("     {}", temps.iter().map(|t| format!("{t:>5.0}")).collect::<String>());
+    println!(
+        "     {}",
+        temps
+            .iter()
+            .map(|t| format!("{t:>5.0}"))
+            .collect::<String>()
+    );
 
     let flat_to_500 = measured[..4].iter().all(|&k| k > 70.0);
     let collapse = measured.last().unwrap() < &10.0;
     println!("\npaper-vs-measured:");
-    println!("  'maintained up to 500 °C'      -> {}", if flat_to_500 { "REPRODUCED" } else { "NOT reproduced" });
-    println!("  'drops dramatically above 600' -> {}", if collapse { "REPRODUCED" } else { "NOT reproduced" });
+    println!(
+        "  'maintained up to 500 °C'      -> {}",
+        if flat_to_500 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
+    );
+    println!(
+        "  'drops dramatically above 600' -> {}",
+        if collapse {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
+    );
 }

@@ -19,38 +19,71 @@ fn main() {
     let scan_annealed = xrd.low_angle_scan(&annealed);
 
     // Log-intensity sparklines, as reflectivity is always plotted in log.
-    let log_g: Vec<f64> = scan_grown.intensity.iter().map(|i| i.max(1.0).log10()).collect();
-    let log_a: Vec<f64> = scan_annealed.intensity.iter().map(|i| i.max(1.0).log10()).collect();
+    let log_g: Vec<f64> = scan_grown
+        .intensity
+        .iter()
+        .map(|i| i.max(1.0).log10())
+        .collect();
+    let log_a: Vec<f64> = scan_annealed
+        .intensity
+        .iter()
+        .map(|i| i.max(1.0).log10())
+        .collect();
     println!("  as grown  {}", sparkline(&downsample(&log_g, 60)));
     println!("  annealed  {}", sparkline(&downsample(&log_a, 60)));
     println!("            2°{}14°\n", " ".repeat(54));
 
-    let (peak_angle, _) = scan_grown.strongest_peak_in(5.5, 9.5).expect("scan covers window");
+    let (peak_angle, _) = scan_grown
+        .strongest_peak_in(5.5, 9.5)
+        .expect("scan covers window");
     let grown_contrast = scan_grown.peak_contrast(5.5, 9.5);
     let annealed_contrast = scan_annealed.peak_contrast(5.5, 9.5);
     let lambda = xrd.wavelength_angstrom();
     let bilayer_nm = lambda / (2.0 * (peak_angle / 2.0).to_radians().sin()) / 10.0;
 
     println!("{:>22} {:>12} {:>12}", "", "as grown", "annealed");
-    println!("{:>22} {:>12.2} {:>12.2}", "peak contrast", grown_contrast, annealed_contrast);
-    println!("{:>22} {:>12.2} {:>12}", "peak position [°2θ]", peak_angle, "-");
-    println!("{:>22} {:>12.2} {:>12}", "=> layer thickness [nm]", bilayer_nm / 2.0, "-");
+    println!(
+        "{:>22} {:>12.2} {:>12.2}",
+        "peak contrast", grown_contrast, annealed_contrast
+    );
+    println!(
+        "{:>22} {:>12.2} {:>12}",
+        "peak position [°2θ]", peak_angle, "-"
+    );
+    println!(
+        "{:>22} {:>12.2} {:>12}",
+        "=> layer thickness [nm]",
+        bilayer_nm / 2.0,
+        "-"
+    );
 
     println!("\npaper-vs-measured:");
     println!(
         "  'peak around 8 degrees'        -> measured {:.1}° : {}",
         peak_angle,
-        if (peak_angle - 8.0).abs() < 1.0 { "REPRODUCED" } else { "NOT reproduced" }
+        if (peak_angle - 8.0).abs() < 1.0 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "  'layer ~0.6 nm'                -> measured {:.2} nm : {}",
         bilayer_nm / 2.0,
-        if (bilayer_nm / 2.0 - 0.6).abs() < 0.1 { "REPRODUCED" } else { "NOT reproduced" }
+        if (bilayer_nm / 2.0 - 0.6).abs() < 0.1 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "  'annealed: peak disappeared'   -> contrast {:.2} vs {:.2} : {}",
         grown_contrast,
         annealed_contrast,
-        if annealed_contrast < 1.5 && grown_contrast > 5.0 { "REPRODUCED" } else { "NOT reproduced" }
+        if annealed_contrast < 1.5 && grown_contrast > 5.0 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

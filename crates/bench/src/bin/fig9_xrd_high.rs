@@ -19,8 +19,14 @@ fn main() {
     let scan_grown = xrd.high_angle_scan(&as_grown);
     let scan_annealed = xrd.high_angle_scan(&annealed);
 
-    println!("  as grown  {}", sparkline(&downsample(&scan_grown.intensity, 60)));
-    println!("  annealed  {}", sparkline(&downsample(&scan_annealed.intensity, 60)));
+    println!(
+        "  as grown  {}",
+        sparkline(&downsample(&scan_grown.intensity, 60))
+    );
+    println!(
+        "  annealed  {}",
+        sparkline(&downsample(&scan_annealed.intensity, 60))
+    );
     println!("            30°{}55°\n", " ".repeat(53));
 
     let (peak_angle, peak_i) = scan_annealed.strongest_peak_in(40.0, 43.5).expect("window");
@@ -28,9 +34,18 @@ fn main() {
     let annealed_contrast = scan_annealed.peak_contrast(40.0, 43.5);
 
     println!("{:>24} {:>12} {:>12}", "", "as grown", "annealed");
-    println!("{:>24} {:>12.2} {:>12.2}", "(111) peak contrast", grown_contrast, annealed_contrast);
-    println!("{:>24} {:>12} {:>12.2}", "(111) position [°2θ]", "-", peak_angle);
-    println!("{:>24} {:>12} {:>12.0}", "(111) intensity [a.u.]", "-", peak_i);
+    println!(
+        "{:>24} {:>12.2} {:>12.2}",
+        "(111) peak contrast", grown_contrast, annealed_contrast
+    );
+    println!(
+        "{:>24} {:>12} {:>12.2}",
+        "(111) position [°2θ]", "-", peak_angle
+    );
+    println!(
+        "{:>24} {:>12} {:>12.0}",
+        "(111) intensity [a.u.]", "-", peak_i
+    );
     println!(
         "{:>24} {:>12.2} {:>12.2}",
         "crystalline fraction",
@@ -43,18 +58,30 @@ fn main() {
     println!(
         "  'strong peak around 41.7°'     -> measured {:.1}° : {}",
         peak_angle,
-        if (peak_angle - 41.7).abs() < 0.3 { "REPRODUCED" } else { "NOT reproduced" }
+        if (peak_angle - 41.7).abs() < 0.3 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "  'new crystalline structure'    -> contrast {:.1} (was {:.1}) : {}",
         annealed_contrast,
         grown_contrast,
-        if annealed_contrast > 5.0 && grown_contrast < 2.0 { "REPRODUCED" } else { "NOT reproduced" }
+        if annealed_contrast > 5.0 && grown_contrast < 2.0 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "  'anisotropy not restored'      -> K = {:.1} kJ/m³, perpendicular: {} : {}",
         annealed.anisotropy_kj_per_m3(),
         annealed.is_perpendicular(),
-        if !annealed.is_perpendicular() { "REPRODUCED" } else { "NOT reproduced" }
+        if !annealed.is_perpendicular() {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

@@ -36,12 +36,20 @@ fn main() {
     println!(
         "  '100 nm -> 10 Gbit/cm²'  -> {:.2} : {}",
         cm2,
-        if (cm2 - 10.0).abs() < 1e-9 { "REPRODUCED" } else { "NOT reproduced" }
+        if (cm2 - 10.0).abs() < 1e-9 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "  '= 65 Gbit/inch²'        -> {:.1} : {}",
         in2,
-        if in2.round() == 65.0 { "REPRODUCED" } else { "NOT reproduced" }
+        if in2.round() == 65.0 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "  '~1 Terabit device'      -> {:.0} cm² of 100 nm medium (plausible for a sled array)",

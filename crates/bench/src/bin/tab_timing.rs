@@ -35,8 +35,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("bit operations:");
     println!("{:>8} {:>12} {:>14}", "op", "time [µs]", "ratio vs mrb");
-    for (name, t) in [("mrb", t_mrb), ("mwb", t_mwb), ("erb", t_erb), ("ewb", t_ewb)] {
-        println!("{:>8} {:>12.1} {:>14.1}", name, t as f64 / 1e3, t as f64 / t_mrb as f64);
+    for (name, t) in [
+        ("mrb", t_mrb),
+        ("mwb", t_mwb),
+        ("erb", t_erb),
+        ("ewb", t_ewb),
+    ] {
+        println!(
+            "{:>8} {:>12.1} {:>14.1}",
+            name,
+            t as f64 / 1e3,
+            t as f64 / t_mrb as f64
+        );
     }
 
     // Sector operations.
@@ -56,8 +66,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nsector operations:");
     println!("{:>8} {:>12} {:>14}", "op", "time [µs]", "ratio vs mrs");
-    for (name, t) in [("mrs", t_mrs), ("mws", t_mws), ("ers", t_ers), ("ews", t_ews)] {
-        println!("{:>8} {:>12.1} {:>14.1}", name, t as f64 / 1e3, t as f64 / t_mrs as f64);
+    for (name, t) in [
+        ("mrs", t_mrs),
+        ("mws", t_mws),
+        ("ers", t_ers),
+        ("ews", t_ews),
+    ] {
+        println!(
+            "{:>8} {:>12.1} {:>14.1}",
+            name,
+            t as f64 / 1e3,
+            t as f64 / t_mrs as f64
+        );
     }
 
     // Ablation: the §3 alternative — elliptic dots with direct in-plane
@@ -85,7 +105,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Heat-a-line at several orders.
     println!("\nheat-a-line (hash 256 bits burned electrically):");
-    println!("{:>8} {:>10} {:>14} {:>16}", "order", "blocks", "time [ms]", "per data block");
+    println!(
+        "{:>8} {:>10} {:>14} {:>16}",
+        "order", "blocks", "time [ms]", "per data block"
+    );
     for order in 1..=5u32 {
         let mut sdev = SeroDevice::with_blocks(64);
         let line = Line::new(0, order)?;
@@ -108,17 +131,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  'erb at least 5x slower than mrb' -> {:.1}x : {}",
         t_erb as f64 / t_mrb as f64,
-        if t_erb >= 5 * t_mrb { "REPRODUCED" } else { "NOT reproduced" }
+        if t_erb >= 5 * t_mrb {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "  'ewb slower than mwb'             -> {:.0}x : {}",
         t_ewb as f64 / t_mwb as f64,
-        if t_ewb > t_mwb { "REPRODUCED" } else { "NOT reproduced" }
+        if t_ewb > t_mwb {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "  'use ewb sparingly' (ews/mws)     -> {:.0}x : {}",
         t_ews as f64 / t_mws as f64,
-        if t_ews > 10 * t_mws { "REPRODUCED" } else { "NOT reproduced" }
+        if t_ews > 10 * t_mws {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     Ok(())
 }

@@ -67,8 +67,16 @@ pub fn apply_ops(fs: &mut SeroFs, ops: &[Op], timestamp: u64) -> ReplayStats {
     let mut stats = ReplayStats::default();
     for op in ops {
         let outcome = match op {
-            Op::Create { name, data, archival } => {
-                let class = if *archival { WriteClass::Archival } else { WriteClass::Normal };
+            Op::Create {
+                name,
+                data,
+                archival,
+            } => {
+                let class = if *archival {
+                    WriteClass::Archival
+                } else {
+                    WriteClass::Normal
+                };
                 fs.create(name, data, class).map(|_| ())
             }
             Op::Overwrite { name, data } => fs.write(name, data, WriteClass::Normal),
@@ -110,8 +118,7 @@ mod tests {
 
     #[test]
     fn replay_runs_clean() {
-        let mut fs =
-            SeroFs::format(SeroDevice::with_blocks(1024), FsConfig::default()).unwrap();
+        let mut fs = SeroFs::format(SeroDevice::with_blocks(1024), FsConfig::default()).unwrap();
         let ops = AuditLogWorkload::small().ops(5);
         let stats = apply_ops(&mut fs, &ops, 0);
         assert_eq!(stats.refused, 0);

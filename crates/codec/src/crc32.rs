@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn known_vectors() {
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
         assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
         assert_eq!(crc32(&[0xffu8; 32]), 0xFF6C_AB0B);
     }

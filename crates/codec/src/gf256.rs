@@ -35,8 +35,8 @@ fn tables() -> &'static Tables {
         let mut exp = [0u8; 512];
         let mut log = [0u8; 256];
         let mut x: u16 = 1;
-        for i in 0..ORDER {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(ORDER) {
+            *e = x as u8;
             log[x as usize] = i as u8;
             x <<= 1;
             if x & 0x100 != 0 {
@@ -129,12 +129,16 @@ impl From<u8> for Gf256 {
 
 impl Add for Gf256 {
     type Output = Gf256;
+    // GF(2^8) addition IS carry-less xor; the operator mix is intentional.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn add(self, rhs: Gf256) -> Gf256 {
         Gf256(self.0 ^ rhs.0)
     }
 }
 
 impl AddAssign for Gf256 {
+    // GF(2^8) addition IS carry-less xor; the operator mix is intentional.
+    #[allow(clippy::suspicious_op_assign_impl)]
     fn add_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
     }
@@ -142,8 +146,9 @@ impl AddAssign for Gf256 {
 
 impl Sub for Gf256 {
     type Output = Gf256;
+    // Characteristic 2: subtraction is addition, hence the `+`.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: Gf256) -> Gf256 {
-        // Characteristic 2: subtraction is addition.
         self + rhs
     }
 }
@@ -171,6 +176,8 @@ impl Div for Gf256 {
     /// # Panics
     ///
     /// Panics on division by zero.
+    // Field division is multiplication by the inverse; the `*` is intentional.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Gf256) -> Gf256 {
         self * rhs.inverse()
     }
@@ -206,9 +213,7 @@ impl Poly {
 
     /// Evaluates the polynomial at `x` by Horner's rule.
     pub fn eval(&self, x: Gf256) -> Gf256 {
-        self.0
-            .iter()
-            .fold(Gf256::ZERO, |acc, &c| acc * x + c)
+        self.0.iter().fold(Gf256::ZERO, |acc, &c| acc * x + c)
     }
 
     /// Polynomial product.

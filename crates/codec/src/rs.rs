@@ -280,10 +280,7 @@ impl ReedSolomon {
             return Err(RsError::TooManyErrors);
         }
 
-        let corrected_erasures = positions
-            .iter()
-            .filter(|p| erasure_set.contains(p))
-            .count();
+        let corrected_erasures = positions.iter().filter(|p| erasure_set.contains(p)).count();
         Ok(DecodeReport {
             corrected_errors: positions.len() - corrected_erasures,
             corrected_erasures,
@@ -376,9 +373,7 @@ fn poly_mul_mod(a: &[Gf256], b: &[Gf256], modulus: usize) -> Vec<Gf256> {
 
 /// Evaluation of a lowest-first polynomial.
 fn eval_low(p: &[Gf256], x: Gf256) -> Gf256 {
-    p.iter()
-        .rev()
-        .fold(Gf256::ZERO, |acc, &c| acc * x + c)
+    p.iter().rev().fold(Gf256::ZERO, |acc, &c| acc * x + c)
 }
 
 /// Formal derivative of a lowest-first polynomial (char 2).
@@ -396,7 +391,9 @@ mod tests {
     use super::*;
 
     fn sample_data(len: usize, seed: u8) -> Vec<u8> {
-        (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
     }
 
     #[test]
@@ -535,8 +532,8 @@ mod tests {
         let rs = ReedSolomon::new(16).unwrap();
         let data = sample_data(200, 10);
         let mut cw = rs.encode(&data);
-        for i in 50..58 {
-            cw[i] = !cw[i];
+        for byte in &mut cw[50..58] {
+            *byte = !*byte;
         }
         rs.decode(&mut cw, &[]).unwrap();
         assert_eq!(&cw[..200], &data[..]);
@@ -559,7 +556,10 @@ mod tests {
     fn error_display_nonempty() {
         for e in [
             RsError::BadParameters { nroots: 0 },
-            RsError::MessageTooLong { data_len: 9, max: 3 },
+            RsError::MessageTooLong {
+                data_len: 9,
+                max: 3,
+            },
             RsError::BadErasure { index: 1, len: 1 },
             RsError::TooManyErrors,
         ] {

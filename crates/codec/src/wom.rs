@@ -82,10 +82,10 @@ const FIRST: [[bool; 3]; 4] = [
 /// Second-generation codewords indexed by value: weight ≥ 2, and each is a
 /// superset of every first-generation codeword of a *different* value.
 const SECOND: [[bool; 3]; 4] = [
-    [true, true, true],   // 00
-    [true, true, false],  // 01
-    [true, false, true],  // 10
-    [false, true, true],  // 11
+    [true, true, true],  // 00
+    [true, true, false], // 01
+    [true, false, true], // 10
+    [false, true, true], // 11
 ];
 
 impl RivestShamir22 {

@@ -183,7 +183,10 @@ mod tests {
         }
         match classify_block(&mut dev, 0).unwrap() {
             BlockClass::HeatedEvidence { reason } => {
-                assert!(reason.contains("tampered") || reason.contains("HH"), "{reason}")
+                assert!(
+                    reason.contains("tampered") || reason.contains("HH"),
+                    "{reason}"
+                )
             }
             other => panic!("vandalised hash block classified as {other:?}"),
         }
@@ -209,8 +212,14 @@ mod tests {
     fn evidence_preservation_flags() {
         assert!(!BlockClass::Readable.preserves_evidence());
         assert!(!BlockClass::Unformatted.preserves_evidence());
-        assert!(!BlockClass::Bad { reason: String::new() }.preserves_evidence());
-        assert!(BlockClass::HeatedEvidence { reason: String::new() }.preserves_evidence());
+        assert!(!BlockClass::Bad {
+            reason: String::new()
+        }
+        .preserves_evidence());
+        assert!(BlockClass::HeatedEvidence {
+            reason: String::new()
+        }
+        .preserves_evidence());
         assert!(BlockClass::Shredded.preserves_evidence());
     }
 

@@ -109,7 +109,10 @@ impl fmt::Display for SeroError {
             SeroError::Sector(e) => write!(f, "sector error: {e}"),
             SeroError::Line(e) => write!(f, "line error: {e}"),
             SeroError::HashBlockAccess { pba } => {
-                write!(f, "magnetic access to heated hash block {pba} violates the protocol")
+                write!(
+                    f,
+                    "magnetic access to heated hash block {pba} violates the protocol"
+                )
             }
             SeroError::ReadOnly { line, pba } => {
                 write!(f, "block {pba} is read-only: protected by heated {line}")
@@ -123,8 +126,14 @@ impl fmt::Display for SeroError {
             SeroError::HeatVerifyFailed { line, reason } => {
                 write!(f, "heat verification failed for {line}: {reason}")
             }
-            SeroError::WriteDegraded { pba, unwritable_dots } => {
-                write!(f, "write to block {pba} degraded: {unwritable_dots} unwritable dots")
+            SeroError::WriteDegraded {
+                pba,
+                unwritable_dots,
+            } => {
+                write!(
+                    f,
+                    "write to block {pba} degraded: {unwritable_dots} unwritable dots"
+                )
             }
         }
     }
@@ -284,7 +293,11 @@ impl SeroDevice {
     /// [`SeroError::ReadOnly`] inside heated lines;
     /// [`SeroError::WriteDegraded`] when heat damage kept dots from
     /// accepting the write; sector errors otherwise.
-    pub fn write_block(&mut self, pba: u64, data: &[u8; SECTOR_DATA_BYTES]) -> Result<(), SeroError> {
+    pub fn write_block(
+        &mut self,
+        pba: u64,
+        data: &[u8; SECTOR_DATA_BYTES],
+    ) -> Result<(), SeroError> {
         if let Some(line) = self.line_of(pba) {
             return Err(SeroError::ReadOnly { line, pba });
         }
@@ -357,11 +370,12 @@ impl SeroDevice {
 
         // Steps 1-2: read the data blocks and hash them with addresses.
         let digest = self.compute_line_digest(line)?;
-        let payload = HashBlockPayload::new(line, digest, timestamp, metadata)
-            .map_err(|e| SeroError::HeatVerifyFailed {
+        let payload = HashBlockPayload::new(line, digest, timestamp, metadata).map_err(|e| {
+            SeroError::HeatVerifyFailed {
                 line,
                 reason: e.to_string(),
-            })?;
+            }
+        })?;
 
         // Step 3: burn the Manchester encoding into block 0.
         self.probe.ews(line.hash_block(), &payload.to_bits())?;
@@ -507,7 +521,10 @@ impl SeroDevice {
     ///
     /// Sector-level errors only; payload findings are in the `Result`'s
     /// `Ok` layer.
-    pub fn scan_block(&mut self, pba: u64) -> Result<Result<HashBlockPayload, PayloadError>, SeroError> {
+    pub fn scan_block(
+        &mut self,
+        pba: u64,
+    ) -> Result<Result<HashBlockPayload, PayloadError>, SeroError> {
         let scan = self.probe.ers(pba)?;
         Ok(HashBlockPayload::from_scan(&scan))
     }
@@ -573,7 +590,8 @@ mod tests {
     fn filled_device(blocks: u64) -> SeroDevice {
         let mut dev = SeroDevice::with_blocks(blocks);
         for pba in 0..blocks {
-            dev.write_block(pba, &[pba as u8; SECTOR_DATA_BYTES]).unwrap();
+            dev.write_block(pba, &[pba as u8; SECTOR_DATA_BYTES])
+                .unwrap();
         }
         dev
     }
@@ -646,7 +664,9 @@ mod tests {
         let mut dev = filled_device(8);
         let line = Line::new(0, 2).unwrap();
         dev.heat_line(line, b"original".to_vec(), T0).unwrap();
-        let err = dev.heat_line(line, b"rewrite!".to_vec(), T0 + 5).unwrap_err();
+        let err = dev
+            .heat_line(line, b"rewrite!".to_vec(), T0 + 5)
+            .unwrap_err();
         assert!(matches!(err, SeroError::HeatVerifyFailed { .. }));
         // The conflicting heat left HH cells behind.
         let outcome = dev.verify_line(line).unwrap();
@@ -743,7 +763,8 @@ mod tests {
         assert_eq!(dev.stats().wmrm_blocks, 32);
         dev.heat_line(Line::new(0, 3).unwrap(), vec![], T0).unwrap();
         assert_eq!(dev.stats().wmrm_blocks, 24);
-        dev.heat_line(Line::new(16, 3).unwrap(), vec![], T0).unwrap();
+        dev.heat_line(Line::new(16, 3).unwrap(), vec![], T0)
+            .unwrap();
         assert_eq!(dev.stats().wmrm_blocks, 16);
         assert_eq!(dev.stats().read_only_blocks, 16);
     }
@@ -754,9 +775,18 @@ mod tests {
         for e in [
             SeroError::HashBlockAccess { pba: 1 },
             SeroError::ReadOnly { line, pba: 1 },
-            SeroError::OverlapsHeatedLine { line, existing: line },
-            SeroError::HeatVerifyFailed { line, reason: "x".into() },
-            SeroError::WriteDegraded { pba: 0, unwritable_dots: 3 },
+            SeroError::OverlapsHeatedLine {
+                line,
+                existing: line,
+            },
+            SeroError::HeatVerifyFailed {
+                line,
+                reason: "x".into(),
+            },
+            SeroError::WriteDegraded {
+                pba: 0,
+                unwritable_dots: 3,
+            },
         ] {
             assert!(!format!("{e}").is_empty());
         }
@@ -800,8 +830,7 @@ mod tests {
         let mut dev = filled_device(8);
         let line = Line::new(0, 2).unwrap();
         let digest = dev.compute_line_digest(line).unwrap();
-        let payload =
-            crate::layout::HashBlockPayload::new(line, digest, T0, vec![]).unwrap();
+        let payload = crate::layout::HashBlockPayload::new(line, digest, T0, vec![]).unwrap();
         let bits = payload.to_bits();
         dev.probe_mut()
             .ews(line.hash_block(), &bits[..bits.len() / 2])

@@ -70,7 +70,11 @@ impl JournalEntry {
 
 impl fmt::Display for JournalEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[t={}] {}: {}", self.timestamp, self.actor, self.operation)
+        write!(
+            f,
+            "[t={}] {}: {}",
+            self.timestamp, self.actor, self.operation
+        )
     }
 }
 
@@ -137,7 +141,11 @@ impl InstructionJournal {
     ///
     /// [`JournalError::BadRegion`] unless the region is aligned to and a
     /// multiple of the line size.
-    pub fn new(region_start: u64, region_blocks: u64, order: u32) -> Result<InstructionJournal, JournalError> {
+    pub fn new(
+        region_start: u64,
+        region_blocks: u64,
+        order: u32,
+    ) -> Result<InstructionJournal, JournalError> {
         let line_len = 1u64 << order;
         if region_start % line_len != 0 || region_blocks % line_len != 0 || region_blocks == 0 {
             return Err(JournalError::BadRegion {
@@ -191,7 +199,11 @@ impl InstructionJournal {
         entry: JournalEntry,
     ) -> Result<Option<Line>, JournalError> {
         // Would this entry overflow the current block? Flush first.
-        let used: usize = 6 + self.pending.iter().map(JournalEntry::encoded_len).sum::<usize>();
+        let used: usize = 6 + self
+            .pending
+            .iter()
+            .map(JournalEntry::encoded_len)
+            .sum::<usize>();
         if used + entry.encoded_len() > SECTOR_DATA_BYTES {
             self.flush_block(dev)?;
         }
@@ -200,7 +212,9 @@ impl InstructionJournal {
         // Seal if the line just completed.
         let line = self.current_line()?;
         if self.open_blocks == line.data_len() {
-            return Ok(Some(self.seal(dev, self.pending.last().map_or(0, |e| e.timestamp))?));
+            return Ok(Some(
+                self.seal(dev, self.pending.last().map_or(0, |e| e.timestamp))?,
+            ));
         }
         Ok(None)
     }
@@ -257,7 +271,10 @@ impl InstructionJournal {
     /// # Errors
     ///
     /// Device errors only.
-    pub fn verify_all(&mut self, dev: &mut SeroDevice) -> Result<(usize, Vec<String>), JournalError> {
+    pub fn verify_all(
+        &mut self,
+        dev: &mut SeroDevice,
+    ) -> Result<(usize, Vec<String>), JournalError> {
         let mut intact = 0;
         let mut findings = Vec::new();
         for &line in &self.sealed {
@@ -289,7 +306,9 @@ impl InstructionJournal {
         let mut out = Vec::new();
         for line in lines {
             for pba in line.data_blocks() {
-                let Ok(sector) = dev.probe_mut().mrs(pba) else { continue };
+                let Ok(sector) = dev.probe_mut().mrs(pba) else {
+                    continue;
+                };
                 let data = sector.data;
                 if u32::from_le_bytes(data[..4].try_into().expect("4")) != JOURNAL_MAGIC {
                     continue;
@@ -339,7 +358,10 @@ mod tests {
         let (mut dev, mut journal) = setup();
         for i in 0..5 {
             journal
-                .record(&mut dev, JournalEntry::new(i, "host-a", &format!("WRITE lba {i}")))
+                .record(
+                    &mut dev,
+                    JournalEntry::new(i, "host-a", &format!("WRITE lba {i}")),
+                )
                 .unwrap();
         }
         journal.seal(&mut dev, 5).unwrap();
@@ -402,7 +424,9 @@ mod tests {
         let mut dev = SeroDevice::with_blocks(64);
         // Region of exactly one order-2 line.
         let mut journal = InstructionJournal::new(32, 4, 2).unwrap();
-        journal.record(&mut dev, JournalEntry::new(1, "h", "op")).unwrap();
+        journal
+            .record(&mut dev, JournalEntry::new(1, "h", "op"))
+            .unwrap();
         journal.seal(&mut dev, 1).unwrap();
         let err = journal
             .record(&mut dev, JournalEntry::new(2, "h", "op"))

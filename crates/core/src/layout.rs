@@ -208,7 +208,11 @@ impl HashBlockPayload {
         let take_bits = |from: usize, count: usize| -> Result<Vec<bool>, PayloadError> {
             if from + count > cells.len() {
                 return Err(PayloadError::Malformed {
-                    reason: format!("record needs {} cells, block has {}", from + count, cells.len()),
+                    reason: format!(
+                        "record needs {} cells, block has {}",
+                        from + count,
+                        cells.len()
+                    ),
                 });
             }
             cells[from..from + count]
@@ -252,9 +256,11 @@ impl HashBlockPayload {
 
         let len_bits = take_bits(cursor, 16)?;
         cursor += 16;
-        let meta_len =
-            u16::from_le_bytes(manchester::pack_bits(&len_bits).try_into().expect("2 bytes"))
-                as usize;
+        let meta_len = u16::from_le_bytes(
+            manchester::pack_bits(&len_bits)
+                .try_into()
+                .expect("2 bytes"),
+        ) as usize;
         if meta_len > MAX_METADATA_BYTES {
             return Err(PayloadError::Malformed {
                 reason: format!("metadata length {meta_len} exceeds capacity"),
@@ -265,8 +271,11 @@ impl HashBlockPayload {
         let metadata = manchester::pack_bits(&meta_bits);
 
         let crc_bits = take_bits(cursor, 32)?;
-        let stored_crc =
-            u32::from_le_bytes(manchester::pack_bits(&crc_bits).try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(
+            manchester::pack_bits(&crc_bits)
+                .try_into()
+                .expect("4 bytes"),
+        );
 
         let payload = HashBlockPayload {
             line,
@@ -278,7 +287,9 @@ impl HashBlockPayload {
         let computed_crc = crc32(&bytes[..bytes.len() - 4]);
         if computed_crc != stored_crc {
             return Err(PayloadError::Malformed {
-                reason: format!("crc mismatch: stored {stored_crc:#010x}, computed {computed_crc:#010x}"),
+                reason: format!(
+                    "crc mismatch: stored {stored_crc:#010x}, computed {computed_crc:#010x}"
+                ),
             });
         }
         Ok(payload)
@@ -379,7 +390,10 @@ mod tests {
         full.resize(4096, false);
         match HashBlockPayload::from_scan(&decode_dots(&full)) {
             Err(PayloadError::Malformed { reason }) => {
-                assert!(reason.contains("blank") || reason.contains("crc"), "{reason}")
+                assert!(
+                    reason.contains("blank") || reason.contains("crc"),
+                    "{reason}"
+                )
             }
             other => panic!("expected malformed, got {other:?}"),
         }

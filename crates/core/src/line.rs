@@ -166,7 +166,13 @@ impl Line {
 
 impl fmt::Display for Line {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line[{}..{}, order {}]", self.start, self.end(), self.order)
+        write!(
+            f,
+            "line[{}..{}, order {}]",
+            self.start,
+            self.end(),
+            self.order
+        )
     }
 }
 
@@ -200,7 +206,10 @@ mod tests {
 
     #[test]
     fn order_bounds() {
-        assert!(matches!(Line::new(0, 0), Err(LineError::BadOrder { order: 0 })));
+        assert!(matches!(
+            Line::new(0, 0),
+            Err(LineError::BadOrder { order: 0 })
+        ));
         assert!(Line::new(0, MAX_ORDER).is_ok());
         assert!(Line::new(0, MAX_ORDER + 1).is_err());
     }

@@ -80,7 +80,12 @@ impl fmt::Display for Evidence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Evidence::TamperedHashCells { cells } => {
-                write!(f, "{} HH cell(s) in heated hash (first at {:?})", cells.len(), cells.first())
+                write!(
+                    f,
+                    "{} HH cell(s) in heated hash (first at {:?})",
+                    cells.len(),
+                    cells.first()
+                )
             }
             Evidence::MalformedHashBlock { reason } => write!(f, "malformed hash block: {reason}"),
             Evidence::HashMismatch { stored, computed } => {
@@ -144,7 +149,12 @@ impl fmt::Display for TamperReport {
         if self.evidence.is_empty() {
             return write!(f, "{}: intact", self.line);
         }
-        writeln!(f, "{}: TAMPER EVIDENCE ({} finding(s))", self.line, self.evidence.len())?;
+        writeln!(
+            f,
+            "{}: TAMPER EVIDENCE ({} finding(s))",
+            self.line,
+            self.evidence.len()
+        )?;
         for e in &self.evidence {
             writeln!(f, "  - [{}] {}", e.kind(), e)?;
         }
@@ -214,9 +224,17 @@ mod tests {
     fn kinds_are_distinct() {
         let all = [
             Evidence::TamperedHashCells { cells: vec![] },
-            Evidence::MalformedHashBlock { reason: String::new() },
-            Evidence::HashMismatch { stored: Digest::ZERO, computed: Digest::ZERO },
-            Evidence::UnreadableDataBlock { pba: 0, reason: String::new() },
+            Evidence::MalformedHashBlock {
+                reason: String::new(),
+            },
+            Evidence::HashMismatch {
+                stored: Digest::ZERO,
+                computed: Digest::ZERO,
+            },
+            Evidence::UnreadableDataBlock {
+                pba: 0,
+                reason: String::new(),
+            },
             Evidence::RelocatedPayload {
                 claimed: Line::new(0, 1).unwrap(),
                 actual: Line::new(2, 1).unwrap(),

@@ -393,7 +393,9 @@ mod tests {
     fn padding_boundary_lengths() {
         // Lengths straddling the 55/56/64-byte padding boundaries must all
         // round-trip through the incremental API identically.
-        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 129] {
+        for len in [
+            0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 129,
+        ] {
             let msg = vec![0xa5u8; len];
             let one = sha256(&msg);
             let mut h = Sha256::new();

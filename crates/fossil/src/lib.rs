@@ -149,8 +149,7 @@ impl Node {
             if data[base] == 1 {
                 let mut key = [0u8; 32];
                 key.copy_from_slice(&data[base + 1..base + 33]);
-                let value =
-                    u64::from_le_bytes(data[base + 33..base + 41].try_into().expect("8"));
+                let value = u64::from_le_bytes(data[base + 33..base + 41].try_into().expect("8"));
                 node.slots[i] = Some(Entry {
                     key: Digest::from_bytes(key),
                     value,
@@ -171,7 +170,8 @@ struct Path {
 impl Path {
     fn child(self, slot: usize) -> Path {
         Path {
-            packed: self.packed | ((slot as u128 + 1) << (3 * self.depth as u32 + self.depth as u32 / 8)),
+            packed: self.packed
+                | ((slot as u128 + 1) << (3 * self.depth as u32 + self.depth as u32 / 8)),
             depth: self.depth + 1,
         }
     }
@@ -351,13 +351,11 @@ impl FossilIndex {
                 sero_core::tamper::VerifyOutcome::Intact { .. } => {
                     // The heated hash matched; also confirm the stored node
                     // image still parses to what we think it holds.
-                    let sector = self
-                        .dev
-                        .probe_mut()
-                        .mrs(line.start() + 1)
-                        .map_err(|e| FossilError::Corrupt {
+                    let sector = self.dev.probe_mut().mrs(line.start() + 1).map_err(|e| {
+                        FossilError::Corrupt {
                             reason: format!("node block unreadable: {e}"),
-                        })?;
+                        }
+                    })?;
                     match Node::decode(&sector.data) {
                         Ok(on_medium) if on_medium == cached => verified += 1,
                         Ok(_) => findings.push(format!("{line}: node image diverges from cache")),
@@ -401,7 +399,9 @@ mod tests {
     }
 
     fn keys(n: usize) -> Vec<Digest> {
-        (0..n).map(|i| sha256(format!("key-{i}").as_bytes())).collect()
+        (0..n)
+            .map(|i| sha256(format!("key-{i}").as_bytes()))
+            .collect()
     }
 
     #[test]

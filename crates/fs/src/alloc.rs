@@ -148,10 +148,14 @@ impl Allocator {
         checkpoint_blocks: u64,
         policy: ClusterPolicy,
     ) -> Allocator {
-        assert!(segment_blocks > 0 && total_blocks % segment_blocks == 0,
-            "segments must tile the device");
-        assert!(checkpoint_blocks <= segment_blocks,
-            "checkpoint must fit the first segment");
+        assert!(
+            segment_blocks > 0 && total_blocks % segment_blocks == 0,
+            "segments must tile the device"
+        );
+        assert!(
+            checkpoint_blocks <= segment_blocks,
+            "checkpoint must fit the first segment"
+        );
         let mut uses = vec![BlockUse::Free; total_blocks as usize];
         for u in uses.iter_mut().take(checkpoint_blocks as usize) {
             *u = BlockUse::Checkpoint;

@@ -64,9 +64,12 @@ impl SeroFs {
             .enumerate()
             .map(|(i, s)| (i as u64, s.dead, s.heated))
             .collect();
-        victims.sort_by(|a, b| b.1.cmp(&a.1));
+        victims.sort_by_key(|&(_, dead, _)| std::cmp::Reverse(dead));
 
         let mut cleaned = 0usize;
+        // `cleaned` counts only segments that actually had garbage, so it
+        // cannot be replaced by `enumerate()`/`take()` over the loop.
+        #[allow(clippy::explicit_counter_loop)]
         for (seg, dead, heated) in victims {
             if cleaned >= max_segments {
                 break;

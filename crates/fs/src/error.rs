@@ -60,7 +60,10 @@ impl fmt::Display for FsError {
             FsError::NotFound { name } => write!(f, "no such file: {name:?}"),
             FsError::Exists { name } => write!(f, "file exists: {name:?}"),
             FsError::ReadOnlyFile { name, line } => {
-                write!(f, "file {name:?} is heated ({line}); history cannot be altered")
+                write!(
+                    f,
+                    "file {name:?} is heated ({line}); history cannot be altered"
+                )
             }
             FsError::NoSpace { needed, free } => {
                 write!(f, "no space: need {needed} contiguous blocks, {free} free")
@@ -99,10 +102,15 @@ mod tests {
         let all = [
             FsError::NotFound { name: "x".into() },
             FsError::Exists { name: "x".into() },
-            FsError::ReadOnlyFile { name: "x".into(), line },
+            FsError::ReadOnlyFile {
+                name: "x".into(),
+                line,
+            },
             FsError::NoSpace { needed: 8, free: 2 },
             FsError::FileTooLarge { size: 1, max: 0 },
-            FsError::BadName { name: String::new() },
+            FsError::BadName {
+                name: String::new(),
+            },
             FsError::Corrupt { reason: "r".into() },
         ];
         for e in all {

@@ -190,21 +190,17 @@ impl SeroFs {
         let mut inodes = BTreeMap::new();
         let mut indirect_loc = BTreeMap::new();
         for (&ino, &block) in &inode_loc {
-            let sector = dev
-                .probe_mut()
-                .mrs(block)
-                .map_err(|e| FsError::Corrupt {
-                    reason: format!("inode block {block} unreadable: {e}"),
-                })?;
+            let sector = dev.probe_mut().mrs(block).map_err(|e| FsError::Corrupt {
+                reason: format!("inode block {block} unreadable: {e}"),
+            })?;
             let (mut inode, indirect_ptr) = Inode::decode(&sector.data)?;
             let total = {
                 // decode() returns direct prefix only; recover the count.
                 let declared = inode.blocks.len();
-                if indirect_ptr.is_some() {
+                if let Some(ptr) = indirect_ptr {
                     // re-read count from size? The encoding stores n_blocks
                     // explicitly; decode kept only the direct prefix, so
                     // fetch the indirect block and extend.
-                    let ptr = indirect_ptr.unwrap();
                     let ind = dev.probe_mut().mrs(ptr).map_err(|e| FsError::Corrupt {
                         reason: format!("indirect block {ptr} unreadable: {e}"),
                     })?;
@@ -282,12 +278,20 @@ impl SeroFs {
 
     /// Per-segment heated fractions — the §4.1 bimodality measurement.
     pub fn segment_heated_fractions(&self) -> Vec<f64> {
-        self.alloc.segments().iter().map(|s| s.heated_fraction()).collect()
+        self.alloc
+            .segments()
+            .iter()
+            .map(|s| s.heated_fraction())
+            .collect()
     }
 
     /// Number of segments containing at least one heated block.
     pub fn heat_touched_segments(&self) -> usize {
-        self.alloc.segments().iter().filter(|s| s.heated > 0).count()
+        self.alloc
+            .segments()
+            .iter()
+            .filter(|s| s.heated > 0)
+            .count()
     }
 
     /// Number of *mixed* segments: segments carrying both heated lines and
@@ -592,7 +596,8 @@ impl SeroFs {
         let inode = &self.inodes[&ino];
         let (main, indirect) = inode.encode(indirect_block)?;
         self.dev.write_block(inode_block, &main)?;
-        self.alloc.set_use(inode_block, BlockUse::InodeBlock { ino });
+        self.alloc
+            .set_use(inode_block, BlockUse::InodeBlock { ino });
         if let (Some(ind_data), Some(ind_block)) = (indirect, indirect_block) {
             self.dev.write_block(ind_block, &ind_data)?;
             self.alloc.set_use(ind_block, BlockUse::Indirect { ino });
@@ -610,9 +615,8 @@ impl SeroFs {
         if let Some(loc) = self.inode_loc.insert(ino, inode_block) {
             self.alloc.set_use(loc, BlockUse::Dead);
         }
-        match (self.indirect_loc.remove(&ino), indirect_block) {
-            (Some(old), _) => self.alloc.set_use(old, BlockUse::Dead),
-            (None, _) => {}
+        if let Some(old) = self.indirect_loc.remove(&ino) {
+            self.alloc.set_use(old, BlockUse::Dead);
         }
         if let Some(ind) = indirect_block {
             self.indirect_loc.insert(ino, ind);
@@ -797,11 +801,10 @@ impl SeroFs {
             pos += 8;
             let len = body[pos] as usize;
             pos += 1;
-            let name = String::from_utf8(body[pos..pos + len].to_vec()).map_err(|_| {
-                FsError::Corrupt {
+            let name =
+                String::from_utf8(body[pos..pos + len].to_vec()).map_err(|_| FsError::Corrupt {
                     reason: "directory name not UTF-8".to_string(),
-                }
-            })?;
+                })?;
             pos += len;
             directory.insert(name, ino);
         }
@@ -820,6 +823,6 @@ impl SeroFs {
     /// Number of data blocks a file of `bytes` occupies (helper for sizing
     /// experiments).
     pub fn blocks_for(bytes: usize) -> usize {
-        bytes.div_ceil(SECTOR_DATA_BYTES).max(1).min(MAX_BLOCKS)
+        bytes.div_ceil(SECTOR_DATA_BYTES).clamp(1, MAX_BLOCKS)
     }
 }

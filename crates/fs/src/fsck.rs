@@ -138,7 +138,8 @@ mod tests {
             fs.create(&name, &data, WriteClass::Archival).unwrap();
             fs.heat(&name, vec![], i as u64).unwrap();
         }
-        fs.create("scratch", b"unheated", WriteClass::Normal).unwrap();
+        fs.create("scratch", b"unheated", WriteClass::Normal)
+            .unwrap();
 
         // Attacker wipes the checkpoint region.
         let mut dev = fs.into_device();
@@ -159,7 +160,8 @@ mod tests {
     #[test]
     fn recovery_flags_tampered_files() {
         let mut fs = setup();
-        fs.create("ledger", &[7u8; 1024], WriteClass::Archival).unwrap();
+        fs.create("ledger", &[7u8; 1024], WriteClass::Archival)
+            .unwrap();
         let line = fs.heat("ledger", vec![], 0).unwrap();
         let mut dev = fs.into_device();
         // Attacker rewrites a protected data block through the raw device.
@@ -174,7 +176,8 @@ mod tests {
         // §5.2: bulk erasure clears magnetic data, so file *contents* are
         // gone — but the heated hash blocks still prove what existed.
         let mut fs = setup();
-        fs.create("contract", &[3u8; 2048], WriteClass::Archival).unwrap();
+        fs.create("contract", &[3u8; 2048], WriteClass::Archival)
+            .unwrap();
         fs.heat("contract", vec![], 0).unwrap();
         let mut dev = fs.into_device();
         let mut rng = rand::rngs::StdRng::seed_from_u64(99);

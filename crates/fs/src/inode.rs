@@ -233,9 +233,10 @@ impl Inode {
             });
         }
         let name_raw = r.bytes(MAX_NAME_BYTES);
-        let name = String::from_utf8(name_raw[..name_len].to_vec()).map_err(|_| FsError::Corrupt {
-            reason: "inode name is not UTF-8".to_string(),
-        })?;
+        let name =
+            String::from_utf8(name_raw[..name_len].to_vec()).map_err(|_| FsError::Corrupt {
+                reason: "inode name is not UTF-8".to_string(),
+            })?;
         let n_blocks = r.u16() as usize;
         if n_blocks > MAX_BLOCKS {
             return Err(FsError::Corrupt {

@@ -117,7 +117,8 @@ mod tests {
     #[test]
     fn heat_makes_file_immutable_and_verifiable() {
         let mut fs = fresh(256);
-        fs.create("frozen", &[9u8; 1500], WriteClass::Archival).unwrap();
+        fs.create("frozen", &[9u8; 1500], WriteClass::Archival)
+            .unwrap();
         let line = fs.heat("frozen", b"case-41".to_vec(), 1234).unwrap();
         assert_eq!(fs.stat("frozen").unwrap().heated, Some(line));
 
@@ -152,7 +153,8 @@ mod tests {
     #[test]
     fn heat_detects_subsequent_raw_tampering() {
         let mut fs = fresh(256);
-        fs.create("books", &[4u8; 1024], WriteClass::Archival).unwrap();
+        fs.create("books", &[4u8; 1024], WriteClass::Archival)
+            .unwrap();
         let line = fs.heat("books", vec![], 0).unwrap();
         // The insider rewrites a protected block via the raw probe device.
         fs.device_mut()
@@ -222,7 +224,8 @@ mod tests {
         // Churn: create and delete to build garbage.
         for round in 0..6 {
             let name = format!("churn-{round}");
-            fs.create(&name, &[round as u8; 4096], WriteClass::Normal).unwrap();
+            fs.create(&name, &[round as u8; 4096], WriteClass::Normal)
+                .unwrap();
         }
         for round in 0..6 {
             fs.remove(&format!("churn-{round}")).unwrap();
@@ -234,11 +237,13 @@ mod tests {
     #[test]
     fn cleaner_never_moves_heated_lines() {
         let mut fs = fresh(256);
-        fs.create("pinned", &[1u8; 1024], WriteClass::Archival).unwrap();
+        fs.create("pinned", &[1u8; 1024], WriteClass::Archival)
+            .unwrap();
         let line = fs.heat("pinned", vec![], 0).unwrap();
         // Build and clear garbage around it.
         for i in 0..10 {
-            fs.create(&format!("g{i}"), &[0u8; 2048], WriteClass::Normal).unwrap();
+            fs.create(&format!("g{i}"), &[0u8; 2048], WriteClass::Normal)
+                .unwrap();
         }
         for i in 0..10 {
             fs.remove(&format!("g{i}")).unwrap();
@@ -304,7 +309,11 @@ mod tests {
         // The 8-block data file moved into a 16-block line; net loss is
         // bounded by the line slack + hash + inode, not by a copy of the
         // whole file sticking around.
-        assert!(before - after <= 8, "heat consumed {} blocks", before - after);
+        assert!(
+            before - after <= 8,
+            "heat consumed {} blocks",
+            before - after
+        );
     }
 
     #[test]

@@ -112,7 +112,11 @@ impl RetentionPool {
             )?),
         };
         fs.create(name, data, WriteClass::Archival)?;
-        fs.heat(name, format!("expires {expiry_epoch}").into_bytes(), expiry_epoch)?;
+        fs.heat(
+            name,
+            format!("expires {expiry_epoch}").into_bytes(),
+            expiry_epoch,
+        )?;
         self.names.insert(name.to_string(), expiry_epoch);
         Ok(())
     }
@@ -126,9 +130,12 @@ impl RetentionPool {
         let &epoch = self.names.get(name).ok_or_else(|| FsError::NotFound {
             name: name.to_string(),
         })?;
-        let fs = self.epochs.get_mut(&epoch).ok_or_else(|| FsError::NotFound {
-            name: name.to_string(),
-        })?;
+        let fs = self
+            .epochs
+            .get_mut(&epoch)
+            .ok_or_else(|| FsError::NotFound {
+                name: name.to_string(),
+            })?;
         fs.read(name)
     }
 
@@ -139,9 +146,12 @@ impl RetentionPool {
     ///
     /// [`FsError::NotFound`] for unknown epochs.
     pub fn verify_epoch(&mut self, epoch: u64) -> Result<usize, FsError> {
-        let fs = self.epochs.get_mut(&epoch).ok_or_else(|| FsError::NotFound {
-            name: format!("epoch {epoch}"),
-        })?;
+        let fs = self
+            .epochs
+            .get_mut(&epoch)
+            .ok_or_else(|| FsError::NotFound {
+                name: format!("epoch {epoch}"),
+            })?;
         let mut intact = 0;
         for name in fs.list() {
             if fs.verify(&name)?.is_intact() {
@@ -167,7 +177,9 @@ impl RetentionPool {
         }
         if now < epoch {
             return Err(FsError::Corrupt {
-                reason: format!("epoch {epoch} has not expired at {now}; retention forbids early destruction"),
+                reason: format!(
+                    "epoch {epoch} has not expired at {now}; retention forbids early destruction"
+                ),
             });
         }
         let fs = self.epochs.remove(&epoch).expect("checked");

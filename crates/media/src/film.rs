@@ -100,7 +100,10 @@ impl CoPtFilm {
     ///
     /// Panics on non-positive thicknesses or zero bilayers.
     pub fn with_layers(co_nm: f64, pt_nm: f64, bilayers: u32) -> CoPtFilm {
-        assert!(co_nm > 0.0 && pt_nm > 0.0 && bilayers > 0, "degenerate film");
+        assert!(
+            co_nm > 0.0 && pt_nm > 0.0 && bilayers > 0,
+            "degenerate film"
+        );
         CoPtFilm {
             co_thickness_nm: co_nm,
             pt_thickness_nm: pt_nm,
@@ -207,7 +210,10 @@ mod tests {
     fn as_grown_matches_paper() {
         let film = CoPtFilm::as_grown();
         let k = film.anisotropy_kj_per_m3();
-        assert!((k - 80.0).abs() < 0.5, "as-grown K = {k}, paper says 80 kJ/m³");
+        assert!(
+            (k - 80.0).abs() < 0.5,
+            "as-grown K = {k}, paper says 80 kJ/m³"
+        );
         assert!(film.is_perpendicular());
         assert_eq!(film.crystalline_fraction(), 0.0);
     }
@@ -230,7 +236,10 @@ mod tests {
         let k700 = CoPtFilm::as_grown().annealed(700.0).anisotropy_kj_per_m3();
         assert!(k600 > 50.0, "600 °C not yet collapsed: {k600}");
         assert!(k650 < k600 / 2.0, "650 °C should be well down: {k650}");
-        assert!(k700 < 0.0, "700 °C destroys perpendicular anisotropy: {k700}");
+        assert!(
+            k700 < 0.0,
+            "700 °C destroys perpendicular anisotropy: {k700}"
+        );
     }
 
     #[test]

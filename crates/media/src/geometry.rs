@@ -62,7 +62,7 @@ impl Geometry {
     /// Returns [`BadGeometryError`] on zero rows/cols or non-positive,
     /// non-finite pitch.
     pub fn try_new(rows: u32, cols: u32, pitch_nm: f64) -> Result<Geometry, BadGeometryError> {
-        if rows == 0 || cols == 0 || !(pitch_nm > 0.0) || !pitch_nm.is_finite() {
+        if rows == 0 || cols == 0 || pitch_nm <= 0.0 || !pitch_nm.is_finite() {
             return Err(BadGeometryError);
         }
         Ok(Geometry {
@@ -104,7 +104,10 @@ impl Geometry {
     ///
     /// Panics when the coordinates lie outside the matrix.
     pub fn index(&self, row: u32, col: u32) -> u64 {
-        assert!(row < self.rows && col < self.cols, "dot coordinate out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "dot coordinate out of range"
+        );
         row as u64 * self.cols as u64 + col as u64
     }
 
@@ -115,7 +118,10 @@ impl Geometry {
     /// Panics when the index lies outside the matrix.
     pub fn coords(&self, index: u64) -> (u32, u32) {
         assert!(index < self.dot_count(), "dot index out of range");
-        ((index / self.cols as u64) as u32, (index % self.cols as u64) as u32)
+        (
+            (index / self.cols as u64) as u32,
+            (index % self.cols as u64) as u32,
+        )
     }
 
     /// Physical position of a dot centre in nanometres.
@@ -235,7 +241,7 @@ mod tests {
         assert_eq!(four.len(), 4); // von Neumann neighbourhood
         let eight = g.neighbours_within(centre, 150.0);
         assert_eq!(eight.len(), 8); // Moore neighbourhood
-        // Corners see fewer neighbours.
+                                    // Corners see fewer neighbours.
         assert_eq!(g.neighbours_within(0, 100.0).len(), 2);
     }
 

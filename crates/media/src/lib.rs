@@ -74,10 +74,7 @@ mod proptests {
     }
 
     fn op_strategy() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            any::<bool>().prop_map(Op::Mwb),
-            Just(Op::Ewb),
-        ]
+        prop_oneof![any::<bool>().prop_map(Op::Mwb), Just(Op::Ewb),]
     }
 
     proptest! {

@@ -225,7 +225,11 @@ mod tests {
         let weak = (0..200)
             .filter(|_| ch.detect(&m, 7, &mut rng) == Detection::Weak)
             .count();
-        assert!(weak >= 198, "heated dot produced a peak {}/200 times", 200 - weak);
+        assert!(
+            weak >= 198,
+            "heated dot produced a peak {}/200 times",
+            200 - weak
+        );
     }
 
     #[test]

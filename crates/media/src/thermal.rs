@@ -254,7 +254,9 @@ mod tests {
     fn temperature_profile_monotone() {
         let model = ThermalModel::well_designed(100.0);
         assert!((model.temperature_at(0.0) - model.peak_temp_c()).abs() < 1e-9);
-        let temps: Vec<f64> = (0..10).map(|i| model.temperature_at(i as f64 * 25.0)).collect();
+        let temps: Vec<f64> = (0..10)
+            .map(|i| model.temperature_at(i as f64 * 25.0))
+            .collect();
         for w in temps.windows(2) {
             assert!(w[1] < w[0]);
         }

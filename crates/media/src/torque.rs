@@ -189,7 +189,10 @@ mod tests {
         assert!(ks[5] < 10.0, "700 °C collapses K: {}", ks[5]);
         // Monotone non-increasing within tolerance.
         for w in ks.windows(2) {
-            assert!(w[1] <= w[0] + 2.0, "K increased after hotter anneal: {ks:?}");
+            assert!(
+                w[1] <= w[0] + 2.0,
+                "K increased after hotter anneal: {ks:?}"
+            );
         }
     }
 

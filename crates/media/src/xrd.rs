@@ -67,7 +67,10 @@ impl Diffractometer {
     ///
     /// Panics on non-positive wavelength or step.
     pub fn new(wavelength_angstrom: f64, step_deg: f64) -> Diffractometer {
-        assert!(wavelength_angstrom > 0.0 && step_deg > 0.0, "bad diffractometer");
+        assert!(
+            wavelength_angstrom > 0.0 && step_deg > 0.0,
+            "bad diffractometer"
+        );
         Diffractometer {
             wavelength_angstrom,
             step_deg,
@@ -204,9 +207,7 @@ impl XrdScan {
             self.two_theta_deg
                 .iter()
                 .zip(self.intensity.iter())
-                .min_by(|a, b| {
-                    (a.0 - target).abs().total_cmp(&(b.0 - target).abs())
-                })
+                .min_by(|a, b| (a.0 - target).abs().total_cmp(&(b.0 - target).abs()))
                 .map(|(_, &i)| i)
                 .unwrap_or(1.0)
         };
@@ -260,7 +261,10 @@ mod tests {
         let grown_contrast = as_grown.peak_contrast(5.5, 9.5);
         let annealed_contrast = annealed.peak_contrast(5.5, 9.5);
         assert!(grown_contrast > 5.0, "as-grown contrast {grown_contrast}");
-        assert!(annealed_contrast < 1.5, "annealed contrast {annealed_contrast}");
+        assert!(
+            annealed_contrast < 1.5,
+            "annealed contrast {annealed_contrast}"
+        );
 
         // And the surviving peak is at the right angle.
         let (angle, _) = as_grown.strongest_peak_in(5.5, 9.5).unwrap();
@@ -275,7 +279,10 @@ mod tests {
 
         let grown_contrast = as_grown.peak_contrast(40.0, 43.5);
         let annealed_contrast = annealed.peak_contrast(40.0, 43.5);
-        assert!(annealed_contrast > 5.0, "annealed contrast {annealed_contrast}");
+        assert!(
+            annealed_contrast > 5.0,
+            "annealed contrast {annealed_contrast}"
+        );
         assert!(grown_contrast < 2.0, "as-grown contrast {grown_contrast}");
 
         let (angle, _) = annealed.strongest_peak_in(40.0, 43.5).unwrap();
@@ -317,7 +324,10 @@ mod tests {
             })
             .collect();
         for w in contrasts.windows(2) {
-            assert!(w[1] <= w[0] + 0.2, "contrast rose after anneal: {contrasts:?}");
+            assert!(
+                w[1] <= w[0] + 0.2,
+                "contrast rose after anneal: {contrasts:?}"
+            );
         }
     }
 

@@ -33,8 +33,8 @@
 
 use crate::actuator::Actuator;
 use crate::sector::{
-    DecodedSector, SectorCodec, SectorError, DATA_AREA_DOTS, DATA_AREA_FIRST_DOT,
-    ELECTRICAL_CELLS, SECTOR_DATA_BYTES, SECTOR_DOTS, SECTOR_TOTAL_BYTES,
+    DecodedSector, SectorCodec, SectorError, DATA_AREA_DOTS, DATA_AREA_FIRST_DOT, ELECTRICAL_CELLS,
+    SECTOR_DATA_BYTES, SECTOR_DOTS, SECTOR_TOTAL_BYTES,
 };
 use crate::timing::{CostModel, OpCounters, SimClock};
 use rand::rngs::StdRng;
@@ -317,7 +317,7 @@ impl ProbeDevice {
         }
         self.medium.write_mag(dot, !d1);
         let (d2, weak2) = self.read_bit_raw(dot);
-        if weak2 || d2 != !d1 {
+        if weak2 || d2 == d1 {
             self.medium.write_mag(dot, d1);
             return DotProbe::Heated;
         }
@@ -423,7 +423,7 @@ impl ProbeDevice {
 
         let mut raw = vec![0u8; SECTOR_TOTAL_BYTES];
         let mut erased = Vec::new();
-        for byte_idx in 0..SECTOR_TOTAL_BYTES {
+        for (byte_idx, slot) in raw.iter_mut().enumerate() {
             let mut byte = 0u8;
             let mut weak = false;
             for bit in 0..8 {
@@ -433,7 +433,7 @@ impl ProbeDevice {
                 }
                 weak |= w;
             }
-            raw[byte_idx] = byte;
+            *slot = byte;
             if weak {
                 erased.push(byte_idx);
             }
@@ -454,7 +454,11 @@ impl ProbeDevice {
     /// in the footprint refuse the write; the count is reported so callers
     /// can treat damaged blocks as suspicious rather than silently relying
     /// on ECC.
-    pub fn mws(&mut self, pba: u64, data: &[u8; SECTOR_DATA_BYTES]) -> Result<WriteReport, SectorError> {
+    pub fn mws(
+        &mut self,
+        pba: u64,
+        data: &[u8; SECTOR_DATA_BYTES],
+    ) -> Result<WriteReport, SectorError> {
         self.mws_with_flags(pba, 0, data)
     }
 
@@ -478,7 +482,10 @@ impl ProbeDevice {
         for (byte_idx, &byte) in raw.iter().enumerate() {
             for bit in 0..8 {
                 let value = (byte >> (7 - bit)) & 1 == 1;
-                if !self.medium.write_mag(first + (byte_idx * 8 + bit) as u64, value) {
+                if !self
+                    .medium
+                    .write_mag(first + (byte_idx * 8 + bit) as u64, value)
+                {
                     unwritable += 1;
                 }
             }
@@ -526,9 +533,9 @@ impl ProbeDevice {
             if !heat {
                 continue;
             }
-            let outcome = self
-                .thermal
-                .heat_dot(&mut self.medium, base + offset as u64, &mut self.rng);
+            let outcome =
+                self.thermal
+                    .heat_dot(&mut self.medium, base + offset as u64, &mut self.rng);
             self.clock.advance(self.cost.t_ewb_ns);
             self.counters.ewb += 1;
             if outcome.target_heated {
@@ -601,7 +608,10 @@ impl ProbeDevice {
     ///
     /// Panics when `cells` exceeds [`ELECTRICAL_CELLS`].
     pub fn ers_cells(&mut self, pba: u64, cells: usize) -> Result<Scan, SectorError> {
-        assert!(cells <= ELECTRICAL_CELLS, "at most {ELECTRICAL_CELLS} cells per block");
+        assert!(
+            cells <= ELECTRICAL_CELLS,
+            "at most {ELECTRICAL_CELLS} cells per block"
+        );
         self.check_pba(pba)?;
         self.seek_block(pba);
         let base = self.block_first_dot(pba) + DATA_AREA_FIRST_DOT as u64;
@@ -790,7 +800,10 @@ mod tests {
             }
             a.clock().elapsed_ns() - start
         };
-        assert!(random_time > seq_time, "random {random_time} vs seq {seq_time}");
+        assert!(
+            random_time > seq_time,
+            "random {random_time} vs seq {seq_time}"
+        );
     }
 
     #[test]
@@ -830,7 +843,10 @@ mod tests {
         dev.ers(1).unwrap();
         let t_ers = dev.clock().elapsed_ns() - t0;
 
-        assert!(t_ews > 10 * t_mws, "heating is much slower: {t_ews} vs {t_mws}");
+        assert!(
+            t_ews > 10 * t_mws,
+            "heating is much slower: {t_ews} vs {t_mws}"
+        );
         assert!(
             t_ers >= 4 * t_mrs,
             "electrical sector read ≈ 5x magnetic (minus header area): {t_ers} vs {t_mrs}"
@@ -876,10 +892,7 @@ mod tests {
     fn medium_access_for_forensics() {
         let mut dev = device(2);
         dev.ews(0, &[true]).unwrap();
-        let first_heated = dev
-            .medium()
-            .heated_in(0..dev.block_first_dot(1))
-            .len();
+        let first_heated = dev.medium().heated_in(0..dev.block_first_dot(1)).len();
         assert_eq!(first_heated, 1);
     }
 

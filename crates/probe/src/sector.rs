@@ -127,17 +127,26 @@ impl fmt::Display for SectorError {
                 write!(f, "codeword {codeword} uncorrectable: {source}")
             }
             SectorError::CrcMismatch { stored, computed } => {
-                write!(f, "crc mismatch: stored {stored:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
             }
             SectorError::AddressMismatch { expected, found } => {
-                write!(f, "header address {found} does not match physical address {expected}")
+                write!(
+                    f,
+                    "header address {found} does not match physical address {expected}"
+                )
             }
             SectorError::BadMagic { found } => write!(f, "bad sector magic {found:#06x}"),
             SectorError::OutOfRange { pba, blocks } => {
                 write!(f, "block {pba} outside device of {blocks} blocks")
             }
             SectorError::WriteBlocked { heated_dots } => {
-                write!(f, "write blocked by {heated_dots} heated dots in sector footprint")
+                write!(
+                    f,
+                    "write blocked by {heated_dots} heated dots in sector footprint"
+                )
             }
         }
     }
@@ -246,9 +255,7 @@ impl SectorCodec {
         let mut protected = vec![0u8; SECTOR_PROTECTED_BYTES];
         let mut corrected = 0usize;
         for lane in 0..INTERLEAVE {
-            let mut codeword: Vec<u8> = (0..lane_len)
-                .map(|i| raw[i * INTERLEAVE + lane])
-                .collect();
+            let mut codeword: Vec<u8> = (0..lane_len).map(|i| raw[i * INTERLEAVE + lane]).collect();
             let base = SECTOR_PROTECTED_BYTES + lane * RS_PARITY;
             codeword.extend_from_slice(&raw[base..base + RS_PARITY]);
 
@@ -372,7 +379,11 @@ mod tests {
         }
         let decoded = codec.decode(9, &raw, &[]).unwrap();
         assert_eq!(decoded.data, data);
-        assert!(decoded.corrected_symbols >= 18, "{}", decoded.corrected_symbols);
+        assert!(
+            decoded.corrected_symbols >= 18,
+            "{}",
+            decoded.corrected_symbols
+        );
     }
 
     #[test]
@@ -398,7 +409,10 @@ mod tests {
         for &e in &erased {
             raw[e] = 0xee;
         }
-        assert!(codec.decode(13, &raw, &[]).is_err(), "without flags: too many");
+        assert!(
+            codec.decode(13, &raw, &[]).is_err(),
+            "without flags: too many"
+        );
         let decoded = codec.decode(13, &raw, &erased).unwrap();
         assert_eq!(decoded.data, data);
         assert_eq!(decoded.erased_bytes, 48);
@@ -410,7 +424,9 @@ mod tests {
         let data = payload(6);
         let mut raw = codec.encode(15, &data);
         // Kill parity bytes of lane 2 (positions 560..574).
-        let erased: Vec<usize> = (0..10).map(|i| SECTOR_PROTECTED_BYTES + 2 * RS_PARITY + i).collect();
+        let erased: Vec<usize> = (0..10)
+            .map(|i| SECTOR_PROTECTED_BYTES + 2 * RS_PARITY + i)
+            .collect();
         for &e in &erased {
             raw[e] ^= 0xff;
         }
@@ -424,7 +440,10 @@ mod tests {
         let codec = SectorCodec::new();
         let raw = codec.encode(21, &payload(7));
         match codec.decode(22, &raw, &[]) {
-            Err(SectorError::AddressMismatch { expected: 22, found: 21 }) => {}
+            Err(SectorError::AddressMismatch {
+                expected: 22,
+                found: 21,
+            }) => {}
             other => panic!("expected address mismatch, got {other:?}"),
         }
     }
@@ -454,8 +473,14 @@ mod tests {
     #[test]
     fn error_display_nonempty() {
         let errors = [
-            SectorError::CrcMismatch { stored: 1, computed: 2 },
-            SectorError::AddressMismatch { expected: 1, found: 2 },
+            SectorError::CrcMismatch {
+                stored: 1,
+                computed: 2,
+            },
+            SectorError::AddressMismatch {
+                expected: 1,
+                found: 2,
+            },
             SectorError::BadMagic { found: 7 },
             SectorError::OutOfRange { pba: 9, blocks: 4 },
             SectorError::WriteBlocked { heated_dots: 3 },

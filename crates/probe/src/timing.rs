@@ -136,7 +136,11 @@ mod tests {
         let c = CostModel::default();
         assert_eq!(c.erb_ns(), 5_000);
         assert!(c.erb_ns() >= 5 * c.mrb_ns, "erb at least 5x mrb (paper §3)");
-        assert_eq!(c.t_ewb_ns / c.t_mwb_ns, 100, "heating is 100x a magnetic write");
+        assert_eq!(
+            c.t_ewb_ns / c.t_mwb_ns,
+            100,
+            "heating is 100x a magnetic write"
+        );
     }
 
     #[test]

@@ -1,0 +1,356 @@
+//! Offline shim for the subset of the `criterion` API used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so this crate stands
+//! in for the real `criterion`. It keeps the bench-authoring surface the
+//! seed code uses — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — and reports a simple mean ns/iter per benchmark instead of
+//! criterion's full statistical analysis.
+//!
+//! Set `SERO_BENCH_FAST=1` (or pass `--quick`) to cap measurement at a few
+//! milliseconds per benchmark; CI's bench smoke job uses this to prove the
+//! harness runs without paying full measurement time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; the shim runs one input per iteration
+/// regardless, so the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Units-of-work declaration used to print a derived throughput line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `"<function>/<parameter>"`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where a benchmark name is expected.
+pub trait IntoBenchmarkId {
+    /// Renders the id as the printed benchmark name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Settings {
+    fn effective(self) -> Self {
+        if fast_mode() {
+            Self {
+                measurement_time: Duration::from_millis(5),
+                sample_size: 2,
+            }
+        } else {
+            self
+        }
+    }
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(300),
+            sample_size: 20,
+        }
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("SERO_BENCH_FAST").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into_id(), self.settings, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            settings,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings and a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (the shim folds this into iteration
+    /// count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps wall-clock time spent measuring each benchmark in the group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets warm-up time. The shim's calibration pass plays this role, so
+    /// the value is accepted and ignored.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration units of work for derived throughput output.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&name, self.settings, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&name, self.settings, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (The shim keeps no deferred state; this exists for
+    /// API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let settings = settings.effective();
+
+    // Calibration pass: one iteration, to size the measured run.
+    let mut calib = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut calib);
+    let per_iter = calib.elapsed.max(Duration::from_nanos(1));
+
+    let budget = settings.measurement_time;
+    let mut iters = (budget.as_nanos() / per_iter.as_nanos()).max(1) as u64;
+    iters = iters.min(settings.sample_size as u64 * 1000).max(1);
+
+    let mut bench = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bench);
+
+    let total = bench.elapsed.max(Duration::from_nanos(1));
+    let ns_per_iter = total.as_nanos() as f64 / bench.iters as f64;
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mib_s = bytes as f64 / (ns_per_iter / 1e9) / (1024.0 * 1024.0);
+            println!(
+                "{name:<48} {ns_per_iter:>14.1} ns/iter ({mib_s:>10.1} MiB/s, {} iters)",
+                bench.iters
+            );
+        }
+        Some(Throughput::Elements(elems)) => {
+            let elem_s = elems as f64 / (ns_per_iter / 1e9);
+            println!(
+                "{name:<48} {ns_per_iter:>14.1} ns/iter ({elem_s:>10.0} elem/s, {} iters)",
+                bench.iters
+            );
+        }
+        None => {
+            println!(
+                "{name:<48} {ns_per_iter:>14.1} ns/iter ({} iters)",
+                bench.iters
+            );
+        }
+    }
+}
+
+/// Declares a group function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares `main()` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        std::env::set_var("SERO_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        std::env::set_var("SERO_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(2));
+        group.throughput(Throughput::Bytes(512));
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u32, |b, &n| {
+            b.iter_batched(|| vec![0u8; n as usize], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

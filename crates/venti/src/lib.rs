@@ -89,8 +89,15 @@ impl fmt::Display for VentiError {
         match self {
             VentiError::NoSpace => f.write_str("venti store is full"),
             VentiError::NotFound { digest } => write!(f, "no chunk addressed {digest}"),
-            VentiError::HashMismatch { expected, actual, pba } => {
-                write!(f, "chunk at block {pba} hashes to {actual}, address says {expected}")
+            VentiError::HashMismatch {
+                expected,
+                actual,
+                pba,
+            } => {
+                write!(
+                    f,
+                    "chunk at block {pba} hashes to {actual}, address says {expected}"
+                )
             }
             VentiError::Malformed { reason } => write!(f, "malformed venti structure: {reason}"),
             VentiError::Device(e) => write!(f, "device error: {e}"),
@@ -273,7 +280,12 @@ impl Venti {
         Ok(out)
     }
 
-    fn load_rec(&mut self, digest: &Digest, depth: u8, out: &mut Vec<u8>) -> Result<(), VentiError> {
+    fn load_rec(
+        &mut self,
+        digest: &Digest,
+        depth: u8,
+        out: &mut Vec<u8>,
+    ) -> Result<(), VentiError> {
         let block = self.read_chunk(digest)?;
         if depth == 0 {
             out.extend_from_slice(&block);
@@ -514,7 +526,9 @@ mod tests {
         let pba = v.index[&digest];
         v.device_mut().probe_mut().mws(pba, &[0xAA; 512]).unwrap();
         match v.read_chunk(&digest) {
-            Err(VentiError::HashMismatch { expected, pba: p, .. }) => {
+            Err(VentiError::HashMismatch {
+                expected, pba: p, ..
+            }) => {
                 assert_eq!(expected, digest);
                 assert_eq!(p, pba);
             }
@@ -583,7 +597,9 @@ mod tests {
     fn store_fills_and_errors() {
         let mut v = store(8);
         // Distinct chunks so deduplication cannot save the day.
-        let data: Vec<u8> = (0..16 * 512).map(|i| (i / 512) as u8 ^ (i % 256) as u8).collect();
+        let data: Vec<u8> = (0..16 * 512)
+            .map(|i| (i / 512) as u8 ^ (i % 256) as u8)
+            .collect();
         let r = v.store_object(&data);
         assert!(matches!(r, Err(VentiError::NoSpace)));
     }
@@ -602,7 +618,9 @@ mod tests {
     fn error_display_nonempty() {
         for e in [
             VentiError::NoSpace,
-            VentiError::NotFound { digest: Digest::ZERO },
+            VentiError::NotFound {
+                digest: Digest::ZERO,
+            },
             VentiError::Malformed { reason: "x".into() },
         ] {
             assert!(!format!("{e}").is_empty());

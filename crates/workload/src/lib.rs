@@ -180,7 +180,10 @@ impl Workload for AuditLogWorkload {
             let mut batch = Vec::with_capacity(self.events_per_batch * self.event_bytes);
             for e in 0..self.events_per_batch {
                 let mut event = format!("t={b:04}.{e:04} ").into_bytes();
-                event.extend(payload(&mut rng, self.event_bytes.saturating_sub(event.len())));
+                event.extend(payload(
+                    &mut rng,
+                    self.event_bytes.saturating_sub(event.len()),
+                ));
                 batch.extend(event);
             }
             let name = format!("audit-{b:04}");
@@ -311,7 +314,10 @@ mod tests {
         let ops = w.ops(1);
         let heats = ops.iter().filter(|o| matches!(o, Op::Heat { .. })).count();
         assert_eq!(heats, w.epochs);
-        let creates = ops.iter().filter(|o| matches!(o, Op::Create { .. })).count();
+        let creates = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Create { .. }))
+            .count();
         assert_eq!(creates, w.pages + w.epochs);
         // Snapshots are archival; pages are not.
         for op in &ops {
@@ -325,7 +331,10 @@ mod tests {
     fn audit_log_heats_every_batch() {
         let w = AuditLogWorkload::small();
         let ops = w.ops(2);
-        let creates = ops.iter().filter(|o| matches!(o, Op::Create { .. })).count();
+        let creates = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Create { .. }))
+            .count();
         let heats = ops.iter().filter(|o| matches!(o, Op::Heat { .. })).count();
         assert_eq!(creates, w.batches);
         assert_eq!(heats, w.batches);

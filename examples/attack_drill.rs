@@ -31,8 +31,14 @@ fn main() {
     }
 
     println!("{}", "-".repeat(100));
-    println!("{matches}/{} attacks behave exactly as §5 predicts", reports.len());
-    let undetected = reports.iter().filter(|r| r.observed == Outcome::Undetected).count();
+    println!(
+        "{matches}/{} attacks behave exactly as §5 predicts",
+        reports.len()
+    );
+    let undetected = reports
+        .iter()
+        .filter(|r| r.observed == Outcome::Undetected)
+        .count();
     println!("undetected attacks: {undetected}");
 
     println!("\npaper quotes:");

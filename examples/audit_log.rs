@@ -26,8 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut heated = Vec::new();
     for op in workload.ops(2008) {
         match op {
-            Op::Create { name, data, archival } => {
-                let class = if archival { WriteClass::Archival } else { WriteClass::Normal };
+            Op::Create {
+                name,
+                data,
+                archival,
+            } => {
+                let class = if archival {
+                    WriteClass::Archival
+                } else {
+                    WriteClass::Normal
+                };
                 fs.create(&name, &data, class)?;
             }
             Op::Heat { name, metadata } => {
@@ -50,14 +58,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{intact}/{} batches verified intact", heated.len());
 
     // Attempting to doctor a batch is refused by the protocol…
-    let err = fs.write(&heated[0], b"doctored", WriteClass::Normal).unwrap_err();
+    let err = fs
+        .write(&heated[0], b"doctored", WriteClass::Normal)
+        .unwrap_err();
     println!("\nrewrite attempt on {}: {err}", heated[0]);
 
     // …and raw tampering is caught.
     let line = fs.stat(&heated[3])?.heated.expect("heated");
-    fs.device_mut().probe_mut().mws(line.start() + 2, &[0u8; 512])?;
+    fs.device_mut()
+        .probe_mut()
+        .mws(line.start() + 2, &[0u8; 512])?;
     let outcome = fs.verify(&heated[3])?;
-    println!("raw tampering with {}: tampered = {}", heated[3], outcome.is_tampered());
+    println!(
+        "raw tampering with {}: tampered = {}",
+        heated[3],
+        outcome.is_tampered()
+    );
 
     // Ageing report.
     let stats = fs.device().stats();

@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let before = venti.chunk_count();
         let object = venti.store_object(&db)?;
-        let line = venti.seal(&object, format!("day-{day}").into_bytes(), 1_199_145_600 + day)?;
+        let line = venti.seal(
+            &object,
+            format!("day-{day}").into_bytes(),
+            1_199_145_600 + day,
+        )?;
         println!(
             "day {day}: snapshot root {}…, {} new chunks (dedup), sealed at {line}",
             &object.root.to_hex()[..16],
@@ -49,7 +53,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nverifying all {} sealed snapshots:", seals.len());
     for (day, line, _) in &seals {
         let verdict = venti.verify_seal(*line)?;
-        println!("  day {day}: {}", if verdict.is_intact { "intact" } else { "TAMPERED" });
+        println!(
+            "  day {day}: {}",
+            if verdict.is_intact {
+                "intact"
+            } else {
+                "TAMPERED"
+            }
+        );
     }
 
     // The dishonest CEO rewrites one page that day 2 depended on…
@@ -79,7 +90,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let verdict = venti.verify_seal(line2)?;
     println!(
         "day 2 seal now: {} ({})",
-        if verdict.is_intact { "intact" } else { "TAMPERED" },
+        if verdict.is_intact {
+            "intact"
+        } else {
+            "TAMPERED"
+        },
         verdict.findings.first().map(String::as_str).unwrap_or("-")
     );
     assert!(!verdict.is_intact);

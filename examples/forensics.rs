@@ -22,10 +22,22 @@ fn build_world() -> Result<SeroFs, Box<dyn std::error::Error>> {
         b"2007-11-05,9500000,EUR,CH-91-XXXX\n".repeat(30).as_slice(),
         WriteClass::Archival,
     )?;
-    fs.create("shredder-log.txt", b"22:14 shredded 412 pages\n".repeat(8).as_slice(), WriteClass::Archival)?;
+    fs.create(
+        "shredder-log.txt",
+        b"22:14 shredded 412 pages\n".repeat(8).as_slice(),
+        WriteClass::Archival,
+    )?;
     // The investigator bags the evidence: heat in place, no disk imaging.
-    fs.heat("wire-transfers.csv", b"case 2008/017 exhibit A".to_vec(), 1_199_145_600)?;
-    fs.heat("shredder-log.txt", b"case 2008/017 exhibit B".to_vec(), 1_199_145_601)?;
+    fs.heat(
+        "wire-transfers.csv",
+        b"case 2008/017 exhibit A".to_vec(),
+        1_199_145_600,
+    )?;
+    fs.heat(
+        "shredder-log.txt",
+        b"case 2008/017 exhibit B".to_vec(),
+        1_199_145_601,
+    )?;
     fs.sync()?;
     Ok(fs)
 }
@@ -41,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("insider wiped the checkpoint/directory region.");
     let recovered = fsck::recover_heated_files(&mut dev)?;
-    println!("forensic scan recovered {} evidence file(s):", recovered.len());
+    println!(
+        "forensic scan recovered {} evidence file(s):",
+        recovered.len()
+    );
     for r in &recovered {
         println!(
             "  {:<22} {:>5} bytes  line {}  verified: {}",
@@ -71,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {} heated at t={} -> verify: {}",
             rec.line,
             rec.timestamp,
-            if verdict.is_tampered() { "TAMPERED (data destroyed)" } else { "intact" }
+            if verdict.is_tampered() {
+                "TAMPERED (data destroyed)"
+            } else {
+                "intact"
+            }
         );
     }
     println!("\nconclusion: the erasure itself is the evidence — the heated");

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Ordinary WMRM use: write and rewrite freely.
     dev.write_block(9, &[1u8; 512])?;
     dev.write_block(9, &[2u8; 512])?;
-    println!("block 9 rewritten freely (WMRM phase), reads {:?}…", &dev.read_block(9)?[..4]);
+    println!(
+        "block 9 rewritten freely (WMRM phase), reads {:?}…",
+        &dev.read_block(9)?[..4]
+    );
 
     // 2. Freeze history: heat a line of 8 blocks (1 hash + 7 data).
     let line = Line::new(8, 3)?;
@@ -32,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let payload = dev.heat_line(line, b"quarter-end freeze".to_vec(), 1_199_145_600)?;
     println!("\nheated {line}");
     println!("  digest   : {}", payload.digest());
-    println!("  metadata : {:?}", String::from_utf8_lossy(payload.metadata()));
+    println!(
+        "  metadata : {:?}",
+        String::from_utf8_lossy(payload.metadata())
+    );
 
     // 3. Data stays readable, the line is now read-only.
     assert_eq!(dev.read_block(9)?, [9u8; 512]);

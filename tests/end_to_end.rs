@@ -9,13 +9,21 @@ use sero::fossil::FossilIndex;
 use sero::fs::fsck;
 use sero::fs::prelude::*;
 use sero::venti::Venti;
-use sero::workload::{AuditLogWorkload, DbSnapshotWorkload, Workload, Op};
+use sero::workload::{AuditLogWorkload, DbSnapshotWorkload, Op, Workload};
 
 fn apply(fs: &mut SeroFs, ops: &[Op]) {
     for op in ops {
         match op {
-            Op::Create { name, data, archival } => {
-                let class = if *archival { WriteClass::Archival } else { WriteClass::Normal };
+            Op::Create {
+                name,
+                data,
+                archival,
+            } => {
+                let class = if *archival {
+                    WriteClass::Archival
+                } else {
+                    WriteClass::Normal
+                };
                 fs.create(name, data, class).unwrap();
             }
             Op::Overwrite { name, data } => fs.write(name, data, WriteClass::Normal).unwrap(),
@@ -91,10 +99,13 @@ fn fs_and_raw_lines_coexist() {
     for pba in line.data_blocks() {
         fs.device_mut().write_block(pba, &[0xAA; 512]).unwrap();
     }
-    fs.device_mut().heat_line(line, b"app line".to_vec(), 1).unwrap();
+    fs.device_mut()
+        .heat_line(line, b"app line".to_vec(), 1)
+        .unwrap();
 
     // FS keeps working, the raw line verifies, fsck skips it gracefully.
-    fs.create("file2", &[2u8; 2048], WriteClass::Normal).unwrap();
+    fs.create("file2", &[2u8; 2048], WriteClass::Normal)
+        .unwrap();
     assert_eq!(fs.read("file2").unwrap(), vec![2u8; 2048]);
     assert!(fs.device_mut().verify_line(line).unwrap().is_intact());
     let mut dev = fs.into_device();

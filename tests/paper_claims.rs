@@ -124,7 +124,10 @@ fn claim_sero_lifecycle() {
     }
     // Everything still verifies.
     for i in 0..4 {
-        assert!(dev.verify_line(Line::new(i * 8, 3).unwrap()).unwrap().is_intact());
+        assert!(dev
+            .verify_line(Line::new(i * 8, 3).unwrap())
+            .unwrap()
+            .is_intact());
     }
 }
 
