@@ -1,0 +1,82 @@
+//! BENCH-SCRUB — host-time cost of the scrub and extent fast paths.
+//!
+//! The `exp_scrub` / `exp_bulk_io` binaries report *simulated device*
+//! time; this Criterion bench tracks the *host* cost of the same code
+//! paths (hashing, decoding, channel simulation, worker fan-out), so
+//! regressions in the implementation itself — as opposed to the device
+//! model — show up here.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use sero_core::device::SeroDevice;
+use sero_core::line::Line;
+use sero_core::scrub::{scrub_device, ScrubConfig};
+use sero_probe::device::ProbeDevice;
+use std::hint::black_box;
+use std::time::Duration;
+
+const LINES: u64 = 16;
+const ORDER: u32 = 3;
+
+fn heated_device() -> SeroDevice {
+    let len = 1u64 << ORDER;
+    let mut dev = SeroDevice::with_blocks(LINES * len);
+    for i in 0..LINES {
+        let line = Line::new(i * len, ORDER).expect("aligned");
+        for pba in line.data_blocks() {
+            dev.write_block(pba, &[pba as u8; 512]).expect("write");
+        }
+        dev.heat_line(line, vec![], 0).expect("heat");
+    }
+    dev
+}
+
+fn bench_scrub(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scrub");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
+    let prototype = heated_device();
+    for workers in [1usize, 4] {
+        group.bench_function(format!("workers/{workers}"), |b| {
+            b.iter_batched(
+                || prototype.clone(),
+                |mut dev| {
+                    black_box(scrub_device(&mut dev, &ScrubConfig::with_workers(workers)).unwrap());
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk_io(c: &mut Criterion) {
+    const EXTENT: u64 = 64;
+    let mut group = c.benchmark_group("bulk_io");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .throughput(Throughput::Bytes(EXTENT * 512));
+
+    let mut filled = ProbeDevice::builder().blocks(EXTENT).build();
+    let sectors: Vec<[u8; 512]> = (0..EXTENT).map(|i| [i as u8; 512]).collect();
+    filled.write_blocks(0, &sectors).expect("fill");
+
+    group.bench_function("read_loop", |b| {
+        b.iter(|| {
+            for pba in 0..EXTENT {
+                black_box(filled.mrs(pba).unwrap());
+            }
+        });
+    });
+    group.bench_function("read_blocks", |b| {
+        b.iter(|| black_box(filled.read_blocks(0, EXTENT).unwrap()));
+    });
+    group.bench_function("write_blocks", |b| {
+        b.iter(|| black_box(filled.write_blocks(0, &sectors).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scrub, bench_bulk_io);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! BENCH-COMPARE — diff a regenerated `BENCH_*.json` against its committed
+//! baseline.
+//!
+//! Usage: `bench_compare <baseline.json> <candidate.json> [--threshold 0.20]`
+//!
+//! Compares every numeric leaf under the `"metrics"` object (the
+//! deterministic simulated-device numbers — see the schema in
+//! `sero-bench`'s crate docs). `"host"` wall times and `"device"` geometry
+//! never participate. Exits non-zero when any shared metric drifts beyond
+//! the threshold or a metric is missing on either side; CI runs this as a
+//! non-blocking step, so a red result is a signal, not a gate.
+
+use sero_bench::json::Json;
+use sero_bench::row;
+use std::process::ExitCode;
+
+fn load_metrics(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let metrics = doc
+        .get("metrics")
+        .ok_or_else(|| format!("{path}: no \"metrics\" object"))?;
+    let mut flat = Vec::new();
+    metrics.flatten_numbers("", &mut flat);
+    Ok(flat)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.20f64;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threshold" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) => threshold = t,
+                None => {
+                    eprintln!("--threshold needs a number");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            files.push(arg.clone());
+        }
+    }
+    let [baseline_path, candidate_path] = files.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [--threshold 0.20]");
+        return ExitCode::from(2);
+    };
+
+    let (baseline, candidate) = match (load_metrics(baseline_path), load_metrics(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "comparing metrics: {candidate_path} vs baseline {baseline_path} (threshold +/-{:.0}%)\n",
+        threshold * 100.0
+    );
+    let widths = [26, 14, 14, 10, 8];
+    println!(
+        "{}",
+        row(
+            &["metric", "baseline", "candidate", "delta", "status"],
+            &widths
+        )
+    );
+
+    let mut drifted = 0usize;
+    let mut keys: Vec<&String> = baseline.iter().map(|(k, _)| k).collect();
+    for (k, _) in &candidate {
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    for key in keys {
+        let base = baseline.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+        let cand = candidate.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+        let (base_s, cand_s, delta_s, status) = match (base, cand) {
+            (Some(b), Some(c)) => {
+                let rel = (c - b).abs() / b.abs().max(1e-12);
+                let ok = rel <= threshold;
+                if !ok {
+                    drifted += 1;
+                }
+                (
+                    format!("{b:.4}"),
+                    format!("{c:.4}"),
+                    format!("{:+.1}%", (c - b) / b.abs().max(1e-12) * 100.0),
+                    if ok { "ok" } else { "DRIFT" },
+                )
+            }
+            (b, c) => {
+                drifted += 1;
+                (
+                    b.map_or("-".into(), |v| format!("{v:.4}")),
+                    c.map_or("-".into(), |v| format!("{v:.4}")),
+                    "-".into(),
+                    "MISSING",
+                )
+            }
+        };
+        println!(
+            "{}",
+            row(&[key, &base_s, &cand_s, &delta_s, status], &widths)
+        );
+    }
+
+    if drifted == 0 {
+        println!("\nall metrics within +/-{:.0}%", threshold * 100.0);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\n{drifted} metric(s) drifted beyond +/-{:.0}%",
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,166 @@
+//! EXP-BULK-IO — extent transfers vs per-block loops on the probe device.
+//!
+//! A per-block `mrs`/`mws` loop pays a full seek (steps + settle) for
+//! every block even when the access is perfectly sequential; the extent
+//! APIs (`read_blocks`/`write_blocks`) seek once and stream between
+//! adjacent tracks. This experiment measures both paths over the same
+//! extent and reports the deterministic simulated-device speedup, plus
+//! host wall times for reference.
+//!
+//! Emits `BENCH_bulk_io.json` (schema `sero-bench/v1`, see `sero-bench`'s
+//! crate docs). `SERO_BENCH_FAST=1` shrinks the extent for CI.
+
+use sero_bench::json::Json;
+use sero_bench::{bench_out_path, fast_mode, row};
+use sero_probe::device::ProbeDevice;
+use sero_probe::sector::SECTOR_DATA_BYTES;
+use std::time::Instant;
+
+const DEVICE_BLOCKS: u64 = 8192;
+
+fn pattern(pba: u64) -> [u8; SECTOR_DATA_BYTES] {
+    let mut s = [0u8; SECTOR_DATA_BYTES];
+    for (j, b) in s.iter_mut().enumerate() {
+        *b = (pba as u8).wrapping_mul(59).wrapping_add(j as u8);
+    }
+    s
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fast = fast_mode();
+    let extent: u64 = if fast { 256 } else { 1024 };
+    let extent_bytes = extent * SECTOR_DATA_BYTES as u64;
+    let extent_mib = extent_bytes as f64 / (1024.0 * 1024.0);
+
+    println!(
+        "EXP-BULK-IO: {extent}-block extents on a {DEVICE_BLOCKS}-block device{}\n",
+        if fast { " (fast mode)" } else { "" },
+    );
+
+    let sectors: Vec<[u8; SECTOR_DATA_BYTES]> = (0..extent).map(pattern).collect();
+
+    // --- writes ----------------------------------------------------------
+    let mut loop_dev = ProbeDevice::builder().blocks(DEVICE_BLOCKS).build();
+    let host = Instant::now();
+    let t0 = loop_dev.clock().elapsed_ns();
+    for (i, data) in sectors.iter().enumerate() {
+        loop_dev.mws(i as u64, data)?;
+    }
+    let write_loop_ns = loop_dev.clock().elapsed_ns() - t0;
+    let write_loop_host_ms = host.elapsed().as_secs_f64() * 1e3;
+
+    let mut extent_dev = ProbeDevice::builder().blocks(DEVICE_BLOCKS).build();
+    let host = Instant::now();
+    let t0 = extent_dev.clock().elapsed_ns();
+    extent_dev.write_blocks(0, &sectors)?;
+    let write_extent_ns = extent_dev.clock().elapsed_ns() - t0;
+    let write_extent_host_ms = host.elapsed().as_secs_f64() * 1e3;
+
+    // --- reads -----------------------------------------------------------
+    let host = Instant::now();
+    let t0 = loop_dev.clock().elapsed_ns();
+    let mut via_loop = Vec::with_capacity(extent as usize);
+    for pba in 0..extent {
+        via_loop.push(loop_dev.mrs(pba)?.data);
+    }
+    let read_loop_ns = loop_dev.clock().elapsed_ns() - t0;
+    let read_loop_host_ms = host.elapsed().as_secs_f64() * 1e3;
+
+    let host = Instant::now();
+    let t0 = extent_dev.clock().elapsed_ns();
+    let via_extent = extent_dev.read_blocks(0, extent)?;
+    let read_extent_ns = extent_dev.clock().elapsed_ns() - t0;
+    let read_extent_host_ms = host.elapsed().as_secs_f64() * 1e3;
+
+    // Both paths must return byte-identical data.
+    for (i, sector) in via_extent.into_iter().enumerate() {
+        let data = sector?.data;
+        assert_eq!(data, via_loop[i], "extent read diverged at block {i}");
+        assert_eq!(data, sectors[i], "read-back diverged at block {i}");
+    }
+
+    let read_speedup = read_loop_ns as f64 / read_extent_ns as f64;
+    let write_speedup = write_loop_ns as f64 / write_extent_ns as f64;
+    let read_mib_s = extent_mib / (read_extent_ns as f64 / 1e9);
+    let write_mib_s = extent_mib / (write_extent_ns as f64 / 1e9);
+
+    let widths = [22, 16, 16, 10];
+    println!(
+        "{}",
+        row(&["path", "device time", "host time", "speedup"], &widths)
+    );
+    for (name, ns, host_ms, speedup) in [
+        ("write: mws loop", write_loop_ns, write_loop_host_ms, 1.0),
+        (
+            "write: write_blocks",
+            write_extent_ns,
+            write_extent_host_ms,
+            write_speedup,
+        ),
+        ("read: mrs loop", read_loop_ns, read_loop_host_ms, 1.0),
+        (
+            "read: read_blocks",
+            read_extent_ns,
+            read_extent_host_ms,
+            read_speedup,
+        ),
+    ] {
+        println!(
+            "{}",
+            row(
+                &[
+                    name,
+                    &format!("{:.2} ms", ns as f64 / 1e6),
+                    &format!("{host_ms:.1} ms"),
+                    &format!("{speedup:.2}x"),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\n  extent throughput: read {read_mib_s:.1} MiB/s, write {write_mib_s:.1} MiB/s (device time)"
+    );
+
+    let doc = Json::obj()
+        .set("schema", "sero-bench/v1")
+        .set("bench", "bulk_io")
+        .set("fast_mode", fast)
+        .set(
+            "device",
+            Json::obj()
+                .set("blocks", DEVICE_BLOCKS)
+                .set("bytes", DEVICE_BLOCKS * SECTOR_DATA_BYTES as u64)
+                .set("extent_blocks", extent),
+        )
+        .set(
+            "metrics",
+            Json::obj()
+                .set("read_loop_device_ms", read_loop_ns as f64 / 1e6)
+                .set("read_extent_device_ms", read_extent_ns as f64 / 1e6)
+                .set("read_speedup", read_speedup)
+                .set("write_loop_device_ms", write_loop_ns as f64 / 1e6)
+                .set("write_extent_device_ms", write_extent_ns as f64 / 1e6)
+                .set("write_speedup", write_speedup)
+                .set("read_mib_per_s", read_mib_s)
+                .set("write_mib_per_s", write_mib_s)
+                .set("blocks_per_op", extent),
+        )
+        .set(
+            "host",
+            Json::obj()
+                .set("read_loop_ms", read_loop_host_ms)
+                .set("read_extent_ms", read_extent_host_ms)
+                .set("write_loop_ms", write_loop_host_ms)
+                .set("write_extent_ms", write_extent_host_ms),
+        );
+    let path = bench_out_path("bulk_io");
+    std::fs::write(&path, doc.render())?;
+    println!("  wrote {}", path.display());
+
+    assert!(
+        read_speedup > 1.0 && write_speedup > 1.0,
+        "extent path must beat the loop (read {read_speedup:.2}x, write {write_speedup:.2}x)"
+    );
+    Ok(())
+}

@@ -1,0 +1,455 @@
+//! Minimal JSON tree, writer, and parser for the `BENCH_*.json` files.
+//!
+//! The build environment is offline, so instead of `serde` this module
+//! hand-rolls the small subset the bench harness needs: a value tree with
+//! insertion-ordered objects, a pretty printer with stable output (so
+//! committed baselines diff cleanly), a recursive-descent parser for
+//! `bench_compare`, and dotted-path lookups plus numeric flattening for
+//! the ±threshold comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_bench::json::Json;
+//!
+//! let doc = Json::obj()
+//!     .set("bench", "scrub")
+//!     .set("metrics", Json::obj().set("speedup", 7.5));
+//! let text = doc.render();
+//! let back = Json::parse(&text).unwrap();
+//! assert_eq!(back.get("metrics.speedup").and_then(Json::as_f64), Some(7.5));
+//! ```
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`; integral values print without a dot).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<u128> for Json {
+    fn from(v: u128) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Sets `key` on an object (builder style), replacing any existing
+    /// entry with that key.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object.
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(entries) => {
+                let value = value.into();
+                if let Some(slot) = entries.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    entries.push((key.to_string(), value));
+                }
+            }
+            _ => panic!("Json::set on a non-object"),
+        }
+        self
+    }
+
+    /// Looks up a dotted path (`"metrics.speedup"`) through nested objects.
+    pub fn get(&self, path: &str) -> Option<&Json> {
+        let mut node = self;
+        for key in path.split('.') {
+            match node {
+                Json::Obj(entries) => {
+                    node = &entries.iter().find(|(k, _)| k == key)?.1;
+                }
+                _ => return None,
+            }
+        }
+        Some(node)
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Collects every numeric leaf below this value as
+    /// `(dotted.path, value)` pairs, prefixed with `prefix`.
+    pub fn flatten_numbers(&self, prefix: &str, out: &mut Vec<(String, f64)>) {
+        match self {
+            Json::Num(n) => out.push((prefix.to_string(), *n)),
+            Json::Obj(entries) => {
+                for (key, value) in entries {
+                    let path = if prefix.is_empty() {
+                        key.clone()
+                    } else {
+                        format!("{prefix}.{key}")
+                    };
+                    value.flatten_numbers(&path, out);
+                }
+            }
+            Json::Arr(items) => {
+                for (i, value) in items.iter().enumerate() {
+                    value.flatten_numbers(&format!("{prefix}[{i}]"), out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Renders the tree as pretty-printed JSON with a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => render_number(out, *n),
+            Json::Str(s) => render_string(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    item.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Json::Obj(entries) if entries.is_empty() => out.push_str("{}"),
+            Json::Obj(entries) => {
+                out.push_str("{\n");
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    render_string(out, key);
+                    out.push_str(": ");
+                    value.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message with the byte offset of the failure.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn render_number(out: &mut String, n: f64) {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number '{text}' at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unchanged because the input is valid UTF-8).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut entries = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(entries));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        entries.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_document() {
+        let doc = Json::obj()
+            .set("schema", "sero-bench/v1")
+            .set("fast_mode", false)
+            .set("count", 131072u64)
+            .set("ratio", 1.625)
+            .set(
+                "nested",
+                Json::obj().set("a", 1u64).set(
+                    "list",
+                    Json::Arr(vec![Json::Num(1.0), Json::Null, Json::Str("x\"y".into())]),
+                ),
+            );
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        // Stable output: rendering the parse reproduces the text.
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn integers_render_without_dot() {
+        let mut s = String::new();
+        render_number(&mut s, 67108864.0);
+        assert_eq!(s, "67108864");
+        let mut s = String::new();
+        render_number(&mut s, 3.5);
+        assert_eq!(s, "3.5");
+    }
+
+    #[test]
+    fn dotted_get_and_flatten() {
+        let doc = Json::obj()
+            .set("metrics", Json::obj().set("speedup", 7.0).set("mib_s", 2.5))
+            .set("host", Json::obj().set("ms", 12.0));
+        assert_eq!(doc.get("metrics.speedup").and_then(Json::as_f64), Some(7.0));
+        assert!(doc.get("metrics.absent").is_none());
+        let mut flat = Vec::new();
+        doc.flatten_numbers("", &mut flat);
+        assert_eq!(
+            flat,
+            vec![
+                ("metrics.speedup".to_string(), 7.0),
+                ("metrics.mib_s".to_string(), 2.5),
+                ("host.ms".to_string(), 12.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn set_replaces_existing_key() {
+        let doc = Json::obj().set("a", 1u64).set("a", 2u64);
+        assert_eq!(doc.get("a").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} extra").is_err());
+        assert!(Json::parse("nope").is_err());
+    }
+
+    #[test]
+    fn parse_escapes() {
+        let v = Json::parse(r#""aA\n\"""#).unwrap();
+        assert_eq!(v, Json::Str("aA\n\"".to_string()));
+    }
+}

@@ -4,15 +4,73 @@
 //! regenerates it (see `DESIGN.md` for the index); Criterion benches in
 //! `benches/` measure the implementation itself. This library holds the
 //! bits they share: fixed-width table printing, ASCII sparklines for scan
-//! data, and the workload driver that replays [`sero_workload::Op`]
-//! streams against a file system.
+//! data, the workload driver that replays [`sero_workload::Op`] streams
+//! against a file system, and the [`json`] machinery behind the
+//! machine-readable `BENCH_*.json` baselines.
+//!
+//! # The `BENCH_*.json` schema (`sero-bench/v1`)
+//!
+//! The perf-baseline binaries (`exp_scrub`, `exp_bulk_io`) each emit one
+//! JSON document, written to the current directory (override with
+//! `SERO_BENCH_OUT_DIR`). Committed baselines live in `benchmarks/` at the
+//! repo root; CI regenerates the files with `SERO_BENCH_FAST=1` and runs
+//! `bench_compare` against the committed copies. The shape:
+//!
+//! ```json
+//! {
+//!   "schema": "sero-bench/v1",
+//!   "bench": "scrub",                // or "bulk_io"
+//!   "fast_mode": true,               // SERO_BENCH_FAST was set
+//!   "device": { ... },               // workload geometry: blocks, bytes,
+//!                                    // heated_lines / extent_blocks, workers
+//!   "metrics": { ... },              // DETERMINISTIC simulated-device
+//!                                    // numbers: *_device_ms, speedup,
+//!                                    // ops/sec, mib_per_s — the compared set
+//!   "host": { ... }                  // host wall-clock milliseconds;
+//!                                    // informational only, never compared
+//! }
+//! ```
+//!
+//! Only numeric leaves under `"metrics"` participate in the
+//! [`bench_compare`](../bench_compare/index.html) ±threshold check.
+//! Everything in `"metrics"` derives from the simulated device clock
+//! ([`sero_probe::timing::SimClock`]) and deterministic seeds, so a
+//! regeneration on any host reproduces the committed numbers exactly;
+//! `"host"` captures real wall time for humans and is expected to vary.
+//!
+//! Per-bench metric keys:
+//!
+//! * `bench = "scrub"` — `serial_device_ms` (one-line-at-a-time
+//!   [`sero_core::device::SeroDevice::verify_line`] loop),
+//!   `parallel_device_ms` (sharded [`sero_core::scrub::scrub_device`]),
+//!   `speedup` (their ratio; the ≥ 3× acceptance bar), `lines`,
+//!   `lines_per_s`, `mib_per_s` (protected data re-hashed per simulated
+//!   second, parallel path), `intact`, `tampered`.
+//! * `bench = "bulk_io"` — `read_loop_device_ms` / `read_extent_device_ms`
+//!   / `read_speedup`, the `write_*` triple of the same shape,
+//!   `read_mib_per_s` / `write_mib_per_s` (extent path), `blocks_per_op`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use sero_fs::alloc::WriteClass;
 use sero_fs::fs::SeroFs;
 use sero_workload::Op;
+
+/// True when `SERO_BENCH_FAST` asks for reduced-size bench runs (the CI
+/// smoke/baseline mode). Mirrors the criterion shim's switch.
+pub fn fast_mode() -> bool {
+    std::env::var_os("SERO_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+/// Where a `BENCH_<name>.json` document should be written: the directory
+/// named by `SERO_BENCH_OUT_DIR`, defaulting to the current directory.
+pub fn bench_out_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::var_os("SERO_BENCH_OUT_DIR").unwrap_or_else(|| ".".into());
+    std::path::PathBuf::from(dir).join(format!("BENCH_{name}.json"))
+}
 
 /// Prints a row of fixed-width cells.
 pub fn row(cells: &[&str], widths: &[usize]) -> String {

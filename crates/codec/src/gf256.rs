@@ -1,6 +1,6 @@
 //! Arithmetic in GF(2⁸), the symbol field of the sector Reed–Solomon code.
 //!
-//! Field: GF(2)[x] / (x⁸ + x⁴ + x³ + x² + 1), i.e. the 0x11D polynomial used
+//! Field: GF(2)\[x\] / (x⁸ + x⁴ + x³ + x² + 1), i.e. the 0x11D polynomial used
 //! by CCSDS and most storage codes; α = 0x02 is primitive.
 //!
 //! # Examples

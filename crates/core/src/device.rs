@@ -162,6 +162,29 @@ impl From<LineError> for SeroError {
     }
 }
 
+/// Splits an address list into maximal runs of consecutive ascending
+/// blocks, returned as `(start, count)` pairs in input order. The batch
+/// I/O paths use this to turn scattered block lists into extent transfers.
+///
+/// # Examples
+///
+/// ```
+/// use sero_core::device::contiguous_runs;
+///
+/// assert_eq!(contiguous_runs(&[4, 5, 6, 9, 10, 2]), vec![(4, 3), (9, 2), (2, 1)]);
+/// assert!(contiguous_runs(&[]).is_empty());
+/// ```
+pub fn contiguous_runs(pbas: &[u64]) -> Vec<(u64, u64)> {
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for &pba in pbas {
+        match runs.last_mut() {
+            Some((start, count)) if start.checked_add(*count) == Some(pba) => *count += 1,
+            _ => runs.push((pba, 1)),
+        }
+    }
+    runs
+}
+
 /// A registered heated line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LineRecord {
@@ -178,6 +201,9 @@ pub struct LineRecord {
 pub struct RegistryScan {
     /// Lines recovered from valid hash blocks.
     pub lines_found: usize,
+    /// Already-registered lines whose blocks the incremental scan skipped
+    /// (always 0 for a full [`SeroDevice::rebuild_registry`]).
+    pub lines_skipped: usize,
     /// Blocks whose electrical area is written but tampered or malformed —
     /// each one is standing evidence.
     pub suspicious_blocks: Vec<u64>,
@@ -311,9 +337,111 @@ impl SeroDevice {
         Ok(())
     }
 
+    /// Reads many blocks with the same protocol checks as
+    /// [`SeroDevice::read_block`], batching consecutive addresses into
+    /// extent transfers (one seek per run instead of one per block).
+    ///
+    /// The returned sectors are in `pbas` order. Addresses need not be
+    /// sorted or contiguous; each maximal ascending run becomes one
+    /// transfer.
+    ///
+    /// # Errors
+    ///
+    /// [`SeroError::HashBlockAccess`] if *any* requested block is a
+    /// registered hash block (checked up front, before any I/O); sector
+    /// errors abort at the failing block, as the single-block loop would.
+    pub fn read_blocks(&mut self, pbas: &[u64]) -> Result<Vec<[u8; SECTOR_DATA_BYTES]>, SeroError> {
+        for &pba in pbas {
+            if let Some(line) = self.line_of(pba) {
+                if line.hash_block() == pba {
+                    return Err(SeroError::HashBlockAccess { pba });
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(pbas.len());
+        for (start, count) in contiguous_runs(pbas) {
+            let mut failure = None;
+            self.probe
+                .read_blocks_with(start, count, |_, sector| match sector {
+                    Ok(sector) => {
+                        out.push(sector.data);
+                        true
+                    }
+                    Err(e) => {
+                        failure = Some(SeroError::Sector(e));
+                        false
+                    }
+                })?;
+            if let Some(e) = failure {
+                return Err(e);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes many blocks with the same protocol checks as
+    /// [`SeroDevice::write_block`], batching consecutive addresses into
+    /// extent transfers. `data[i]` lands on `pbas[i]`.
+    ///
+    /// # Errors
+    ///
+    /// [`SeroError::ReadOnly`] if *any* target sits in a heated line
+    /// (checked up front, before any block is written);
+    /// [`SeroError::WriteDegraded`] at the first degraded block; sector
+    /// errors otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pbas` and `data` differ in length — a caller bug, not
+    /// a device condition.
+    pub fn write_blocks(
+        &mut self,
+        pbas: &[u64],
+        data: &[[u8; SECTOR_DATA_BYTES]],
+    ) -> Result<(), SeroError> {
+        assert_eq!(
+            pbas.len(),
+            data.len(),
+            "write_blocks needs one sector per address"
+        );
+        for &pba in pbas {
+            if let Some(line) = self.line_of(pba) {
+                return Err(SeroError::ReadOnly { line, pba });
+            }
+        }
+        let mut offset = 0usize;
+        for (start, count) in contiguous_runs(pbas) {
+            let count = count as usize;
+            // Stream the run so a degraded block stops the transfer with
+            // the trailing blocks untouched — exactly where the
+            // single-block loop would have stopped.
+            let mut degraded = None;
+            self.probe
+                .write_blocks_with(start, &data[offset..offset + count], |pba, report| {
+                    if report.unwritable_dots > 0 {
+                        degraded = Some(SeroError::WriteDegraded {
+                            pba,
+                            unwritable_dots: report.unwritable_dots,
+                        });
+                        return false;
+                    }
+                    true
+                })?;
+            if let Some(e) = degraded {
+                return Err(e);
+            }
+            offset += count;
+        }
+        Ok(())
+    }
+
     /// Computes the line digest: SHA-256 over a domain tag, the line
     /// coordinates, and each data block's physical address and contents —
     /// "a secure hash … of the blocks and their addresses" (§3).
+    ///
+    /// The data blocks are streamed through the hasher directly from the
+    /// probe's extent read — one seek for the whole line, no intermediate
+    /// per-block copies, and the transfer stops at the first failure.
     ///
     /// # Errors
     ///
@@ -323,15 +451,26 @@ impl SeroDevice {
         hasher.update(LINE_HASH_DOMAIN);
         hasher.update(&[line.order() as u8]);
         hasher.update(&line.start().to_le_bytes());
-        for pba in line.data_blocks() {
-            let sector = self
-                .probe
-                .mrs(pba)
-                .map_err(|source| SeroError::DataUnreadable { pba, source })?;
-            hasher.update(&pba.to_le_bytes());
-            hasher.update(&sector.data);
+        let mut failure = None;
+        self.probe.read_blocks_with(
+            line.start() + 1,
+            line.len() - 1,
+            |pba, sector| match sector {
+                Ok(sector) => {
+                    hasher.update(&pba.to_le_bytes());
+                    hasher.update(&sector.data);
+                    true
+                }
+                Err(source) => {
+                    failure = Some(SeroError::DataUnreadable { pba, source });
+                    false
+                }
+            },
+        )?;
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(hasher.finalize()),
         }
-        Ok(hasher.finalize())
     }
 
     /// Heats `line`: the paper's atomic sequence — read, hash, burn,
@@ -448,27 +587,31 @@ impl SeroDevice {
             return Ok(VerifyOutcome::Tampered(report));
         }
 
-        // Recompute the digest, collecting unreadable blocks as evidence.
+        // Recompute the digest, streaming the data blocks through the
+        // hasher in one extent read and collecting unreadable blocks as
+        // evidence.
         let mut hasher = Sha256::new();
         hasher.update(LINE_HASH_DOMAIN);
         hasher.update(&[line.order() as u8]);
         hasher.update(&line.start().to_le_bytes());
         let mut unreadable = false;
-        for pba in line.data_blocks() {
-            match self.probe.mrs(pba) {
-                Ok(sector) => {
-                    hasher.update(&pba.to_le_bytes());
-                    hasher.update(&sector.data);
+        self.probe
+            .read_blocks_with(line.start() + 1, line.len() - 1, |pba, sector| {
+                match sector {
+                    Ok(sector) => {
+                        hasher.update(&pba.to_le_bytes());
+                        hasher.update(&sector.data);
+                    }
+                    Err(e) => {
+                        unreadable = true;
+                        report.push(Evidence::UnreadableDataBlock {
+                            pba,
+                            reason: e.to_string(),
+                        });
+                    }
                 }
-                Err(e) => {
-                    unreadable = true;
-                    report.push(Evidence::UnreadableDataBlock {
-                        pba,
-                        reason: e.to_string(),
-                    });
-                }
-            }
-        }
+                true
+            })?;
         if unreadable {
             return Ok(VerifyOutcome::Tampered(report));
         }
@@ -491,6 +634,40 @@ impl SeroDevice {
             },
         );
         Ok(VerifyOutcome::Intact { payload })
+    }
+
+    /// Heats a batch of lines, one [`SeroDevice::heat_line`] per request,
+    /// returning per-line results in request order. This is a convenience
+    /// loop: the bulk win lives inside each `heat_line`, whose digest pass
+    /// streams the line's data blocks in a single extent read — there is
+    /// no additional cross-request amortization here.
+    pub fn heat_lines(
+        &mut self,
+        requests: Vec<(Line, Vec<u8>, u64)>,
+    ) -> Vec<Result<HashBlockPayload, SeroError>> {
+        requests
+            .into_iter()
+            .map(|(line, metadata, timestamp)| self.heat_line(line, metadata, timestamp))
+            .collect()
+    }
+
+    /// Verifies a batch of lines serially on this device, returning
+    /// `(line, outcome)` pairs in input order. This is the reference serial
+    /// loop the parallel [`crate::scrub`] path is benchmarked against.
+    ///
+    /// # Errors
+    ///
+    /// Only infrastructure failures (a line out of range); every tamper
+    /// finding is data in its [`VerifyOutcome`].
+    pub fn verify_lines(
+        &mut self,
+        lines: &[Line],
+    ) -> Result<Vec<(Line, VerifyOutcome)>, SeroError> {
+        let mut out = Vec::with_capacity(lines.len());
+        for &line in lines {
+            out.push((line, self.verify_line(line)?));
+        }
+        Ok(out)
     }
 
     /// Physically shreds every block of `line` — the §8 retention
@@ -529,29 +706,78 @@ impl SeroDevice {
         Ok(HashBlockPayload::from_scan(&scan))
     }
 
-    /// Rebuilds the registry by scanning every block — the recovery path
-    /// after restart or after an attacker "clears the directory structure"
-    /// (§5.2: a fsck-style scan recovers all heated files, slowly).
+    /// Drops every in-memory line record — simulating a restart (or an
+    /// attacker clearing volatile state) without touching the medium. The
+    /// physical truth is recoverable with
+    /// [`SeroDevice::rebuild_registry`].
+    pub fn forget_registry(&mut self) {
+        self.registry.clear();
+    }
+
+    /// Rebuilds the registry from scratch by scanning every block — the
+    /// recovery path after restart or after an attacker "clears the
+    /// directory structure" (§5.2: a fsck-style scan recovers all heated
+    /// files, slowly).
     ///
     /// # Errors
     ///
     /// Propagates sector-level errors (out-of-range cannot occur here).
     pub fn rebuild_registry(&mut self) -> Result<RegistryScan, SeroError> {
         self.registry.clear();
+        self.refresh_registry()
+    }
+
+    /// Incrementally refreshes the registry: blocks covered by
+    /// already-registered lines are skipped outright (their hash payloads
+    /// were validated when they entered the registry), and only the
+    /// remaining WMRM space is scanned for new line heads. On a device
+    /// with a populated registry this turns the O(device) re-read of
+    /// [`SeroDevice::rebuild_registry`] into a scan of the unheated
+    /// remainder — the mount-time fast path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sector-level errors (out-of-range cannot occur here).
+    pub fn refresh_registry(&mut self) -> Result<RegistryScan, SeroError> {
         let mut result = RegistryScan::default();
-        for pba in 0..self.block_count() {
+        // Snapshot the lines known *before* the scan: only those may be
+        // skipped. Lines discovered during this scan get their interior
+        // blocks probed exactly like a full rebuild would, so rebuild ≡
+        // clear + refresh.
+        let known: Vec<Line> = self.registry.values().map(|r| r.line).collect();
+        let mut next_known = known.iter().copied().peekable();
+
+        let mut pba = 0u64;
+        while pba < self.block_count() {
+            while next_known.peek().is_some_and(|l| l.end() <= pba) {
+                next_known.next();
+            }
+            if let Some(&line) = next_known.peek() {
+                if line.contains(pba) {
+                    result.lines_skipped += 1;
+                    pba = line.end();
+                    next_known.next();
+                    continue;
+                }
+            }
             // Cheap pre-probe: payloads are prefix-contiguous, so a block
             // whose first cells are all blank cannot be a line head (and a
             // tampered head shows up in the prefix too).
             let prefix = self.probe.ers_cells(pba, 16)?;
             if prefix.blank_cells().len() == 16 {
+                pba += 1;
                 continue;
             }
             match self.scan_block(pba)? {
                 Ok(payload) => {
                     // Trust only payloads physically located at their own
-                    // hash block.
-                    if payload.line().hash_block() == pba {
+                    // hash block and describing a line that fits the
+                    // device — a forged payload claiming a line that runs
+                    // off the end could otherwise poison the registry and
+                    // error every later scrub.
+                    if payload.line().hash_block() == pba
+                        && payload.line().end() <= self.block_count()
+                    {
                         self.registry.insert(
                             payload.line().start(),
                             LineRecord {
@@ -568,6 +794,7 @@ impl SeroDevice {
                 Err(PayloadError::Blank) => {}
                 Err(_) => result.suspicious_blocks.push(pba),
             }
+            pba += 1;
         }
         // Overlapping valid lines are physically impossible through the
         // protocol: flag every pair as splitting/coalescing evidence.
@@ -842,6 +1069,169 @@ mod tests {
         assert!(matches!(err, SeroError::HeatVerifyFailed { .. }));
         let outcome = dev.verify_line(line).unwrap();
         assert!(outcome.is_tampered());
+    }
+
+    #[test]
+    fn batch_read_matches_single_block_loop() {
+        let mut dev = filled_device(32);
+        dev.heat_line(Line::new(8, 2).unwrap(), vec![], T0).unwrap();
+        // A scattered list spanning a heated-line boundary (data blocks of
+        // the heated line are still magnetically readable).
+        let pbas = [2u64, 3, 4, 9, 10, 11, 20, 7];
+        let batch = dev.read_blocks(&pbas).unwrap();
+        let mut serial = dev.clone();
+        for (i, &pba) in pbas.iter().enumerate() {
+            assert_eq!(batch[i], serial.read_block(pba).unwrap(), "pba {pba}");
+        }
+    }
+
+    #[test]
+    fn batch_read_refuses_hash_block_upfront() {
+        let mut dev = filled_device(16);
+        dev.heat_line(Line::new(4, 2).unwrap(), vec![], T0).unwrap();
+        let before = dev.probe().counters().mrs;
+        let err = dev.read_blocks(&[0, 1, 4]).unwrap_err();
+        assert!(matches!(err, SeroError::HashBlockAccess { pba: 4 }));
+        assert_eq!(dev.probe().counters().mrs, before, "no I/O before refusal");
+    }
+
+    #[test]
+    fn batch_write_round_trips_and_respects_read_only() {
+        let mut dev = filled_device(16);
+        let pbas = [2u64, 3, 4, 8];
+        let data: Vec<[u8; SECTOR_DATA_BYTES]> = (0..4)
+            .map(|i| [0xA0 + i as u8; SECTOR_DATA_BYTES])
+            .collect();
+        dev.write_blocks(&pbas, &data).unwrap();
+        for (i, &pba) in pbas.iter().enumerate() {
+            assert_eq!(dev.read_block(pba).unwrap(), data[i]);
+        }
+        dev.heat_line(Line::new(8, 1).unwrap(), vec![], T0).unwrap();
+        let err = dev.write_blocks(&[2, 9], &data[..2]).unwrap_err();
+        assert!(matches!(err, SeroError::ReadOnly { pba: 9, .. }));
+        // The up-front check means block 2 was not touched either.
+        assert_eq!(dev.read_block(2).unwrap(), data[0]);
+    }
+
+    #[test]
+    fn batch_write_stops_at_first_degraded_block() {
+        let mut dev = filled_device(16);
+        // Vandalise a few dots of block 5's data area so a magnetic write
+        // reports unwritable dots there (no heated line registered).
+        for k in 0..4 {
+            let dot = dev.probe().block_first_dot(5)
+                + sero_probe::sector::DATA_AREA_FIRST_DOT as u64
+                + k * 16;
+            dev.probe_mut().ewb(dot);
+        }
+        let data: Vec<[u8; SECTOR_DATA_BYTES]> = (0..3)
+            .map(|i| [0xC0 + i as u8; SECTOR_DATA_BYTES])
+            .collect();
+        let err = dev.write_blocks(&[4, 5, 6], &data).unwrap_err();
+        assert!(matches!(err, SeroError::WriteDegraded { pba: 5, .. }));
+        // The block before the failure was written; the block after was
+        // not touched — exactly where the single-block loop would stop.
+        assert_eq!(dev.read_block(4).unwrap(), data[0]);
+        assert_eq!(dev.read_block(6).unwrap(), [6u8; SECTOR_DATA_BYTES]);
+    }
+
+    #[test]
+    fn heat_lines_and_verify_lines_batch() {
+        let mut dev = filled_device(32);
+        let lines = [Line::new(0, 2).unwrap(), Line::new(8, 2).unwrap()];
+        let results = dev.heat_lines(vec![
+            (lines[0], b"a".to_vec(), T0),
+            (lines[1], b"b".to_vec(), T0 + 1),
+        ]);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let outcomes = dev.verify_lines(&lines).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|(_, o)| o.is_intact()));
+        // Tamper one line; only it flips.
+        dev.probe_mut().mws(9, &[0xEE; 512]).unwrap();
+        let outcomes = dev.verify_lines(&lines).unwrap();
+        assert!(outcomes[0].1.is_intact());
+        assert!(outcomes[1].1.is_tampered());
+    }
+
+    #[test]
+    fn refresh_registry_skips_known_lines() {
+        let mut dev = filled_device(64);
+        let lines = [Line::new(0, 3).unwrap(), Line::new(16, 3).unwrap()];
+        for &line in &lines {
+            dev.heat_line(line, vec![], T0).unwrap();
+        }
+        // Full rebuild cost from scratch.
+        let mut cold = dev.clone();
+        cold.registry.clear();
+        let erb_before = cold.probe().counters().erb;
+        let scan = cold.rebuild_registry().unwrap();
+        assert_eq!((scan.lines_found, scan.lines_skipped), (2, 0));
+        let full_cost = cold.probe().counters().erb - erb_before;
+
+        // Incremental refresh on the populated registry.
+        let erb_before = dev.probe().counters().erb;
+        let scan = dev.refresh_registry().unwrap();
+        assert_eq!((scan.lines_found, scan.lines_skipped), (0, 2));
+        let incr_cost = dev.probe().counters().erb - erb_before;
+        assert!(
+            incr_cost < full_cost,
+            "incremental {incr_cost} erb should be below full {full_cost}"
+        );
+        // The registry still knows both lines and they still verify.
+        for line in lines {
+            assert!(dev.verify_line(line).unwrap().is_intact());
+        }
+    }
+
+    #[test]
+    fn refresh_registry_discovers_new_lines() {
+        let mut dev = filled_device(32);
+        dev.heat_line(Line::new(0, 2).unwrap(), vec![], T0).unwrap();
+        dev.refresh_registry().unwrap();
+        // A second line heated behind the registry's back (e.g. via a
+        // clone that was written elsewhere).
+        let mut other = dev.clone();
+        other.registry.clear();
+        other
+            .heat_line(Line::new(16, 2).unwrap(), vec![], T0)
+            .unwrap();
+        *dev.probe_mut() = other.probe().clone();
+        let scan = dev.refresh_registry().unwrap();
+        assert_eq!((scan.lines_found, scan.lines_skipped), (1, 1));
+        assert!(dev.is_read_only(16));
+    }
+
+    #[test]
+    fn contiguous_runs_splits_correctly() {
+        assert_eq!(contiguous_runs(&[1, 2, 3]), vec![(1, 3)]);
+        assert_eq!(contiguous_runs(&[3, 2, 1]), vec![(3, 1), (2, 1), (1, 1)]);
+        assert_eq!(contiguous_runs(&[5]), vec![(5, 1)]);
+        assert_eq!(contiguous_runs(&[7, 8, 8]), vec![(7, 2), (8, 1)]);
+        // Pointers near the address-space end must not overflow the
+        // run-extension arithmetic.
+        assert_eq!(contiguous_runs(&[u64::MAX, 0]), vec![(u64::MAX, 1), (0, 1)]);
+    }
+
+    #[test]
+    fn registry_rejects_payload_overrunning_device() {
+        // 80-block device; an attacker burns a well-formed payload at the
+        // aligned block 64 claiming an order-5 line (64..96, overruns).
+        let mut dev = filled_device(80);
+        let line = Line::new(64, 5).unwrap();
+        let payload = HashBlockPayload::new(line, digest_of(b"forged"), T0, vec![]).unwrap();
+        dev.probe_mut().ews(64, &payload.to_bits()).unwrap();
+
+        let scan = dev.rebuild_registry().unwrap();
+        assert_eq!(scan.lines_found, 0, "overrunning line must not register");
+        assert!(scan.suspicious_blocks.contains(&64));
+        assert!(!dev.is_read_only(64));
+    }
+
+    fn digest_of(data: &[u8]) -> Digest {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
     }
 
     #[test]

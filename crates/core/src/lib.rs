@@ -7,7 +7,7 @@
 //! crate implements that device on top of the simulated probe-storage
 //! substrate:
 //!
-//! * [`line`] — 2^N-aligned lines, the unit of the heat operation.
+//! * [`mod@line`] — 2^N-aligned lines, the unit of the heat operation.
 //! * [`layout`] — the Figure 3 hash-block record: Manchester-encoded
 //!   SHA-256 plus self-describing metadata in block 0's electrical area.
 //! * [`device`] — [`device::SeroDevice`]: protocol-checked block I/O,
@@ -16,6 +16,8 @@
 //!   analysis.
 //! * [`badblock`] — classification that never mistakes a heated block for
 //!   a bad one (§3's addressing discussion).
+//! * [`scrub`] — whole-device verification of every heated line, sharded
+//!   over parallel workers (the §5.2 fsck argument made routine).
 //!
 //! # Examples
 //!
@@ -44,10 +46,12 @@ pub mod device;
 pub mod journal;
 pub mod layout;
 pub mod line;
+pub mod scrub;
 pub mod tamper;
 
 pub use device::{SeroDevice, SeroError};
 pub use line::Line;
+pub use scrub::{scrub_device, ScrubConfig, ScrubReport, ScrubSummary};
 pub use tamper::{Evidence, TamperReport, VerifyOutcome};
 
 /// Convenient re-exports of the types most users need.
@@ -56,6 +60,7 @@ pub mod prelude {
     pub use crate::device::{LineRecord, SeroDevice, SeroError, SeroStats};
     pub use crate::layout::HashBlockPayload;
     pub use crate::line::Line;
+    pub use crate::scrub::{scrub_device, ScrubConfig, ScrubReport, ScrubSummary};
     pub use crate::tamper::{Evidence, TamperReport, VerifyOutcome};
 }
 

@@ -1,0 +1,364 @@
+//! Whole-device scrub: parallel verification of every heated line.
+//!
+//! The paper's §5.2 defence assumes whole-device verification is routine —
+//! "a fsck style scan of the medium would definitely recover (albeit
+//! slowly) all the heated files" — and its capacity arithmetic (100 nm
+//! pitch ⇒ 10 Gbit/cm²) makes *slowly* a real problem: at device scale a
+//! serial [`SeroDevice::verify_line`] crawl leaves the probe array mostly
+//! idle. Real probe-storage hardware is massively parallel (the µSPAM has
+//! one tip per track group), so a scrub controller can shard the heated
+//! lines over independent probe controllers and verify them concurrently.
+//!
+//! [`scrub_device`] models exactly that: the registered heated lines are
+//! split into contiguous shards, each shard is verified by a worker thread
+//! on its own clone of the device (clones share no state, mirroring
+//! per-region controllers with private channels and clocks), and the
+//! results are merged into a per-line [`VerifyOutcome`] report plus a
+//! device-wide [`ScrubSummary`]. Two times fall out:
+//!
+//! * **serial device time** — the sum of all workers' busy time: what the
+//!   one-line-at-a-time loop would have cost;
+//! * **parallel device time** — the maximum over workers: what the sharded
+//!   scrub costs wall-clock on the device. The originating device's clock
+//!   advances by this amount.
+//!
+//! Their ratio is the scrub speedup reported by `exp_scrub` and tracked in
+//! `BENCH_scrub.json`. Verification outcomes are *identical* to the serial
+//! loop: sharding changes who reads a line, never what is read (the 26 dB
+//! default read channel makes detection deterministic in practice, and the
+//! property tests in `tests/bulk_io_props.rs` pin this equivalence).
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_core::device::SeroDevice;
+//! use sero_core::line::Line;
+//! use sero_core::scrub::{scrub_device, ScrubConfig};
+//!
+//! let mut dev = SeroDevice::with_blocks(64);
+//! for start in [0u64, 8, 16] {
+//!     let line = Line::new(start, 3)?;
+//!     for pba in line.data_blocks() {
+//!         dev.write_block(pba, &[pba as u8; 512])?;
+//!     }
+//!     dev.heat_line(line, vec![], 0)?;
+//! }
+//! let report = scrub_device(&mut dev, &ScrubConfig::with_workers(2))?;
+//! assert_eq!(report.summary.lines, 3);
+//! assert_eq!(report.summary.intact, 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::device::{SeroDevice, SeroError};
+use crate::line::Line;
+use crate::tamper::VerifyOutcome;
+use sero_probe::sector::SECTOR_DATA_BYTES;
+
+/// Tuning knobs for [`scrub_device`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubConfig {
+    /// Number of worker shards. `0` (the default) picks the host's
+    /// available parallelism (clamped to 8); `1` verifies in place without
+    /// cloning the device.
+    pub workers: usize,
+}
+
+impl ScrubConfig {
+    /// A config with an explicit worker count.
+    pub fn with_workers(workers: usize) -> ScrubConfig {
+        ScrubConfig { workers }
+    }
+
+    /// The worker count actually used for `lines` heated lines.
+    pub fn effective_workers(&self, lines: usize) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            self.workers
+        };
+        requested.clamp(1, lines.max(1))
+    }
+}
+
+/// One line's scrub result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineScrub {
+    /// The heated line verified.
+    pub line: Line,
+    /// What verification found.
+    pub outcome: VerifyOutcome,
+}
+
+/// Device-wide totals of one scrub pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubSummary {
+    /// Heated lines verified.
+    pub lines: usize,
+    /// Lines whose data matched their heated hash.
+    pub intact: usize,
+    /// Lines with tamper evidence.
+    pub tampered: usize,
+    /// Registered lines whose hash block scanned blank (should not happen
+    /// on a healthy registry; counted rather than dropped).
+    pub not_heated: usize,
+    /// Bytes of protected data re-hashed.
+    pub data_bytes: u64,
+    /// Worker shards used.
+    pub workers: usize,
+    /// Simulated device time of the sharded scrub: max busy time over
+    /// workers. The device clock advances by this much.
+    pub device_ns: u128,
+    /// Simulated device time a serial verify loop would have spent: the
+    /// sum of all workers' busy time.
+    pub serial_device_ns: u128,
+    /// Host wall-clock nanoseconds the scrub took (informational; noisy).
+    pub host_ns: u128,
+}
+
+impl ScrubSummary {
+    /// Device-time speedup of the sharded scrub over the serial loop.
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.device_ns == 0 {
+            1.0
+        } else {
+            self.serial_device_ns as f64 / self.device_ns as f64
+        }
+    }
+
+    /// True when no line showed tamper evidence.
+    pub fn is_clean(&self) -> bool {
+        self.tampered == 0
+    }
+}
+
+/// Full scrub output: per-line outcomes (in address order) plus totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrubReport {
+    /// Per-line outcomes, sorted by line start address.
+    pub outcomes: Vec<LineScrub>,
+    /// Device-wide totals.
+    pub summary: ScrubSummary,
+}
+
+impl ScrubReport {
+    /// The lines that showed tamper evidence.
+    pub fn tampered_lines(&self) -> impl Iterator<Item = &LineScrub> {
+        self.outcomes.iter().filter(|l| l.outcome.is_tampered())
+    }
+}
+
+/// Verifies every registered heated line, sharded over
+/// `config`-many worker threads (see the module docs for the model).
+///
+/// The registry is the work list: call
+/// [`SeroDevice::rebuild_registry`] / [`SeroDevice::refresh_registry`]
+/// first if the device was just attached. The device clock advances by the
+/// parallel elapsed time.
+///
+/// Each worker clones the full device, so host memory scales with
+/// `workers × device size` and host wall time does not improve on small
+/// hosts — the win is in *device* time. A read-only share is not an
+/// option: the five-step `erb` protocol physically inverts and restores
+/// dots, so verification mutates the medium (and its channel RNG and
+/// clock) even though it leaves the data unchanged.
+///
+/// # Errors
+///
+/// Only infrastructure failures propagate (a registered line out of
+/// range); tamper findings are data in the report.
+pub fn scrub_device(dev: &mut SeroDevice, config: &ScrubConfig) -> Result<ScrubReport, SeroError> {
+    let lines: Vec<Line> = dev.heated_lines().map(|r| r.line).collect();
+    let host_start = std::time::Instant::now();
+    let workers = config.effective_workers(lines.len());
+
+    let mut summary = ScrubSummary {
+        workers,
+        ..ScrubSummary::default()
+    };
+    if lines.is_empty() {
+        summary.host_ns = host_start.elapsed().as_nanos();
+        return Ok(ScrubReport {
+            outcomes: Vec::new(),
+            summary,
+        });
+    }
+
+    // Contiguous shards: each worker owns an address range, so its seeks
+    // stay short — the same locality argument as the fs cleaner's.
+    // Ceil-division chunking can yield fewer shards than requested
+    // workers; the summary reports what actually ran.
+    let chunk = lines.len().div_ceil(workers);
+    let shards: Vec<Vec<Line>> = lines.chunks(chunk).map(<[Line]>::to_vec).collect();
+    let workers = shards.len();
+    summary.workers = workers;
+    let base_ns = dev.probe().clock().elapsed_ns();
+
+    let mut busy_ns: Vec<u128> = Vec::with_capacity(shards.len());
+    let mut outcomes: Vec<LineScrub> = Vec::with_capacity(lines.len());
+
+    if workers <= 1 {
+        for line in lines {
+            let outcome = dev.verify_line(line)?;
+            outcomes.push(LineScrub { line, outcome });
+        }
+        busy_ns.push(dev.probe().clock().elapsed_ns() - base_ns);
+    } else {
+        let shared: &SeroDevice = dev;
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|shard| {
+                    scope.spawn(move || -> Result<(u128, Vec<LineScrub>), SeroError> {
+                        let mut local = shared.clone();
+                        let mut out = Vec::with_capacity(shard.len());
+                        for line in shard {
+                            let outcome = local.verify_line(line)?;
+                            out.push(LineScrub { line, outcome });
+                        }
+                        Ok((local.probe().clock().elapsed_ns() - base_ns, out))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scrub worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for result in results {
+            let (ns, shard_outcomes) = result?;
+            busy_ns.push(ns);
+            outcomes.extend(shard_outcomes);
+        }
+        let elapsed = busy_ns.iter().copied().max().unwrap_or(0);
+        dev.probe_mut().advance_clock(elapsed as u64);
+    }
+
+    outcomes.sort_by_key(|l| l.line.start());
+    for scrubbed in &outcomes {
+        summary.lines += 1;
+        summary.data_bytes += (scrubbed.line.len() - 1) * SECTOR_DATA_BYTES as u64;
+        match &scrubbed.outcome {
+            VerifyOutcome::Intact { .. } => summary.intact += 1,
+            VerifyOutcome::Tampered(_) => summary.tampered += 1,
+            VerifyOutcome::NotHeated => summary.not_heated += 1,
+        }
+    }
+    summary.device_ns = busy_ns.iter().copied().max().unwrap_or(0);
+    summary.serial_device_ns = busy_ns.iter().sum();
+    summary.host_ns = host_start.elapsed().as_nanos();
+    Ok(ScrubReport { outcomes, summary })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: u64 = 1_199_145_600;
+
+    fn heated_device(blocks: u64, order: u32, lines: usize) -> (SeroDevice, Vec<Line>) {
+        let mut dev = SeroDevice::with_blocks(blocks);
+        let len = 1u64 << order;
+        let mut heated = Vec::new();
+        for i in 0..lines as u64 {
+            let line = Line::new(i * len, order).unwrap();
+            for pba in line.data_blocks() {
+                dev.write_block(pba, &[pba as u8; 512]).unwrap();
+            }
+            dev.heat_line(line, vec![], T0 + i).unwrap();
+            heated.push(line);
+        }
+        (dev, heated)
+    }
+
+    #[test]
+    fn scrub_matches_serial_verify() {
+        let (mut dev, lines) = heated_device(128, 3, 8);
+        // Tamper with two lines in different ways.
+        dev.probe_mut()
+            .mws(lines[2].start() + 1, &[0xBB; 512])
+            .unwrap();
+        let cell = dev.probe().electrical_cell_dot(lines[5].hash_block(), 0);
+        dev.probe_mut().ewb(cell);
+        dev.probe_mut().ewb(cell + 1);
+
+        let mut serial_dev = dev.clone();
+        let serial = serial_dev.verify_lines(&lines).unwrap();
+        let report = scrub_device(&mut dev, &ScrubConfig::with_workers(3)).unwrap();
+
+        assert_eq!(report.outcomes.len(), serial.len());
+        for (scrubbed, (line, outcome)) in report.outcomes.iter().zip(serial.iter()) {
+            assert_eq!(scrubbed.line, *line);
+            assert_eq!(&scrubbed.outcome, outcome, "divergence on {line}");
+        }
+        assert_eq!(report.summary.tampered, 2);
+        assert_eq!(report.summary.intact, 6);
+        assert_eq!(report.tampered_lines().count(), 2);
+    }
+
+    #[test]
+    fn sharded_scrub_is_faster_in_device_time() {
+        let (mut dev, _) = heated_device(128, 3, 8);
+        let report = scrub_device(&mut dev, &ScrubConfig::with_workers(4)).unwrap();
+        assert_eq!(report.summary.workers, 4);
+        assert!(
+            report.summary.parallel_speedup() > 2.0,
+            "speedup {} with 4 workers",
+            report.summary.parallel_speedup()
+        );
+        assert!(report.summary.device_ns < report.summary.serial_device_ns);
+    }
+
+    #[test]
+    fn scrub_advances_the_device_clock_by_parallel_time() {
+        let (mut dev, _) = heated_device(64, 3, 4);
+        let before = dev.probe().clock().elapsed_ns();
+        let report = scrub_device(&mut dev, &ScrubConfig::with_workers(2)).unwrap();
+        let advanced = dev.probe().clock().elapsed_ns() - before;
+        assert_eq!(advanced, report.summary.device_ns);
+    }
+
+    #[test]
+    fn single_worker_runs_in_place() {
+        let (mut dev, lines) = heated_device(64, 2, 4);
+        let report = scrub_device(&mut dev, &ScrubConfig::with_workers(1)).unwrap();
+        assert_eq!(report.summary.lines, lines.len());
+        assert_eq!(report.summary.device_ns, report.summary.serial_device_ns);
+        assert!((report.summary.parallel_speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_registry_scrubs_cleanly() {
+        let mut dev = SeroDevice::with_blocks(16);
+        let report = scrub_device(&mut dev, &ScrubConfig::default()).unwrap();
+        assert_eq!(report.summary.lines, 0);
+        assert!(report.summary.is_clean());
+        assert!(report.outcomes.is_empty());
+    }
+
+    #[test]
+    fn worker_counts_clamp_sensibly() {
+        let cfg = ScrubConfig::with_workers(16);
+        assert_eq!(cfg.effective_workers(3), 3, "never more workers than lines");
+        assert_eq!(cfg.effective_workers(0), 1);
+        assert!(ScrubConfig::default().effective_workers(100) >= 1);
+    }
+
+    #[test]
+    fn summary_reports_actual_shard_count() {
+        // 6 lines over 4 requested workers: ceil-chunking yields 3 shards
+        // of 2 — the summary must say 3, not 4.
+        let (mut dev, _) = heated_device(64, 3, 6);
+        let report = scrub_device(&mut dev, &ScrubConfig::with_workers(4)).unwrap();
+        assert_eq!(report.summary.workers, 3);
+    }
+
+    #[test]
+    fn summary_counts_bytes() {
+        let (mut dev, _) = heated_device(64, 3, 2);
+        let report = scrub_device(&mut dev, &ScrubConfig::with_workers(2)).unwrap();
+        assert_eq!(report.summary.data_bytes, 2 * 7 * 512);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The FAST 2008 paper *Towards Tamper-evident Storage on Patterned Media*
 //! stores a secure hash of each heated line in write-once Manchester cells.
-//! This crate provides that hash — [`sha256`] implemented from scratch per
+//! This crate provides that hash — [`sha256()`] implemented from scratch per
 //! FIPS 180-4 and validated against NIST vectors — plus [`hmac`] for the
 //! optional keyed metadata described in the paper's Figure 3, and [`hex`]
 //! utilities used by reports and tools.

@@ -16,7 +16,6 @@
 use crate::alloc::{BlockUse, WriteClass};
 use crate::error::FsError;
 use crate::fs::SeroFs;
-use sero_probe::sector::SECTOR_DATA_BYTES;
 
 /// Outcome of one cleaner invocation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -96,10 +95,31 @@ impl SeroFs {
 
             // Phase 2: compact — move live movable blocks out so the
             // segment can become clean. Heated blocks stay forever.
+            //
+            // The moves are planned first (allocation only), then executed
+            // as one batch read of the victim segment's live blocks and one
+            // batch write to the log head: the sources are contiguous-ish
+            // within the segment and the targets cluster at the head, so
+            // both sides collapse into a few extent transfers.
+            let mut moves: Vec<(u64, u64, BlockUse)> = Vec::new();
             for block in self.alloc.segment_range(seg) {
                 let block_use = self.alloc.block_use(block);
                 if self.alloc.is_heated(block) || !block_use.is_movable_live() {
                     continue;
+                }
+                // A Data block not (yet) listed in its owning inode belongs
+                // to an in-flight create() or write() — this cleaner run
+                // was triggered from its allocation loop. The block may not
+                // be written yet, and the writer holds its address in a
+                // local list nothing here could repoint. Leave it alone.
+                if let BlockUse::Data { ino } = block_use {
+                    let owned = self
+                        .inodes
+                        .get(&ino)
+                        .is_some_and(|inode| inode.blocks.contains(&block));
+                    if !owned {
+                        continue;
+                    }
                 }
                 let target = match self.alloc.alloc_block(WriteClass::Normal) {
                     Some(t) => t,
@@ -111,37 +131,60 @@ impl SeroFs {
                     self.alloc.set_use(target, BlockUse::Free);
                     break;
                 }
-                let content: [u8; SECTOR_DATA_BYTES] = self.dev.read_block(block)?;
-                self.dev.write_block(target, &content)?;
-                stats.blocks_copied += 1;
-                self.stats.cleaner_copied += 1;
+                // Claim the target immediately: an unclaimed block is still
+                // `Free` to the allocator's wrap-around sweep, which would
+                // hand it out again for the next planned move.
+                self.alloc.set_use(target, block_use);
+                moves.push((block, target, block_use));
+            }
 
-                match block_use {
-                    BlockUse::Data { ino } => {
-                        self.alloc.set_use(target, BlockUse::Data { ino });
-                        if let Some(inode) = self.inodes.get_mut(&ino) {
-                            for b in inode.blocks.iter_mut() {
-                                if *b == block {
-                                    *b = target;
+            if !moves.is_empty() {
+                let sources: Vec<u64> = moves.iter().map(|&(block, _, _)| block).collect();
+                let targets: Vec<u64> = moves.iter().map(|&(_, target, _)| target).collect();
+                // If the copy fails (damaged source, degraded target), the
+                // sources are still authoritative and no metadata points at
+                // the targets — release the claims so the failed plan does
+                // not leak phantom live blocks, then surface the error.
+                let copied = self
+                    .dev
+                    .read_blocks(&sources)
+                    .and_then(|contents| self.dev.write_blocks(&targets, &contents));
+                if let Err(e) = copied {
+                    for &target in &targets {
+                        self.alloc.set_use(target, BlockUse::Free);
+                    }
+                    return Err(e.into());
+                }
+                stats.blocks_copied += moves.len() as u64;
+                self.stats.cleaner_copied += moves.len() as u64;
+
+                for (block, target, block_use) in moves {
+                    // The target already carries `block_use` from the
+                    // planning loop; only owner metadata needs fixing up.
+                    match block_use {
+                        BlockUse::Data { ino } => {
+                            if let Some(inode) = self.inodes.get_mut(&ino) {
+                                for b in inode.blocks.iter_mut() {
+                                    if *b == block {
+                                        *b = target;
+                                    }
                                 }
                             }
                         }
+                        BlockUse::InodeBlock { ino } => {
+                            self.inode_loc.insert(ino, target);
+                            // The moved copy embeds stale pointers; rewrite it
+                            // freshly at the new home so mount stays coherent.
+                            self.rewrite_inode_at(ino, target)?;
+                        }
+                        BlockUse::Indirect { ino } => {
+                            self.indirect_loc.insert(ino, target);
+                            self.rewrite_indirect_at(ino, target)?;
+                        }
+                        _ => unreachable!("filtered by is_movable_live"),
                     }
-                    BlockUse::InodeBlock { ino } => {
-                        self.alloc.set_use(target, BlockUse::InodeBlock { ino });
-                        self.inode_loc.insert(ino, target);
-                        // The moved copy embeds stale pointers; rewrite it
-                        // freshly at the new home so mount stays coherent.
-                        self.rewrite_inode_at(ino, target)?;
-                    }
-                    BlockUse::Indirect { ino } => {
-                        self.alloc.set_use(target, BlockUse::Indirect { ino });
-                        self.indirect_loc.insert(ino, target);
-                        self.rewrite_indirect_at(ino, target)?;
-                    }
-                    _ => unreachable!("filtered by is_movable_live"),
+                    self.alloc.set_use(block, BlockUse::Free);
                 }
-                self.alloc.set_use(block, BlockUse::Free);
             }
             stats.segments_cleaned += 1;
         }

@@ -42,6 +42,7 @@ use crate::inode::{FileKind, Inode, MAX_BLOCKS, MAX_FILE_BYTES, MAX_NAME_BYTES, 
 use sero_codec::crc32::crc32;
 use sero_core::device::SeroDevice;
 use sero_core::line::{Line, MAX_ORDER};
+use sero_core::scrub::{scrub_device, ScrubConfig, ScrubReport};
 use sero_core::tamper::VerifyOutcome;
 use sero_probe::sector::SECTOR_DATA_BYTES;
 use std::collections::BTreeMap;
@@ -178,8 +179,10 @@ impl SeroFs {
             config.policy,
         );
 
-        // Physical truth first: rediscover heated lines.
-        dev.rebuild_registry()?;
+        // Physical truth first: rediscover heated lines. The incremental
+        // path skips blocks of lines the registry already knows, so a
+        // remount of a long-lived device scans only the WMRM remainder.
+        dev.refresh_registry()?;
         let records: Vec<_> = dev.heated_lines().cloned().collect();
         for record in &records {
             alloc.pin_line(record.line);
@@ -376,20 +379,29 @@ impl SeroFs {
         ino: u64,
     ) -> Result<Vec<u64>, FsError> {
         let n = data.len().div_ceil(SECTOR_DATA_BYTES).max(1);
+        // Allocate (and claim) all targets first, then push the data
+        // through the batch write path: the allocator clusters, so most
+        // files land as one or two contiguous extents and pay one seek
+        // each. Claiming at allocation time matters — an unclaimed block
+        // is still `Free` to the allocator's wrap-around sweep.
         let mut blocks = Vec::with_capacity(n);
-        for chunk_idx in 0..n {
+        for _ in 0..n {
             let block = self.alloc_block_or_clean(class)?;
+            self.alloc.set_use(block, BlockUse::Data { ino });
+            blocks.push(block);
+        }
+        let mut sectors = Vec::with_capacity(n);
+        for chunk_idx in 0..n {
             let mut sector = [0u8; SECTOR_DATA_BYTES];
             let from = chunk_idx * SECTOR_DATA_BYTES;
             let to = ((chunk_idx + 1) * SECTOR_DATA_BYTES).min(data.len());
             if from < data.len() {
                 sector[..to - from].copy_from_slice(&data[from..to]);
             }
-            self.dev.write_block(block, &sector)?;
-            self.alloc.set_use(block, BlockUse::Data { ino });
-            blocks.push(block);
-            self.stats.blocks_written += 1;
+            sectors.push(sector);
         }
+        self.dev.write_blocks(&blocks, &sectors)?;
+        self.stats.blocks_written += n as u64;
         Ok(blocks)
     }
 
@@ -440,10 +452,11 @@ impl SeroFs {
             let inode = self.lookup(name)?;
             (inode.blocks.clone(), inode.size as usize)
         };
+        let sectors = self.dev.read_blocks(&blocks)?;
+        self.stats.blocks_read += blocks.len() as u64;
         let mut out = Vec::with_capacity(blocks.len() * SECTOR_DATA_BYTES);
-        for b in blocks {
-            out.extend_from_slice(&self.dev.read_block(b)?);
-            self.stats.blocks_read += 1;
+        for sector in &sectors {
+            out.extend_from_slice(sector);
         }
         out.truncate(size);
         Ok(out)
@@ -566,25 +579,28 @@ impl SeroFs {
             }
         };
 
-        // Copy data into the line.
+        // Copy data into the line: batch-read the scattered source blocks,
+        // batch-write the contiguous target extent.
         let inode_block = line.start() + 1;
         let indirect_block = needs_indirect.then_some(line.start() + 2);
         let data_start = line.start() + 2 + needs_indirect as u64;
-        let mut new_blocks = Vec::with_capacity(old_blocks.len());
-        for (i, &old) in old_blocks.iter().enumerate() {
-            let content = self.dev.read_block(old)?;
-            let target = data_start + i as u64;
-            self.dev.write_block(target, &content)?;
+        let contents = self.dev.read_blocks(&old_blocks)?;
+        let new_blocks: Vec<u64> = (0..old_blocks.len() as u64)
+            .map(|i| data_start + i)
+            .collect();
+        self.dev.write_blocks(&new_blocks, &contents)?;
+        for &target in &new_blocks {
             self.alloc.set_use(target, BlockUse::Data { ino });
-            new_blocks.push(target);
         }
 
         // Zero-fill the line's slack: the heat operation hashes every
         // block of the line, so all of them must be formatted. Slack
         // blocks are pinned by the heat and never allocatable again.
-        for slack in data_start + old_blocks.len() as u64..line.end() {
-            self.dev.write_block(slack, &[0u8; SECTOR_DATA_BYTES])?;
-            self.alloc.set_use(slack, BlockUse::Dead);
+        let slack: Vec<u64> = (data_start + old_blocks.len() as u64..line.end()).collect();
+        self.dev
+            .write_blocks(&slack, &vec![[0u8; SECTOR_DATA_BYTES]; slack.len()])?;
+        for &block in &slack {
+            self.alloc.set_use(block, BlockUse::Dead);
         }
 
         // Write the updated inode inside the line.
@@ -638,6 +654,19 @@ impl SeroFs {
             None => return Ok(VerifyOutcome::NotHeated),
         };
         Ok(self.dev.verify_line(line)?)
+    }
+
+    /// Scrubs the whole device: verifies every heated line (files and raw
+    /// application lines alike), sharded over parallel workers — the §5.2
+    /// fsck argument made routine. See [`sero_core::scrub`] for the model
+    /// and the report shape.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure failures only; tamper findings are data in the
+    /// report.
+    pub fn scrub(&mut self, config: &ScrubConfig) -> Result<ScrubReport, FsError> {
+        Ok(scrub_device(&mut self.dev, config)?)
     }
 
     // --- checkpoint ----------------------------------------------------------

@@ -34,7 +34,7 @@
 
 use crate::error::FsError;
 use crate::inode::Inode;
-use sero_core::device::SeroDevice;
+use sero_core::device::{contiguous_runs, SeroDevice};
 use sero_core::line::Line;
 use sero_probe::sector::SECTOR_DATA_BYTES;
 
@@ -89,15 +89,31 @@ pub fn recover_heated_files(dev: &mut SeroDevice) -> Result<Vec<RecoveredFile>, 
             }
         }
 
+        // Heated file data is contiguous inside its line, so the raw reads
+        // collapse into (usually) one extent transfer per file.
         let mut data = Vec::with_capacity(inode.blocks.len() * SECTOR_DATA_BYTES);
         let mut readable = true;
-        for &b in &inode.blocks {
-            match dev.probe_mut().mrs(b) {
-                Ok(sector) => data.extend_from_slice(&sector.data),
-                Err(_) => {
-                    readable = false;
-                    break;
-                }
+        for (start, count) in contiguous_runs(&inode.blocks) {
+            // An out-of-range pointer in a crafted/damaged inode makes the
+            // whole extent invalid — salvage what was read so far rather
+            // than aborting the recovery of every other file.
+            let extent = dev
+                .probe_mut()
+                .read_blocks_with(start, count, |_, sector| match sector {
+                    Ok(sector) => {
+                        data.extend_from_slice(&sector.data);
+                        true
+                    }
+                    Err(_) => {
+                        readable = false;
+                        false
+                    }
+                });
+            if extent.is_err() {
+                readable = false;
+            }
+            if !readable {
+                break;
             }
         }
         data.truncate(inode.size as usize);
@@ -191,6 +207,43 @@ mod tests {
         let recovered = recover_heated_files(&mut fresh).unwrap();
         for r in &recovered {
             assert!(!r.intact);
+        }
+    }
+
+    #[test]
+    fn crafted_out_of_range_inode_does_not_abort_recovery() {
+        // A real heated file plus a raw heated line whose "inode" block
+        // carries pointers far outside the device. Recovery must salvage
+        // the crafted entry as tampered (or skip it) without erroring, and
+        // still return the real file intact.
+        let mut fs = setup();
+        fs.create("real.log", &[5u8; 1024], WriteClass::Archival)
+            .unwrap();
+        fs.heat("real.log", vec![], 0).unwrap();
+
+        let line = sero_core::line::Line::new(256, 2).unwrap();
+        for pba in line.data_blocks() {
+            fs.device_mut().write_block(pba, &[0u8; 512]).unwrap();
+        }
+        let mut evil = Inode::new(77, "evil", crate::inode::FileKind::Regular);
+        evil.size = 512;
+        evil.blocks = vec![u64::MAX - 7];
+        let (encoded, _) = evil.encode(None).unwrap();
+        fs.device_mut()
+            .write_block(line.start() + 1, &encoded)
+            .unwrap();
+        fs.device_mut().heat_line(line, vec![], 1).unwrap();
+
+        let mut dev = fs.into_device();
+        let recovered = recover_heated_files(&mut dev).unwrap();
+        let real = recovered
+            .iter()
+            .find(|r| r.name == "real.log")
+            .expect("real file recovered despite the crafted inode");
+        assert!(real.intact);
+        assert_eq!(real.data, vec![5u8; 1024]);
+        if let Some(evil) = recovered.iter().find(|r| r.name == "evil") {
+            assert!(!evil.intact, "out-of-range pointers cannot verify");
         }
     }
 

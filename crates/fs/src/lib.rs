@@ -59,6 +59,62 @@ mod tests {
     }
 
     #[test]
+    fn scrub_covers_all_heated_files_and_finds_tampering() {
+        use sero_core::scrub::ScrubConfig;
+
+        let mut fs = fresh(512);
+        for i in 0..4 {
+            let name = format!("ledger-{i}");
+            fs.create(&name, &[i as u8 + 1; 1500], WriteClass::Archival)
+                .unwrap();
+            fs.heat(&name, vec![], i as u64).unwrap();
+        }
+        let report = fs.scrub(&ScrubConfig::with_workers(2)).unwrap();
+        assert_eq!(report.summary.lines, 4);
+        assert_eq!(report.summary.intact, 4);
+        assert!(report.summary.is_clean());
+
+        // An attacker rewrites one protected file's data through the raw
+        // probe; the next scrub names the line.
+        let line = fs.stat("ledger-2").unwrap().heated.unwrap();
+        fs.device_mut()
+            .probe_mut()
+            .mws(line.start() + 2, &[0u8; 512])
+            .unwrap();
+        let report = fs.scrub(&ScrubConfig::with_workers(2)).unwrap();
+        assert_eq!(report.summary.tampered, 1);
+        assert_eq!(report.tampered_lines().next().unwrap().line, line);
+    }
+
+    #[test]
+    fn remount_uses_incremental_registry_scan() {
+        let mut fs = fresh(512);
+        fs.create("frozen", &[9u8; 4000], WriteClass::Archival)
+            .unwrap();
+        fs.heat("frozen", vec![], 1).unwrap();
+        fs.sync().unwrap();
+        let dev = fs.into_device();
+        // The registry survives in the device handed to mount, so the
+        // incremental scan skips the heated line's blocks.
+        let erb_before = dev.probe().counters().erb;
+        let fs = SeroFs::mount(dev).unwrap();
+        let rescan_cost = fs.device().probe().counters().erb - erb_before;
+
+        // A cold mount (registry wiped) must scan everything.
+        let mut cold_dev = fs.into_device();
+        cold_dev.forget_registry();
+        let erb_before = cold_dev.probe().counters().erb;
+        let mut fs = SeroFs::mount(cold_dev).unwrap();
+        let cold_cost = fs.device().probe().counters().erb - erb_before;
+        assert!(
+            rescan_cost < cold_cost,
+            "incremental {rescan_cost} erb should beat cold {cold_cost} erb"
+        );
+        assert_eq!(fs.read("frozen").unwrap(), vec![9u8; 4000]);
+        assert!(fs.verify("frozen").unwrap().is_intact());
+    }
+
+    #[test]
     fn create_read_round_trip() {
         let mut fs = fresh(256);
         let data: Vec<u8> = (0..3000).map(|i| (i % 251) as u8).collect();
@@ -232,6 +288,116 @@ mod tests {
         }
         let stats = fs.run_cleaner(usize::MAX).unwrap();
         assert!(stats.blocks_reclaimed >= 48, "{stats:?}");
+    }
+
+    #[test]
+    fn cleaner_compaction_preserves_data_under_space_pressure() {
+        // Near-full device: interleave live files with garbage so the
+        // cleaner must compact (move live blocks) with very few free
+        // blocks available — the regime where an unclaimed planned target
+        // could be handed out twice. Every surviving file must read back
+        // byte-identical after repeated cleaning.
+        let mut fs = fresh(128); // two 64-block segments, 16 checkpoint
+        for i in 0..10 {
+            fs.create(
+                &format!("keep-{i}"),
+                &[i as u8 + 1; 2048],
+                WriteClass::Normal,
+            )
+            .unwrap();
+            fs.create(&format!("gap-{i}"), &[0xEE; 2048], WriteClass::Normal)
+                .unwrap();
+            if i % 2 == 0 {
+                fs.remove(&format!("gap-{i}")).unwrap();
+            }
+            let _ = fs.run_cleaner(usize::MAX);
+            for j in 0..=i {
+                assert_eq!(
+                    fs.read(&format!("keep-{j}")).unwrap(),
+                    vec![j as u8 + 1; 2048],
+                    "keep-{j} corrupted after cleaning round {i}"
+                );
+            }
+            if fs.free_blocks() < 16 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn failed_compaction_releases_claimed_targets() {
+        use crate::alloc::BlockUse;
+
+        // Build a victim segment with both garbage and live data, then
+        // heat-damage every free block outside it so the first compaction
+        // copy hits WriteDegraded. The cleaner must surface the error
+        // without leaving phantom claimed targets behind.
+        let mut fs = fresh(256);
+        for i in 0..6 {
+            fs.create(&format!("f{i}"), &[i as u8 + 1; 4096], WriteClass::Normal)
+                .unwrap();
+        }
+        for i in 0..3 {
+            fs.remove(&format!("f{i}")).unwrap();
+        }
+        let total = fs.device().block_count();
+        for pba in 0..total {
+            if fs.alloc.block_use(pba) == BlockUse::Free {
+                let dot = fs.device().probe().block_first_dot(pba)
+                    + sero_probe::sector::DATA_AREA_FIRST_DOT as u64;
+                fs.device_mut().probe_mut().ewb(dot);
+            }
+        }
+
+        let live_claims = |fs: &SeroFs| -> u64 {
+            (0..total)
+                .filter(|&b| fs.alloc.block_use(b).is_movable_live())
+                .count() as u64
+        };
+        let referenced = |fs: &SeroFs| -> u64 {
+            let data: usize = fs.inodes.values().map(|i| i.blocks.len()).sum();
+            (data + fs.inode_loc.len() + fs.indirect_loc.len()) as u64
+        };
+
+        let before = live_claims(&fs);
+        let result = fs.run_cleaner(usize::MAX);
+        assert!(result.is_err(), "degraded targets must surface the error");
+        assert_eq!(
+            live_claims(&fs),
+            before,
+            "failed compaction leaked phantom claimed blocks"
+        );
+        assert_eq!(live_claims(&fs), referenced(&fs));
+        // The live files are untouched.
+        for i in 3..6 {
+            assert_eq!(fs.read(&format!("f{i}")).unwrap(), vec![i as u8 + 1; 4096]);
+        }
+    }
+
+    #[test]
+    fn cleaner_leaves_in_flight_create_blocks_alone() {
+        use crate::alloc::BlockUse;
+
+        // Simulate the moment inside create(): a block is claimed as
+        // Data{ino} but its inode is not inserted yet (and the block may
+        // be unwritten). A cleaner pass over a dirty neighbourhood must
+        // neither move nor free it.
+        let mut fs = fresh(256);
+        fs.create("real", &[7u8; 4096], WriteClass::Normal).unwrap();
+        fs.create("garbage", &[0u8; 4096], WriteClass::Normal)
+            .unwrap();
+        fs.remove("garbage").unwrap();
+
+        let orphan = fs.alloc.alloc_block(WriteClass::Normal).unwrap();
+        fs.alloc.set_use(orphan, BlockUse::Data { ino: 4242 });
+
+        fs.run_cleaner(usize::MAX).unwrap();
+        assert_eq!(
+            fs.alloc.block_use(orphan),
+            BlockUse::Data { ino: 4242 },
+            "in-flight block was moved or freed"
+        );
+        assert_eq!(fs.read("real").unwrap(), vec![7u8; 4096]);
     }
 
     #[test]

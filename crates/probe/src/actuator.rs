@@ -82,6 +82,16 @@ impl Actuator {
         self.total_steps += 1;
         self.cost.t_step_ns
     }
+
+    /// Advances one track row while streaming sequential blocks, returning
+    /// the cost in ns. Unlike [`Actuator::seek`], the sled never comes to
+    /// rest between adjacent tracks, so no settle time is paid — this is
+    /// what makes extent I/O cheaper than a per-block seek loop.
+    pub fn step_row(&mut self) -> u64 {
+        self.row = self.row.saturating_add(1);
+        self.total_steps += 1;
+        self.cost.t_step_ns
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +125,20 @@ mod tests {
         a.seek(0, 0);
         let far = a.seek(1000, 0);
         assert!(far > near * 100);
+    }
+
+    #[test]
+    fn row_stepping_skips_settle() {
+        let cost = CostModel::default();
+        let mut a = Actuator::new(cost);
+        a.seek(4, 0);
+        let streamed = a.step_row();
+        assert_eq!(streamed, cost.t_step_ns, "no settle while streaming");
+        assert_eq!(a.position(), (5, 0));
+        let mut b = Actuator::new(cost);
+        b.seek(4, 0);
+        let sought = b.seek(5, 0);
+        assert!(sought > streamed, "a full seek pays settle time");
     }
 
     #[test]

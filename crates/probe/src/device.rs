@@ -201,19 +201,22 @@ impl ProbeDeviceBuilder {
 }
 
 /// A simulated micro scanning probe array memory.
+///
+/// Fields are `pub(crate)` so the extent fast path in [`crate::extent`]
+/// can drive the same primitives without re-paying per-call setup.
 #[derive(Debug, Clone)]
 pub struct ProbeDevice {
-    medium: Medium,
-    channel: ReadChannel,
-    thermal: ThermalModel,
-    cost: CostModel,
-    clock: SimClock,
-    counters: OpCounters,
-    actuator: Actuator,
-    codec: SectorCodec,
-    probes: u32,
-    blocks: u64,
-    rng: StdRng,
+    pub(crate) medium: Medium,
+    pub(crate) channel: ReadChannel,
+    pub(crate) thermal: ThermalModel,
+    pub(crate) cost: CostModel,
+    pub(crate) clock: SimClock,
+    pub(crate) counters: OpCounters,
+    pub(crate) actuator: Actuator,
+    pub(crate) codec: SectorCodec,
+    pub(crate) probes: u32,
+    pub(crate) blocks: u64,
+    pub(crate) rng: StdRng,
 }
 
 impl ProbeDevice {
@@ -230,6 +233,13 @@ impl ProbeDevice {
     /// Elapsed simulated time.
     pub fn clock(&self) -> SimClock {
         self.clock
+    }
+
+    /// Advances the simulated clock by externally accounted time — used by
+    /// controllers that fan work out over device clones (e.g. the parallel
+    /// scrub) and merge the concurrent elapsed time back into the original.
+    pub fn advance_clock(&mut self, ns: u64) {
+        self.clock.advance(ns);
     }
 
     /// Operation counters.
@@ -268,7 +278,7 @@ impl ProbeDevice {
         self.block_first_dot(pba) + DATA_AREA_FIRST_DOT as u64 + (cell * 2) as u64
     }
 
-    fn check_pba(&self, pba: u64) -> Result<(), SectorError> {
+    pub(crate) fn check_pba(&self, pba: u64) -> Result<(), SectorError> {
         if pba >= self.blocks {
             Err(SectorError::OutOfRange {
                 pba,
@@ -279,7 +289,7 @@ impl ProbeDevice {
         }
     }
 
-    fn seek_block(&mut self, pba: u64) {
+    pub(crate) fn seek_block(&mut self, pba: u64) {
         let ns = self.actuator.seek(pba as u32, 0);
         self.clock.advance(ns);
         self.counters.seeks += 1;
@@ -419,6 +429,13 @@ impl ProbeDevice {
     pub fn mrs(&mut self, pba: u64) -> Result<DecodedSector, SectorError> {
         self.check_pba(pba)?;
         self.seek_block(pba);
+        self.read_sector_here(pba)
+    }
+
+    /// Reads and decodes the sector under the current sled position,
+    /// advancing the clock and counters but paying no seek. Extent reads
+    /// stream over this after a single head-of-range seek.
+    pub(crate) fn read_sector_here(&mut self, pba: u64) -> Result<DecodedSector, SectorError> {
         let first = self.block_first_dot(pba);
 
         let mut raw = vec![0u8; SECTOR_TOTAL_BYTES];
@@ -475,6 +492,17 @@ impl ProbeDevice {
     ) -> Result<WriteReport, SectorError> {
         self.check_pba(pba)?;
         self.seek_block(pba);
+        Ok(self.write_sector_here(pba, flags, data))
+    }
+
+    /// Encodes and writes the sector under the current sled position,
+    /// advancing the clock and counters but paying no seek.
+    pub(crate) fn write_sector_here(
+        &mut self,
+        pba: u64,
+        flags: u16,
+        data: &[u8; SECTOR_DATA_BYTES],
+    ) -> WriteReport {
         let raw = self.codec.encode_with_flags(pba, flags, data);
         let first = self.block_first_dot(pba);
 
@@ -495,9 +523,9 @@ impl ProbeDevice {
         self.clock.advance(ns);
         self.counters.mwb += SECTOR_DOTS as u64;
         self.counters.mws += 1;
-        Ok(WriteReport {
+        WriteReport {
             unwritable_dots: unwritable,
-        })
+        }
     }
 
     /// Electrical write sector (`ews`): burn `bits` into the block's

@@ -14,6 +14,8 @@
 //! * [`device`] — [`device::ProbeDevice`]: the four bit operations
 //!   (`mrb`/`mwb`/`ewb`/`erb` with the five-step protocol) and the four
 //!   sector operations (`mrs`/`mws`/`ers`/`ews`).
+//! * [`extent`] — batched multi-block `read_blocks`/`write_blocks`: one
+//!   seek per extent, settle-free streaming between adjacent tracks.
 //!
 //! # Examples
 //!
@@ -34,6 +36,7 @@
 
 pub mod actuator;
 pub mod device;
+pub mod extent;
 pub mod sector;
 pub mod timing;
 
