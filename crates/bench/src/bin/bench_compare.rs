@@ -6,23 +6,54 @@
 //! Compares every numeric leaf under the `"metrics"` object (the
 //! deterministic simulated-device numbers — see the schema in
 //! `sero-bench`'s crate docs). `"host"` wall times and `"device"` geometry
-//! never participate. Exits non-zero when any shared metric drifts beyond
-//! the threshold or a metric is missing on either side; CI runs this as a
-//! non-blocking step, so a red result is a signal, not a gate.
+//! never participate. Exits with:
+//!
+//! * `0` — every shared metric within the threshold;
+//! * `1` — a metric drifted beyond the threshold, or a metric exists in
+//!   only one file (an explicit `MISSING` failure: a silently dropped or
+//!   renamed metric must not pass as "nothing drifted");
+//! * `2` — usage errors and **schema mismatches**: unreadable files, a
+//!   missing `"schema"`/`"bench"`/`"metrics"` field, or the two files
+//!   disagreeing on schema version or benchmark name (comparing
+//!   `BENCH_scrub.json` against `BENCH_registry.json` is a harness bug,
+//!   not a drift).
+//!
+//! CI runs this as a non-blocking step, so a red result is a signal, not a
+//! gate.
 
 use sero_bench::json::Json;
 use sero_bench::row;
 use std::process::ExitCode;
 
-fn load_metrics(path: &str) -> Result<Vec<(String, f64)>, String> {
+struct BenchDoc {
+    schema: String,
+    bench: String,
+    metrics: Vec<(String, f64)>,
+}
+
+fn load_doc(path: &str) -> Result<BenchDoc, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    let metrics = doc
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: no \"schema\" string"))?
+        .to_string();
+    let bench = doc
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: no \"bench\" string"))?
+        .to_string();
+    let metrics_node = doc
         .get("metrics")
         .ok_or_else(|| format!("{path}: no \"metrics\" object"))?;
-    let mut flat = Vec::new();
-    metrics.flatten_numbers("", &mut flat);
-    Ok(flat)
+    let mut metrics = Vec::new();
+    metrics_node.flatten_numbers("", &mut metrics);
+    Ok(BenchDoc {
+        schema,
+        bench,
+        metrics,
+    })
 }
 
 fn main() -> ExitCode {
@@ -48,7 +79,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let (baseline, candidate) = match (load_metrics(baseline_path), load_metrics(candidate_path)) {
+    let (baseline_doc, candidate_doc) = match (load_doc(baseline_path), load_doc(candidate_path)) {
         (Ok(b), Ok(c)) => (b, c),
         (b, c) => {
             for err in [b.err(), c.err()].into_iter().flatten() {
@@ -57,6 +88,21 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if baseline_doc.schema != candidate_doc.schema {
+        eprintln!(
+            "error: schema mismatch: baseline {baseline_path} is \"{}\", candidate {candidate_path} is \"{}\"",
+            baseline_doc.schema, candidate_doc.schema
+        );
+        return ExitCode::from(2);
+    }
+    if baseline_doc.bench != candidate_doc.bench {
+        eprintln!(
+            "error: bench mismatch: baseline {baseline_path} is \"{}\", candidate {candidate_path} is \"{}\" — comparing different benchmarks",
+            baseline_doc.bench, candidate_doc.bench
+        );
+        return ExitCode::from(2);
+    }
+    let (baseline, candidate) = (baseline_doc.metrics, candidate_doc.metrics);
 
     println!(
         "comparing metrics: {candidate_path} vs baseline {baseline_path} (threshold +/-{:.0}%)\n",
@@ -72,6 +118,7 @@ fn main() -> ExitCode {
     );
 
     let mut drifted = 0usize;
+    let mut missing = 0usize;
     let mut keys: Vec<&String> = baseline.iter().map(|(k, _)| k).collect();
     for (k, _) in &candidate {
         if !keys.contains(&k) {
@@ -96,7 +143,10 @@ fn main() -> ExitCode {
                 )
             }
             (b, c) => {
-                drifted += 1;
+                // A metric present in only one file is an explicit
+                // failure, never a silent skip: a renamed or dropped
+                // metric would otherwise sail through as "no drift".
+                missing += 1;
                 (
                     b.map_or("-".into(), |v| format!("{v:.4}")),
                     c.map_or("-".into(), |v| format!("{v:.4}")),
@@ -111,12 +161,12 @@ fn main() -> ExitCode {
         );
     }
 
-    if drifted == 0 {
+    if drifted == 0 && missing == 0 {
         println!("\nall metrics within +/-{:.0}%", threshold * 100.0);
         ExitCode::SUCCESS
     } else {
         println!(
-            "\n{drifted} metric(s) drifted beyond +/-{:.0}%",
+            "\n{drifted} metric(s) drifted beyond +/-{:.0}%, {missing} missing metric(s) (present in only one file)",
             threshold * 100.0
         );
         ExitCode::FAILURE

@@ -1,0 +1,207 @@
+//! EXP-REGISTRY — whole-device registry rebuild: batched electrical sieve
+//! vs the per-block crawl.
+//!
+//! The paper's §5.2 recovery argument — "a fsck style scan of the medium
+//! would definitely recover, albeit slowly, all the heated files" — makes
+//! the registry scan the dominant mount-time cost at scale: every block's
+//! electrical prefix must be probed to find line heads. The per-block
+//! crawl pays a full seek (step **plus settle**) per block; the batched
+//! path sieves each gap in one settle-free sweep
+//! ([`sero_probe`]'s `ers_sieve_blocks_with`), escalating candidate heads
+//! to a full scan on the spot. Both paths make identical decisions — same
+//! lines found, same suspicious blocks — so the speedup is pure actuation
+//! savings, measured in deterministic simulated device time.
+//!
+//! The populated device also carries standing evidence (a relocated forged
+//! payload and a shredded block) so the suspicious-block path is exercised
+//! and compared too.
+//!
+//! Emits `BENCH_registry.json` (schema `sero-bench/v1`, see `sero-bench`'s
+//! crate docs). `SERO_BENCH_FAST=1` heats fewer lines for CI; the device
+//! stays ≥ 64 MiB either way.
+
+use sero_bench::json::Json;
+use sero_bench::{bench_out_path, fast_mode, row};
+use sero_core::device::SeroDevice;
+use sero_core::layout::HashBlockPayload;
+use sero_core::line::Line;
+use sero_crypto::Sha256;
+use sero_probe::sector::SECTOR_DATA_BYTES;
+use std::time::Instant;
+
+/// 64 MiB of 512-byte blocks.
+const DEVICE_BLOCKS: u64 = 131_072;
+const LINE_ORDER: u32 = 4; // 16-block lines: 1 hash + 15 data
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fast = fast_mode();
+    let lines_to_heat: u64 = if fast { 48 } else { 512 };
+    let line_len = 1u64 << LINE_ORDER;
+    let device_bytes = DEVICE_BLOCKS * SECTOR_DATA_BYTES as u64;
+
+    println!(
+        "EXP-REGISTRY: {} MiB device, {lines_to_heat} heated lines of {line_len} blocks{}\n",
+        device_bytes / (1024 * 1024),
+        if fast { " (fast mode)" } else { "" },
+    );
+
+    // --- populate: heat a line population, plant standing evidence ------
+    let host_setup = Instant::now();
+    let mut dev = SeroDevice::with_blocks(DEVICE_BLOCKS);
+    let mut requests = Vec::with_capacity(lines_to_heat as usize);
+    for i in 0..lines_to_heat {
+        let line = Line::new(i * line_len, LINE_ORDER)?;
+        let pbas: Vec<u64> = line.data_blocks().collect();
+        let sectors: Vec<[u8; SECTOR_DATA_BYTES]> = pbas
+            .iter()
+            .map(|&pba| {
+                let mut s = [0u8; SECTOR_DATA_BYTES];
+                for (j, b) in s.iter_mut().enumerate() {
+                    *b = (pba as u8).wrapping_mul(41).wrapping_add(j as u8);
+                }
+                s
+            })
+            .collect();
+        dev.write_blocks(&pbas, &sectors)?;
+        requests.push((line, b"registry-bench".to_vec(), 1_199_145_600));
+    }
+    for result in dev.heat_lines(requests) {
+        result?;
+    }
+
+    // Standing evidence the scan must file, not trip over: a forged
+    // payload burned somewhere other than its own hash block, and a
+    // shredded (all-HH) block.
+    let forged_at = DEVICE_BLOCKS - 64;
+    let claimed = Line::new(0, LINE_ORDER)?;
+    let mut hasher = Sha256::new();
+    hasher.update(b"forged-elsewhere");
+    let forged = HashBlockPayload::new(claimed, hasher.finalize(), 1_199_145_600, vec![])?;
+    dev.probe_mut().ews(forged_at, &forged.to_bits())?;
+    let shredded_at = DEVICE_BLOCKS - 32;
+    dev.probe_mut().shred(shredded_at)?;
+    let setup_ms = host_setup.elapsed().as_secs_f64() * 1e3;
+
+    // --- per-block crawl reference ---------------------------------------
+    // Both scans model a mount-time recovery: the sled starts from its
+    // home position (track 0), not from wherever the setup heats left it —
+    // otherwise a 64 MiB-wide cold seek dominates both timings equally and
+    // hides the per-block difference being measured.
+    let mut crawl_dev = dev.clone();
+    crawl_dev.probe_mut().park_at(0);
+    let host_crawl = Instant::now();
+    let crawl_t0 = crawl_dev.probe().clock().elapsed_ns();
+    let crawl_seeks0 = crawl_dev.probe().counters().seeks;
+    let crawl_scan = crawl_dev.rebuild_registry_crawl()?;
+    let crawl_ns = crawl_dev.probe().clock().elapsed_ns() - crawl_t0;
+    let crawl_seeks = crawl_dev.probe().counters().seeks - crawl_seeks0;
+    let crawl_host_ms = host_crawl.elapsed().as_secs_f64() * 1e3;
+
+    // --- batched sieve ----------------------------------------------------
+    dev.probe_mut().park_at(0);
+    let host_batched = Instant::now();
+    let batched_t0 = dev.probe().clock().elapsed_ns();
+    let batched_seeks0 = dev.probe().counters().seeks;
+    let batched_scan = dev.rebuild_registry()?;
+    let batched_ns = dev.probe().clock().elapsed_ns() - batched_t0;
+    let batched_seeks = dev.probe().counters().seeks - batched_seeks0;
+    let batched_host_ms = host_batched.elapsed().as_secs_f64() * 1e3;
+
+    // Batching must not change what the scan decides.
+    assert_eq!(
+        batched_scan, crawl_scan,
+        "batched registry scan diverged from the per-block crawl"
+    );
+    assert_eq!(batched_scan.lines_found as u64, lines_to_heat);
+    assert_eq!(
+        batched_scan.suspicious_blocks,
+        vec![forged_at, shredded_at],
+        "standing evidence misfiled"
+    );
+
+    // --- incremental refresh on the now-populated registry ---------------
+    dev.probe_mut().park_at(0);
+    let refresh_t0 = dev.probe().clock().elapsed_ns();
+    let refresh_scan = dev.refresh_registry()?;
+    let refresh_ns = dev.probe().clock().elapsed_ns() - refresh_t0;
+    assert_eq!(refresh_scan.lines_skipped as u64, lines_to_heat);
+
+    let speedup = crawl_ns as f64 / batched_ns as f64;
+    let widths = [26, 16, 16, 10];
+    println!(
+        "{}",
+        row(&["path", "device time", "host time", "seeks"], &widths)
+    );
+    for (name, ns, host_ms, seeks) in [
+        ("per-block crawl", crawl_ns, crawl_host_ms, crawl_seeks),
+        ("batched sieve", batched_ns, batched_host_ms, batched_seeks),
+    ] {
+        println!(
+            "{}",
+            row(
+                &[
+                    name,
+                    &format!("{:.1} ms", ns as f64 / 1e6),
+                    &format!("{host_ms:.0} ms"),
+                    &format!("{seeks}"),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\n  {} lines recovered, {} suspicious blocks, incremental refresh {:.1} ms",
+        batched_scan.lines_found,
+        batched_scan.suspicious_blocks.len(),
+        refresh_ns as f64 / 1e6,
+    );
+    println!(
+        "  device-time speedup: {speedup:.2}x (acceptance bar: >= 3x) : {}",
+        if speedup >= 3.0 { "PASS" } else { "FAIL" }
+    );
+
+    let doc = Json::obj()
+        .set("schema", "sero-bench/v1")
+        .set("bench", "registry")
+        .set("fast_mode", fast)
+        .set(
+            "device",
+            Json::obj()
+                .set("blocks", DEVICE_BLOCKS)
+                .set("bytes", device_bytes)
+                .set("heated_lines", lines_to_heat)
+                .set("line_order", LINE_ORDER as u64)
+                .set(
+                    "prefix_cells",
+                    sero_core::device::REGISTRY_PREFIX_CELLS as u64,
+                ),
+        )
+        .set(
+            "metrics",
+            Json::obj()
+                .set("crawl_device_ms", crawl_ns as f64 / 1e6)
+                .set("batched_device_ms", batched_ns as f64 / 1e6)
+                .set("speedup", speedup)
+                .set("refresh_device_ms", refresh_ns as f64 / 1e6)
+                .set("lines_found", batched_scan.lines_found)
+                .set("suspicious_blocks", batched_scan.suspicious_blocks.len())
+                .set("crawl_seeks", crawl_seeks)
+                .set("batched_seeks", batched_seeks),
+        )
+        .set(
+            "host",
+            Json::obj()
+                .set("setup_ms", setup_ms)
+                .set("crawl_ms", crawl_host_ms)
+                .set("batched_ms", batched_host_ms),
+        );
+    let path = bench_out_path("registry");
+    std::fs::write(&path, doc.render())?;
+    println!("  wrote {}", path.display());
+
+    assert!(
+        speedup >= 3.0,
+        "batched registry rebuild speedup {speedup:.2}x below the 3x acceptance bar"
+    );
+    Ok(())
+}

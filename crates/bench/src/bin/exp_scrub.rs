@@ -10,6 +10,12 @@
 //! the speedup is deterministic and host-independent; host wall times are
 //! reported alongside for reference.
 //!
+//! After the full pass the experiment keeps going: it heats a small
+//! *delta* of new lines, tampers with one of them, and runs an
+//! **incremental** scrub (see [`sero_core::scrub::ScrubMode`]) against a
+//! full pass on a clone — the incremental pass must verify ≥10× fewer
+//! lines while reporting identical tamper evidence.
+//!
 //! Emits `BENCH_scrub.json` (schema `sero-bench/v1`, see `sero-bench`'s
 //! crate docs). `SERO_BENCH_FAST=1` heats fewer lines for CI; the device
 //! stays ≥ 64 MiB either way.
@@ -27,6 +33,37 @@ const DEVICE_BLOCKS: u64 = 131_072;
 const LINE_ORDER: u32 = 4; // 16-block lines: 1 hash + 15 data
 const WORKERS: usize = 8;
 
+fn fill_and_heat(
+    dev: &mut SeroDevice,
+    first_line: u64,
+    lines: u64,
+) -> Result<Vec<Line>, Box<dyn std::error::Error>> {
+    let line_len = 1u64 << LINE_ORDER;
+    let mut heated = Vec::with_capacity(lines as usize);
+    let mut requests = Vec::with_capacity(lines as usize);
+    for i in first_line..first_line + lines {
+        let line = Line::new(i * line_len, LINE_ORDER)?;
+        let pbas: Vec<u64> = line.data_blocks().collect();
+        let sectors: Vec<[u8; SECTOR_DATA_BYTES]> = pbas
+            .iter()
+            .map(|&pba| {
+                let mut s = [0u8; SECTOR_DATA_BYTES];
+                for (j, b) in s.iter_mut().enumerate() {
+                    *b = (pba as u8).wrapping_mul(37).wrapping_add(j as u8);
+                }
+                s
+            })
+            .collect();
+        dev.write_blocks(&pbas, &sectors)?;
+        requests.push((line, b"scrub-bench".to_vec(), 1_199_145_600));
+        heated.push(line);
+    }
+    for result in dev.heat_lines(requests) {
+        result?;
+    }
+    Ok(heated)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fast = fast_mode();
     let lines_to_heat: u64 = if fast { 96 } else { 1024 };
@@ -42,31 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- populate: fill and heat the line region ------------------------
     let host_setup = Instant::now();
     let mut dev = SeroDevice::with_blocks(DEVICE_BLOCKS);
-    let mut heated = Vec::with_capacity(lines_to_heat as usize);
-    for i in 0..lines_to_heat {
-        let line = Line::new(i * line_len, LINE_ORDER)?;
-        let pbas: Vec<u64> = line.data_blocks().collect();
-        let sectors: Vec<[u8; SECTOR_DATA_BYTES]> = pbas
-            .iter()
-            .map(|&pba| {
-                let mut s = [0u8; SECTOR_DATA_BYTES];
-                for (j, b) in s.iter_mut().enumerate() {
-                    *b = (pba as u8).wrapping_mul(37).wrapping_add(j as u8);
-                }
-                s
-            })
-            .collect();
-        dev.write_blocks(&pbas, &sectors)?;
-        heated.push(line);
-    }
-    for result in dev.heat_lines(
-        heated
-            .iter()
-            .map(|&line| (line, b"scrub-bench".to_vec(), 1_199_145_600))
-            .collect(),
-    ) {
-        result?;
-    }
+    fill_and_heat(&mut dev, 0, lines_to_heat)?;
     let setup_ms = host_setup.elapsed().as_secs_f64() * 1e3;
 
     // --- serial reference: the one-line-at-a-time verify loop -----------
@@ -87,6 +100,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (p, s) in report.outcomes.iter().zip(serial.outcomes.iter()) {
         assert_eq!(p, s, "parallel scrub diverged from serial on {}", p.line);
     }
+
+    // --- incremental pass after a small delta ---------------------------
+    // The full pass above completed epoch 1. Heat a small delta of new
+    // lines, tamper with one of them, and compare an incremental pass (the
+    // delta only) against a full pass on a clone (everything).
+    let delta_lines: u64 = lines_to_heat / 12;
+    let delta = fill_and_heat(&mut dev, lines_to_heat, delta_lines)?;
+    let victim = delta[delta.len() / 2];
+    dev.probe_mut().mws(victim.start() + 1, &[0xEE; 512])?;
+
+    let mut full_dev = dev.clone();
+    let full_after = scrub_device(&mut full_dev, &ScrubConfig::with_workers(WORKERS))?;
+    let incr_t0 = dev.probe().clock().elapsed_ns();
+    let incremental = scrub_device(&mut dev, &ScrubConfig::incremental(WORKERS))?;
+    let incremental_ns = dev.probe().clock().elapsed_ns() - incr_t0;
+
+    // The incremental pass covers exactly the delta and reports the same
+    // tamper evidence the full pass finds.
+    assert_eq!(incremental.summary.lines as u64, delta_lines);
+    assert_eq!(incremental.summary.skipped as u64, lines_to_heat);
+    assert_eq!(incremental.summary.tampered, 1);
+    assert_eq!(full_after.summary.tampered, 1);
+    let incr_tampered: Vec<_> = incremental.tampered_lines().collect();
+    let full_tampered: Vec<_> = full_after.tampered_lines().collect();
+    assert_eq!(
+        incr_tampered, full_tampered,
+        "incremental evidence diverged from the full pass"
+    );
+    let reduction = full_after.summary.lines as f64 / incremental.summary.lines as f64;
 
     let speedup = serial_ns as f64 / parallel_ns as f64;
     let parallel_s = parallel_ns as f64 / 1e9;
@@ -132,6 +174,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  device-time speedup: {speedup:.2}x (acceptance bar: >= 3x) : {}",
         if speedup >= 3.0 { "PASS" } else { "FAIL" }
     );
+    println!(
+        "  incremental pass: {} verified / {} skipped in {:.1} ms — {reduction:.1}x fewer lines than full (bar: >= 10x) : {}",
+        incremental.summary.lines,
+        incremental.summary.skipped,
+        incremental_ns as f64 / 1e6,
+        if reduction >= 10.0 { "PASS" } else { "FAIL" }
+    );
 
     let doc = Json::obj()
         .set("schema", "sero-bench/v1")
@@ -144,6 +193,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .set("bytes", device_bytes)
                 .set("heated_lines", lines_to_heat)
                 .set("line_order", LINE_ORDER as u64)
+                .set("delta_lines", delta_lines)
                 .set("workers", WORKERS),
         )
         .set(
@@ -156,7 +206,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .set("lines_per_s", report.summary.lines as f64 / parallel_s)
                 .set("mib_per_s", data_mib / parallel_s)
                 .set("intact", report.summary.intact)
-                .set("tampered", report.summary.tampered),
+                .set("tampered", report.summary.tampered)
+                .set("incremental_device_ms", incremental_ns as f64 / 1e6)
+                .set("incremental_verified", incremental.summary.lines)
+                .set("incremental_skipped", incremental.summary.skipped)
+                .set("incremental_tampered", incremental.summary.tampered)
+                .set("incremental_reduction", reduction),
         )
         .set(
             "host",
@@ -172,6 +227,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(
         speedup >= 3.0,
         "sharded scrub speedup {speedup:.2}x below the 3x acceptance bar"
+    );
+    assert!(
+        reduction >= 10.0,
+        "incremental scrub verified only {reduction:.1}x fewer lines than full, below the 10x bar"
     );
     Ok(())
 }

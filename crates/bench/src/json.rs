@@ -124,6 +124,14 @@ impl Json {
         }
     }
 
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Collects every numeric leaf below this value as
     /// `(dotted.path, value)` pairs, prefixed with `prefix`.
     pub fn flatten_numbers(&self, prefix: &str, out: &mut Vec<(String, f64)>) {

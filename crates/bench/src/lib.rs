@@ -10,11 +10,11 @@
 //!
 //! # The `BENCH_*.json` schema (`sero-bench/v1`)
 //!
-//! The perf-baseline binaries (`exp_scrub`, `exp_bulk_io`) each emit one
-//! JSON document, written to the current directory (override with
-//! `SERO_BENCH_OUT_DIR`). Committed baselines live in `benchmarks/` at the
-//! repo root; CI regenerates the files with `SERO_BENCH_FAST=1` and runs
-//! `bench_compare` against the committed copies. The shape:
+//! The perf-baseline binaries (`exp_scrub`, `exp_bulk_io`, `exp_registry`)
+//! each emit one JSON document, written to the current directory (override
+//! with `SERO_BENCH_OUT_DIR`). Committed baselines live in `benchmarks/`
+//! at the repo root; CI regenerates the files with `SERO_BENCH_FAST=1` and
+//! runs `bench_compare` against the committed copies. The shape:
 //!
 //! ```json
 //! {
@@ -32,23 +32,39 @@
 //! ```
 //!
 //! Only numeric leaves under `"metrics"` participate in the
-//! [`bench_compare`](../bench_compare/index.html) ±threshold check.
-//! Everything in `"metrics"` derives from the simulated device clock
-//! ([`sero_probe::timing::SimClock`]) and deterministic seeds, so a
-//! regeneration on any host reproduces the committed numbers exactly;
-//! `"host"` captures real wall time for humans and is expected to vary.
+//! [`bench_compare`](../bench_compare/index.html) ±threshold check (a
+//! metric present in only one file is an explicit `MISSING` failure, and
+//! two documents disagreeing on `"schema"` or `"bench"` abort the compare
+//! with exit code 2). Everything in `"metrics"` derives from the simulated
+//! device clock ([`sero_probe::timing::SimClock`]) and deterministic
+//! seeds, so a regeneration on any host reproduces the committed numbers
+//! exactly; `"host"` captures real wall time for humans and is expected
+//! to vary.
 //!
 //! Per-bench metric keys:
 //!
 //! * `bench = "scrub"` — `serial_device_ms` (one-line-at-a-time
 //!   [`sero_core::device::SeroDevice::verify_line`] loop),
-//!   `parallel_device_ms` (sharded [`sero_core::scrub::scrub_device`]),
-//!   `speedup` (their ratio; the ≥ 3× acceptance bar), `lines`,
-//!   `lines_per_s`, `mib_per_s` (protected data re-hashed per simulated
-//!   second, parallel path), `intact`, `tampered`.
+//!   `parallel_device_ms` (sharded [`sero_core::scrub::scrub_device`] with
+//!   seek-aware shard parking), `speedup` (their ratio; the ≥ 3×
+//!   acceptance bar), `lines`, `lines_per_s`, `mib_per_s` (protected data
+//!   re-hashed per simulated second, parallel path), `intact`, `tampered`,
+//!   plus the epoch-based incremental pass over a small delta of freshly
+//!   heated lines (one of them tampered): `incremental_device_ms`,
+//!   `incremental_verified` / `incremental_skipped` /
+//!   `incremental_tampered`, and `incremental_reduction` (full-pass lines
+//!   over incremental lines; the ≥ 10× acceptance bar).
 //! * `bench = "bulk_io"` — `read_loop_device_ms` / `read_extent_device_ms`
 //!   / `read_speedup`, the `write_*` triple of the same shape,
 //!   `read_mib_per_s` / `write_mib_per_s` (extent path), `blocks_per_op`.
+//! * `bench = "registry"` — `crawl_device_ms` (per-block
+//!   [`sero_core::device::SeroDevice::rebuild_registry_crawl`], one seek
+//!   per block), `batched_device_ms` (the streamed sieve of
+//!   [`sero_core::device::SeroDevice::rebuild_registry`]), `speedup`
+//!   (their ratio; the ≥ 3× acceptance bar), `refresh_device_ms`
+//!   (incremental [`sero_core::device::SeroDevice::refresh_registry`] on
+//!   the populated registry), `lines_found`, `suspicious_blocks` (planted
+//!   forged + shredded evidence), `crawl_seeks` / `batched_seeks`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -41,6 +41,7 @@ use crate::layout::{HashBlockPayload, PayloadError};
 use crate::line::{Line, LineError};
 use crate::tamper::{Evidence, TamperReport, VerifyOutcome};
 use core::fmt;
+use sero_codec::manchester::Scan;
 use sero_crypto::{Digest, Sha256};
 use sero_probe::device::ProbeDevice;
 use sero_probe::sector::{SectorError, SECTOR_DATA_BYTES};
@@ -194,6 +195,17 @@ pub struct LineRecord {
     pub timestamp: u64,
     /// The digest burned into the hash block.
     pub digest: Digest,
+    /// The scrub epoch this line was last verified in (`0` = never
+    /// verified by a completed scrub pass — freshly heated or freshly
+    /// rediscovered). Incremental scrubs use this to skip lines already
+    /// covered by the last pass.
+    pub verified_epoch: u64,
+    /// Suspicious-activity flag: set when verification found tamper
+    /// evidence or when a refused protocol access (write into the line,
+    /// magnetic read of its hash block) touched it. Flagged lines are
+    /// re-verified by every incremental scrub until a pass finds them
+    /// intact.
+    pub flagged: bool,
 }
 
 /// Result of a full-device registry rebuild.
@@ -226,11 +238,19 @@ pub struct SeroStats {
     pub heated_lines: usize,
 }
 
+/// Number of leading Manchester cells the registry pre-probe reads: hash
+/// payloads are prefix-contiguous, so an all-blank prefix means a blank
+/// block at a fraction of the full `ers` cost.
+pub const REGISTRY_PREFIX_CELLS: usize = 16;
+
 /// A tamper-evident SERO storage device.
 #[derive(Debug, Clone)]
 pub struct SeroDevice {
     probe: ProbeDevice,
     registry: BTreeMap<u64, LineRecord>,
+    /// Number of completed scrub passes (see [`crate::scrub`]); epoch `N`
+    /// means `N` passes have finished since attach.
+    scrub_epoch: u64,
 }
 
 impl SeroDevice {
@@ -239,6 +259,7 @@ impl SeroDevice {
         SeroDevice {
             probe,
             registry: BTreeMap::new(),
+            scrub_epoch: 0,
         }
     }
 
@@ -297,15 +318,78 @@ impl SeroDevice {
         }
     }
 
+    /// Number of completed scrub passes over this device.
+    pub fn scrub_epoch(&self) -> u64 {
+        self.scrub_epoch
+    }
+
+    /// Marks `line` as suspicious: the next incremental scrub will
+    /// re-verify it even though it was covered by the last pass. The
+    /// protocol paths call this automatically on refused accesses; external
+    /// monitors (an intrusion detector, the file system) may call it for
+    /// anything else they find fishy. Returns whether a registered line was
+    /// actually flagged.
+    pub fn flag_line(&mut self, line: Line) -> bool {
+        match self.registry.get_mut(&line.start()) {
+            Some(record) if record.line == line => {
+                record.flagged = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Stamps a line's scrub bookkeeping after a completed pass verified
+    /// it: records the epoch and the (possibly cleared) suspicion flag.
+    pub(crate) fn stamp_scrubbed(&mut self, line: Line, epoch: u64, flagged: bool) {
+        if let Some(record) = self.registry.get_mut(&line.start()) {
+            if record.line == line {
+                record.verified_epoch = epoch;
+                record.flagged = flagged;
+            }
+        }
+    }
+
+    /// Advances the completed-pass counter (called by the scrub controller
+    /// when a pass finishes).
+    pub(crate) fn complete_scrub_pass(&mut self, epoch: u64) {
+        self.scrub_epoch = self.scrub_epoch.max(epoch);
+    }
+
+    /// Inserts or refreshes a registry record, preserving the scrub
+    /// bookkeeping of an existing identical line (re-verifying a line must
+    /// not reset its epoch; re-heating or replacing it must).
+    fn register(&mut self, line: Line, timestamp: u64, digest: Digest, reset_epoch: bool) {
+        let entry = self
+            .registry
+            .entry(line.start())
+            .or_insert_with(|| LineRecord {
+                line,
+                timestamp,
+                digest,
+                verified_epoch: 0,
+                flagged: false,
+            });
+        if entry.line != line || reset_epoch {
+            entry.verified_epoch = 0;
+            entry.flagged = false;
+        }
+        entry.line = line;
+        entry.timestamp = timestamp;
+        entry.digest = digest;
+    }
+
     /// Reads a WMRM or heated-data block magnetically.
     ///
     /// # Errors
     ///
     /// [`SeroError::HashBlockAccess`] for registered hash blocks (the
-    /// protocol requires `ers` there); sector errors otherwise.
+    /// protocol requires `ers` there); the refused line is flagged for the
+    /// next incremental scrub. Sector errors otherwise.
     pub fn read_block(&mut self, pba: u64) -> Result<[u8; SECTOR_DATA_BYTES], SeroError> {
         if let Some(line) = self.line_of(pba) {
             if line.hash_block() == pba {
+                self.flag_line(line);
                 return Err(SeroError::HashBlockAccess { pba });
             }
         }
@@ -316,7 +400,9 @@ impl SeroDevice {
     ///
     /// # Errors
     ///
-    /// [`SeroError::ReadOnly`] inside heated lines;
+    /// [`SeroError::ReadOnly`] inside heated lines (the refused line is
+    /// flagged for the next incremental scrub — an attempted write into
+    /// frozen data is exactly the activity a scrub should chase);
     /// [`SeroError::WriteDegraded`] when heat damage kept dots from
     /// accepting the write; sector errors otherwise.
     pub fn write_block(
@@ -325,6 +411,7 @@ impl SeroDevice {
         data: &[u8; SECTOR_DATA_BYTES],
     ) -> Result<(), SeroError> {
         if let Some(line) = self.line_of(pba) {
+            self.flag_line(line);
             return Err(SeroError::ReadOnly { line, pba });
         }
         let report = self.probe.mws(pba, data)?;
@@ -354,6 +441,7 @@ impl SeroDevice {
         for &pba in pbas {
             if let Some(line) = self.line_of(pba) {
                 if line.hash_block() == pba {
+                    self.flag_line(line);
                     return Err(SeroError::HashBlockAccess { pba });
                 }
             }
@@ -406,6 +494,7 @@ impl SeroDevice {
         );
         for &pba in pbas {
             if let Some(line) = self.line_of(pba) {
+                self.flag_line(line);
                 return Err(SeroError::ReadOnly { line, pba });
             }
         }
@@ -523,14 +612,7 @@ impl SeroDevice {
         let scan = self.probe.ers(line.hash_block())?;
         match HashBlockPayload::from_scan(&scan) {
             Ok(read_back) if read_back == payload => {
-                self.registry.insert(
-                    line.start(),
-                    LineRecord {
-                        line,
-                        timestamp,
-                        digest,
-                    },
-                );
+                self.register(line, timestamp, digest, true);
                 Ok(payload)
             }
             Ok(read_back) => Err(SeroError::HeatVerifyFailed {
@@ -569,12 +651,14 @@ impl SeroDevice {
             Err(PayloadError::Blank) => return Ok(VerifyOutcome::NotHeated),
             Err(PayloadError::Tampered { cells }) => {
                 report.push(Evidence::TamperedHashCells { cells });
+                self.flag_line(line);
                 return Ok(VerifyOutcome::Tampered(report));
             }
             Err(e) => {
                 report.push(Evidence::MalformedHashBlock {
                     reason: e.to_string(),
                 });
+                self.flag_line(line);
                 return Ok(VerifyOutcome::Tampered(report));
             }
         };
@@ -584,6 +668,7 @@ impl SeroDevice {
                 claimed: payload.line(),
                 actual: line,
             });
+            self.flag_line(line);
             return Ok(VerifyOutcome::Tampered(report));
         }
 
@@ -613,6 +698,7 @@ impl SeroDevice {
                 true
             })?;
         if unreadable {
+            self.flag_line(line);
             return Ok(VerifyOutcome::Tampered(report));
         }
         let computed = hasher.finalize();
@@ -621,33 +707,140 @@ impl SeroDevice {
                 stored: *payload.digest(),
                 computed,
             });
+            self.flag_line(line);
             return Ok(VerifyOutcome::Tampered(report));
         }
 
-        // Verified: make sure the registry knows this line.
-        self.registry.insert(
-            line.start(),
-            LineRecord {
-                line,
-                timestamp: payload.timestamp(),
-                digest: computed,
-            },
-        );
+        // Verified: make sure the registry knows this line. An existing
+        // record keeps its scrub epoch — a spot verify is not a pass.
+        self.register(line, payload.timestamp(), computed, false);
         Ok(VerifyOutcome::Intact { payload })
     }
 
-    /// Heats a batch of lines, one [`SeroDevice::heat_line`] per request,
-    /// returning per-line results in request order. This is a convenience
-    /// loop: the bulk win lives inside each `heat_line`, whose digest pass
-    /// streams the line's data blocks in a single extent read — there is
-    /// no additional cross-request amortization here.
+    /// Steps 1–2 of the heat protocol for one request: range and overlap
+    /// validation, the streamed digest read, and payload assembly — no
+    /// medium mutation yet.
+    fn stage_heat(
+        &mut self,
+        line: Line,
+        metadata: Vec<u8>,
+        timestamp: u64,
+    ) -> Result<HashBlockPayload, SeroError> {
+        if line.end() > self.block_count() {
+            return Err(SeroError::Sector(SectorError::OutOfRange {
+                pba: line.end() - 1,
+                blocks: self.block_count(),
+            }));
+        }
+        for record in self.registry.values() {
+            if record.line.overlaps(&line) && record.line != line {
+                return Err(SeroError::OverlapsHeatedLine {
+                    line,
+                    existing: record.line,
+                });
+            }
+        }
+        let digest = self.compute_line_digest(line)?;
+        HashBlockPayload::new(line, digest, timestamp, metadata).map_err(|e| {
+            SeroError::HeatVerifyFailed {
+                line,
+                reason: e.to_string(),
+            }
+        })
+    }
+
+    /// Steps 3–4 for a group of staged disjoint ascending requests: burn
+    /// every hash block in one streaming [`sero_probe`] `ews_blocks` sweep,
+    /// read them all back in one `ers_blocks_at` sweep, and register the
+    /// survivors. Fills `results` at each staged request's index.
+    fn flush_heat_batch(
+        &mut self,
+        staged: &mut Vec<(usize, Line, HashBlockPayload)>,
+        results: &mut [Option<Result<HashBlockPayload, SeroError>>],
+    ) {
+        if staged.is_empty() {
+            return;
+        }
+        let burns: Vec<(u64, Vec<bool>)> = staged
+            .iter()
+            .map(|(_, line, payload)| (line.hash_block(), payload.to_bits()))
+            .collect();
+        if let Err(e) = self.probe.ews_blocks(&burns) {
+            for (i, _, _) in staged.drain(..) {
+                results[i] = Some(Err(SeroError::Sector(e.clone())));
+            }
+            return;
+        }
+        let hash_blocks: Vec<u64> = staged
+            .iter()
+            .map(|(_, line, _)| line.hash_block())
+            .collect();
+        let scans = match self.probe.ers_blocks_at(&hash_blocks) {
+            Ok(scans) => scans,
+            Err(e) => {
+                for (i, _, _) in staged.drain(..) {
+                    results[i] = Some(Err(SeroError::Sector(e.clone())));
+                }
+                return;
+            }
+        };
+        for ((i, line, payload), scan) in staged.drain(..).zip(scans) {
+            results[i] = Some(match HashBlockPayload::from_scan(&scan) {
+                Ok(read_back) if read_back == payload => {
+                    self.register(line, payload.timestamp(), *payload.digest(), true);
+                    Ok(payload)
+                }
+                Ok(read_back) => Err(SeroError::HeatVerifyFailed {
+                    line,
+                    reason: format!(
+                        "read-back payload disagrees (heated at {} for {})",
+                        read_back.timestamp(),
+                        read_back.line()
+                    ),
+                }),
+                Err(e) => Err(SeroError::HeatVerifyFailed {
+                    line,
+                    reason: e.to_string(),
+                }),
+            });
+        }
+    }
+
+    /// Heats a batch of lines with the bulk electrical fast path, returning
+    /// per-request results in request order.
+    ///
+    /// Consecutive requests whose lines are disjoint and ascending — the
+    /// shape every bulk producer (archival ingest, the scrub benchmarks,
+    /// `SeroFs` freezes of a log region) emits — are *staged*: validated
+    /// and digested first, then all their hash blocks are burned in one
+    /// streaming `ews` sweep and read back in one streaming `ers` sweep,
+    /// paying two sled trips for the whole group instead of two seeks per
+    /// line. A request that is not strictly after the previous staged line
+    /// flushes the group first, so outcomes and registry state match the
+    /// serial [`SeroDevice::heat_line`] loop request for request.
     pub fn heat_lines(
         &mut self,
         requests: Vec<(Line, Vec<u8>, u64)>,
     ) -> Vec<Result<HashBlockPayload, SeroError>> {
-        requests
+        let mut results: Vec<Option<Result<HashBlockPayload, SeroError>>> =
+            requests.iter().map(|_| None).collect();
+        let mut staged: Vec<(usize, Line, HashBlockPayload)> = Vec::new();
+        for (i, (line, metadata, timestamp)) in requests.into_iter().enumerate() {
+            if staged
+                .last()
+                .is_some_and(|(_, prev, _)| line.start() < prev.end())
+            {
+                self.flush_heat_batch(&mut staged, &mut results);
+            }
+            match self.stage_heat(line, metadata, timestamp) {
+                Ok(payload) => staged.push((i, line, payload)),
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        self.flush_heat_batch(&mut staged, &mut results);
+        results
             .into_iter()
-            .map(|(line, metadata, timestamp)| self.heat_line(line, metadata, timestamp))
+            .map(|r| r.expect("every request resolved"))
             .collect()
     }
 
@@ -717,7 +910,8 @@ impl SeroDevice {
     /// Rebuilds the registry from scratch by scanning every block — the
     /// recovery path after restart or after an attacker "clears the
     /// directory structure" (§5.2: a fsck-style scan recovers all heated
-    /// files, slowly).
+    /// files, slowly). The scan runs on the batched electrical fast path
+    /// (see [`SeroDevice::refresh_registry`]).
     ///
     /// # Errors
     ///
@@ -727,12 +921,75 @@ impl SeroDevice {
         self.refresh_registry()
     }
 
-    /// Incrementally refreshes the registry: blocks covered by
-    /// already-registered lines are skipped outright (their hash payloads
-    /// were validated when they entered the registry), and only the
-    /// remaining WMRM space is scanned for new line heads. On a device
-    /// with a populated registry this turns the O(device) re-read of
-    /// [`SeroDevice::rebuild_registry`] into a scan of the unheated
+    /// The per-block reference rebuild: [`SeroDevice::rebuild_registry`]
+    /// with the one-seek-per-block crawl of
+    /// [`SeroDevice::refresh_registry_crawl`]. Result-identical to the
+    /// batched path but pays a full seek (and settle) per block —
+    /// `exp_registry` benchmarks the two against each other and the
+    /// property tests pin the equivalence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sector-level errors (out-of-range cannot occur here).
+    pub fn rebuild_registry_crawl(&mut self) -> Result<RegistryScan, SeroError> {
+        self.registry.clear();
+        self.refresh_registry_crawl()
+    }
+
+    /// Admits one fully scanned candidate head into the registry, or files
+    /// it as evidence. Shared by the batched and crawl scan paths so their
+    /// results cannot drift apart.
+    fn admit_scanned_block(
+        &mut self,
+        pba: u64,
+        payload: Result<HashBlockPayload, PayloadError>,
+        result: &mut RegistryScan,
+    ) {
+        match payload {
+            Ok(payload) => {
+                // Trust only payloads physically located at their own
+                // hash block and describing a line that fits the
+                // device — a forged payload claiming a line that runs
+                // off the end could otherwise poison the registry and
+                // error every later scrub.
+                if payload.line().hash_block() == pba && payload.line().end() <= self.block_count()
+                {
+                    self.register(payload.line(), payload.timestamp(), *payload.digest(), true);
+                    result.lines_found += 1;
+                } else {
+                    result.suspicious_blocks.push(pba);
+                }
+            }
+            Err(PayloadError::Blank) => {}
+            Err(_) => result.suspicious_blocks.push(pba),
+        }
+    }
+
+    /// Flags every overlapping pair of registered lines as
+    /// splitting/coalescing evidence — overlapping valid lines are
+    /// physically impossible through the protocol.
+    fn collect_overlaps(&self, result: &mut RegistryScan) {
+        let lines: Vec<Line> = self.registry.values().map(|r| r.line).collect();
+        for (i, a) in lines.iter().enumerate() {
+            for b in lines.iter().skip(i + 1) {
+                if a.overlaps(b) {
+                    result.overlapping_lines.push((*a, *b));
+                }
+            }
+        }
+    }
+
+    /// Incrementally refreshes the registry on the batched electrical fast
+    /// path: blocks covered by already-registered lines are skipped
+    /// outright (their hash payloads were validated when they entered the
+    /// registry), and each remaining WMRM gap is *sieved* in one
+    /// settle-free sweep ([`sero_probe`]'s `ers_sieve_blocks_with`): one
+    /// seek per gap, a prefix probe per block, and candidate heads
+    /// escalated to a full scan on the spot — the sled is already on their
+    /// track, so no second sweep and no re-seek. On a mostly-blank device
+    /// this cuts the dominant per-block cost from seek + settle + probe to
+    /// step + probe (`BENCH_registry.json` tracks the ratio); on a
+    /// populated registry it additionally shrinks the scan to the unheated
     /// remainder — the mount-time fast path.
     ///
     /// # Errors
@@ -744,6 +1001,68 @@ impl SeroDevice {
         // skipped. Lines discovered during this scan get their interior
         // blocks probed exactly like a full rebuild would, so rebuild ≡
         // clear + refresh.
+        let known: Vec<Line> = self.registry.values().map(|r| r.line).collect();
+        let mut next_known = known.iter().copied().peekable();
+
+        // Pure bookkeeping first: split the device into known-line skips
+        // and unknown gaps, walking exactly like the reference crawl.
+        let mut gaps: Vec<(u64, u64)> = Vec::new();
+        let mut gap_start = 0u64;
+        let mut pba = 0u64;
+        while pba < self.block_count() {
+            while next_known.peek().is_some_and(|l| l.end() <= pba) {
+                next_known.next();
+            }
+            match next_known.peek() {
+                Some(&line) if line.contains(pba) => {
+                    if pba > gap_start {
+                        gaps.push((gap_start, pba - gap_start));
+                    }
+                    result.lines_skipped += 1;
+                    pba = line.end();
+                    gap_start = pba;
+                    next_known.next();
+                }
+                Some(&line) => pba = line.start().min(self.block_count()),
+                None => pba = self.block_count(),
+            }
+        }
+        if self.block_count() > gap_start {
+            gaps.push((gap_start, self.block_count() - gap_start));
+        }
+
+        // One streamed sieve per gap: payloads are prefix-contiguous, so a
+        // block whose first cells are all blank cannot be a line head (and
+        // a tampered head shows up in the prefix too). Candidates are
+        // escalated to a full scan on the spot — the sled is already on
+        // their track — so the whole gap costs one seek plus one sweep.
+        let mut full_scans: Vec<(u64, Scan)> = Vec::new();
+        for &(start, count) in &gaps {
+            self.probe.ers_sieve_blocks_with(
+                start,
+                count,
+                REGISTRY_PREFIX_CELLS,
+                |_, prefix| prefix.blank_cells().len() != REGISTRY_PREFIX_CELLS,
+                |pba, scan| full_scans.push((pba, scan)),
+            )?;
+        }
+        for (pba, scan) in full_scans {
+            self.admit_scanned_block(pba, HashBlockPayload::from_scan(&scan), &mut result);
+        }
+        self.collect_overlaps(&mut result);
+        Ok(result)
+    }
+
+    /// The per-block reference refresh: identical decisions to
+    /// [`SeroDevice::refresh_registry`], but every pre-probe and candidate
+    /// scan pays its own full seek. Kept as the benchmark baseline and the
+    /// property-test oracle for the batched path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sector-level errors (out-of-range cannot occur here).
+    pub fn refresh_registry_crawl(&mut self) -> Result<RegistryScan, SeroError> {
+        let mut result = RegistryScan::default();
         let known: Vec<Line> = self.registry.values().map(|r| r.line).collect();
         let mut next_known = known.iter().copied().peekable();
 
@@ -760,52 +1079,16 @@ impl SeroDevice {
                     continue;
                 }
             }
-            // Cheap pre-probe: payloads are prefix-contiguous, so a block
-            // whose first cells are all blank cannot be a line head (and a
-            // tampered head shows up in the prefix too).
-            let prefix = self.probe.ers_cells(pba, 16)?;
-            if prefix.blank_cells().len() == 16 {
+            let prefix = self.probe.ers_cells(pba, REGISTRY_PREFIX_CELLS)?;
+            if prefix.blank_cells().len() == REGISTRY_PREFIX_CELLS {
                 pba += 1;
                 continue;
             }
-            match self.scan_block(pba)? {
-                Ok(payload) => {
-                    // Trust only payloads physically located at their own
-                    // hash block and describing a line that fits the
-                    // device — a forged payload claiming a line that runs
-                    // off the end could otherwise poison the registry and
-                    // error every later scrub.
-                    if payload.line().hash_block() == pba
-                        && payload.line().end() <= self.block_count()
-                    {
-                        self.registry.insert(
-                            payload.line().start(),
-                            LineRecord {
-                                line: payload.line(),
-                                timestamp: payload.timestamp(),
-                                digest: *payload.digest(),
-                            },
-                        );
-                        result.lines_found += 1;
-                    } else {
-                        result.suspicious_blocks.push(pba);
-                    }
-                }
-                Err(PayloadError::Blank) => {}
-                Err(_) => result.suspicious_blocks.push(pba),
-            }
+            let payload = self.scan_block(pba)?;
+            self.admit_scanned_block(pba, payload, &mut result);
             pba += 1;
         }
-        // Overlapping valid lines are physically impossible through the
-        // protocol: flag every pair as splitting/coalescing evidence.
-        let lines: Vec<Line> = self.registry.values().map(|r| r.line).collect();
-        for (i, a) in lines.iter().enumerate() {
-            for b in lines.iter().skip(i + 1) {
-                if a.overlaps(b) {
-                    result.overlapping_lines.push((*a, *b));
-                }
-            }
-        }
+        self.collect_overlaps(&mut result);
         Ok(result)
     }
 }
@@ -1232,6 +1515,122 @@ mod tests {
         let mut h = Sha256::new();
         h.update(data);
         h.finalize()
+    }
+
+    #[test]
+    fn batched_rebuild_matches_crawl_with_forged_and_shredded_blocks() {
+        let mut dev = filled_device(80);
+        for (i, &(start, order)) in [(0u64, 2u32), (16, 3), (40, 1)].iter().enumerate() {
+            dev.heat_line(Line::new(start, order).unwrap(), vec![i as u8], T0)
+                .unwrap();
+        }
+        // A forged payload claiming a line that overruns the 80-block
+        // device (64..96)…
+        let forged = Line::new(64, 5).unwrap();
+        let payload = HashBlockPayload::new(forged, digest_of(b"forged"), T0, vec![]).unwrap();
+        dev.probe_mut().ews(64, &payload.to_bits()).unwrap();
+        // …and a shredded block (all-HH evidence).
+        dev.probe_mut().shred(70).unwrap();
+
+        let mut crawl_dev = dev.clone();
+        let batched = dev.rebuild_registry().unwrap();
+        let crawl = crawl_dev.rebuild_registry_crawl().unwrap();
+        assert_eq!(batched, crawl, "batched scan diverged from the crawl");
+        assert_eq!(batched.lines_found, 3);
+        assert_eq!(batched.suspicious_blocks, vec![64, 70]);
+        assert_eq!(
+            dev.registry, crawl_dev.registry,
+            "identical registries either way"
+        );
+    }
+
+    #[test]
+    fn batched_rebuild_is_cheaper_than_crawl() {
+        let mut dev = filled_device(128);
+        dev.heat_line(Line::new(0, 3).unwrap(), vec![], T0).unwrap();
+        let mut crawl_dev = dev.clone();
+
+        let t0 = dev.probe().clock().elapsed_ns();
+        dev.rebuild_registry().unwrap();
+        let batched_ns = dev.probe().clock().elapsed_ns() - t0;
+
+        let t0 = crawl_dev.probe().clock().elapsed_ns();
+        crawl_dev.rebuild_registry_crawl().unwrap();
+        let crawl_ns = crawl_dev.probe().clock().elapsed_ns() - t0;
+
+        assert!(
+            batched_ns * 3 < crawl_ns,
+            "batched {batched_ns} ns should beat the crawl {crawl_ns} ns by >3x"
+        );
+    }
+
+    #[test]
+    fn batched_heat_lines_matches_serial_heat_line() {
+        let mut batch_dev = filled_device(64);
+        let mut serial_dev = batch_dev.clone();
+        let lines = [
+            Line::new(0, 2).unwrap(),
+            Line::new(8, 3).unwrap(),
+            Line::new(32, 2).unwrap(),
+        ];
+        let requests: Vec<(Line, Vec<u8>, u64)> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, vec![i as u8], T0 + i as u64))
+            .collect();
+
+        let batched = batch_dev.heat_lines(requests.clone());
+        let serial: Vec<_> = requests
+            .into_iter()
+            .map(|(l, m, t)| serial_dev.heat_line(l, m, t))
+            .collect();
+        assert_eq!(batched, serial);
+        assert_eq!(batch_dev.registry, serial_dev.registry);
+        // The batch paid two sweeps (burn + read-back) instead of two
+        // seeks per line, on top of one digest extent read per line.
+        assert!(batch_dev.probe().counters().seeks < serial_dev.probe().counters().seeks);
+        for &line in &lines {
+            assert!(batch_dev.verify_line(line).unwrap().is_intact());
+        }
+    }
+
+    #[test]
+    fn heat_lines_flushes_on_non_ascending_and_overlapping_requests() {
+        let mut dev = filled_device(64);
+        let a = Line::new(8, 2).unwrap();
+        let inside_a = Line::new(8, 1).unwrap();
+        let before_a = Line::new(0, 2).unwrap();
+        let results = dev.heat_lines(vec![
+            (a, vec![], T0),
+            (inside_a, vec![], T0), // overlaps the just-staged line
+            (before_a, vec![], T0), // non-ascending, forces its own group
+        ]);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(SeroError::OverlapsHeatedLine { .. })
+        ));
+        assert!(results[2].is_ok());
+        assert!(dev.verify_line(a).unwrap().is_intact());
+        assert!(dev.verify_line(before_a).unwrap().is_intact());
+    }
+
+    #[test]
+    fn refused_accesses_flag_the_line() {
+        let mut dev = filled_device(32);
+        let line = Line::new(8, 2).unwrap();
+        dev.heat_line(line, vec![], T0).unwrap();
+        assert!(!dev.heated_lines().next().unwrap().flagged);
+
+        assert!(dev.write_block(9, &[0u8; 512]).is_err());
+        assert!(dev.heated_lines().next().unwrap().flagged);
+
+        // flag_line is also the external-monitor hook.
+        let mut fresh = filled_device(32);
+        fresh.heat_line(line, vec![], T0).unwrap();
+        assert!(fresh.read_block(line.hash_block()).is_err());
+        assert!(fresh.heated_lines().next().unwrap().flagged);
+        assert!(!fresh.flag_line(Line::new(0, 1).unwrap()), "unregistered");
     }
 
     #[test]

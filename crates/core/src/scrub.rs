@@ -28,6 +28,22 @@
 //! default read channel makes detection deterministic in practice, and the
 //! property tests in `tests/bulk_io_props.rs` pin this equivalence).
 //!
+//! Scrubbing is also **epoch-based**: every completed pass advances the
+//! device's scrub epoch and stamps each verified line with it. An
+//! [`ScrubMode::Incremental`] pass then verifies only the *delta* — lines
+//! heated or rediscovered since the last completed pass, plus every
+//! *flagged* line (prior tamper evidence, refused protocol accesses) — and
+//! reports the rest as skipped, so routine re-scrubs under live traffic
+//! cost device time proportional to what changed, not to the archive.
+//! Because silently tampered already-verified lines are invisible to the
+//! delta, incremental configs periodically fall back to a full pass
+//! (every [`ScrubConfig::full_every`]-th epoch). Tampered lines stay
+//! flagged, so their evidence reappears in every following incremental
+//! report until an operator-sanctioned pass finds them intact again.
+//! Shard assignment is seek-aware: each worker's cloned actuator starts
+//! parked at its shard's first track (a per-region controller rests in its
+//! region), so the farthest shard no longer pays a long cold seek.
+//!
 //! # Examples
 //!
 //! ```
@@ -54,19 +70,61 @@ use crate::line::Line;
 use crate::tamper::VerifyOutcome;
 use sero_probe::sector::SECTOR_DATA_BYTES;
 
-/// Tuning knobs for [`scrub_device`].
+/// How much of the registry a scrub pass verifies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScrubMode {
+    /// Verify every registered heated line.
+    #[default]
+    Full,
+    /// Verify only the lines heated (or rediscovered) since the last
+    /// completed pass, plus every *flagged* line — lines with prior tamper
+    /// evidence or refused protocol accesses. Falls back to a full pass
+    /// every [`ScrubConfig::full_every`]-th epoch, and on a device with no
+    /// completed pass yet.
+    Incremental,
+}
+
+/// Tuning knobs for [`scrub_device`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScrubConfig {
     /// Number of worker shards. `0` (the default) picks the host's
     /// available parallelism (clamped to 8); `1` verifies in place without
     /// cloning the device.
     pub workers: usize,
+    /// Full or incremental verification (default: full).
+    pub mode: ScrubMode,
+    /// In incremental mode, force a full pass every `full_every`-th epoch
+    /// so silently tampered already-verified lines cannot hide forever
+    /// (`0` disables the fallback). Default: 8.
+    pub full_every: u64,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> ScrubConfig {
+        ScrubConfig {
+            workers: 0,
+            mode: ScrubMode::Full,
+            full_every: 8,
+        }
+    }
 }
 
 impl ScrubConfig {
-    /// A config with an explicit worker count.
+    /// A full-pass config with an explicit worker count.
     pub fn with_workers(workers: usize) -> ScrubConfig {
-        ScrubConfig { workers }
+        ScrubConfig {
+            workers,
+            ..ScrubConfig::default()
+        }
+    }
+
+    /// An incremental config with an explicit worker count.
+    pub fn incremental(workers: usize) -> ScrubConfig {
+        ScrubConfig {
+            workers,
+            mode: ScrubMode::Incremental,
+            ..ScrubConfig::default()
+        }
     }
 
     /// The worker count actually used for `lines` heated lines.
@@ -80,6 +138,22 @@ impl ScrubConfig {
             self.workers
         };
         requested.clamp(1, lines.max(1))
+    }
+
+    /// The mode epoch `epoch` actually runs in: incremental requests fall
+    /// back to a full pass on the periodic `full_every` boundary and when
+    /// no pass has completed yet (everything is unverified anyway).
+    pub fn effective_mode(&self, epoch: u64, completed_passes: u64) -> ScrubMode {
+        match self.mode {
+            ScrubMode::Full => ScrubMode::Full,
+            ScrubMode::Incremental
+                if completed_passes == 0
+                    || (self.full_every != 0 && epoch % self.full_every == 0) =>
+            {
+                ScrubMode::Full
+            }
+            ScrubMode::Incremental => ScrubMode::Incremental,
+        }
     }
 }
 
@@ -104,6 +178,14 @@ pub struct ScrubSummary {
     /// Registered lines whose hash block scanned blank (should not happen
     /// on a healthy registry; counted rather than dropped).
     pub not_heated: usize,
+    /// Registered lines an incremental pass skipped because the last
+    /// completed pass already covered them (always 0 for a full pass).
+    pub skipped: usize,
+    /// The epoch this pass completed as (1-based).
+    pub epoch: u64,
+    /// The mode the pass actually ran in (an incremental request reports
+    /// [`ScrubMode::Full`] on its periodic fallback epochs).
+    pub mode: ScrubMode,
     /// Bytes of protected data re-hashed.
     pub data_bytes: u64,
     /// Worker shards used.
@@ -170,15 +252,30 @@ impl ScrubReport {
 /// Only infrastructure failures propagate (a registered line out of
 /// range); tamper findings are data in the report.
 pub fn scrub_device(dev: &mut SeroDevice, config: &ScrubConfig) -> Result<ScrubReport, SeroError> {
-    let lines: Vec<Line> = dev.heated_lines().map(|r| r.line).collect();
     let host_start = std::time::Instant::now();
+    let epoch = dev.scrub_epoch() + 1;
+    let mode = config.effective_mode(epoch, dev.scrub_epoch());
+
+    // The work list: everything, or — incrementally — only lines heated or
+    // rediscovered since the last completed pass (verified_epoch 0) plus
+    // every flagged line.
+    let registered = dev.heated_lines().count();
+    let lines: Vec<Line> = dev
+        .heated_lines()
+        .filter(|r| mode == ScrubMode::Full || r.verified_epoch == 0 || r.flagged)
+        .map(|r| r.line)
+        .collect();
     let workers = config.effective_workers(lines.len());
 
     let mut summary = ScrubSummary {
         workers,
+        epoch,
+        mode,
+        skipped: registered - lines.len(),
         ..ScrubSummary::default()
     };
     if lines.is_empty() {
+        dev.complete_scrub_pass(epoch);
         summary.host_ns = host_start.elapsed().as_nanos();
         return Ok(ScrubReport {
             outcomes: Vec::new(),
@@ -200,6 +297,9 @@ pub fn scrub_device(dev: &mut SeroDevice, config: &ScrubConfig) -> Result<ScrubR
     let mut outcomes: Vec<LineScrub> = Vec::with_capacity(lines.len());
 
     if workers <= 1 {
+        // In-place single-worker pass: this is the serial reference the
+        // sharded path is benchmarked against, so it keeps the device's
+        // real actuator position (no free parking).
         for line in lines {
             let outcome = dev.verify_line(line)?;
             outcomes.push(LineScrub { line, outcome });
@@ -213,6 +313,14 @@ pub fn scrub_device(dev: &mut SeroDevice, config: &ScrubConfig) -> Result<ScrubR
                 .map(|shard| {
                     scope.spawn(move || -> Result<(u128, Vec<LineScrub>), SeroError> {
                         let mut local = shared.clone();
+                        // Each worker models an independent probe-region
+                        // controller whose resting position is inside its
+                        // region: park at the shard's first track so the
+                        // farthest shard no longer pays a long cold seek
+                        // before its first verify.
+                        if let Some(first) = shard.first() {
+                            local.probe_mut().park_at(first.hash_block());
+                        }
                         let mut out = Vec::with_capacity(shard.len());
                         for line in shard {
                             let outcome = local.verify_line(line)?;
@@ -245,7 +353,16 @@ pub fn scrub_device(dev: &mut SeroDevice, config: &ScrubConfig) -> Result<ScrubR
             VerifyOutcome::Tampered(_) => summary.tampered += 1,
             VerifyOutcome::NotHeated => summary.not_heated += 1,
         }
+        // Stamp the pass outcome: intact lines are covered until re-flagged
+        // or re-heated; tampered (and blank-scanning) lines stay flagged so
+        // every following incremental pass keeps reporting their evidence.
+        dev.stamp_scrubbed(
+            scrubbed.line,
+            epoch,
+            !matches!(scrubbed.outcome, VerifyOutcome::Intact { .. }),
+        );
     }
+    dev.complete_scrub_pass(epoch);
     summary.device_ns = busy_ns.iter().copied().max().unwrap_or(0);
     summary.serial_device_ns = busy_ns.iter().sum();
     summary.host_ns = host_start.elapsed().as_nanos();
@@ -360,5 +477,135 @@ mod tests {
         let (mut dev, _) = heated_device(64, 3, 2);
         let report = scrub_device(&mut dev, &ScrubConfig::with_workers(2)).unwrap();
         assert_eq!(report.summary.data_bytes, 2 * 7 * 512);
+    }
+
+    #[test]
+    fn incremental_scrub_verifies_only_the_delta() {
+        let (mut dev, _) = heated_device(256, 3, 8);
+        let full = scrub_device(&mut dev, &ScrubConfig::with_workers(2)).unwrap();
+        assert_eq!((full.summary.epoch, full.summary.skipped), (1, 0));
+        assert_eq!(dev.scrub_epoch(), 1);
+
+        // Nothing changed: the next incremental pass verifies nothing.
+        let idle = scrub_device(&mut dev, &ScrubConfig::incremental(2)).unwrap();
+        assert_eq!(idle.summary.mode, ScrubMode::Incremental);
+        assert_eq!((idle.summary.lines, idle.summary.skipped), (0, 8));
+        assert_eq!(dev.scrub_epoch(), 2);
+
+        // Heat two new lines: only they are verified.
+        for i in 8..10u64 {
+            let line = Line::new(i * 8, 3).unwrap();
+            for pba in line.data_blocks() {
+                dev.write_block(pba, &[pba as u8; 512]).unwrap();
+            }
+            dev.heat_line(line, vec![], T0).unwrap();
+        }
+        let delta = scrub_device(&mut dev, &ScrubConfig::incremental(2)).unwrap();
+        assert_eq!((delta.summary.lines, delta.summary.skipped), (2, 8));
+        assert!(delta.summary.is_clean());
+        assert!(delta.outcomes.iter().all(|l| l.line.start() >= 64,));
+    }
+
+    #[test]
+    fn refused_write_flags_line_for_incremental_reverify() {
+        let (mut dev, lines) = heated_device(64, 3, 4);
+        scrub_device(&mut dev, &ScrubConfig::with_workers(2)).unwrap();
+
+        // A refused write into a frozen line is suspicious activity…
+        assert!(dev.write_block(lines[2].start() + 1, &[0u8; 512]).is_err());
+        let report = scrub_device(&mut dev, &ScrubConfig::incremental(2)).unwrap();
+        assert_eq!(report.summary.lines, 1, "only the flagged line re-verified");
+        assert_eq!(report.outcomes[0].line, lines[2]);
+        assert!(report.outcomes[0].outcome.is_intact());
+
+        // …and an intact verdict clears the flag again.
+        let idle = scrub_device(&mut dev, &ScrubConfig::incremental(2)).unwrap();
+        assert_eq!(idle.summary.lines, 0);
+    }
+
+    #[test]
+    fn tampered_line_stays_flagged_and_reappears_every_pass() {
+        let (mut dev, lines) = heated_device(64, 3, 4);
+        scrub_device(&mut dev, &ScrubConfig::with_workers(2)).unwrap();
+        dev.probe_mut()
+            .mws(lines[1].start() + 1, &[0xAA; 512])
+            .unwrap();
+        // The rewrite bypassed the protocol, so pass 2 (incremental) cannot
+        // see it — that is exactly what the full_every fallback is for.
+        let blind = scrub_device(&mut dev, &ScrubConfig::incremental(2)).unwrap();
+        assert_eq!(blind.summary.tampered, 0);
+
+        // A full pass finds it and flags it…
+        let caught = scrub_device(&mut dev, &ScrubConfig::with_workers(2)).unwrap();
+        assert_eq!(caught.summary.tampered, 1);
+        // …and every later incremental pass keeps reporting the evidence.
+        for _ in 0..2 {
+            let report = scrub_device(&mut dev, &ScrubConfig::incremental(2)).unwrap();
+            assert_eq!(report.summary.lines, 1);
+            assert_eq!(report.summary.tampered, 1);
+            assert_eq!(report.outcomes[0].line, lines[1]);
+        }
+    }
+
+    #[test]
+    fn incremental_falls_back_to_full_on_schedule() {
+        let (mut dev, _) = heated_device(64, 3, 4);
+        let mut config = ScrubConfig::incremental(2);
+        config.full_every = 3;
+        // Epoch 1: no completed pass yet → full.
+        let first = scrub_device(&mut dev, &config).unwrap();
+        assert_eq!(
+            (first.summary.mode, first.summary.lines),
+            (ScrubMode::Full, 4)
+        );
+        // Epoch 2: incremental, nothing to do.
+        let second = scrub_device(&mut dev, &config).unwrap();
+        assert_eq!(second.summary.mode, ScrubMode::Incremental);
+        assert_eq!(second.summary.lines, 0);
+        // Epoch 3: the periodic full pass re-verifies everything.
+        let third = scrub_device(&mut dev, &config).unwrap();
+        assert_eq!(
+            (third.summary.mode, third.summary.lines),
+            (ScrubMode::Full, 4)
+        );
+
+        // full_every = 0 disables the fallback entirely.
+        config.full_every = 0;
+        for _ in 0..4 {
+            let report = scrub_device(&mut dev, &config).unwrap();
+            assert_eq!(report.summary.mode, ScrubMode::Incremental);
+            assert_eq!(report.summary.lines, 0);
+        }
+    }
+
+    #[test]
+    fn parked_workers_pay_no_cold_seek() {
+        // A population far from track 0: without parking, every worker's
+        // clone starts at the device's resting position and the farthest
+        // shard pays the longest first seek. Parked workers start on their
+        // shard's first track, so per-shard busy time loses that cold seek.
+        let (mut dev, lines) = heated_device(4096, 3, 64);
+        let report = scrub_device(&mut dev, &ScrubConfig::with_workers(4)).unwrap();
+        assert_eq!(report.summary.workers, 4);
+
+        // Reference: one unparked worker verifying only the farthest shard.
+        let mut far_dev = dev.clone();
+        far_dev.probe_mut().park_at(0);
+        let shard: Vec<Line> = lines[48..].to_vec();
+        let base = far_dev.probe().clock().elapsed_ns();
+        far_dev.verify_lines(&shard).unwrap();
+        let unparked_ns = far_dev.probe().clock().elapsed_ns() - base;
+
+        let cold_seek_ns = {
+            let cost = *dev.probe().cost_model();
+            (lines[48].hash_block()) * cost.t_step_ns + cost.t_settle_ns
+        };
+        assert!(
+            report.summary.device_ns + u128::from(cold_seek_ns) / 2 <= unparked_ns,
+            "parked shard time {} should be well under unparked {} (cold seek {})",
+            report.summary.device_ns,
+            unparked_ns,
+            cold_seek_ns
+        );
     }
 }

@@ -467,11 +467,15 @@ impl SeroFs {
     /// # Errors
     ///
     /// [`FsError::ReadOnlyFile`] for heated files — "once an area has been
-    /// heated, it can no longer be rewritten with impunity" (§8).
+    /// heated, it can no longer be rewritten with impunity" (§8). The
+    /// refused line is flagged on the device so the next incremental scrub
+    /// re-verifies it: an overwrite attempt on frozen data is exactly the
+    /// activity a scrub should chase.
     pub fn write(&mut self, name: &str, data: &[u8], class: WriteClass) -> Result<(), FsError> {
         let ino = {
             let inode = self.lookup(name)?;
             if let Some(line) = inode.heated {
+                self.dev.flag_line(line);
                 return Err(FsError::ReadOnlyFile {
                     name: name.to_string(),
                     line,
@@ -502,11 +506,12 @@ impl SeroFs {
     ///
     /// [`FsError::ReadOnlyFile`] for heated files: §5.2 — `rm` "implies
     /// writing the inode, which will be tamper-evident", so the protocol
-    /// refuses outright.
+    /// refuses outright and flags the line for the next incremental scrub.
     pub fn remove(&mut self, name: &str) -> Result<(), FsError> {
         let ino = {
             let inode = self.lookup(name)?;
             if let Some(line) = inode.heated {
+                self.dev.flag_line(line);
                 return Err(FsError::ReadOnlyFile {
                     name: name.to_string(),
                     line,
@@ -658,8 +663,12 @@ impl SeroFs {
 
     /// Scrubs the whole device: verifies every heated line (files and raw
     /// application lines alike), sharded over parallel workers — the §5.2
-    /// fsck argument made routine. See [`sero_core::scrub`] for the model
-    /// and the report shape.
+    /// fsck argument made routine. Pass a [`ScrubConfig`] in
+    /// [`ScrubMode::Incremental`](sero_core::scrub::ScrubMode::Incremental)
+    /// to verify only the delta since the last completed pass (lines
+    /// heated since then, plus lines flagged by tamper evidence or refused
+    /// writes). See [`sero_core::scrub`] for the model and the report
+    /// shape.
     ///
     /// # Errors
     ///
@@ -667,6 +676,18 @@ impl SeroFs {
     /// report.
     pub fn scrub(&mut self, config: &ScrubConfig) -> Result<ScrubReport, FsError> {
         Ok(scrub_device(&mut self.dev, config)?)
+    }
+
+    /// Convenience for routine background verification under live traffic:
+    /// an incremental [`SeroFs::scrub`] with the default worker count and
+    /// full-pass fallback cadence.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure failures only; tamper findings are data in the
+    /// report.
+    pub fn scrub_incremental(&mut self) -> Result<ScrubReport, FsError> {
+        self.scrub(&ScrubConfig::incremental(0))
     }
 
     // --- checkpoint ----------------------------------------------------------

@@ -115,6 +115,44 @@ mod tests {
     }
 
     #[test]
+    fn incremental_scrub_chases_refused_writes_and_new_heats() {
+        use sero_core::scrub::{ScrubConfig, ScrubMode};
+
+        let mut fs = fresh(512);
+        for i in 0..3 {
+            let name = format!("vault-{i}");
+            fs.create(&name, &[i as u8 + 1; 1200], WriteClass::Archival)
+                .unwrap();
+            fs.heat(&name, vec![], i as u64).unwrap();
+        }
+        let full = fs.scrub(&ScrubConfig::with_workers(2)).unwrap();
+        assert_eq!((full.summary.lines, full.summary.epoch), (3, 1));
+
+        // Quiet archive: the routine incremental pass verifies nothing.
+        let idle = fs.scrub_incremental().unwrap();
+        assert_eq!(idle.summary.mode, ScrubMode::Incremental);
+        assert_eq!((idle.summary.lines, idle.summary.skipped), (0, 3));
+
+        // A refused overwrite of a frozen file flags its line…
+        assert!(matches!(
+            fs.write("vault-1", b"rewrite", WriteClass::Normal),
+            Err(FsError::ReadOnlyFile { .. })
+        ));
+        // …and a freshly heated file joins the delta.
+        fs.create("new-vault", &[7u8; 800], WriteClass::Archival)
+            .unwrap();
+        fs.heat("new-vault", vec![], 9).unwrap();
+
+        let delta = fs.scrub_incremental().unwrap();
+        assert_eq!(delta.summary.lines, 2, "flagged + newly heated only");
+        assert_eq!(delta.summary.skipped, 2);
+        assert!(delta.summary.is_clean());
+        let verified: Vec<_> = delta.outcomes.iter().map(|l| l.line).collect();
+        assert!(verified.contains(&fs.stat("vault-1").unwrap().heated.unwrap()));
+        assert!(verified.contains(&fs.stat("new-vault").unwrap().heated.unwrap()));
+    }
+
+    #[test]
     fn create_read_round_trip() {
         let mut fs = fresh(256);
         let data: Vec<u8> = (0..3000).map(|i| (i % 251) as u8).collect();

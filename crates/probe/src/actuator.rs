@@ -88,9 +88,30 @@ impl Actuator {
     /// rest between adjacent tracks, so no settle time is paid — this is
     /// what makes extent I/O cheaper than a per-block seek loop.
     pub fn step_row(&mut self) -> u64 {
-        self.row = self.row.saturating_add(1);
-        self.total_steps += 1;
-        self.cost.t_step_ns
+        self.stream_rows(1)
+    }
+
+    /// Advances `rows` track rows in one continuous sweep, returning the
+    /// cost in ns. The sled keeps moving the whole way, so no settle time
+    /// is paid — this is how a scattered-but-ascending scan (e.g. the hash
+    /// blocks of several heated lines) streams over the gaps between its
+    /// targets instead of seeking each one.
+    pub fn stream_rows(&mut self, rows: u64) -> u64 {
+        self.row = self
+            .row
+            .saturating_add(u32::try_from(rows).unwrap_or(u32::MAX));
+        self.total_steps += rows;
+        rows * self.cost.t_step_ns
+    }
+
+    /// Teleports the sled to (`row`, `col`) free of charge. This is not a
+    /// physical seek: it models a controller whose resting position is
+    /// already inside its assigned region — e.g. a scrub worker parked at
+    /// its shard's first track before the pass starts — so no time passes
+    /// and no seek is counted.
+    pub fn park_at(&mut self, row: u32, col: u32) {
+        self.row = row;
+        self.col = col;
     }
 }
 
@@ -139,6 +160,20 @@ mod tests {
         b.seek(4, 0);
         let sought = b.seek(5, 0);
         assert!(sought > streamed, "a full seek pays settle time");
+    }
+
+    #[test]
+    fn stream_rows_skips_settle_and_park_is_free() {
+        let cost = CostModel::default();
+        let mut a = Actuator::new(cost);
+        a.seek(2, 0);
+        let streamed = a.stream_rows(6);
+        assert_eq!(streamed, 6 * cost.t_step_ns, "no settle while sweeping");
+        assert_eq!(a.position(), (8, 0));
+        let steps_before = a.total_steps();
+        a.park_at(100, 0);
+        assert_eq!(a.position(), (100, 0));
+        assert_eq!(a.total_steps(), steps_before, "parking travels no steps");
     }
 
     #[test]

@@ -295,6 +295,40 @@ impl ProbeDevice {
         self.counters.seeks += 1;
     }
 
+    /// Streams the sled forward from its current row to block `pba`'s track
+    /// without settling (the sled keeps moving), advancing the clock by the
+    /// swept distance. Falls back to a full seek when `pba` is behind the
+    /// current position. Extent scans over scattered-but-ascending targets
+    /// use this between blocks.
+    pub(crate) fn stream_to_block(&mut self, pba: u64) {
+        let (row, _) = self.actuator.position();
+        let target = pba as u32;
+        if target >= row {
+            let ns = self.actuator.stream_rows((target - row) as u64);
+            self.clock.advance(ns);
+        } else {
+            self.seek_block(pba);
+        }
+    }
+
+    /// Parks the sled at block `pba`'s track free of charge — not a seek,
+    /// but the model of a controller whose resting position is already
+    /// inside its assigned region (a scrub worker starts each pass parked
+    /// at its shard's first track).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range addresses — parking is controller setup, not
+    /// device I/O, so a bad address is a caller bug.
+    pub fn park_at(&mut self, pba: u64) {
+        assert!(
+            pba < self.blocks,
+            "park_at({pba}) beyond the {} block device",
+            self.blocks
+        );
+        self.actuator.park_at(pba as u32, 0);
+    }
+
     /// Batch cost of `ops` identical bit operations spread over the probe
     /// array.
     fn parallel_cost(&self, ops: u64, per_op_ns: u64) -> u64 {
@@ -545,14 +579,22 @@ impl ProbeDevice {
     ///
     /// Panics when `bits.len() > ELECTRICAL_CELLS`.
     pub fn ews(&mut self, pba: u64, bits: &[bool]) -> Result<EwsReport, SectorError> {
+        self.check_pba(pba)?;
+        self.seek_block(pba);
+        Ok(self.ews_here(pba, bits))
+    }
+
+    /// Burns `bits` into the electrical area of the block under the current
+    /// sled position, advancing the clock and counters but paying no seek.
+    /// Batched electrical writes stream over this after a single
+    /// head-of-range seek.
+    pub(crate) fn ews_here(&mut self, pba: u64, bits: &[bool]) -> EwsReport {
         assert!(
             bits.len() <= ELECTRICAL_CELLS,
             "{} bits exceed the electrical area of {} cells",
             bits.len(),
             ELECTRICAL_CELLS
         );
-        self.check_pba(pba)?;
-        self.seek_block(pba);
         let base = self.block_first_dot(pba) + DATA_AREA_FIRST_DOT as u64;
 
         let dots = manchester::encode(bits.iter().copied());
@@ -575,7 +617,7 @@ impl ProbeDevice {
             report.disturbed.extend(outcome.disturbed_neighbours);
         }
         self.counters.ews += 1;
-        Ok(report)
+        report
     }
 
     /// Electrical read sector (`ers`): probe the electrical area with `erb`
@@ -636,12 +678,20 @@ impl ProbeDevice {
     ///
     /// Panics when `cells` exceeds [`ELECTRICAL_CELLS`].
     pub fn ers_cells(&mut self, pba: u64, cells: usize) -> Result<Scan, SectorError> {
+        self.check_pba(pba)?;
+        self.seek_block(pba);
+        Ok(self.ers_cells_here(pba, cells))
+    }
+
+    /// Probes the first `cells` Manchester cells of the block under the
+    /// current sled position, advancing the clock and counters but paying
+    /// no seek. Batched electrical scans stream over this after a single
+    /// head-of-range seek.
+    pub(crate) fn ers_cells_here(&mut self, pba: u64, cells: usize) -> Scan {
         assert!(
             cells <= ELECTRICAL_CELLS,
             "at most {ELECTRICAL_CELLS} cells per block"
         );
-        self.check_pba(pba)?;
-        self.seek_block(pba);
         let base = self.block_first_dot(pba) + DATA_AREA_FIRST_DOT as u64;
         let dots = cells * 2;
 
@@ -657,7 +707,7 @@ impl ProbeDevice {
         self.counters.mrb += 3 * dots as u64;
         self.counters.mwb += 2 * dots as u64;
         self.counters.ers += 1;
-        Ok(manchester::decode(&heat_flags))
+        manchester::decode(&heat_flags)
     }
 }
 

@@ -16,6 +16,11 @@
 //!   sector operations (`mrs`/`mws`/`ers`/`ews`).
 //! * [`extent`] — batched multi-block `read_blocks`/`write_blocks`: one
 //!   seek per extent, settle-free streaming between adjacent tracks.
+//! * [`escan`] — the electrical counterpart: bulk `ers_blocks`/`ews_blocks`
+//!   sweeping gaps between scattered ascending targets without settling,
+//!   batched `ers_cells_blocks` prefix probes, and the
+//!   `ers_sieve_blocks_with` prefix sieve registry scans run on — one
+//!   sweep per gap, candidates escalated to a full scan in place.
 //!
 //! # Examples
 //!
@@ -36,6 +41,7 @@
 
 pub mod actuator;
 pub mod device;
+pub mod escan;
 pub mod extent;
 pub mod sector;
 pub mod timing;
