@@ -10,11 +10,12 @@
 //!
 //! # The `BENCH_*.json` schema (`sero-bench/v1`)
 //!
-//! The perf-baseline binaries (`exp_scrub`, `exp_bulk_io`, `exp_registry`)
-//! each emit one JSON document, written to the current directory (override
-//! with `SERO_BENCH_OUT_DIR`). Committed baselines live in `benchmarks/`
-//! at the repo root; CI regenerates the files with `SERO_BENCH_FAST=1` and
-//! runs `bench_compare` against the committed copies. The shape:
+//! The perf-baseline binaries (`exp_scrub`, `exp_bulk_io`, `exp_registry`,
+//! `exp_sched`) each emit one JSON document, written to the current
+//! directory (override with `SERO_BENCH_OUT_DIR`). Committed baselines
+//! live in `benchmarks/` at the repo root; CI regenerates the files with
+//! `SERO_BENCH_FAST=1` and runs `bench_compare` against the committed
+//! copies. The shape:
 //!
 //! ```json
 //! {
@@ -31,6 +32,8 @@
 //! }
 //! ```
 //!
+//! ## Compare policy: what blocks CI, and at what threshold
+//!
 //! Only numeric leaves under `"metrics"` participate in the
 //! [`bench_compare`](../bench_compare/index.html) ±threshold check (a
 //! metric present in only one file is an explicit `MISSING` failure, and
@@ -40,6 +43,22 @@
 //! seeds, so a regeneration on any host reproduces the committed numbers
 //! exactly; `"host"` captures real wall time for humans and is expected
 //! to vary.
+//!
+//! That split is also the CI gating policy. The **metric allowlist** —
+//! everything the blocking compare sees — is exactly the numeric leaves
+//! of `"metrics"`; the **threshold** is ±20% (`--threshold 0.20`),
+//! generous against incidental drift (an extra seek here, a rounding
+//! change there) while still catching a regressed fast path or a broken
+//! scheduler. Because the allowlisted numbers are deterministic, the
+//! `bench-baselines` CI job runs `bench_compare` as a **blocking** step:
+//! drift or a missing metric fails the build, and the fix is either to
+//! repair the regression or to regenerate and commit the baseline with
+//! the change that justifies it. Wall-clock numbers stay non-blocking by
+//! construction — they live under `"host"`, which the compare never
+//! reads, and the Criterion `bench-smoke` job that does measure host time
+//! keeps its `continue-on-error`. Non-JSON artifacts (the `exp_sched`
+//! scheduler trace `sched_trace.json`) are uploaded for humans and never
+//! compared.
 //!
 //! Per-bench metric keys:
 //!
@@ -65,6 +84,17 @@
 //!   (incremental [`sero_core::device::SeroDevice::refresh_registry`] on
 //!   the populated registry), `lines_found`, `suspicious_blocks` (planted
 //!   forged + shredded evidence), `crawl_seeks` / `batched_seeks`.
+//! * `bench = "sched"` — foreground latency under background scrub
+//!   ([`sero_core::sched::ScrubScheduler`] driven through
+//!   [`sero_fs::fs::SeroFs::scrub_background`] by mixed open-loop
+//!   traffic): `p50_off_us` / `p99_off_us` (no scrub baseline),
+//!   `p99_greedy_us` (stop-the-world pass), `p50_budgeted_us` /
+//!   `p99_budgeted_us` (budgeted slices), `p99_budgeted_over_off` (the
+//!   ≤ 2× acceptance bar) and `p99_greedy_over_off`, `max_greedy_us` /
+//!   `max_budgeted_us` (worst-case stalls), `scrub_completion_greedy_ms`
+//!   / `scrub_completion_budgeted_ms` (pass completion under load),
+//!   `budgeted_slices` / `budgeted_throttled_ticks`, `lines_verified`,
+//!   `tampered` (the planted evidence both phases must find).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -86,6 +116,15 @@ pub fn fast_mode() -> bool {
 pub fn bench_out_path(name: &str) -> std::path::PathBuf {
     let dir = std::env::var_os("SERO_BENCH_OUT_DIR").unwrap_or_else(|| ".".into());
     std::path::PathBuf::from(dir).join(format!("BENCH_{name}.json"))
+}
+
+/// Where a non-compared artifact (e.g. the `exp_sched` scheduler trace)
+/// should be written: same directory rules as [`bench_out_path`], but the
+/// file name is taken verbatim so the `BENCH_*.json` namespace stays
+/// reserved for comparable baselines.
+pub fn trace_out_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::var_os("SERO_BENCH_OUT_DIR").unwrap_or_else(|| ".".into());
+    std::path::PathBuf::from(dir).join(name)
 }
 
 /// Prints a row of fixed-width cells.

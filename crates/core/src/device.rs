@@ -41,6 +41,7 @@ use crate::layout::{HashBlockPayload, PayloadError};
 use crate::line::{Line, LineError};
 use crate::tamper::{Evidence, TamperReport, VerifyOutcome};
 use core::fmt;
+use sero_codec::crc32::crc32;
 use sero_codec::manchester::Scan;
 use sero_crypto::{Digest, Sha256};
 use sero_probe::device::ProbeDevice;
@@ -102,6 +103,12 @@ pub enum SeroError {
         /// Number of dots that refused the write.
         unwritable_dots: usize,
     },
+    /// A serialized scrub-state record failed to parse (bad magic,
+    /// truncated, or CRC mismatch).
+    BadScrubState {
+        /// Explanation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SeroError {
@@ -135,6 +142,9 @@ impl fmt::Display for SeroError {
                     f,
                     "write to block {pba} degraded: {unwritable_dots} unwritable dots"
                 )
+            }
+            SeroError::BadScrubState { reason } => {
+                write!(f, "scrub state unusable: {reason}")
             }
         }
     }
@@ -225,6 +235,20 @@ pub struct RegistryScan {
     pub overlapping_lines: Vec<(Line, Line)>,
 }
 
+/// Outcome of [`SeroDevice::import_scrub_state`]: how much persisted
+/// scrub bookkeeping could actually be applied to the live registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubStateRestore {
+    /// Records applied: the line is registered with the same coordinates
+    /// and digest, so its epoch/flag were restored.
+    pub restored: usize,
+    /// Records whose line is registered but with a different digest (the
+    /// line was replaced since the state was saved) — left unverified.
+    pub stale: usize,
+    /// Records naming lines the registry does not know — skipped.
+    pub unknown: usize,
+}
+
 /// Capacity accounting of a SERO device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SeroStats {
@@ -242,6 +266,12 @@ pub struct SeroStats {
 /// payloads are prefix-contiguous, so an all-blank prefix means a blank
 /// block at a fraction of the full `ers` cost.
 pub const REGISTRY_PREFIX_CELLS: usize = 16;
+
+/// Magic framing a serialized scrub-state record ("SEPC").
+const SCRUB_STATE_MAGIC: u32 = 0x53455043;
+
+/// Version byte of the scrub-state record format.
+const SCRUB_STATE_VERSION: u8 = 1;
 
 /// A tamper-evident SERO storage device.
 #[derive(Debug, Clone)]
@@ -354,6 +384,141 @@ impl SeroDevice {
     /// when a pass finishes).
     pub(crate) fn complete_scrub_pass(&mut self, epoch: u64) {
         self.scrub_epoch = self.scrub_epoch.max(epoch);
+    }
+
+    /// Serializes the scrub bookkeeping — the completed-pass epoch plus
+    /// every line's `verified_epoch`/`flagged` and a digest prefix to
+    /// guard against replaced lines — into a self-checking byte record
+    /// (magic ‖ version ‖ payload ‖ CRC-32).
+    ///
+    /// The registry itself is recovered from the *medium* (the hash-block
+    /// payloads are physically self-describing), but those payloads are
+    /// burned once and immutable, so the mutable scrub bookkeeping has to
+    /// live elsewhere: callers embed this record in rewritable WMRM
+    /// storage — the file system's checkpoint
+    /// (`sero-fs`), or a raw region via
+    /// [`crate::journal::ScrubStateStore`] — and feed it back through
+    /// [`SeroDevice::import_scrub_state`] after a remount, so the next
+    /// incremental scrub resumes from the persisted delta instead of
+    /// falling back to a full pass.
+    ///
+    /// The record is an *availability* optimization, not an integrity
+    /// root: an attacker who forges it can at most delay re-verification
+    /// of a line until the next [`crate::scrub::ScrubConfig::full_every`]
+    /// full pass, exactly the window the incremental design already
+    /// accepts.
+    ///
+    /// Only *informative* records are exported: a line with
+    /// `verified_epoch == 0 && !flagged` is exactly what a registry
+    /// rebuild produces anyway, so persisting it would say nothing.
+    pub fn export_scrub_state(&self) -> Vec<u8> {
+        self.export_scrub_state_capped(usize::MAX)
+    }
+
+    /// [`SeroDevice::export_scrub_state`] bounded to `max_bytes`: when
+    /// the informative records do not all fit (a fixed checkpoint region,
+    /// say), the export degrades by *dropping* records instead of
+    /// overflowing — flagged lines are kept in preference to merely
+    /// verified ones (losing a flag loses evidence-chasing state; losing
+    /// a verified record merely costs one redundant re-verify), and a cap
+    /// too small for even the empty record yields an empty `Vec` (no
+    /// state; the next pass runs full).
+    pub fn export_scrub_state_capped(&self, max_bytes: usize) -> Vec<u8> {
+        const HEADER_BYTES: usize = 4 + 1 + 8 + 4;
+        const RECORD_BYTES: usize = 8 + 1 + 8 + 1 + 8;
+        const CRC_BYTES: usize = 4;
+        if max_bytes < HEADER_BYTES + CRC_BYTES {
+            return Vec::new();
+        }
+        let mut records: Vec<&LineRecord> = self
+            .registry
+            .values()
+            .filter(|r| r.verified_epoch != 0 || r.flagged)
+            .collect();
+        let max_records = (max_bytes - HEADER_BYTES - CRC_BYTES) / RECORD_BYTES;
+        if records.len() > max_records {
+            records.sort_by_key(|r| (!r.flagged, r.line.start()));
+            records.truncate(max_records);
+            records.sort_by_key(|r| r.line.start());
+        }
+        let mut buf = Vec::with_capacity(HEADER_BYTES + records.len() * RECORD_BYTES + CRC_BYTES);
+        buf.extend_from_slice(&SCRUB_STATE_MAGIC.to_le_bytes());
+        buf.push(SCRUB_STATE_VERSION);
+        buf.extend_from_slice(&self.scrub_epoch.to_le_bytes());
+        buf.extend_from_slice(&(records.len() as u32).to_le_bytes());
+        for record in records {
+            buf.extend_from_slice(&record.line.start().to_le_bytes());
+            buf.push(record.line.order() as u8);
+            buf.extend_from_slice(&record.verified_epoch.to_le_bytes());
+            buf.push(record.flagged as u8);
+            buf.extend_from_slice(&record.digest.as_bytes()[..8]);
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Applies a record produced by [`SeroDevice::export_scrub_state`] to
+    /// the live registry: restores `verified_epoch`/`flagged` for every
+    /// line still registered with the same coordinates and digest prefix,
+    /// and advances the completed-pass epoch to the persisted value.
+    /// Call *after* the registry is populated (mount's
+    /// [`SeroDevice::refresh_registry`]); lines the record does not match
+    /// stay unverified and are simply due in the next pass.
+    ///
+    /// # Errors
+    ///
+    /// [`SeroError::BadScrubState`] when the record is truncated, carries
+    /// the wrong magic/version, or fails its CRC — the caller should
+    /// treat that as "no usable state" and let the next pass run full.
+    pub fn import_scrub_state(&mut self, bytes: &[u8]) -> Result<ScrubStateRestore, SeroError> {
+        let bad = |reason: &str| SeroError::BadScrubState {
+            reason: reason.to_string(),
+        };
+        if bytes.len() < 4 + 1 + 8 + 4 + 4 {
+            return Err(bad("record truncated"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4"));
+        if crc32(body) != stored_crc {
+            return Err(bad("crc mismatch"));
+        }
+        if u32::from_le_bytes(body[..4].try_into().expect("4")) != SCRUB_STATE_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        if body[4] != SCRUB_STATE_VERSION {
+            return Err(bad("unknown version"));
+        }
+        let epoch = u64::from_le_bytes(body[5..13].try_into().expect("8"));
+        let count = u32::from_le_bytes(body[13..17].try_into().expect("4")) as usize;
+        const RECORD_BYTES: usize = 8 + 1 + 8 + 1 + 8;
+        if body.len() != 17 + count * RECORD_BYTES {
+            return Err(bad("length disagrees with record count"));
+        }
+        let mut restore = ScrubStateRestore::default();
+        for i in 0..count {
+            let at = 17 + i * RECORD_BYTES;
+            let start = u64::from_le_bytes(body[at..at + 8].try_into().expect("8"));
+            let order = body[at + 8] as u32;
+            let verified_epoch = u64::from_le_bytes(body[at + 9..at + 17].try_into().expect("8"));
+            let flagged = body[at + 17] != 0;
+            let digest8 = &body[at + 18..at + 26];
+            match self.registry.get_mut(&start) {
+                Some(record) if record.line.order() == order => {
+                    if &record.digest.as_bytes()[..8] == digest8 {
+                        record.verified_epoch = verified_epoch;
+                        record.flagged = record.flagged || flagged;
+                        restore.restored += 1;
+                    } else {
+                        restore.stale += 1;
+                    }
+                }
+                Some(_) => restore.stale += 1,
+                None => restore.unknown += 1,
+            }
+        }
+        self.scrub_epoch = self.scrub_epoch.max(epoch);
+        Ok(restore)
     }
 
     /// Inserts or refreshes a registry record, preserving the scrub
@@ -1631,6 +1796,103 @@ mod tests {
         assert!(fresh.read_block(line.hash_block()).is_err());
         assert!(fresh.heated_lines().next().unwrap().flagged);
         assert!(!fresh.flag_line(Line::new(0, 1).unwrap()), "unregistered");
+    }
+
+    #[test]
+    fn scrub_state_round_trips_across_forget_and_rebuild() {
+        let mut dev = filled_device(64);
+        let lines = [Line::new(0, 3).unwrap(), Line::new(16, 3).unwrap()];
+        for &line in &lines {
+            dev.heat_line(line, vec![], T0).unwrap();
+        }
+        crate::scrub::scrub_device(&mut dev, &crate::scrub::ScrubConfig::with_workers(1)).unwrap();
+        // A third line heated after the pass, and a flag raised on the
+        // second: the incremental delta pre-detach is {line[1], new}.
+        let fresh = Line::new(32, 3).unwrap();
+        dev.heat_line(fresh, vec![], T0).unwrap();
+        assert!(dev.write_block(lines[1].start() + 1, &[0u8; 512]).is_err());
+        let state = dev.export_scrub_state();
+
+        // Detach: all volatile bookkeeping gone; remount rebuilds the
+        // registry (epochs reset) and imports the persisted state.
+        dev.forget_registry();
+        dev.rebuild_registry().unwrap();
+        assert!(dev.heated_lines().all(|r| r.verified_epoch == 0));
+        assert_eq!(dev.scrub_epoch(), 1, "epoch counter itself survives");
+        let restore = dev.import_scrub_state(&state).unwrap();
+        // Two informative records restored; the freshly heated line's
+        // all-default record (epoch 0, unflagged) is not exported at all.
+        assert_eq!(restore.restored, 2);
+        assert_eq!((restore.stale, restore.unknown), (0, 0));
+
+        // The restored delta matches the pre-detach delta exactly.
+        let delta = crate::scrub::pass_work_list(&dev, crate::scrub::ScrubMode::Incremental);
+        assert_eq!(delta, vec![lines[1], fresh]);
+    }
+
+    #[test]
+    fn capped_scrub_state_drops_records_but_keeps_flags() {
+        let mut dev = filled_device(128);
+        let lines: Vec<Line> = (0..8).map(|i| Line::new(i * 8, 3).unwrap()).collect();
+        for &line in &lines {
+            dev.heat_line(line, vec![], T0).unwrap();
+        }
+        crate::scrub::scrub_device(&mut dev, &crate::scrub::ScrubConfig::with_workers(1)).unwrap();
+        assert!(dev.write_block(lines[6].start() + 1, &[0u8; 512]).is_err());
+
+        // Room for only two of the eight informative records.
+        let state = dev.export_scrub_state_capped(17 + 2 * 26 + 4);
+        dev.forget_registry();
+        dev.rebuild_registry().unwrap();
+        let restore = dev.import_scrub_state(&state).unwrap();
+        assert_eq!(restore.restored, 2);
+        // The flagged line survived the cap; dropped lines just land in
+        // the next incremental delta (safe degradation).
+        let flagged = dev.heated_lines().find(|r| r.line == lines[6]).unwrap();
+        assert!(flagged.flagged);
+        assert_eq!(flagged.verified_epoch, 1);
+
+        // A cap below even the empty record yields no state at all.
+        assert!(dev.export_scrub_state_capped(10).is_empty());
+    }
+
+    #[test]
+    fn scrub_state_import_rejects_corruption_and_skips_stale_lines() {
+        let mut dev = filled_device(64);
+        dev.heat_line(Line::new(0, 3).unwrap(), vec![], T0).unwrap();
+        crate::scrub::scrub_device(&mut dev, &crate::scrub::ScrubConfig::with_workers(1)).unwrap();
+        let mut state = dev.export_scrub_state();
+
+        // A flipped payload byte fails the CRC.
+        state[10] ^= 0xFF;
+        assert!(matches!(
+            dev.import_scrub_state(&state),
+            Err(SeroError::BadScrubState { .. })
+        ));
+        assert!(dev.import_scrub_state(&[1, 2, 3]).is_err(), "truncated");
+
+        // A record for a line the registry no longer knows is counted,
+        // not applied; a digest mismatch is stale.
+        state[10] ^= 0xFF;
+        let mut target = {
+            let mut d = filled_device(64);
+            // Different data under the same coordinates => different digest.
+            d.write_block(1, &[0xAB; 512]).unwrap();
+            d.heat_line(Line::new(0, 3).unwrap(), vec![], T0).unwrap();
+            d
+        };
+        let restore = target.import_scrub_state(&state).unwrap();
+        assert_eq!(restore.restored, 0);
+        assert_eq!(restore.stale, 1);
+        assert_eq!(
+            target
+                .heated_lines()
+                .find(|r| r.line.start() == 0)
+                .unwrap()
+                .verified_epoch,
+            0,
+            "stale record must not mark the replacement line verified"
+        );
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   a bad one (§3's addressing discussion).
 //! * [`scrub`] — whole-device verification of every heated line, sharded
 //!   over parallel workers (the §5.2 fsck argument made routine).
+//! * [`sched`] — background scrub scheduling under live foreground
+//!   traffic: budget-bounded slices, pause/resume/cancel, quantum duty
+//!   cycling.
 //!
 //! # Examples
 //!
@@ -46,11 +49,13 @@ pub mod device;
 pub mod journal;
 pub mod layout;
 pub mod line;
+pub mod sched;
 pub mod scrub;
 pub mod tamper;
 
 pub use device::{SeroDevice, SeroError};
 pub use line::Line;
+pub use sched::{SchedConfig, SchedProgress, SchedState, ScrubScheduler, SliceOutcome};
 pub use scrub::{scrub_device, ScrubConfig, ScrubReport, ScrubSummary};
 pub use tamper::{Evidence, TamperReport, VerifyOutcome};
 
@@ -60,6 +65,7 @@ pub mod prelude {
     pub use crate::device::{LineRecord, SeroDevice, SeroError, SeroStats};
     pub use crate::layout::HashBlockPayload;
     pub use crate::line::Line;
+    pub use crate::sched::{SchedConfig, SchedProgress, SchedState, ScrubScheduler, SliceOutcome};
     pub use crate::scrub::{scrub_device, ScrubConfig, ScrubReport, ScrubSummary};
     pub use crate::tamper::{Evidence, TamperReport, VerifyOutcome};
 }

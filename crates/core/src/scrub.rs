@@ -232,6 +232,35 @@ impl ScrubReport {
     }
 }
 
+/// The work list a pass running in `mode` verifies: every registered line
+/// for a [`ScrubMode::Full`] pass, or — incrementally — only the delta:
+/// lines never verified by a completed pass (`verified_epoch == 0`,
+/// i.e. heated or rediscovered since), plus every *flagged* line. Shared
+/// by [`scrub_device`] and the background [`crate::sched::ScrubScheduler`]
+/// so the two can never disagree about what a pass covers.
+pub fn pass_work_list(dev: &SeroDevice, mode: ScrubMode) -> Vec<Line> {
+    dev.heated_lines()
+        .filter(|r| mode == ScrubMode::Full || r.verified_epoch == 0 || r.flagged)
+        .map(|r| r.line)
+        .collect()
+}
+
+/// Tallies per-line outcomes into `summary`'s counters (`lines`,
+/// `intact`/`tampered`/`not_heated`, `data_bytes`). Shared by
+/// [`scrub_device`] and the background scheduler's report assembly so the
+/// two can never drift.
+pub(crate) fn tally_outcomes(outcomes: &[LineScrub], summary: &mut ScrubSummary) {
+    for scrubbed in outcomes {
+        summary.lines += 1;
+        summary.data_bytes += (scrubbed.line.len() - 1) * SECTOR_DATA_BYTES as u64;
+        match &scrubbed.outcome {
+            VerifyOutcome::Intact { .. } => summary.intact += 1,
+            VerifyOutcome::Tampered(_) => summary.tampered += 1,
+            VerifyOutcome::NotHeated => summary.not_heated += 1,
+        }
+    }
+}
+
 /// Verifies every registered heated line, sharded over
 /// `config`-many worker threads (see the module docs for the model).
 ///
@@ -260,11 +289,7 @@ pub fn scrub_device(dev: &mut SeroDevice, config: &ScrubConfig) -> Result<ScrubR
     // rediscovered since the last completed pass (verified_epoch 0) plus
     // every flagged line.
     let registered = dev.heated_lines().count();
-    let lines: Vec<Line> = dev
-        .heated_lines()
-        .filter(|r| mode == ScrubMode::Full || r.verified_epoch == 0 || r.flagged)
-        .map(|r| r.line)
-        .collect();
+    let lines = pass_work_list(dev, mode);
     let workers = config.effective_workers(lines.len());
 
     let mut summary = ScrubSummary {
@@ -345,14 +370,8 @@ pub fn scrub_device(dev: &mut SeroDevice, config: &ScrubConfig) -> Result<ScrubR
     }
 
     outcomes.sort_by_key(|l| l.line.start());
+    tally_outcomes(&outcomes, &mut summary);
     for scrubbed in &outcomes {
-        summary.lines += 1;
-        summary.data_bytes += (scrubbed.line.len() - 1) * SECTOR_DATA_BYTES as u64;
-        match &scrubbed.outcome {
-            VerifyOutcome::Intact { .. } => summary.intact += 1,
-            VerifyOutcome::Tampered(_) => summary.tampered += 1,
-            VerifyOutcome::NotHeated => summary.not_heated += 1,
-        }
         // Stamp the pass outcome: intact lines are covered until re-flagged
         // or re-heated; tampered (and blank-scanning) lines stay flagged so
         // every following incremental pass keeps reporting their evidence.

@@ -40,8 +40,11 @@ use crate::alloc::{Allocator, BlockUse, ClusterPolicy, WriteClass};
 use crate::error::FsError;
 use crate::inode::{FileKind, Inode, MAX_BLOCKS, MAX_FILE_BYTES, MAX_NAME_BYTES, NDIRECT};
 use sero_codec::crc32::crc32;
-use sero_core::device::SeroDevice;
+use sero_core::device::{ScrubStateRestore, SeroDevice};
 use sero_core::line::{Line, MAX_ORDER};
+use sero_core::sched::{
+    SchedConfig, SchedProgress, SchedState, ScrubScheduler, SliceOutcome, SliceTrace,
+};
 use sero_core::scrub::{scrub_device, ScrubConfig, ScrubReport};
 use sero_core::tamper::VerifyOutcome;
 use sero_probe::sector::SECTOR_DATA_BYTES;
@@ -123,6 +126,9 @@ pub struct SeroFs {
     pub(crate) directory: BTreeMap<String, u64>,
     pub(crate) next_ino: u64,
     pub(crate) stats: FsStats,
+    /// What [`SeroFs::mount`] restored from the checkpoint's persisted
+    /// scrub state (`None` for a freshly formatted fs or a v1 checkpoint).
+    pub(crate) scrub_restore: Option<ScrubStateRestore>,
 }
 
 impl SeroFs {
@@ -158,6 +164,7 @@ impl SeroFs {
             directory: BTreeMap::new(),
             next_ino: 1,
             stats: FsStats::default(),
+            scrub_restore: None,
         };
         fs.write_checkpoint()?;
         Ok(fs)
@@ -171,7 +178,8 @@ impl SeroFs {
     ///
     /// [`FsError::Corrupt`] when the checkpoint or an inode fails to parse.
     pub fn mount(mut dev: SeroDevice) -> Result<SeroFs, FsError> {
-        let (config, next_ino, inode_loc, directory) = Self::read_checkpoint(&mut dev)?;
+        let (config, next_ino, inode_loc, directory, scrub_state) =
+            Self::read_checkpoint(&mut dev)?;
         let mut alloc = Allocator::new(
             dev.block_count(),
             config.segment_blocks,
@@ -188,6 +196,16 @@ impl SeroFs {
             alloc.pin_line(record.line);
             alloc.set_use(record.line.hash_block(), BlockUse::HashBlock);
         }
+
+        // Restore the persisted scrub bookkeeping (checkpoint v2): the
+        // rediscovered lines start with `verified_epoch == 0`, which would
+        // force the next incremental scrub into a full pass; the imported
+        // state marks everything the last completed pass covered, so a
+        // remount resumes with the same delta it had before detach. A
+        // record that fails validation (e.g. written by a newer format
+        // version) is "no usable state", never a mount failure — the data
+        // stays accessible and the next pass simply runs full.
+        let scrub_restore = scrub_state.and_then(|state| dev.import_scrub_state(&state).ok());
 
         // Load inodes and mark their blocks.
         let mut inodes = BTreeMap::new();
@@ -234,6 +252,7 @@ impl SeroFs {
             directory,
             next_ino,
             stats: FsStats::default(),
+            scrub_restore,
         })
     }
 
@@ -690,6 +709,32 @@ impl SeroFs {
         self.scrub(&ScrubConfig::incremental(0))
     }
 
+    /// What [`SeroFs::mount`] restored from the checkpoint's persisted
+    /// scrub state: `None` for a freshly formatted fs (or a pre-v2
+    /// checkpoint), otherwise the restore counts. When lines were
+    /// restored, the next [`SeroFs::scrub_incremental`] verifies only the
+    /// pre-detach delta instead of falling back to a full pass.
+    pub fn scrub_restore(&self) -> Option<ScrubStateRestore> {
+        self.scrub_restore
+    }
+
+    /// Starts a background scrub pass over the device and returns its
+    /// handle. The pass runs *cooperatively*: it makes progress only when
+    /// the caller grants it a slice via [`BackgroundScrub::tick`] —
+    /// typically between foreground requests — and each slice is bounded
+    /// by the [`SchedConfig`] device-time budget, so foreground reads and
+    /// writes preempt the scrub at every slice boundary. Pause, resume,
+    /// cancel, and progress live on the handle.
+    ///
+    /// Call [`SeroFs::sync`] after the pass completes to persist the
+    /// advanced epochs into the checkpoint; see [`sero_core::sched`] for
+    /// the scheduling model.
+    pub fn scrub_background(&mut self, config: SchedConfig) -> BackgroundScrub {
+        BackgroundScrub {
+            sched: ScrubScheduler::start(&self.dev, config),
+        }
+    }
+
     // --- checkpoint ----------------------------------------------------------
 
     /// Flushes dirty inodes to the log and writes the checkpoint.
@@ -737,7 +782,7 @@ impl SeroFs {
     fn write_checkpoint(&mut self) -> Result<(), FsError> {
         let mut buf = Vec::new();
         buf.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
-        buf.extend_from_slice(&[1u8]); // version
+        buf.extend_from_slice(&[2u8]); // version: 2 adds the scrub-state section
         buf.extend_from_slice(&self.config.segment_blocks.to_le_bytes());
         buf.extend_from_slice(&self.config.checkpoint_blocks.to_le_bytes());
         buf.push(match self.config.policy {
@@ -756,10 +801,20 @@ impl SeroFs {
             buf.push(name.len() as u8);
             buf.extend_from_slice(name.as_bytes());
         }
+        // v2: the device's scrub bookkeeping rides the checkpoint, so a
+        // remount resumes incremental scrubbing instead of a full pass.
+        // The export is capped to whatever headroom the fixed checkpoint
+        // region has left after the namespace — under pressure it drops
+        // records (those lines just re-verify next pass) rather than
+        // pushing the checkpoint past its region and failing sync.
+        let capacity = (self.config.checkpoint_blocks as usize) * SECTOR_DATA_BYTES - 8;
+        let scrub_budget = capacity.saturating_sub(buf.len() + 4 + 4);
+        let scrub_state = self.dev.export_scrub_state_capped(scrub_budget);
+        buf.extend_from_slice(&(scrub_state.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&scrub_state);
         let crc = crc32(&buf);
         buf.extend_from_slice(&crc.to_le_bytes());
 
-        let capacity = (self.config.checkpoint_blocks as usize) * SECTOR_DATA_BYTES - 8;
         if buf.len() > capacity {
             return Err(FsError::Corrupt {
                 reason: format!(
@@ -784,7 +839,16 @@ impl SeroFs {
     #[allow(clippy::type_complexity)]
     fn read_checkpoint(
         dev: &mut SeroDevice,
-    ) -> Result<(FsConfig, u64, BTreeMap<u64, u64>, BTreeMap<String, u64>), FsError> {
+    ) -> Result<
+        (
+            FsConfig,
+            u64,
+            BTreeMap<u64, u64>,
+            BTreeMap<String, u64>,
+            Option<Vec<u8>>,
+        ),
+        FsError,
+    > {
         let first = dev.read_block(0)?;
         let total = u64::from_le_bytes(first[..8].try_into().expect("8")) as usize;
         let mut framed = first[8..].to_vec();
@@ -815,7 +879,12 @@ impl SeroFs {
                 reason: "bad checkpoint magic".to_string(),
             });
         }
-        let _version = body[pos];
+        let version = body[pos];
+        if !(1..=2).contains(&version) {
+            return Err(FsError::Corrupt {
+                reason: format!("unknown checkpoint version {version}"),
+            });
+        }
         pos += 1;
         let segment_blocks = u64::from_le_bytes(body[pos..pos + 8].try_into().expect("8"));
         pos += 8;
@@ -858,6 +927,25 @@ impl SeroFs {
             pos += len;
             directory.insert(name, ino);
         }
+        // v1 checkpoints predate persisted scrub state; their remounts
+        // simply start unverified (full pass), exactly as before.
+        let scrub_state = if version >= 2 {
+            if pos + 4 > body.len() {
+                return Err(FsError::Corrupt {
+                    reason: "checkpoint scrub-state section truncated".to_string(),
+                });
+            }
+            let len = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4")) as usize;
+            pos += 4;
+            if pos + len > body.len() {
+                return Err(FsError::Corrupt {
+                    reason: "checkpoint scrub-state section truncated".to_string(),
+                });
+            }
+            Some(body[pos..pos + len].to_vec())
+        } else {
+            None
+        };
         Ok((
             FsConfig {
                 segment_blocks,
@@ -867,6 +955,7 @@ impl SeroFs {
             next_ino,
             inode_loc,
             directory,
+            scrub_state,
         ))
     }
 
@@ -874,5 +963,204 @@ impl SeroFs {
     /// experiments).
     pub fn blocks_for(bytes: usize) -> usize {
         bytes.div_ceil(SECTOR_DATA_BYTES).clamp(1, MAX_BLOCKS)
+    }
+}
+
+/// Handle to a background scrub pass started with
+/// [`SeroFs::scrub_background`].
+///
+/// The handle owns the pass; the file system stays fully usable while it
+/// is alive. Interleave foreground operations with
+/// [`BackgroundScrub::tick`] calls and the pass drains in budget-bounded
+/// slices:
+///
+/// ```
+/// use sero_core::device::SeroDevice;
+/// use sero_core::sched::SchedConfig;
+/// use sero_fs::alloc::WriteClass;
+/// use sero_fs::fs::{FsConfig, SeroFs};
+///
+/// let mut fs = SeroFs::format(SeroDevice::with_blocks(512), FsConfig::default())?;
+/// fs.create("ledger.csv", b"assets,1000", WriteClass::Archival)?;
+/// fs.heat("ledger.csv", vec![], 0)?;
+///
+/// let mut scrub = fs.scrub_background(SchedConfig::default());
+/// while !scrub.is_complete() {
+///     // … serve foreground traffic here …
+///     fs.read("ledger.csv")?;
+///     scrub.tick(&mut fs)?; // grant the scrub one bounded slice
+/// }
+/// assert!(scrub.report().summary.is_clean());
+/// fs.sync()?; // persist the advanced epochs into the checkpoint
+/// # Ok::<(), sero_fs::error::FsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BackgroundScrub {
+    sched: ScrubScheduler,
+}
+
+impl BackgroundScrub {
+    /// Grants the pass one slice of device time on `fs`'s device (a no-op
+    /// when paused, throttled, cancelled, or complete). See
+    /// [`sero_core::sched::ScrubScheduler::run_slice`].
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure failures only; tamper findings are data in the
+    /// report.
+    pub fn tick(&mut self, fs: &mut SeroFs) -> Result<SliceOutcome, FsError> {
+        Ok(self.sched.run_slice(&mut fs.dev)?)
+    }
+
+    /// Pauses the pass between slices.
+    pub fn pause(&mut self) {
+        self.sched.pause();
+    }
+
+    /// Resumes a paused pass.
+    pub fn resume(&mut self) {
+        self.sched.resume();
+    }
+
+    /// Cancels the pass. The device's completed-pass epoch stays
+    /// untouched — the unverified remainder is due in the next pass.
+    pub fn cancel(&mut self) {
+        self.sched.cancel();
+    }
+
+    /// Lifecycle state.
+    pub fn state(&self) -> SchedState {
+        self.sched.state()
+    }
+
+    /// True once the pass completed and the epoch advanced.
+    pub fn is_complete(&self) -> bool {
+        self.sched.is_complete()
+    }
+
+    /// Point-in-time progress counters.
+    pub fn progress(&self) -> SchedProgress {
+        self.sched.progress()
+    }
+
+    /// The scheduler trace: one record per slice run so far.
+    pub fn trace(&self) -> &[SliceTrace] {
+        self.sched.trace()
+    }
+
+    /// The pass outcomes so far as a [`ScrubReport`] (partial until
+    /// complete).
+    pub fn report(&self) -> ScrubReport {
+        self.sched.report()
+    }
+
+    /// The underlying scheduler, for scheduling-level introspection.
+    pub fn scheduler(&self) -> &ScrubScheduler {
+        &self.sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sero_core::scrub::ScrubMode;
+
+    fn populated_fs() -> SeroFs {
+        let mut fs = SeroFs::format(SeroDevice::with_blocks(1024), FsConfig::default()).unwrap();
+        for i in 0..6 {
+            let name = format!("frozen-{i}");
+            fs.create(&name, &vec![i as u8; 3000], WriteClass::Archival)
+                .unwrap();
+            fs.heat(&name, vec![], 100 + i as u64).unwrap();
+        }
+        for i in 0..3 {
+            fs.create(
+                &format!("hot-{i}"),
+                &vec![0xA0 + i; 2000],
+                WriteClass::Normal,
+            )
+            .unwrap();
+        }
+        fs
+    }
+
+    #[test]
+    fn background_scrub_interleaves_with_foreground_traffic() {
+        let mut fs = populated_fs();
+        let mut scrub = fs.scrub_background(SchedConfig::budgeted(1_000_000, 0));
+        let mut foreground_ops = 0;
+        while !scrub.is_complete() {
+            // Foreground keeps reading and rewriting between slices.
+            fs.read("frozen-2").unwrap();
+            fs.write(
+                "hot-1",
+                &vec![foreground_ops as u8; 2000],
+                WriteClass::Normal,
+            )
+            .unwrap();
+            foreground_ops += 1;
+            scrub.tick(&mut fs).unwrap();
+            assert!(foreground_ops < 1000, "scrub never completed");
+        }
+        let report = scrub.report();
+        assert_eq!(report.summary.lines, 6);
+        assert!(report.summary.is_clean());
+        assert!(
+            scrub.trace().len() > 1,
+            "budget should force several slices"
+        );
+        assert_eq!(fs.device().scrub_epoch(), 1);
+    }
+
+    #[test]
+    fn remount_restores_persisted_epochs_for_incremental_scrub() {
+        let mut fs = populated_fs();
+        // Complete a pass in the background, then persist via sync.
+        let mut scrub = fs.scrub_background(SchedConfig::greedy());
+        while !scrub.is_complete() {
+            scrub.tick(&mut fs).unwrap();
+        }
+        // A post-pass delta: one new heated file, one refused write.
+        fs.create("late", &[9u8; 3000], WriteClass::Archival)
+            .unwrap();
+        let late_line = fs.heat("late", vec![], 999).unwrap();
+        let frozen_line = fs.stat("frozen-4").unwrap().heated.unwrap();
+        assert!(fs
+            .write("frozen-4", b"rewrite history", WriteClass::Normal)
+            .is_err());
+        fs.sync().unwrap();
+
+        // Detach: drop all volatile state, remount from the bare device.
+        let mut dev = fs.into_device();
+        dev.forget_registry();
+        let mut fs = SeroFs::mount(dev).unwrap();
+        let restore = fs.scrub_restore().expect("v2 checkpoint carries state");
+        // Six verified lines restored (the flagged one among them); the
+        // late line's all-default record is not exported at all.
+        assert_eq!(restore.restored, 6);
+        assert_eq!((restore.stale, restore.unknown), (0, 0));
+
+        // The remounted incremental pass covers exactly the pre-detach
+        // delta — no full-pass fallback.
+        let report = fs.scrub_incremental().unwrap();
+        assert_eq!(report.summary.mode, ScrubMode::Incremental);
+        assert_eq!(report.summary.lines, 2);
+        assert_eq!(report.summary.skipped, 5);
+        let verified: Vec<Line> = report.outcomes.iter().map(|o| o.line).collect();
+        assert!(verified.contains(&late_line));
+        assert!(verified.contains(&frozen_line));
+    }
+
+    #[test]
+    fn cancelled_background_pass_keeps_fs_consistent() {
+        let mut fs = populated_fs();
+        let mut scrub = fs.scrub_background(SchedConfig::budgeted(1, 0));
+        scrub.tick(&mut fs).unwrap();
+        scrub.cancel();
+        assert_eq!(scrub.state(), SchedState::Cancelled);
+        assert_eq!(fs.device().scrub_epoch(), 0, "no completed pass");
+        // A later exclusive scrub covers everything.
+        let report = fs.scrub(&ScrubConfig::default()).unwrap();
+        assert_eq!(report.summary.lines, 6);
     }
 }

@@ -311,6 +311,15 @@ impl ProbeDevice {
         }
     }
 
+    /// The block whose track the sled currently rests on. Schedulers use
+    /// this to order pending work by seek distance (e.g. the background
+    /// scrub picks the registered line nearest the sled, so its slices
+    /// neither pay a cross-device seek nor strand the foreground far from
+    /// its working set).
+    pub fn position_block(&self) -> u64 {
+        self.actuator.position().0 as u64
+    }
+
     /// Parks the sled at block `pba`'s track free of charge — not a seek,
     /// but the model of a controller whose resting position is already
     /// inside its assigned region (a scrub worker starts each pass parked

@@ -288,6 +288,130 @@ impl Workload for FileAgingWorkload {
     }
 }
 
+/// Live mixed read/write traffic over an aged store: a heated archival
+/// population serving reads alongside hot rewritable files absorbing
+/// reads and overwrites. This is the *steady-state* foreground load the
+/// background scrub scheduler (`sero-core::sched`) must coexist with —
+/// `exp_sched` measures foreground latency percentiles while a scrub
+/// pass drains in the gaps.
+///
+/// Unlike the aging/snapshot generators, setup and traffic are split:
+/// [`MixedTrafficWorkload::setup_ops`] builds the population (creates +
+/// heats) and [`MixedTrafficWorkload::traffic_ops`] emits only
+/// non-destructive steady-state operations (reads everywhere, overwrites
+/// confined to the hot set), so the same traffic stream can be replayed
+/// against clones with and without a concurrent scrub.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedTrafficWorkload {
+    /// Heated archival files (each becomes one heated line).
+    pub archival_files: usize,
+    /// Bytes per archival file.
+    pub archival_bytes: usize,
+    /// Hot rewritable files.
+    pub hot_files: usize,
+    /// Bytes per hot file.
+    pub hot_bytes: usize,
+    /// Steady-state operations in the traffic stream.
+    pub operations: usize,
+    /// Probability a traffic operation is a read (the remainder are
+    /// overwrites of hot files).
+    pub read_fraction: f64,
+}
+
+impl MixedTrafficWorkload {
+    /// A laptop-scale configuration.
+    pub fn small() -> MixedTrafficWorkload {
+        MixedTrafficWorkload {
+            archival_files: 12,
+            archival_bytes: 3 * 1024,
+            hot_files: 6,
+            hot_bytes: 2 * 1024,
+            operations: 60,
+            read_fraction: 0.7,
+        }
+    }
+
+    fn archival_name(i: usize) -> String {
+        format!("archive-{i:04}")
+    }
+
+    fn hot_name(i: usize) -> String {
+        format!("hot-{i:04}")
+    }
+
+    /// The population-building prefix: create every file and heat the
+    /// archival set.
+    pub fn setup_ops(&self, seed: u64) -> Vec<Op> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ops = Vec::new();
+        for i in 0..self.archival_files {
+            let name = Self::archival_name(i);
+            ops.push(Op::Create {
+                name: name.clone(),
+                data: payload(&mut rng, self.archival_bytes),
+                archival: true,
+            });
+            ops.push(Op::Heat {
+                name,
+                metadata: format!("mixed-{i}").into_bytes(),
+            });
+        }
+        for i in 0..self.hot_files {
+            ops.push(Op::Create {
+                name: Self::hot_name(i),
+                data: payload(&mut rng, self.hot_bytes),
+                archival: false,
+            });
+        }
+        ops
+    }
+
+    /// The steady-state traffic stream: reads over the whole namespace,
+    /// overwrites over the hot set only — nothing that a heated file
+    /// would refuse.
+    pub fn traffic_ops(&self, seed: u64) -> Vec<Op> {
+        // A distinct stream from setup's, so callers may reuse the seed.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6D69_7865_6474_7266); // "mixedtrf"
+        let mut ops = Vec::with_capacity(self.operations);
+        if self.archival_files + self.hot_files == 0 {
+            return ops; // nothing to read, nothing to overwrite
+        }
+        for _ in 0..self.operations {
+            // With no hot files every operation degrades to a read (the
+            // rng draw is skipped, so populated configs are unaffected).
+            if self.hot_files == 0 || rng.random_bool(self.read_fraction) {
+                let total = self.archival_files + self.hot_files;
+                let f = rng.random_range(0..total);
+                let name = if f < self.archival_files {
+                    Self::archival_name(f)
+                } else {
+                    Self::hot_name(f - self.archival_files)
+                };
+                ops.push(Op::Read { name });
+            } else {
+                let f = rng.random_range(0..self.hot_files);
+                ops.push(Op::Overwrite {
+                    name: Self::hot_name(f),
+                    data: payload(&mut rng, self.hot_bytes),
+                });
+            }
+        }
+        ops
+    }
+}
+
+impl Workload for MixedTrafficWorkload {
+    fn name(&self) -> &'static str {
+        "mixed-traffic"
+    }
+
+    fn ops(&self, seed: u64) -> Vec<Op> {
+        let mut ops = self.setup_ops(seed);
+        ops.extend(self.traffic_ops(seed));
+        ops
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +421,7 @@ mod tests {
             Box::new(DbSnapshotWorkload::small()),
             Box::new(AuditLogWorkload::small()),
             Box::new(FileAgingWorkload::small()),
+            Box::new(MixedTrafficWorkload::small()),
         ]
     }
 
@@ -361,6 +486,52 @@ mod tests {
             }
         }
         assert!(!heated.is_empty(), "aging should heat some cold files");
+    }
+
+    #[test]
+    fn mixed_traffic_is_steady_state_safe() {
+        let w = MixedTrafficWorkload::small();
+        let setup = w.setup_ops(11);
+        let traffic = w.traffic_ops(11);
+        assert_eq!(
+            setup.len(),
+            2 * w.archival_files + w.hot_files,
+            "create+heat per archival file, create per hot file"
+        );
+        assert_eq!(traffic.len(), w.operations);
+        // Traffic never creates, deletes, heats, or touches an archival
+        // file destructively — every op replays cleanly forever.
+        let mut reads = 0usize;
+        for op in &traffic {
+            match op {
+                Op::Read { .. } => reads += 1,
+                Op::Overwrite { name, .. } => {
+                    assert!(name.starts_with("hot-"), "overwrite of {name}");
+                }
+                other => panic!("unexpected steady-state op {other:?}"),
+            }
+        }
+        assert!(reads > 0 && reads < traffic.len(), "a genuine mix");
+        // ops() is setup ++ traffic, so the Workload impl stays usable.
+        assert_eq!(w.ops(11), {
+            let mut all = setup;
+            all.extend(traffic);
+            all
+        });
+    }
+
+    #[test]
+    fn mixed_traffic_degenerate_configs_stay_safe() {
+        // No hot files: everything becomes a read, nothing panics.
+        let mut w = MixedTrafficWorkload::small();
+        w.hot_files = 0;
+        assert!(w
+            .traffic_ops(3)
+            .iter()
+            .all(|op| matches!(op, Op::Read { .. })));
+        // No files at all: an empty stream, not a panic.
+        w.archival_files = 0;
+        assert!(w.traffic_ops(3).is_empty());
     }
 
     #[test]
