@@ -29,7 +29,11 @@
 //! shrinks the population and stream for CI.
 
 use sero_bench::json::Json;
-use sero_bench::{apply_ops, bench_out_path, fast_mode, row, trace_out_path};
+use sero_bench::{
+    apply_ops, bench_out_path, device_clock_ns as clock, fast_mode,
+    idle_device_until as idle_until, ns_to_us as us, percentile_ns as percentile, row,
+    trace_out_path,
+};
 use sero_core::device::SeroDevice;
 use sero_core::sched::{SchedConfig, SliceOutcome};
 use sero_fs::fs::{BackgroundScrub, FsConfig, SeroFs};
@@ -54,19 +58,6 @@ const SCRUB_START_OP: usize = 60;
 /// per 10 ms quantum.
 const BUDGET_NS: u64 = 2_000_000;
 const QUANTUM_NS: u64 = 10_000_000;
-
-fn clock(fs: &SeroFs) -> u128 {
-    fs.device().probe().clock().elapsed_ns()
-}
-
-fn idle_until(fs: &mut SeroFs, target: u128) {
-    let now = clock(fs);
-    if target > now {
-        fs.device_mut()
-            .probe_mut()
-            .advance_clock((target - now) as u64);
-    }
-}
 
 struct PhaseResult {
     /// Per-request latency (completion − arrival), device ns.
@@ -153,17 +144,6 @@ fn run_phase(
     }
 }
 
-fn percentile(latencies: &[u128], p: f64) -> u128 {
-    let mut sorted = latencies.to_vec();
-    sorted.sort_unstable();
-    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
-    sorted[idx]
-}
-
-fn us(ns: u128) -> f64 {
-    ns as f64 / 1e3
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fast = fast_mode();
     // Device geometry and population are the same in both modes so
@@ -222,7 +202,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- phase 3: budgeted slices on a duty cycle ------------------------
     let mut fs_budget = base.clone();
-    let mut budget_scrub = fs_budget.scrub_background(SchedConfig::budgeted(BUDGET_NS, QUANTUM_NS));
+    let mut budget_scrub = fs_budget.scrub_background(
+        SchedConfig::budgeted(BUDGET_NS, QUANTUM_NS).expect("static knobs are valid"),
+    );
     let host_budget = Instant::now();
     let budgeted = run_phase(&mut fs_budget, &traffic, Some(&mut budget_scrub));
     let budget_host_ms = host_budget.elapsed().as_secs_f64() * 1e3;

@@ -11,7 +11,7 @@
 //! # The `BENCH_*.json` schema (`sero-bench/v1`)
 //!
 //! The perf-baseline binaries (`exp_scrub`, `exp_bulk_io`, `exp_registry`,
-//! `exp_sched`) each emit one JSON document, written to the current
+//! `exp_sched`, `exp_fleet`) each emit one JSON document, written to the current
 //! directory (override with `SERO_BENCH_OUT_DIR`). Committed baselines
 //! live in `benchmarks/` at the repo root; CI regenerates the files with
 //! `SERO_BENCH_FAST=1` and runs `bench_compare` against the committed
@@ -57,8 +57,8 @@
 //! construction — they live under `"host"`, which the compare never
 //! reads, and the Criterion `bench-smoke` job that does measure host time
 //! keeps its `continue-on-error`. Non-JSON artifacts (the `exp_sched`
-//! scheduler trace `sched_trace.json`) are uploaded for humans and never
-//! compared.
+//! scheduler trace `sched_trace.json`, the `exp_fleet` fleet trace
+//! `fleet_trace.json`) are uploaded for humans and never compared.
 //!
 //! Per-bench metric keys:
 //!
@@ -84,6 +84,22 @@
 //!   (incremental [`sero_core::device::SeroDevice::refresh_registry`] on
 //!   the populated registry), `lines_found`, `suspicious_blocks` (planted
 //!   forged + shredded evidence), `crawl_seeks` / `batched_seeks`.
+//! * `bench = "fleet"` — foreground and detection latency under
+//!   fleet-coordinated scrub ([`sero_core::fleet::FleetScheduler`] over 4
+//!   devices via [`sero_fs::fs::SeroFs::fleet_scrub`], staggered passes +
+//!   adaptive budgets from each device's
+//!   [`sero_core::device::LoadProbe`]): `p50_off_us` / `p99_off_us`
+//!   (no-scrub baseline, latencies pooled across the fleet),
+//!   `p50_fleet_us` / `p99_fleet_us`, `p99_fleet_over_off` (the ≤ 1.15×
+//!   acceptance bar), `max_off_us` / `max_fleet_us` (worst stalls),
+//!   `victim_pass_ms` (device time until the tampered+flagged member's
+//!   pass completed — the fleet's detection latency) and `last_pass_ms`
+//!   (until the final pass completed), `victim_finished_first` (1 iff the
+//!   flagged device's pass completed before every clean peer's — the
+//!   suspicion-first guarantee, asserted), `peak_active` (must stay ≤ the
+//!   configured stagger ceiling, asserted), `lines_verified` (fleet-wide),
+//!   `tampered` (the planted evidence, byte-identical to exclusive
+//!   per-device passes, asserted).
 //! * `bench = "sched"` — foreground latency under background scrub
 //!   ([`sero_core::sched::ScrubScheduler`] driven through
 //!   [`sero_fs::fs::SeroFs::scrub_background`] by mixed open-loop
@@ -125,6 +141,43 @@ pub fn bench_out_path(name: &str) -> std::path::PathBuf {
 pub fn trace_out_path(name: &str) -> std::path::PathBuf {
     let dir = std::env::var_os("SERO_BENCH_OUT_DIR").unwrap_or_else(|| ".".into());
     std::path::PathBuf::from(dir).join(name)
+}
+
+/// The current device-clock time of a file system, ns.
+pub fn device_clock_ns(fs: &SeroFs) -> u128 {
+    fs.device().probe().clock().elapsed_ns()
+}
+
+/// Idles `fs`'s device forward to `target_ns` on its own clock (no-op
+/// when the clock is already past it) — the open-loop experiment
+/// drivers' "wait for the next arrival".
+pub fn idle_device_until(fs: &mut SeroFs, target_ns: u128) {
+    let now = device_clock_ns(fs);
+    if target_ns > now {
+        fs.device_mut()
+            .probe_mut()
+            .advance_clock((target_ns - now) as u64);
+    }
+}
+
+/// The `p`-th percentile (`0 < p ≤ 1`) of a latency sample, by the
+/// ceil-index convention the committed `BENCH_sched.json` /
+/// `BENCH_fleet.json` percentiles were generated with — shared so the
+/// two baselines can never silently disagree about what "p99" means.
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn percentile_ns(latencies: &[u128], p: f64) -> u128 {
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Nanoseconds to microseconds, for the `*_us` metric keys.
+pub fn ns_to_us(ns: u128) -> f64 {
+    ns as f64 / 1e3
 }
 
 /// Prints a row of fixed-width cells.
@@ -241,5 +294,16 @@ mod tests {
     #[test]
     fn row_formats() {
         assert_eq!(row(&["a", "bb"], &[3, 3]), "a   bb");
+    }
+
+    #[test]
+    fn percentile_uses_the_ceil_index_convention() {
+        let sample: Vec<u128> = (1..=100).collect();
+        assert_eq!(percentile_ns(&sample, 0.50), 50);
+        assert_eq!(percentile_ns(&sample, 0.99), 99);
+        assert_eq!(percentile_ns(&sample, 1.0), 100);
+        assert_eq!(percentile_ns(&[42], 0.99), 42);
+        // Order-insensitive: the helper sorts its own copy.
+        assert_eq!(percentile_ns(&[9, 1, 5], 0.5), 5);
     }
 }

@@ -196,6 +196,80 @@ pub fn contiguous_runs(pbas: &[u64]) -> Vec<(u64, u64)> {
     runs
 }
 
+/// Lightweight foreground-load estimate, fed by the protocol block-I/O
+/// paths ([`SeroDevice::read_block`], [`SeroDevice::write_block`] and
+/// their batched forms) and read by scrub-budget controllers.
+///
+/// Each successful foreground request is one *arrival*; the probe keeps
+/// exponentially weighted moving averages of the inter-arrival gap and of
+/// the per-request busy time, both on the simulated device clock. Their
+/// ratio is the observed utilisation, and `1 − utilisation` is the idle
+/// fraction an adaptive scrub budget
+/// ([`crate::fleet::AdaptiveBudget`]) may soak up. Verification traffic
+/// (scrub's [`SeroDevice::verify_line`]) is deliberately *not* counted —
+/// the scrub must never mistake its own load for foreground demand and
+/// throttle itself into starvation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadProbe {
+    arrivals: u64,
+    last_arrival_ns: u128,
+    ewma_gap_ns: u64,
+    ewma_busy_ns: u64,
+}
+
+impl LoadProbe {
+    /// EWMA weight: `new = (3·old + sample) / 4`, seeded by the first
+    /// sample — the same quarter-weight the slice-cost estimator in
+    /// [`crate::sched`] uses.
+    fn ewma(old: u64, sample: u64) -> u64 {
+        if old == 0 {
+            sample
+        } else {
+            (3 * old + sample) / 4
+        }
+    }
+
+    /// Records one foreground request spanning `[start_ns, end_ns]` on
+    /// the device clock.
+    pub(crate) fn note(&mut self, start_ns: u128, end_ns: u128) {
+        if self.arrivals > 0 && start_ns > self.last_arrival_ns {
+            let gap = (start_ns - self.last_arrival_ns) as u64;
+            self.ewma_gap_ns = Self::ewma(self.ewma_gap_ns, gap);
+        }
+        self.ewma_busy_ns = Self::ewma(self.ewma_busy_ns, (end_ns - start_ns) as u64);
+        self.last_arrival_ns = start_ns;
+        self.arrivals += 1;
+    }
+
+    /// Foreground requests observed since attach.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// EWMA of the gap between consecutive foreground arrivals, device ns
+    /// (`0` until two arrivals have been seen).
+    pub fn ewma_gap_ns(&self) -> u64 {
+        self.ewma_gap_ns
+    }
+
+    /// EWMA of per-request device busy time, ns (`0` before the first
+    /// arrival).
+    pub fn ewma_busy_ns(&self) -> u64 {
+        self.ewma_busy_ns
+    }
+
+    /// Observed foreground utilisation in `[0, 1]`: EWMA busy time over
+    /// EWMA inter-arrival gap. A device that has seen fewer than two
+    /// arrivals reports `0.0` (idle until proven busy); a gap shorter
+    /// than the work it delivers saturates at `1.0`.
+    pub fn utilization(&self) -> f64 {
+        if self.arrivals < 2 || self.ewma_gap_ns == 0 {
+            return 0.0;
+        }
+        (self.ewma_busy_ns as f64 / self.ewma_gap_ns as f64).min(1.0)
+    }
+}
+
 /// A registered heated line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LineRecord {
@@ -281,6 +355,8 @@ pub struct SeroDevice {
     /// Number of completed scrub passes (see [`crate::scrub`]); epoch `N`
     /// means `N` passes have finished since attach.
     scrub_epoch: u64,
+    /// Foreground arrival/busy estimate for adaptive scrub budgets.
+    load: LoadProbe,
 }
 
 impl SeroDevice {
@@ -290,6 +366,7 @@ impl SeroDevice {
             probe,
             registry: BTreeMap::new(),
             scrub_epoch: 0,
+            load: LoadProbe::default(),
         }
     }
 
@@ -351,6 +428,12 @@ impl SeroDevice {
     /// Number of completed scrub passes over this device.
     pub fn scrub_epoch(&self) -> u64 {
         self.scrub_epoch
+    }
+
+    /// The foreground-load estimate scrub-budget controllers read (see
+    /// [`LoadProbe`]).
+    pub fn load_probe(&self) -> &LoadProbe {
+        &self.load
     }
 
     /// Marks `line` as suspicious: the next incremental scrub will
@@ -558,7 +641,10 @@ impl SeroDevice {
                 return Err(SeroError::HashBlockAccess { pba });
             }
         }
-        Ok(self.probe.mrs(pba)?.data)
+        let start = self.probe.clock().elapsed_ns();
+        let data = self.probe.mrs(pba)?.data;
+        self.load.note(start, self.probe.clock().elapsed_ns());
+        Ok(data)
     }
 
     /// Writes a block magnetically.
@@ -579,7 +665,9 @@ impl SeroDevice {
             self.flag_line(line);
             return Err(SeroError::ReadOnly { line, pba });
         }
+        let start = self.probe.clock().elapsed_ns();
         let report = self.probe.mws(pba, data)?;
+        self.load.note(start, self.probe.clock().elapsed_ns());
         if report.unwritable_dots > 0 {
             return Err(SeroError::WriteDegraded {
                 pba,
@@ -611,6 +699,7 @@ impl SeroDevice {
                 }
             }
         }
+        let t0 = self.probe.clock().elapsed_ns();
         let mut out = Vec::with_capacity(pbas.len());
         for (start, count) in contiguous_runs(pbas) {
             let mut failure = None;
@@ -629,6 +718,9 @@ impl SeroDevice {
                 return Err(e);
             }
         }
+        // One batched request is one foreground arrival, however many
+        // extents it spanned.
+        self.load.note(t0, self.probe.clock().elapsed_ns());
         Ok(out)
     }
 
@@ -663,6 +755,7 @@ impl SeroDevice {
                 return Err(SeroError::ReadOnly { line, pba });
             }
         }
+        let t0 = self.probe.clock().elapsed_ns();
         let mut offset = 0usize;
         for (start, count) in contiguous_runs(pbas) {
             let count = count as usize;
@@ -686,6 +779,8 @@ impl SeroDevice {
             }
             offset += count;
         }
+        // One batched request is one foreground arrival.
+        self.load.note(t0, self.probe.clock().elapsed_ns());
         Ok(())
     }
 
@@ -1893,6 +1988,49 @@ mod tests {
             0,
             "stale record must not mark the replacement line verified"
         );
+    }
+
+    #[test]
+    fn load_probe_counts_foreground_not_scrub() {
+        let mut dev = filled_device(64);
+        let after_fill = dev.load_probe().arrivals();
+        assert_eq!(after_fill, 64, "every write_block is one arrival");
+        assert!(dev.load_probe().ewma_busy_ns() > 0);
+        assert!(dev.load_probe().ewma_gap_ns() > 0);
+
+        // Scrub-side verification must not masquerade as foreground.
+        let line = Line::new(0, 3).unwrap();
+        dev.heat_line(line, vec![], T0).unwrap();
+        let arrivals = dev.load_probe().arrivals();
+        dev.verify_line(line).unwrap();
+        assert_eq!(dev.load_probe().arrivals(), arrivals, "verify not counted");
+
+        // A batched request is one arrival, however many blocks it moves.
+        dev.read_blocks(&[16, 17, 18, 40]).unwrap();
+        assert_eq!(dev.load_probe().arrivals(), arrivals + 1);
+        let u = dev.load_probe().utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn load_probe_utilization_tracks_duty_cycle() {
+        // Back-to-back requests (no idle gaps) read as saturated; the
+        // same requests spread over long idle gaps read as mostly idle.
+        let mut busy = SeroDevice::with_blocks(64);
+        for pba in 0..32 {
+            busy.write_block(pba, &[1u8; 512]).unwrap();
+        }
+        assert!(busy.load_probe().utilization() > 0.9);
+
+        let mut idle = SeroDevice::with_blocks(64);
+        for pba in 0..32 {
+            idle.write_block(pba, &[1u8; 512]).unwrap();
+            idle.probe_mut().advance_clock(100_000_000); // 100 ms of idle
+        }
+        assert!(idle.load_probe().utilization() < 0.1);
+
+        // A fresh device has seen nothing and claims full idleness.
+        assert_eq!(SeroDevice::with_blocks(8).load_probe().utilization(), 0.0);
     }
 
     #[test]

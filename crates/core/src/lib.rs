@@ -21,6 +21,9 @@
 //! * [`sched`] — background scrub scheduling under live foreground
 //!   traffic: budget-bounded slices, pause/resume/cancel, quantum duty
 //!   cycling.
+//! * [`fleet`] — scrub orchestration across many devices: staggered
+//!   passes, one adaptively re-divided global budget, suspicion-first
+//!   ordering minimising detection latency.
 //!
 //! # Examples
 //!
@@ -46,6 +49,7 @@
 
 pub mod badblock;
 pub mod device;
+pub mod fleet;
 pub mod journal;
 pub mod layout;
 pub mod line;
@@ -53,19 +57,28 @@ pub mod sched;
 pub mod scrub;
 pub mod tamper;
 
-pub use device::{SeroDevice, SeroError};
+pub use device::{LoadProbe, SeroDevice, SeroError};
+pub use fleet::{AdaptiveBudget, FleetConfig, FleetScheduler, FleetSliceOutcome};
 pub use line::Line;
-pub use sched::{SchedConfig, SchedProgress, SchedState, ScrubScheduler, SliceOutcome};
+pub use sched::{
+    SchedConfig, SchedConfigError, SchedProgress, SchedState, ScrubScheduler, SliceOutcome,
+};
 pub use scrub::{scrub_device, ScrubConfig, ScrubReport, ScrubSummary};
 pub use tamper::{Evidence, TamperReport, VerifyOutcome};
 
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
     pub use crate::badblock::{classify_block, BlockClass};
-    pub use crate::device::{LineRecord, SeroDevice, SeroError, SeroStats};
+    pub use crate::device::{LineRecord, LoadProbe, SeroDevice, SeroError, SeroStats};
+    pub use crate::fleet::{
+        AdaptiveBudget, FleetConfig, FleetMemberState, FleetOrdering, FleetProgress,
+        FleetScheduler, FleetSliceOutcome,
+    };
     pub use crate::layout::HashBlockPayload;
     pub use crate::line::Line;
-    pub use crate::sched::{SchedConfig, SchedProgress, SchedState, ScrubScheduler, SliceOutcome};
+    pub use crate::sched::{
+        SchedConfig, SchedConfigError, SchedProgress, SchedState, ScrubScheduler, SliceOutcome,
+    };
     pub use crate::scrub::{scrub_device, ScrubConfig, ScrubReport, ScrubSummary};
     pub use crate::tamper::{Evidence, TamperReport, VerifyOutcome};
 }

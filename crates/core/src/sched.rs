@@ -81,6 +81,60 @@ use crate::device::{SeroDevice, SeroError};
 use crate::line::Line;
 use crate::scrub::{pass_work_list, LineScrub, ScrubConfig, ScrubMode, ScrubReport, ScrubSummary};
 use crate::tamper::VerifyOutcome;
+use core::fmt;
+
+/// Why a [`SchedConfig`] constructor refused its arguments.
+///
+/// The raw struct keeps its documented `0` sentinels (`budget_ns == 0` =
+/// greedy, `quantum_ns == 0` = no duty cycle) for literal construction,
+/// but the named constructors validate: a zero passed *by accident* —
+/// a miscomputed budget, an unconverted unit — would silently flip the
+/// scheduler into a completely different regime, which is exactly the
+/// misbehaviour these errors make loud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedConfigError {
+    /// `budget_ns == 0` would degenerate to the greedy stop-the-world
+    /// pass; ask for [`SchedConfig::greedy`] explicitly instead.
+    ZeroBudget,
+    /// `quantum_ns == 0` would disable duty-cycling; ask for
+    /// [`SchedConfig::slice_budget`] explicitly instead.
+    ZeroQuantum,
+    /// The per-quantum budget exceeds the quantum itself: the duty cycle
+    /// would silently saturate at 100%.
+    BudgetExceedsQuantum {
+        /// The requested budget.
+        budget_ns: u64,
+        /// The quantum it does not fit in.
+        quantum_ns: u64,
+    },
+}
+
+impl fmt::Display for SchedConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedConfigError::ZeroBudget => write!(
+                f,
+                "budget_ns = 0 would mean a greedy stop-the-world pass; \
+                 use SchedConfig::greedy() if that is intended"
+            ),
+            SchedConfigError::ZeroQuantum => write!(
+                f,
+                "quantum_ns = 0 would disable duty-cycling; \
+                 use SchedConfig::slice_budget() if that is intended"
+            ),
+            SchedConfigError::BudgetExceedsQuantum {
+                budget_ns,
+                quantum_ns,
+            } => write!(
+                f,
+                "budget of {budget_ns} ns exceeds the {quantum_ns} ns quantum: \
+                 the duty cycle would silently saturate at 100%"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedConfigError {}
 
 /// Tuning knobs for a background scrub pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,18 +172,60 @@ impl Default for SchedConfig {
 }
 
 impl SchedConfig {
-    /// A budgeted config with explicit slice budget and quantum.
-    pub fn budgeted(budget_ns: u64, quantum_ns: u64) -> SchedConfig {
-        SchedConfig {
+    /// A budgeted config spending at most `budget_ns` of scrub device
+    /// time per `quantum_ns` of device time.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedConfigError`] when either knob is `0` (the sentinels mean
+    /// entirely different regimes — see [`SchedConfig::greedy`] and
+    /// [`SchedConfig::slice_budget`]) or the budget exceeds the quantum
+    /// (a >100% duty cycle).
+    pub fn budgeted(budget_ns: u64, quantum_ns: u64) -> Result<SchedConfig, SchedConfigError> {
+        if budget_ns == 0 {
+            return Err(SchedConfigError::ZeroBudget);
+        }
+        if quantum_ns == 0 {
+            return Err(SchedConfigError::ZeroQuantum);
+        }
+        if budget_ns > quantum_ns {
+            return Err(SchedConfigError::BudgetExceedsQuantum {
+                budget_ns,
+                quantum_ns,
+            });
+        }
+        Ok(SchedConfig {
             budget_ns,
             quantum_ns,
             ..SchedConfig::default()
+        })
+    }
+
+    /// A slice-bounded config with *no* duty cycle: every slice may spend
+    /// up to `budget_ns`, regardless of how recently the previous one
+    /// ran. This bounds the single-request wait (one slice) but not the
+    /// scrub's share of device time — callers wanting a duty cycle use
+    /// [`SchedConfig::budgeted`].
+    ///
+    /// # Errors
+    ///
+    /// [`SchedConfigError::ZeroBudget`] — a zero budget would mean the
+    /// greedy pass.
+    pub fn slice_budget(budget_ns: u64) -> Result<SchedConfig, SchedConfigError> {
+        if budget_ns == 0 {
+            return Err(SchedConfigError::ZeroBudget);
         }
+        Ok(SchedConfig {
+            budget_ns,
+            quantum_ns: 0,
+            ..SchedConfig::default()
+        })
     }
 
     /// The greedy config: unbounded slices, no duty cycle — the
     /// stop-the-world reference the budgeted scheduler is benchmarked
     /// against in `exp_sched`.
+    #[must_use]
     pub fn greedy() -> SchedConfig {
         SchedConfig {
             budget_ns: 0,
@@ -270,6 +366,36 @@ impl ScrubScheduler {
     /// The configuration in force.
     pub fn config(&self) -> SchedConfig {
         self.config
+    }
+
+    /// Retunes the per-quantum budget between slices. This is how a
+    /// controller re-divides a shared budget while a pass is in flight —
+    /// the fleet coordinator ([`crate::fleet::FleetScheduler`]) calls it
+    /// every time it re-grants its global budget. The quantum itself is
+    /// fixed at start; a raise takes effect in the current window, a cut
+    /// cannot reclaim time already spent there.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `budget_ns == 0` (a zero budget would silently flip the
+    /// pass into the greedy regime — a controller with nothing to grant
+    /// simply skips the device's slice instead), and on a budget larger
+    /// than a non-zero quantum (the >100% duty cycle
+    /// [`SchedConfig::budgeted`] rejects; the classic unit slip). A
+    /// quantum of `0` — the [`SchedConfig::slice_budget`] regime — has
+    /// no duty cycle, so any non-zero budget is legal there.
+    pub fn set_budget_ns(&mut self, budget_ns: u64) {
+        assert!(
+            budget_ns != 0,
+            "a zero budget would mean greedy; skip the slice instead"
+        );
+        assert!(
+            self.config.quantum_ns == 0 || budget_ns <= self.config.quantum_ns,
+            "budget of {budget_ns} ns exceeds the {} ns quantum; \
+             the duty cycle would silently saturate at 100%",
+            self.config.quantum_ns
+        );
+        self.config.budget_ns = budget_ns;
     }
 
     /// Lifecycle state.
@@ -538,7 +664,8 @@ mod tests {
         let mut exclusive_dev = dev.clone();
         let exclusive = scrub_device(&mut exclusive_dev, &ScrubConfig::with_workers(1)).unwrap();
 
-        let mut sched = ScrubScheduler::start(&dev, SchedConfig::budgeted(500_000, 2_000_000));
+        let mut sched =
+            ScrubScheduler::start(&dev, SchedConfig::budgeted(500_000, 2_000_000).unwrap());
         drain(&mut sched, &mut dev);
         let report = sched.report();
 
@@ -556,7 +683,8 @@ mod tests {
     fn slices_respect_the_budget() {
         let (mut dev, _) = heated_device(256, 3, 16);
         let budget = 1_000_000u64;
-        let mut sched = ScrubScheduler::start(&dev, SchedConfig::budgeted(budget, 4_000_000));
+        let mut sched =
+            ScrubScheduler::start(&dev, SchedConfig::budgeted(budget, 4_000_000).unwrap());
         drain(&mut sched, &mut dev);
         let max_line = sched
             .trace()
@@ -576,7 +704,7 @@ mod tests {
     #[test]
     fn quantum_throttles_back_to_back_slices() {
         let (mut dev, _) = heated_device(128, 3, 8);
-        let config = SchedConfig::budgeted(500_000, 50_000_000);
+        let config = SchedConfig::budgeted(500_000, 50_000_000).unwrap();
         let mut sched = ScrubScheduler::start(&dev, config);
         // First slice runs; an immediate second ask in the same quantum is
         // refused with the next window's opening time.
@@ -614,7 +742,7 @@ mod tests {
     #[test]
     fn pause_and_resume_between_slices() {
         let (mut dev, _) = heated_device(128, 3, 8);
-        let mut sched = ScrubScheduler::start(&dev, SchedConfig::budgeted(500_000, 0));
+        let mut sched = ScrubScheduler::start(&dev, SchedConfig::slice_budget(500_000).unwrap());
         sched.run_slice(&mut dev).unwrap();
         let verified_at_pause = sched.progress().verified;
         sched.pause();
@@ -646,7 +774,7 @@ mod tests {
             dev.heat_line(line, vec![], T0).unwrap();
             delta.push(line);
         }
-        let mut sched = ScrubScheduler::start(&dev, SchedConfig::budgeted(1, 0));
+        let mut sched = ScrubScheduler::start(&dev, SchedConfig::slice_budget(1).unwrap());
         match sched.run_slice(&mut dev).unwrap() {
             SliceOutcome::Ran { lines, .. } => assert_eq!(lines, 1, "tiny budget: one line"),
             other => panic!("{other:?}"),
@@ -680,7 +808,7 @@ mod tests {
         let (mut dev, lines) = heated_device(256, 3, 16);
         // Foreground leaves the sled near the high end of the population.
         dev.probe_mut().park_at(lines[13].start() + 2);
-        let mut sched = ScrubScheduler::start(&dev, SchedConfig::budgeted(1, 0));
+        let mut sched = ScrubScheduler::start(&dev, SchedConfig::slice_budget(1).unwrap());
         sched.run_slice(&mut dev).unwrap();
         // `outcomes` is in verification order until report() sorts it.
         assert_eq!(sched.outcomes[0].line, lines[13]);
@@ -708,7 +836,7 @@ mod tests {
     #[test]
     fn flag_raised_after_stamp_survives_the_pass() {
         let (mut dev, _) = heated_device(128, 3, 8);
-        let mut sched = ScrubScheduler::start(&dev, SchedConfig::budgeted(1, 0));
+        let mut sched = ScrubScheduler::start(&dev, SchedConfig::slice_budget(1).unwrap());
         // Verify (and stamp) one line…
         sched.run_slice(&mut dev).unwrap();
         assert_eq!(sched.progress().verified, 1);
@@ -726,7 +854,7 @@ mod tests {
     #[test]
     fn mid_pass_heats_are_left_for_the_next_pass() {
         let (mut dev, _) = heated_device(256, 3, 8);
-        let mut sched = ScrubScheduler::start(&dev, SchedConfig::budgeted(500_000, 0));
+        let mut sched = ScrubScheduler::start(&dev, SchedConfig::slice_budget(500_000).unwrap());
         sched.run_slice(&mut dev).unwrap();
         // A foreground heat lands while the pass is mid-flight.
         let line = Line::new(8 * 8, 3).unwrap();
@@ -740,5 +868,76 @@ mod tests {
         let next = scrub_device(&mut dev, &ScrubConfig::incremental(1)).unwrap();
         assert_eq!(next.summary.lines, 1);
         assert_eq!(next.outcomes[0].line, line);
+    }
+
+    #[test]
+    fn budgeted_rejects_degenerate_knobs() {
+        assert_eq!(
+            SchedConfig::budgeted(0, 1_000_000),
+            Err(SchedConfigError::ZeroBudget)
+        );
+        assert_eq!(
+            SchedConfig::budgeted(1_000_000, 0),
+            Err(SchedConfigError::ZeroQuantum)
+        );
+        assert_eq!(
+            SchedConfig::budgeted(2_000_000, 1_000_000),
+            Err(SchedConfigError::BudgetExceedsQuantum {
+                budget_ns: 2_000_000,
+                quantum_ns: 1_000_000,
+            })
+        );
+        assert_eq!(
+            SchedConfig::slice_budget(0),
+            Err(SchedConfigError::ZeroBudget)
+        );
+        // The boundary case — a 100% duty cycle — is legal.
+        let full = SchedConfig::budgeted(1_000_000, 1_000_000).unwrap();
+        assert_eq!((full.budget_ns, full.quantum_ns), (1_000_000, 1_000_000));
+        // Every error renders a non-empty explanation.
+        for err in [
+            SchedConfigError::ZeroBudget,
+            SchedConfigError::ZeroQuantum,
+            SchedConfigError::BudgetExceedsQuantum {
+                budget_ns: 2,
+                quantum_ns: 1,
+            },
+        ] {
+            assert!(!format!("{err}").is_empty());
+        }
+    }
+
+    #[test]
+    fn retuned_budget_takes_effect_between_slices() {
+        let (mut dev, _) = heated_device(256, 3, 16);
+        let mut sched = ScrubScheduler::start(&dev, SchedConfig::slice_budget(1).unwrap());
+        sched.run_slice(&mut dev).unwrap(); // one line on the tiny budget
+        assert_eq!(sched.progress().verified, 1);
+        // Retune generously: the next slice drains everything left.
+        sched.set_budget_ns(u64::MAX);
+        match sched.run_slice(&mut dev).unwrap() {
+            SliceOutcome::Ran { lines, .. } => assert_eq!(lines, 15),
+            other => panic!("{other:?}"),
+        }
+        assert!(sched.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero budget")]
+    fn retuning_to_zero_panics() {
+        let (dev, _) = heated_device(64, 3, 2);
+        let mut sched = ScrubScheduler::start(&dev, SchedConfig::default());
+        sched.set_budget_ns(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "saturate at 100%")]
+    fn retuning_past_the_quantum_panics() {
+        // The µs-for-ns unit slip SchedConfig::budgeted rejects must be
+        // just as loud when it arrives through a mid-pass retune.
+        let (dev, _) = heated_device(64, 3, 2);
+        let mut sched =
+            ScrubScheduler::start(&dev, SchedConfig::budgeted(1_000_000, 10_000_000).unwrap());
+        sched.set_budget_ns(10_000_001);
     }
 }

@@ -40,7 +40,10 @@ use crate::alloc::{Allocator, BlockUse, ClusterPolicy, WriteClass};
 use crate::error::FsError;
 use crate::inode::{FileKind, Inode, MAX_BLOCKS, MAX_FILE_BYTES, MAX_NAME_BYTES, NDIRECT};
 use sero_codec::crc32::crc32;
-use sero_core::device::{ScrubStateRestore, SeroDevice};
+use sero_core::device::{LoadProbe, ScrubStateRestore, SeroDevice};
+use sero_core::fleet::{
+    FleetConfig, FleetMemberState, FleetProgress, FleetScheduler, FleetSliceOutcome,
+};
 use sero_core::line::{Line, MAX_ORDER};
 use sero_core::sched::{
     SchedConfig, SchedProgress, SchedState, ScrubScheduler, SliceOutcome, SliceTrace,
@@ -735,6 +738,32 @@ impl SeroFs {
         }
     }
 
+    /// Starts a coordinated background scrub across a *fleet* of mounted
+    /// file systems and returns its handle. Passes are staggered (at most
+    /// [`FleetConfig::max_concurrent`] at once), share one global
+    /// device-time budget re-divided from each device's measured idle
+    /// time, and suspicion-first ordering admits file systems whose
+    /// devices carry flagged lines before clean peers — see
+    /// [`sero_core::fleet`] for the model. `fses` order defines the
+    /// member indices; pass the same slice (same order) to every
+    /// [`FleetScrub::tick`].
+    ///
+    /// Call [`SeroFs::sync`] on each file system after its pass
+    /// completes to persist the advanced epochs into its checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupt`] for degenerate fleet knobs (zero quantum or
+    /// zero global budget).
+    pub fn fleet_scrub(fses: &[SeroFs], config: FleetConfig) -> Result<FleetScrub, FsError> {
+        let sched = FleetScheduler::start(fses.iter().map(|f| &f.dev), config).map_err(|e| {
+            FsError::Corrupt {
+                reason: format!("fleet scrub config rejected: {e}"),
+            }
+        })?;
+        Ok(FleetScrub { sched })
+    }
+
     // --- checkpoint ----------------------------------------------------------
 
     /// Flushes dirty inodes to the log and writes the checkpoint.
@@ -1060,6 +1089,183 @@ impl BackgroundScrub {
     }
 }
 
+/// Handle to a fleet-wide background scrub started with
+/// [`SeroFs::fleet_scrub`].
+///
+/// The handle owns the fleet pass state; the file systems stay with the
+/// caller and remain fully usable. Interleave foreground operations with
+/// [`FleetScrub::tick`] (whole fleet, one slice per member in priority
+/// order) or [`FleetScrub::tick_member`] (one file system's gap in its
+/// own request loop, after a [`FleetScrub::retune`]):
+///
+/// ```
+/// use sero_core::device::SeroDevice;
+/// use sero_core::fleet::FleetConfig;
+/// use sero_fs::alloc::WriteClass;
+/// use sero_fs::fs::{FsConfig, SeroFs};
+///
+/// let mut fleet: Vec<SeroFs> = (0..2)
+///     .map(|i| {
+///         let mut fs =
+///             SeroFs::format(SeroDevice::with_blocks(512), FsConfig::default()).unwrap();
+///         fs.create("ledger.csv", &[i as u8; 2000], WriteClass::Archival)?;
+///         fs.heat("ledger.csv", vec![], 0)?;
+///         Ok(fs)
+///     })
+///     .collect::<Result<_, sero_fs::error::FsError>>()?;
+///
+/// let mut scrub = SeroFs::fleet_scrub(&fleet, FleetConfig::default())?;
+/// scrub.run_to_completion(&mut fleet)?;
+/// assert!(scrub.is_complete());
+/// for fs in &mut fleet {
+///     assert_eq!(fs.device().scrub_epoch(), 1);
+///     fs.sync()?; // persist the advanced epochs
+/// }
+/// # Ok::<(), sero_fs::error::FsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetScrub {
+    sched: FleetScheduler,
+}
+
+impl FleetScrub {
+    /// One fleet round over all members: samples every device's load
+    /// probe, re-divides the global budget, then grants each member one
+    /// slice in priority order. `fses` must be the fleet passed to
+    /// [`SeroFs::fleet_scrub`], in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure failures only; tamper findings are data in the
+    /// member reports.
+    pub fn tick(
+        &mut self,
+        fses: &mut [SeroFs],
+    ) -> Result<Vec<(usize, FleetSliceOutcome)>, FsError> {
+        assert_eq!(
+            fses.len(),
+            self.sched.len(),
+            "tick needs the full fleet in start order"
+        );
+        self.retune(fses);
+        let order = self.sched.priority_order().to_vec();
+        let mut outcomes = Vec::with_capacity(order.len());
+        for i in order {
+            outcomes.push((i, self.sched.tick_member(i, &mut fses[i].dev)?));
+        }
+        Ok(outcomes)
+    }
+
+    /// Grants member `idx` one slice on its own file system — the shape a
+    /// per-fs request loop wants: retune once per round, then tick each
+    /// member in the idle gap of its own traffic.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure failures only.
+    pub fn tick_member(
+        &mut self,
+        idx: usize,
+        fs: &mut SeroFs,
+    ) -> Result<FleetSliceOutcome, FsError> {
+        Ok(self.sched.tick_member(idx, &mut fs.dev)?)
+    }
+
+    /// Re-divides the global budget from the fleet's current load probes
+    /// (called automatically by [`FleetScrub::tick`]).
+    pub fn retune(&mut self, fses: &[SeroFs]) {
+        let loads: Vec<LoadProbe> = fses.iter().map(|f| *f.dev.load_probe()).collect();
+        self.sched.retune(&loads);
+    }
+
+    /// Drives the fleet to completion on otherwise-idle file systems,
+    /// idling throttled or starved devices forward on their own clocks.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure failures from any member slice.
+    pub fn run_to_completion(&mut self, fses: &mut [SeroFs]) -> Result<(), FsError> {
+        let quantum = self.sched.config().quantum_ns;
+        let mut guard = 0usize;
+        while !self.is_complete() {
+            guard += 1;
+            assert!(guard < 1_000_000, "fleet scrub failed to converge");
+            let mut progressed = false;
+            for (i, outcome) in self.tick(fses)? {
+                match outcome {
+                    FleetSliceOutcome::Ran { .. } => progressed = true,
+                    FleetSliceOutcome::Throttled { resume_at_ns } => {
+                        let dev = fses[i].device_mut();
+                        let now = dev.probe().clock().elapsed_ns();
+                        if resume_at_ns > now {
+                            dev.probe_mut().advance_clock((resume_at_ns - now) as u64);
+                        }
+                        progressed = true;
+                    }
+                    FleetSliceOutcome::Starved => {
+                        fses[i].device_mut().probe_mut().advance_clock(quantum);
+                        progressed = true;
+                    }
+                    FleetSliceOutcome::Waiting
+                    | FleetSliceOutcome::Paused
+                    | FleetSliceOutcome::Idle => {}
+                }
+            }
+            if !progressed {
+                return Ok(()); // everything left is paused
+            }
+        }
+        Ok(())
+    }
+
+    /// Pauses member `idx` between slices.
+    pub fn pause(&mut self, idx: usize) {
+        self.sched.pause(idx);
+    }
+
+    /// Resumes a paused member.
+    pub fn resume(&mut self, idx: usize) {
+        self.sched.resume(idx);
+    }
+
+    /// Cancels member `idx`'s pass; its device's completed-pass epoch
+    /// stays untouched and its slot frees for the next pending member.
+    pub fn cancel(&mut self, idx: usize) {
+        self.sched.cancel(idx);
+    }
+
+    /// True once every member completed or was cancelled.
+    pub fn is_complete(&self) -> bool {
+        self.sched.is_complete()
+    }
+
+    /// Lifecycle state of member `idx`.
+    pub fn member_state(&self, idx: usize) -> FleetMemberState {
+        self.sched.member_state(idx)
+    }
+
+    /// Fleet-wide progress totals.
+    pub fn progress(&self) -> FleetProgress {
+        self.sched.progress()
+    }
+
+    /// The pass report of member `idx` (`None` until admitted).
+    pub fn member_report(&self, idx: usize) -> Option<ScrubReport> {
+        self.sched.member_report(idx)
+    }
+
+    /// Member indices in pass-completion order.
+    pub fn completion_order(&self) -> &[usize] {
+        self.sched.completion_order()
+    }
+
+    /// The underlying fleet scheduler, for scheduling-level
+    /// introspection (grants, priority order, peak concurrency).
+    pub fn scheduler(&self) -> &FleetScheduler {
+        &self.sched
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1087,7 +1293,7 @@ mod tests {
     #[test]
     fn background_scrub_interleaves_with_foreground_traffic() {
         let mut fs = populated_fs();
-        let mut scrub = fs.scrub_background(SchedConfig::budgeted(1_000_000, 0));
+        let mut scrub = fs.scrub_background(SchedConfig::slice_budget(1_000_000).unwrap());
         let mut foreground_ops = 0;
         while !scrub.is_complete() {
             // Foreground keeps reading and rewriting between slices.
@@ -1152,9 +1358,69 @@ mod tests {
     }
 
     #[test]
+    fn fleet_scrub_covers_every_member_with_identical_evidence() {
+        let mut fleet: Vec<SeroFs> = (0..3).map(|_| populated_fs()).collect();
+        // Tamper one device behind the protocol's back; flag it via a
+        // refused write so suspicion-first ordering sees it.
+        let victim_line = fleet[2].stat("frozen-1").unwrap().heated.unwrap();
+        fleet[2]
+            .device_mut()
+            .probe_mut()
+            .mws(victim_line.start() + 2, &[0xEE; 512])
+            .unwrap();
+        assert!(fleet[2]
+            .write("frozen-1", b"rewrite", WriteClass::Normal)
+            .is_err());
+
+        let exclusive: Vec<_> = fleet
+            .clone()
+            .iter_mut()
+            .map(|fs| fs.scrub(&ScrubConfig::with_workers(1)).unwrap())
+            .collect();
+
+        let config = sero_core::fleet::FleetConfig {
+            max_concurrent: 2,
+            ..sero_core::fleet::FleetConfig::default()
+        };
+        let mut scrub = SeroFs::fleet_scrub(&fleet, config).unwrap();
+        scrub.run_to_completion(&mut fleet).unwrap();
+        assert!(scrub.is_complete());
+        assert_eq!(
+            scrub.completion_order()[0],
+            2,
+            "suspicious member's pass finishes first"
+        );
+        assert!(scrub.scheduler().peak_active() <= 2);
+        for (i, expected) in exclusive.iter().enumerate() {
+            let report = scrub.member_report(i).unwrap();
+            assert_eq!(report.outcomes, expected.outcomes, "member {i}");
+            assert_eq!(fleet[i].device().scrub_epoch(), 1);
+        }
+        assert_eq!(scrub.progress().tampered, 1);
+
+        // Epochs persist per member through the usual sync path.
+        for fs in &mut fleet {
+            fs.sync().unwrap();
+        }
+    }
+
+    #[test]
+    fn fleet_scrub_rejects_degenerate_config() {
+        let fleet = [populated_fs()];
+        let bad = sero_core::fleet::FleetConfig {
+            quantum_ns: 0,
+            ..sero_core::fleet::FleetConfig::default()
+        };
+        assert!(matches!(
+            SeroFs::fleet_scrub(&fleet, bad),
+            Err(FsError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
     fn cancelled_background_pass_keeps_fs_consistent() {
         let mut fs = populated_fs();
-        let mut scrub = fs.scrub_background(SchedConfig::budgeted(1, 0));
+        let mut scrub = fs.scrub_background(SchedConfig::slice_budget(1).unwrap());
         scrub.tick(&mut fs).unwrap();
         scrub.cancel();
         assert_eq!(scrub.state(), SchedState::Cancelled);

@@ -331,6 +331,18 @@ impl MixedTrafficWorkload {
         }
     }
 
+    /// Derives the seed for device `device` of a fleet experiment from a
+    /// fleet-wide `seed`: each device replays its own decorrelated setup
+    /// and traffic stream (different payload bytes, different
+    /// read/overwrite choices and targets), while the whole fleet stays
+    /// reproducible from the one seed. `exp_fleet` drives one
+    /// [`MixedTrafficWorkload`] per device this way.
+    pub fn device_seed(seed: u64, device: usize) -> u64 {
+        // SplitMix-style odd multiplier: device 0 is NOT the identity, so
+        // single-device experiments sharing `seed` stay distinct too.
+        seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(device as u64 + 1)
+    }
+
     fn archival_name(i: usize) -> String {
         format!("archive-{i:04}")
     }
@@ -532,6 +544,27 @@ mod tests {
         // No files at all: an empty stream, not a panic.
         w.archival_files = 0;
         assert!(w.traffic_ops(3).is_empty());
+    }
+
+    #[test]
+    fn fleet_device_seeds_decorrelate_but_stay_deterministic() {
+        let w = MixedTrafficWorkload::small();
+        let seeds: Vec<u64> = (0..4)
+            .map(|d| MixedTrafficWorkload::device_seed(42, d))
+            .collect();
+        // Deterministic per (seed, device)…
+        for (d, &s) in seeds.iter().enumerate() {
+            assert_eq!(s, MixedTrafficWorkload::device_seed(42, d));
+            assert_ne!(s, 42, "device stream must not alias the fleet seed");
+        }
+        // …and pairwise distinct streams.
+        for a in 0..seeds.len() {
+            for b in a + 1..seeds.len() {
+                assert_ne!(seeds[a], seeds[b]);
+                assert_ne!(w.traffic_ops(seeds[a]), w.traffic_ops(seeds[b]));
+                assert_ne!(w.setup_ops(seeds[a]), w.setup_ops(seeds[b]));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Cross-device properties of fleet scrub orchestration: whatever
+//! interleaving of `tick` / `pause` / `resume` / `cancel` the driver
+//! throws at a [`FleetScheduler`] over two devices, each member pass
+//! that completes must produce evidence byte-identical to an exclusive
+//! per-device pass, a cancelled member's partial report must be a
+//! faithful prefix of its exclusive pass (epoch untouched), and the sum
+//! of the adaptive controller's budget grants must never exceed the
+//! global cap in any quantum.
+//!
+//! These tests are deliberately single-thread-safe and deterministic;
+//! CI additionally runs them under `--test-threads=1` as a determinism
+//! smoke so a flaky interleaving cannot hide behind parallel test
+//! execution.
+
+use proptest::prelude::*;
+use sero::core::device::SeroDevice;
+use sero::core::fleet::{FleetConfig, FleetMemberState, FleetScheduler, FleetSliceOutcome};
+use sero::core::line::Line;
+use sero::core::scrub::{pass_work_list, scrub_device, ScrubConfig, ScrubMode, ScrubReport};
+
+fn pattern(pba: u64, salt: u8) -> [u8; 512] {
+    let mut s = [0u8; 512];
+    for (j, b) in s.iter_mut().enumerate() {
+        *b = (pba as u8).wrapping_mul(131).wrapping_add(j as u8) ^ salt;
+    }
+    s
+}
+
+/// Heats `slots` order-3 lines on a fresh seeded device.
+fn heated_device(seed: u64, salt: u8, slots: &[u64]) -> (SeroDevice, Vec<Line>) {
+    let mut dev = SeroDevice::new(
+        sero::probe::device::ProbeDevice::builder()
+            .blocks(256)
+            .seed(seed)
+            .build(),
+    );
+    let mut lines = Vec::new();
+    for &slot in slots {
+        let line = Line::new(slot * 8, 3).unwrap();
+        for pba in line.data_blocks() {
+            dev.write_block(pba, &pattern(pba, salt)).unwrap();
+        }
+        dev.heat_line(line, vec![salt], 1_199_145_600 + slot)
+            .unwrap();
+        lines.push(line);
+    }
+    (dev, lines)
+}
+
+fn dedupe(raw: Vec<u64>) -> Vec<u64> {
+    let set: std::collections::BTreeSet<u64> = raw.into_iter().collect();
+    set.into_iter().collect()
+}
+
+/// One fleet round with clock handling for throttled/starved members,
+/// asserting the global-cap invariant after the retune.
+fn tick_round(
+    sched: &mut FleetScheduler,
+    devs: &mut [SeroDevice],
+    global_budget_ns: u64,
+) -> Result<(), TestCaseError> {
+    let outcomes = sched.tick(devs).unwrap();
+    let granted: u64 = sched.last_grants().iter().sum();
+    prop_assert!(
+        granted <= global_budget_ns,
+        "grants {granted} exceed the global cap {global_budget_ns}"
+    );
+    for (i, outcome) in outcomes {
+        match outcome {
+            FleetSliceOutcome::Throttled { resume_at_ns } => {
+                let now = devs[i].probe().clock().elapsed_ns();
+                if resume_at_ns > now {
+                    devs[i]
+                        .probe_mut()
+                        .advance_clock((resume_at_ns - now) as u64);
+                }
+            }
+            FleetSliceOutcome::Starved => {
+                devs[i].probe_mut().advance_clock(sched.config().quantum_ns);
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+use proptest::test_runner::TestCaseError;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Arbitrary interleavings of pause/resume/tick across two devices —
+    /// arbitrary budgets, stagger ceilings, and planted tampering —
+    /// complete with evidence byte-identical to exclusive per-device
+    /// passes, agree on the next incremental delta, and never exceed the
+    /// global budget cap in any grant walk.
+    #[test]
+    fn interleaved_fleet_passes_equal_exclusive_passes(
+        seed in any::<u64>(),
+        salt in any::<u8>(),
+        raw_a in proptest::collection::vec(0u64..16, 2..8),
+        raw_b in proptest::collection::vec(0u64..16, 2..8),
+        victims in proptest::collection::vec((0usize..2, 0usize..8), 0..3),
+        script in proptest::collection::vec((0u8..8, 0usize..2), 0..24),
+        global_budget_us in 300..4_000u64,
+        max_concurrent in 1usize..3,
+    ) {
+        let slots = [dedupe(raw_a), dedupe(raw_b)];
+        let mut devs = vec![
+            heated_device(seed, salt, &slots[0]).0,
+            heated_device(seed ^ 0xABCD, salt.wrapping_add(7), &slots[1]).0,
+        ];
+        let all_lines: Vec<Vec<Line>> = (0..2)
+            .map(|d| slots[d].iter().map(|&s| Line::new(s * 8, 3).unwrap()).collect())
+            .collect();
+        // Plant tampering behind the protocol's back.
+        for &(d, pick) in &victims {
+            let line = all_lines[d][pick % all_lines[d].len()];
+            devs[d]
+                .probe_mut()
+                .mws(line.start() + 1 + (pick as u64 % 7), &[0xAA; 512])
+                .unwrap();
+        }
+
+        let mut exclusive_devs = devs.clone();
+        let exclusive: Vec<ScrubReport> = exclusive_devs
+            .iter_mut()
+            .map(|d| scrub_device(d, &ScrubConfig::default()).unwrap())
+            .collect();
+
+        let config = FleetConfig {
+            global_budget_ns: global_budget_us * 1_000,
+            max_concurrent,
+            ..FleetConfig::default()
+        };
+        let mut sched = FleetScheduler::start(devs.iter(), config).unwrap();
+
+        // The scripted interleaving: pauses and resumes sprinkled between
+        // ticks, then a bounded drain with everything resumed.
+        for &(action, member) in &script {
+            match action {
+                0 => sched.pause(member),
+                1 => sched.resume(member),
+                _ => tick_round(&mut sched, &mut devs, config.global_budget_ns)?,
+            }
+        }
+        sched.resume(0);
+        sched.resume(1);
+        let mut guard = 0usize;
+        while !sched.is_complete() {
+            guard += 1;
+            prop_assert!(guard < 100_000, "fleet failed to converge");
+            tick_round(&mut sched, &mut devs, config.global_budget_ns)?;
+        }
+
+        for (d, expected) in exclusive.iter().enumerate() {
+            let report = sched.member_report(d).expect("completed member");
+            // Byte-identical evidence: same outcomes (sorted by address),
+            // same Evidence payloads, same totals, same epoch.
+            prop_assert_eq!(&report.outcomes, &expected.outcomes);
+            prop_assert_eq!(report.summary.lines, expected.summary.lines);
+            prop_assert_eq!(report.summary.tampered, expected.summary.tampered);
+            prop_assert_eq!(report.summary.epoch, expected.summary.epoch);
+            prop_assert_eq!(devs[d].scrub_epoch(), 1);
+        }
+        // The devices agree with their exclusive twins about what the
+        // next incremental pass owes (flagged = tampered lines only).
+        for d in 0..2 {
+            prop_assert_eq!(
+                pass_work_list(&devs[d], ScrubMode::Incremental),
+                pass_work_list(&exclusive_devs[d], ScrubMode::Incremental)
+            );
+        }
+        prop_assert!(sched.peak_active() <= max_concurrent.max(1));
+    }
+
+    /// Cancelling one member mid-interleaving: its partial report is a
+    /// faithful prefix of its exclusive pass (every outcome identical,
+    /// no invented evidence), its device's completed-pass epoch stays
+    /// untouched, and the surviving member still matches its exclusive
+    /// pass byte for byte.
+    #[test]
+    fn cancelled_member_is_a_faithful_prefix(
+        seed in any::<u64>(),
+        salt in any::<u8>(),
+        raw_a in proptest::collection::vec(0u64..16, 3..8),
+        raw_b in proptest::collection::vec(0u64..16, 3..8),
+        victim_pick in 0usize..8,
+        cancel_member in 0usize..2,
+        cancel_after in 1usize..6,
+    ) {
+        let slots = [dedupe(raw_a), dedupe(raw_b)];
+        let mut devs = vec![
+            heated_device(seed, salt, &slots[0]).0,
+            heated_device(seed ^ 0x1234, salt.wrapping_add(3), &slots[1]).0,
+        ];
+        // Tamper one line on the member that will be cancelled, so the
+        // prefix property is exercised against real evidence too.
+        let victim_lines: Vec<Line> =
+            slots[cancel_member].iter().map(|&s| Line::new(s * 8, 3).unwrap()).collect();
+        let tampered_line = victim_lines[victim_pick % victim_lines.len()];
+        devs[cancel_member]
+            .probe_mut()
+            .mws(tampered_line.start() + 1, &[0xBB; 512])
+            .unwrap();
+
+        let exclusive: Vec<ScrubReport> = devs
+            .clone()
+            .iter_mut()
+            .map(|d| scrub_device(d, &ScrubConfig::default()).unwrap())
+            .collect();
+
+        let config = FleetConfig {
+            max_concurrent: 2,
+            ..FleetConfig::default()
+        };
+        let mut sched = FleetScheduler::start(devs.iter(), config).unwrap();
+        for _ in 0..cancel_after {
+            tick_round(&mut sched, &mut devs, config.global_budget_ns)?;
+        }
+        sched.cancel(cancel_member);
+
+        let mut guard = 0usize;
+        while !sched.is_complete() {
+            guard += 1;
+            prop_assert!(guard < 100_000, "fleet failed to converge");
+            tick_round(&mut sched, &mut devs, config.global_budget_ns)?;
+        }
+
+        match sched.member_state(cancel_member) {
+            // The common case: the cancel landed mid-pass. Partial
+            // prefix, epoch untouched, nothing lost.
+            FleetMemberState::Cancelled => {
+                prop_assert_eq!(devs[cancel_member].scrub_epoch(), 0);
+                if let Some(partial) = sched.member_report(cancel_member) {
+                    for scrubbed in &partial.outcomes {
+                        let twin = exclusive[cancel_member]
+                            .outcomes
+                            .iter()
+                            .find(|o| o.line == scrubbed.line)
+                            .expect("partial outcome names a real line");
+                        prop_assert_eq!(&scrubbed.outcome, &twin.outcome);
+                    }
+                    prop_assert!(
+                        partial.outcomes.len() <= exclusive[cancel_member].outcomes.len()
+                    );
+                }
+                // The unreached remainder is still owed: the next
+                // incremental pass covers every line the partial pass
+                // never stamped.
+                let remainder = pass_work_list(&devs[cancel_member], ScrubMode::Incremental);
+                let stamped: Vec<Line> = sched
+                    .member_report(cancel_member)
+                    .map(|r| r.outcomes.iter().map(|o| o.line).collect())
+                    .unwrap_or_default();
+                for line in victim_lines {
+                    let covered = stamped.contains(&line) || remainder.contains(&line);
+                    prop_assert!(covered, "line {line} lost by the cancelled pass");
+                }
+            }
+            // A small pass can drain before the scripted cancel lands;
+            // then the cancel is a no-op and the pass is simply complete
+            // and exclusive-identical.
+            FleetMemberState::Complete => {
+                let report = sched.member_report(cancel_member).expect("completed");
+                prop_assert_eq!(&report.outcomes, &exclusive[cancel_member].outcomes);
+                prop_assert_eq!(devs[cancel_member].scrub_epoch(), 1);
+            }
+            other => prop_assert!(false, "unexpected member state {other:?}"),
+        }
+
+        // The surviving member is untouched by its peer's cancellation.
+        let survivor = 1 - cancel_member;
+        let report = sched.member_report(survivor).expect("survivor completed");
+        prop_assert_eq!(&report.outcomes, &exclusive[survivor].outcomes);
+        prop_assert_eq!(devs[survivor].scrub_epoch(), 1);
+    }
+}

@@ -131,6 +131,98 @@ fn claim_sero_lifecycle() {
     }
 }
 
+/// Fleet-scale detection latency (the "Can't Touch This" metric: time
+/// from tampering to the verified pass that surfaces it): with one
+/// device of a fleet tampered *and* flagged, suspicion-first fleet
+/// ordering verifies the flagged line strictly earlier — on the shared
+/// fleet timeline — than round-robin ordering, because the flagged
+/// device's pass is admitted and granted first instead of queueing
+/// behind clean peers.
+#[test]
+fn claim_fleet_detection_latency() {
+    use sero::core::fleet::{
+        sync_clocks, FleetConfig, FleetOrdering, FleetScheduler, FleetSliceOutcome,
+    };
+
+    const VICTIM: usize = 2;
+    let build_fleet = || -> (Vec<SeroDevice>, Line) {
+        let mut devs: Vec<SeroDevice> = (0..3)
+            .map(|_| {
+                let mut dev = SeroDevice::with_blocks(256);
+                for i in 0..8u64 {
+                    let line = Line::new(i * 8, 3).unwrap();
+                    for pba in line.data_blocks() {
+                        dev.write_block(pba, &[pba as u8; 512]).unwrap();
+                    }
+                    dev.heat_line(line, vec![], i).unwrap();
+                }
+                dev
+            })
+            .collect();
+        // Tamper a line on the victim behind the protocol's back, and
+        // flag it through the protocol (a refused write).
+        let tampered = Line::new(3 * 8, 3).unwrap();
+        devs[VICTIM]
+            .probe_mut()
+            .mws(tampered.start() + 1, &[0xEE; 512])
+            .unwrap();
+        assert!(devs[VICTIM]
+            .write_block(tampered.start() + 1, &[0u8; 512])
+            .is_err());
+        (devs, tampered)
+    };
+
+    // Device time (on the synchronized fleet wall) at which `ordering`
+    // surfaces the tampered line's evidence.
+    let detection_ns = |ordering: FleetOrdering| -> u128 {
+        let (mut devs, tampered) = build_fleet();
+        let config = FleetConfig {
+            ordering,
+            max_concurrent: 1, // serialize passes so ordering is the story
+            ..FleetConfig::default()
+        };
+        let mut sched = FleetScheduler::start(devs.iter(), config).unwrap();
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 100_000, "fleet failed to converge");
+            for (i, outcome) in sched.tick(&mut devs).unwrap() {
+                match outcome {
+                    FleetSliceOutcome::Throttled { resume_at_ns } => {
+                        let now = devs[i].probe().clock().elapsed_ns();
+                        devs[i]
+                            .probe_mut()
+                            .advance_clock((resume_at_ns - now) as u64);
+                    }
+                    FleetSliceOutcome::Starved => {
+                        devs[i].probe_mut().advance_clock(config.quantum_ns);
+                    }
+                    _ => {}
+                }
+            }
+            // One fleet, one wall: idle peers' clocks advance too.
+            sync_clocks(&mut devs);
+            let found = sched.member_report(VICTIM).is_some_and(|r| {
+                r.outcomes
+                    .iter()
+                    .any(|o| o.line == tampered && o.outcome.is_tampered())
+            });
+            if found {
+                return devs[VICTIM].probe().clock().elapsed_ns();
+            }
+            assert!(!sched.is_complete(), "fleet drained without detecting");
+        }
+    };
+
+    let suspicion_first = detection_ns(FleetOrdering::SuspicionFirst);
+    let round_robin = detection_ns(FleetOrdering::RoundRobin);
+    assert!(
+        suspicion_first < round_robin,
+        "suspicion-first must detect strictly earlier \
+         ({suspicion_first} ns vs round-robin {round_robin} ns)"
+    );
+}
+
 /// §3 addressing: heated blocks must not be misinterpreted as bad blocks.
 #[test]
 fn claim_heated_not_bad() {

@@ -100,7 +100,11 @@ proptest! {
         let exclusive = scrub_device(&mut exclusive_dev, &ScrubConfig::default()).unwrap();
 
         let budget_ns = budget_us * 1_000;
-        let config = SchedConfig::budgeted(budget_ns, budget_ns * quantum_factor);
+        let config = if budget_ns == 0 {
+            SchedConfig::greedy()
+        } else {
+            SchedConfig::budgeted(budget_ns, budget_ns * quantum_factor).unwrap()
+        };
         let mut sched = ScrubScheduler::start(&dev, config);
         drain_with_pauses(&mut sched, &mut dev, pause_every);
         let report = sched.report();
@@ -250,7 +254,7 @@ fn cancelled_fs_pass_keeps_epoch_and_next_pass_covers_remainder() {
             .unwrap();
         fs.heat(&name, vec![], i as u64).unwrap();
     }
-    let mut scrub = fs.scrub_background(SchedConfig::budgeted(1, 0));
+    let mut scrub = fs.scrub_background(SchedConfig::slice_budget(1).unwrap());
     scrub.tick(&mut fs).unwrap();
     scrub.cancel();
     assert_eq!(fs.device().scrub_epoch(), 0, "cancelled pass never counts");

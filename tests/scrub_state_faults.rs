@@ -1,0 +1,154 @@
+//! Fault injection against the persisted scrub-state path: whatever an
+//! attacker (or bit rot) does to an exported record — flip bytes,
+//! truncate it, hand it to the wrong device — the import must either
+//! reject it whole (`BadScrubState`) or count the mismatches as
+//! stale/unknown, but NEVER partially apply corrupt bookkeeping. And
+//! after a rejection, the next scrub falls back to a full pass, so a
+//! forged record can never *shrink* what gets re-verified.
+
+use proptest::prelude::*;
+use sero::core::device::{SeroDevice, SeroError};
+use sero::core::line::Line;
+use sero::core::scrub::{scrub_device, ScrubConfig, ScrubMode};
+
+const T0: u64 = 1_199_145_600;
+
+fn pattern(pba: u64, salt: u8) -> [u8; 512] {
+    let mut s = [0u8; 512];
+    for (j, b) in s.iter_mut().enumerate() {
+        *b = (pba as u8).wrapping_mul(167).wrapping_add(j as u8) ^ salt;
+    }
+    s
+}
+
+/// A device with `slots` heated order-3 lines, one completed scrub pass,
+/// and (optionally) one line flagged by a refused write — so the export
+/// carries both epochs and a flag.
+fn scrubbed_device(seed: u64, salt: u8, slots: &[u64], flag_one: bool) -> (SeroDevice, Vec<Line>) {
+    let mut dev = SeroDevice::new(
+        sero::probe::device::ProbeDevice::builder()
+            .blocks(256)
+            .seed(seed)
+            .build(),
+    );
+    let mut lines = Vec::new();
+    for &slot in slots {
+        let line = Line::new(slot * 8, 3).unwrap();
+        for pba in line.data_blocks() {
+            dev.write_block(pba, &pattern(pba, salt)).unwrap();
+        }
+        dev.heat_line(line, vec![salt], T0 + slot).unwrap();
+        lines.push(line);
+    }
+    scrub_device(&mut dev, &ScrubConfig::default()).unwrap();
+    if flag_one {
+        assert!(dev.write_block(lines[0].start() + 1, &[0u8; 512]).is_err());
+    }
+    (dev, lines)
+}
+
+/// The registry bookkeeping a restore could touch, snapshot for
+/// unchanged-state comparisons.
+fn bookkeeping(dev: &SeroDevice) -> Vec<(Line, u64, bool)> {
+    dev.heated_lines()
+        .map(|r| (r.line, r.verified_epoch, r.flagged))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any single flipped byte, any truncation, or both: the import
+    /// rejects the record whole, the rebuilt registry's bookkeeping is
+    /// untouched (never partially applied), and the next incremental
+    /// scrub request falls back to a FULL pass covering every line.
+    #[test]
+    fn corrupt_state_is_rejected_whole_and_forces_a_full_pass(
+        seed in any::<u64>(),
+        salt in any::<u8>(),
+        raw_slots in proptest::collection::vec(0u64..24, 1..8),
+        flag_one in any::<bool>(),
+        flip in any::<bool>(),
+        flip_at in any::<proptest::sample::Index>(),
+        xor in 1u8..=255,
+        truncate in any::<bool>(),
+        truncate_at in any::<proptest::sample::Index>(),
+    ) {
+        let slots: std::collections::BTreeSet<u64> = raw_slots.into_iter().collect();
+        let slots: Vec<u64> = slots.into_iter().collect();
+        let (dev, lines) = scrubbed_device(seed, salt, &slots, flag_one);
+        let exported = dev.export_scrub_state();
+        prop_assert!(!exported.is_empty());
+
+        // Mutate: at least one of flip/truncate (both allowed).
+        let mut bytes = exported.clone();
+        if flip {
+            let at = flip_at.index(bytes.len());
+            bytes[at] ^= xor;
+        }
+        if truncate || !flip {
+            bytes.truncate(truncate_at.index(bytes.len())); // strictly shorter
+        }
+        prop_assert!(bytes != exported, "mutation must change the record");
+
+        // A cold attach over the same medium: fresh wrapper, rebuilt
+        // registry, no volatile epochs.
+        let mut cold = SeroDevice::new(dev.probe().clone());
+        cold.rebuild_registry().unwrap();
+        let before = bookkeeping(&cold);
+        prop_assert!(before.iter().all(|&(_, epoch, flagged)| epoch == 0 && !flagged));
+
+        // Rejected whole…
+        let err = cold.import_scrub_state(&bytes);
+        prop_assert!(
+            matches!(err, Err(SeroError::BadScrubState { .. })),
+            "corrupt record accepted: {err:?}"
+        );
+        // …with nothing applied: bookkeeping and epoch untouched.
+        prop_assert_eq!(bookkeeping(&cold), before);
+        prop_assert_eq!(cold.scrub_epoch(), 0);
+
+        // A remount that lost its state runs FULL on the next
+        // incremental request — every line re-verified, none skipped.
+        let report = scrub_device(&mut cold, &ScrubConfig::incremental(1)).unwrap();
+        prop_assert_eq!(report.summary.mode, ScrubMode::Full);
+        prop_assert_eq!(report.summary.lines, lines.len());
+        prop_assert_eq!(report.summary.skipped, 0);
+    }
+
+    /// A pristine record round-trips on the same medium (the control
+    /// case), while the SAME valid record fed to a different device —
+    /// same line coordinates, different data, hence different digests —
+    /// is stale-counted line for line and applies nothing.
+    #[test]
+    fn valid_state_on_the_wrong_device_is_stale_counted_never_applied(
+        seed in any::<u64>(),
+        salt in 0u8..=254,
+        raw_slots in proptest::collection::vec(0u64..24, 1..8),
+    ) {
+        let slots: std::collections::BTreeSet<u64> = raw_slots.into_iter().collect();
+        let slots: Vec<u64> = slots.into_iter().collect();
+        let (dev, lines) = scrubbed_device(seed, salt, &slots, false);
+        let exported = dev.export_scrub_state();
+
+        // Control: same medium, cold attach, full restore.
+        let mut cold = SeroDevice::new(dev.probe().clone());
+        cold.rebuild_registry().unwrap();
+        let restore = cold.import_scrub_state(&exported).unwrap();
+        prop_assert_eq!(restore.restored, lines.len());
+        prop_assert_eq!((restore.stale, restore.unknown), (0, 0));
+
+        // Same coordinates, different contents on an unrelated device:
+        // every record is stale (digest guard), nothing is applied.
+        let (other, _) = scrubbed_device(seed ^ 0x5A5A, salt.wrapping_add(1), &slots, false);
+        let mut wrong = SeroDevice::new(other.probe().clone());
+        wrong.rebuild_registry().unwrap();
+        let restore = wrong.import_scrub_state(&exported).unwrap();
+        prop_assert_eq!(restore.restored, 0);
+        prop_assert_eq!(restore.stale, lines.len());
+        prop_assert!(
+            wrong.heated_lines().all(|r| r.verified_epoch == 0 && !r.flagged),
+            "stale records must not mark foreign lines verified"
+        );
+    }
+}
