@@ -11,7 +11,7 @@
 //! # The `BENCH_*.json` schema (`sero-bench/v1`)
 //!
 //! The perf-baseline binaries (`exp_scrub`, `exp_bulk_io`, `exp_registry`,
-//! `exp_sched`, `exp_fleet`) each emit one JSON document, written to the current
+//! `exp_sched`, `exp_fleet`, `exp_server`) each emit one JSON document, written to the current
 //! directory (override with `SERO_BENCH_OUT_DIR`). Committed baselines
 //! live in `benchmarks/` at the repo root; CI regenerates the files with
 //! `SERO_BENCH_FAST=1` and runs `bench_compare` against the committed
@@ -111,6 +111,18 @@
 //!   / `scrub_completion_budgeted_ms` (pass completion under load),
 //!   `budgeted_slices` / `budgeted_throttled_ticks`, `lines_verified`,
 //!   `tampered` (the planted evidence both phases must find).
+//! * `bench = "server"` — the command path and the wire codec
+//!   (`exp_server`). A fixed command script — creates, a read/write mix,
+//!   heating, verification, and a budgeted scrub ticked to completion —
+//!   travels [`sero_proto`]'s full encode → decode → `SeroFs::handle`
+//!   round trip: `commands`, `wire_bytes` / `request_bytes` /
+//!   `response_bytes`, `bytes_per_command`, `framing_overhead_ppm` (the
+//!   14-byte frame header+CRC each way), `replay_device_ms` and
+//!   `commands_per_device_s` (simulated device clock), `scrub_ticks` /
+//!   `scrub_throttled`, `lines_verified`, `errors` (0 by construction,
+//!   asserted). The real-socket client swarm against a live
+//!   `sero-server` reports under `"host"` only (`swarm_<n>` latency
+//!   tails) — wall clock never gates CI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

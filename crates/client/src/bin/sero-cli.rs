@@ -1,0 +1,237 @@
+//! `sero-cli` — command-line client for a `sero-server` daemon.
+//!
+//! ```text
+//! sero-cli [--addr HOST:PORT] <command> [args]
+//!
+//! commands:
+//!   ping
+//!   set KEY VALUE [normal|archival]   create or overwrite KEY
+//!   get KEY                            print KEY's contents
+//!   rm KEY
+//!   ls
+//!   stat KEY
+//!   heat KEY [METADATA] [TIMESTAMP]    freeze KEY under a heated line
+//!   verify KEY                         exit 4 + report on tamper evidence
+//!   scrub-start [BUDGET_NS QUANTUM_NS] [--full]
+//!   scrub-tick
+//!   scrub-status
+//!   fleet-status
+//!   raw-write PBA FILLBYTE             §5 attack surface (needs --allow-raw
+//!                                      on the daemon); writes one sector of
+//!                                      FILLBYTE repeated
+//! ```
+//!
+//! The address defaults to `$SERO_ADDR`, then `127.0.0.1:4150`.
+//!
+//! Exit codes: `0` success, `1` server refused the command, `2` usage
+//! error, `3` connection/protocol failure, `4` tamper evidence detected.
+
+use sero_client::{ClientError, SeroClient};
+use sero_proto::{WireClass, WireSchedState, WireScrubStatus, WireVerdict};
+use std::process::ExitCode;
+
+const EXIT_SERVER: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_CONN: u8 = 3;
+const EXIT_TAMPER: u8 = 4;
+
+fn fail(e: ClientError) -> ExitCode {
+    eprintln!("{e}");
+    if e.is_tamper_detected() {
+        ExitCode::from(EXIT_TAMPER)
+    } else if matches!(e, ClientError::Server(_)) {
+        ExitCode::from(EXIT_SERVER)
+    } else {
+        ExitCode::from(EXIT_CONN)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::from(EXIT_USAGE)
+}
+
+fn print_status(s: &WireScrubStatus) {
+    let state = match s.state {
+        WireSchedState::Running => "running",
+        WireSchedState::Paused => "paused",
+        WireSchedState::Cancelled => "cancelled",
+        WireSchedState::Complete => "complete",
+    };
+    println!(
+        "scrub {state}: epoch {} incremental={} verified={} remaining={} \
+         skipped={} tampered={} slices={} device_ns={}",
+        s.epoch,
+        s.incremental,
+        s.verified,
+        s.remaining,
+        s.skipped,
+        s.tampered,
+        s.slices,
+        s.scrub_device_ns
+    );
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = std::env::var("SERO_ADDR").unwrap_or_else(|_| "127.0.0.1:4150".to_string());
+    if args.first().map(String::as_str) == Some("--addr") {
+        if args.len() < 2 {
+            return usage("--addr wants a value");
+        }
+        addr = args[1].clone();
+        args.drain(..2);
+    }
+    let Some(command) = args.first().cloned() else {
+        return usage("usage: sero-cli [--addr HOST:PORT] <command> [args] (see --help)");
+    };
+    let rest = &args[1..];
+
+    let mut client = match SeroClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            return ExitCode::from(EXIT_CONN);
+        }
+    };
+
+    let result: Result<ExitCode, ClientError> = match (command.as_str(), rest) {
+        ("ping", []) => client.ping().map(|()| {
+            println!("pong");
+            ExitCode::SUCCESS
+        }),
+        ("set", [key, value, rest @ ..]) if rest.len() <= 1 => {
+            let class = match rest.first().map(String::as_str) {
+                None | Some("normal") => WireClass::Normal,
+                Some("archival") => WireClass::Archival,
+                Some(other) => return usage(&format!("class wants normal|archival, got {other}")),
+            };
+            let outcome = if client.stat(key).is_ok() {
+                client.write(key, value.as_bytes(), class)
+            } else {
+                client.create(key, value.as_bytes(), class).map(|_| ())
+            };
+            outcome.map(|()| ExitCode::SUCCESS)
+        }
+        ("get", [key]) => client.read(key).map(|bytes| {
+            match String::from_utf8(bytes) {
+                Ok(text) => println!("{text}"),
+                Err(e) => println!("{:x?}", e.as_bytes()),
+            }
+            ExitCode::SUCCESS
+        }),
+        ("rm", [key]) => client.remove(key).map(|()| ExitCode::SUCCESS),
+        ("ls", []) => client.list().map(|names| {
+            for name in names {
+                println!("{name}");
+            }
+            ExitCode::SUCCESS
+        }),
+        ("stat", [key]) => client.stat(key).map(|info| {
+            let heated = match info.heated {
+                Some(line) => format!("heated start={} order={}", line.start, line.order),
+                None => "unheated".to_string(),
+            };
+            println!(
+                "ino={} size={} blocks={} mtime={} {heated}",
+                info.ino, info.size, info.blocks, info.mtime
+            );
+            ExitCode::SUCCESS
+        }),
+        ("heat", [key, rest @ ..]) if rest.len() <= 2 => {
+            let metadata = rest.first().map(String::as_bytes).unwrap_or_default();
+            let timestamp = match rest.get(1).map(|t| t.parse::<u64>()) {
+                None => 0,
+                Some(Ok(t)) => t,
+                Some(Err(e)) => return usage(&format!("timestamp: {e}")),
+            };
+            client.heat(key, metadata, timestamp).map(|line| {
+                println!("heated start={} order={}", line.start, line.order);
+                ExitCode::SUCCESS
+            })
+        }
+        ("verify", [key]) => client.verify(key).map(|verdict| match verdict {
+            WireVerdict::Intact {
+                line, timestamp, ..
+            } => {
+                println!(
+                    "intact: line start={} order={} heated at t={timestamp}",
+                    line.start, line.order
+                );
+                ExitCode::SUCCESS
+            }
+            WireVerdict::NotHeated => {
+                println!("not heated: nothing to verify against");
+                ExitCode::SUCCESS
+            }
+        }),
+        ("scrub-start", rest) => {
+            let full = rest.iter().any(|a| a == "--full");
+            let nums: Vec<&String> = rest.iter().filter(|a| *a != "--full").collect();
+            let (budget, quantum) = match nums.as_slice() {
+                [] => (0, 0),
+                [b, q] => match (b.parse(), q.parse()) {
+                    (Ok(b), Ok(q)) => (b, q),
+                    _ => return usage("scrub-start wants numeric BUDGET_NS QUANTUM_NS"),
+                },
+                _ => return usage("usage: scrub-start [BUDGET_NS QUANTUM_NS] [--full]"),
+            };
+            client
+                .scrub_start(budget, quantum, !full)
+                .map(|(epoch, pending)| {
+                    println!("scrub started: epoch {epoch}, {pending} lines pending");
+                    ExitCode::SUCCESS
+                })
+        }
+        ("scrub-tick", []) => client.scrub_tick().map(|(_, status)| {
+            print_status(&status);
+            ExitCode::SUCCESS
+        }),
+        ("scrub-status", []) => client.scrub_status().map(|status| {
+            match status {
+                Some(s) => print_status(&s),
+                None => println!("no scrub pass started"),
+            }
+            ExitCode::SUCCESS
+        }),
+        ("fleet-status", []) => client.fleet_status().map(|members| {
+            for m in members {
+                println!(
+                    "member {}: blocks={} ro={} wmrm={} heated_lines={} flagged={} \
+                     epoch={} arrivals={} util_ppm={}",
+                    m.member,
+                    m.total_blocks,
+                    m.read_only_blocks,
+                    m.wmrm_blocks,
+                    m.heated_lines,
+                    m.flagged_lines,
+                    m.scrub_epoch,
+                    m.arrivals,
+                    m.utilization_ppm
+                );
+            }
+            ExitCode::SUCCESS
+        }),
+        ("raw-write", [pba, fill]) => {
+            let (Ok(pba), Ok(fill)) = (pba.parse::<u64>(), fill.parse::<u8>()) else {
+                return usage("raw-write wants numeric PBA and FILLBYTE");
+            };
+            client.raw_write(pba, &[fill; 512]).map(|()| {
+                println!("raw sector written at pba {pba}");
+                ExitCode::SUCCESS
+            })
+        }
+        ("--help" | "-h" | "help", _) => {
+            return usage(
+                "usage: sero-cli [--addr HOST:PORT] <ping|set|get|rm|ls|stat|heat|verify|\
+                 scrub-start|scrub-tick|scrub-status|fleet-status|raw-write> [args]",
+            )
+        }
+        _ => return usage(&format!("bad command or arguments: {command} (try --help)")),
+    };
+
+    match result {
+        Ok(code) => code,
+        Err(e) => fail(e),
+    }
+}

@@ -1,0 +1,355 @@
+//! **sero-client** — blocking client library (and the `sero-cli` binary)
+//! for a `sero-server` daemon.
+//!
+//! [`SeroClient`] wraps one TCP connection and exposes the wire command
+//! set as typed methods. Requests and responses travel as `sero-proto`
+//! frames; anything the server refuses comes back as
+//! [`ClientError::Server`] carrying the wire-stable
+//! [`ErrorCode`] plus the server-side error's display text.
+//!
+//! Tamper evidence keeps its loud shape end-to-end:
+//! [`SeroClient::verify`] returns `Err(ClientError::Server(e))` with
+//! `e.code == ErrorCode::TamperDetected` and the full report text in
+//! `e.detail` — a remote auditor cannot mistake detection for success.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sero_proto::frame::{read_frame, write_frame, FrameError};
+use sero_proto::{
+    ErrorCode, FrameKind, Request, Response, WireClass, WireError, WireFileInfo, WireLine,
+    WireMemberStatus, WireScrubStatus, WireSliceOutcome, WireVerdict,
+};
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Everything that can go wrong on the client side of a command.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// A frame failed to encode or decode.
+    Frame(FrameError),
+    /// The server answered, with an error.
+    Server(WireError),
+    /// The server answered with a response shape the command does not
+    /// produce (protocol confusion or a hostile peer).
+    UnexpectedResponse {
+        /// What the client asked for.
+        expected: &'static str,
+        /// Debug rendering of what arrived.
+        got: String,
+    },
+    /// The server closed the connection instead of answering.
+    Disconnected,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::UnexpectedResponse { expected, got } => {
+                write!(f, "expected a {expected} response, got {got}")
+            }
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+            ClientError::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+impl ClientError {
+    /// The wire error code, when the server itself answered the error.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server(e) => Some(e.code),
+            _ => None,
+        }
+    }
+
+    /// True when this error is the paper's detection guarantee firing:
+    /// a verify that found tamper evidence.
+    pub fn is_tamper_detected(&self) -> bool {
+        self.code() == Some(ErrorCode::TamperDetected)
+    }
+}
+
+/// A blocking client over one TCP connection.
+pub struct SeroClient {
+    stream: TcpStream,
+}
+
+impl SeroClient {
+    /// Connects to a `sero-server` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from the connect.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<SeroClient, ClientError> {
+        Ok(SeroClient {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// Socket and framing failures; a [`Response::Error`] answer becomes
+    /// [`ClientError::Server`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, FrameKind::Request, &request.encode())?;
+        let (kind, payload) = read_frame(&mut self.stream)?.ok_or(ClientError::Disconnected)?;
+        if kind != FrameKind::Response {
+            return Err(ClientError::UnexpectedResponse {
+                expected: "response-kind frame",
+                got: format!("{kind:?}"),
+            });
+        }
+        match Response::decode(&payload)? {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`SeroClient::call`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Creates `name` with `data`; returns the inode number.
+    ///
+    /// # Errors
+    ///
+    /// See [`SeroClient::call`].
+    pub fn create(
+        &mut self,
+        name: &str,
+        data: &[u8],
+        class: WireClass,
+    ) -> Result<u64, ClientError> {
+        match self.call(&Request::Create {
+            name: name.into(),
+            data: data.to_vec(),
+            class,
+        })? {
+            Response::Created { ino } => Ok(ino),
+            other => Err(unexpected("created", &other)),
+        }
+    }
+
+    /// Reads the full contents of `name`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SeroClient::call`].
+    pub fn read(&mut self, name: &str) -> Result<Vec<u8>, ClientError> {
+        match self.call(&Request::Read { name: name.into() })? {
+            Response::Data { bytes } => Ok(bytes),
+            other => Err(unexpected("data", &other)),
+        }
+    }
+
+    /// Overwrites `name` with `data`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SeroClient::call`].
+    pub fn write(&mut self, name: &str, data: &[u8], class: WireClass) -> Result<(), ClientError> {
+        match self.call(&Request::Write {
+            name: name.into(),
+            data: data.to_vec(),
+            class,
+        })? {
+            Response::Written => Ok(()),
+            other => Err(unexpected("written", &other)),
+        }
+    }
+
+    /// Removes `name`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SeroClient::call`].
+    pub fn remove(&mut self, name: &str) -> Result<(), ClientError> {
+        match self.call(&Request::Remove { name: name.into() })? {
+            Response::Removed => Ok(()),
+            other => Err(unexpected("removed", &other)),
+        }
+    }
+
+    /// Metadata for `name`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SeroClient::call`].
+    pub fn stat(&mut self, name: &str) -> Result<WireFileInfo, ClientError> {
+        match self.call(&Request::Stat { name: name.into() })? {
+            Response::Stat(info) => Ok(info),
+            other => Err(unexpected("stat", &other)),
+        }
+    }
+
+    /// All file names.
+    ///
+    /// # Errors
+    ///
+    /// See [`SeroClient::call`].
+    pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
+        match self.call(&Request::List)? {
+            Response::Names { names } => Ok(names),
+            other => Err(unexpected("names", &other)),
+        }
+    }
+
+    /// Heats `name`, sealing `metadata` and `timestamp` into the line's
+    /// hash block. Returns the protecting line.
+    ///
+    /// # Errors
+    ///
+    /// See [`SeroClient::call`].
+    pub fn heat(
+        &mut self,
+        name: &str,
+        metadata: &[u8],
+        timestamp: u64,
+    ) -> Result<WireLine, ClientError> {
+        match self.call(&Request::Heat {
+            name: name.into(),
+            metadata: metadata.to_vec(),
+            timestamp,
+        })? {
+            Response::Heated { line } => Ok(line),
+            other => Err(unexpected("heated", &other)),
+        }
+    }
+
+    /// Verifies the heated line protecting `name`.
+    ///
+    /// # Errors
+    ///
+    /// Tamper evidence arrives as [`ClientError::Server`] with
+    /// [`ErrorCode::TamperDetected`] (see
+    /// [`ClientError::is_tamper_detected`]); only intact and not-heated
+    /// verdicts return `Ok`.
+    pub fn verify(&mut self, name: &str) -> Result<WireVerdict, ClientError> {
+        match self.call(&Request::Verify { name: name.into() })? {
+            Response::Verified(verdict) => Ok(verdict),
+            other => Err(unexpected("verified", &other)),
+        }
+    }
+
+    /// Starts a scrub pass (see
+    /// [`Request::ScrubStart`] for the budget semantics).
+    ///
+    /// # Errors
+    ///
+    /// See [`SeroClient::call`].
+    pub fn scrub_start(
+        &mut self,
+        budget_ns: u64,
+        quantum_ns: u64,
+        incremental: bool,
+    ) -> Result<(u64, u64), ClientError> {
+        match self.call(&Request::ScrubStart {
+            budget_ns,
+            quantum_ns,
+            incremental,
+        })? {
+            Response::ScrubStarted { epoch, pending, .. } => Ok((epoch, pending)),
+            other => Err(unexpected("scrub-started", &other)),
+        }
+    }
+
+    /// Grants the running pass one slice.
+    ///
+    /// # Errors
+    ///
+    /// See [`SeroClient::call`].
+    pub fn scrub_tick(&mut self) -> Result<(WireSliceOutcome, WireScrubStatus), ClientError> {
+        match self.call(&Request::ScrubTick)? {
+            Response::ScrubTicked { outcome, status } => Ok((outcome, status)),
+            other => Err(unexpected("scrub-ticked", &other)),
+        }
+    }
+
+    /// Progress of the current (or last) pass; `None` when no pass was
+    /// ever started.
+    ///
+    /// # Errors
+    ///
+    /// See [`SeroClient::call`].
+    pub fn scrub_status(&mut self) -> Result<Option<WireScrubStatus>, ClientError> {
+        match self.call(&Request::ScrubStatus)? {
+            Response::ScrubState { status } => Ok(status),
+            other => Err(unexpected("scrub-state", &other)),
+        }
+    }
+
+    /// Capacity, evidence, and load status of every served device.
+    ///
+    /// # Errors
+    ///
+    /// See [`SeroClient::call`].
+    pub fn fleet_status(&mut self) -> Result<Vec<WireMemberStatus>, ClientError> {
+        match self.call(&Request::FleetStatus)? {
+            Response::FleetStatus { members } => Ok(members),
+            other => Err(unexpected("fleet-status", &other)),
+        }
+    }
+
+    /// Raw magnetic write — the §5 attacker surface, served only by a
+    /// daemon started with `--allow-raw`. `data` must be exactly one
+    /// sector.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnsupportedCommand`] from a production daemon; see
+    /// [`SeroClient::call`].
+    pub fn raw_write(&mut self, pba: u64, data: &[u8]) -> Result<(), ClientError> {
+        match self.call(&Request::RawWrite {
+            pba,
+            data: data.to_vec(),
+        })? {
+            Response::RawWritten => Ok(()),
+            other => Err(unexpected("raw-written", &other)),
+        }
+    }
+}
+
+fn unexpected(expected: &'static str, got: &Response) -> ClientError {
+    ClientError::UnexpectedResponse {
+        expected,
+        got: format!("{got:?}"),
+    }
+}

@@ -432,6 +432,7 @@ impl SeroDevice {
 
     /// The foreground-load estimate scrub-budget controllers read (see
     /// [`LoadProbe`]).
+    #[must_use]
     pub fn load_probe(&self) -> &LoadProbe {
         &self.load
     }

@@ -103,7 +103,14 @@ impl fmt::Display for JournalError {
     }
 }
 
-impl std::error::Error for JournalError {}
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<SeroError> for JournalError {
     fn from(e: SeroError) -> JournalError {
@@ -616,6 +623,18 @@ mod tests {
         assert!(InstructionJournal::new(33, 32, 2).is_err()); // misaligned
         assert!(InstructionJournal::new(32, 30, 2).is_err()); // not a multiple
         assert!(InstructionJournal::new(32, 0, 2).is_err());
+    }
+
+    #[test]
+    fn device_errors_keep_their_source_chain() {
+        let inner = SeroError::HashBlockAccess { pba: 40 };
+        let err = JournalError::Device(inner.clone());
+        // The wrapped device error stays reachable for error-report
+        // walkers, and its text survives in the Display.
+        let source = std::error::Error::source(&err).expect("Device carries a source");
+        assert_eq!(source.to_string(), inner.to_string());
+        assert!(err.to_string().contains(&inner.to_string()));
+        assert!(std::error::Error::source(&JournalError::RegionFull).is_none());
     }
 
     #[test]

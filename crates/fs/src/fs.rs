@@ -132,6 +132,9 @@ pub struct SeroFs {
     /// What [`SeroFs::mount`] restored from the checkpoint's persisted
     /// scrub state (`None` for a freshly formatted fs or a v1 checkpoint).
     pub(crate) scrub_restore: Option<ScrubStateRestore>,
+    /// The scrub pass driven through the command API
+    /// ([`SeroFs::handle`](crate::serve)), when one has been started.
+    pub(crate) service_scrub: Option<ScrubScheduler>,
 }
 
 impl SeroFs {
@@ -168,6 +171,7 @@ impl SeroFs {
             next_ino: 1,
             stats: FsStats::default(),
             scrub_restore: None,
+            service_scrub: None,
         };
         fs.write_checkpoint()?;
         Ok(fs)
@@ -256,6 +260,7 @@ impl SeroFs {
             next_ino,
             stats: FsStats::default(),
             scrub_restore,
+            service_scrub: None,
         })
     }
 
@@ -266,7 +271,12 @@ impl SeroFs {
         &self.dev
     }
 
-    /// Mutable device access (attack surface and experiments).
+    /// Mutable device access — the §5 threat model's raw interface, for
+    /// attack drills and experiments only. Application code should go
+    /// through the typed operations or the [`SeroFs::handle`] command
+    /// API; mutating the device underneath the file system bypasses
+    /// allocator and directory bookkeeping (that being the point, for
+    /// attack modelling).
     pub fn device_mut(&mut self) -> &mut SeroDevice {
         &mut self.dev
     }
@@ -732,6 +742,7 @@ impl SeroFs {
     /// Call [`SeroFs::sync`] after the pass completes to persist the
     /// advanced epochs into the checkpoint; see [`sero_core::sched`] for
     /// the scheduling model.
+    #[must_use = "the returned handle owns the pass; dropping it silently abandons the scrub"]
     pub fn scrub_background(&mut self, config: SchedConfig) -> BackgroundScrub {
         BackgroundScrub {
             sched: ScrubScheduler::start(&self.dev, config),
@@ -755,6 +766,7 @@ impl SeroFs {
     ///
     /// [`FsError::Corrupt`] for degenerate fleet knobs (zero quantum or
     /// zero global budget).
+    #[must_use = "the returned handle owns the fleet pass; dropping it silently abandons the scrub"]
     pub fn fleet_scrub(fses: &[SeroFs], config: FleetConfig) -> Result<FleetScrub, FsError> {
         let sched = FleetScheduler::start(fses.iter().map(|f| &f.dev), config).map_err(|e| {
             FsError::Corrupt {

@@ -33,6 +33,7 @@ pub mod fs;
 pub mod fsck;
 pub mod inode;
 pub mod retention;
+pub mod serve;
 
 pub use error::FsError;
 pub use fs::{FsConfig, SeroFs};

@@ -115,6 +115,8 @@ pub enum SectorError {
     /// A magnetic write could not be completed because too many dots in
     /// the sector footprint are heated.
     WriteBlocked {
+        /// The block whose write was refused.
+        pba: u64,
         /// Number of unwritable (heated) dots.
         heated_dots: usize,
     },
@@ -142,10 +144,10 @@ impl fmt::Display for SectorError {
             SectorError::OutOfRange { pba, blocks } => {
                 write!(f, "block {pba} outside device of {blocks} blocks")
             }
-            SectorError::WriteBlocked { heated_dots } => {
+            SectorError::WriteBlocked { pba, heated_dots } => {
                 write!(
                     f,
-                    "write blocked by {heated_dots} heated dots in sector footprint"
+                    "write to block {pba} blocked by {heated_dots} heated dots in sector footprint"
                 )
             }
         }
@@ -483,7 +485,10 @@ mod tests {
             },
             SectorError::BadMagic { found: 7 },
             SectorError::OutOfRange { pba: 9, blocks: 4 },
-            SectorError::WriteBlocked { heated_dots: 3 },
+            SectorError::WriteBlocked {
+                pba: 6,
+                heated_dots: 3,
+            },
         ];
         for e in errors {
             assert!(!format!("{e}").is_empty());

@@ -1,0 +1,1069 @@
+//! The versioned command set: [`Request`], [`Response`], and the wire
+//! mirrors of the in-process types they carry.
+//!
+//! Encoding is a deliberately boring hand-rolled byte format (tag byte
+//! per enum variant, little-endian integers, `u32`-length-prefixed byte
+//! strings) — the same school as the checkpoint and scrub-state records,
+//! so there is no serialization framework to version independently of
+//! the protocol. [`Request::decode`]/[`Response::decode`] accept exactly
+//! the bytes their encoders produce: unknown tags, short fields, bad
+//! UTF-8, and trailing garbage all return
+//! [`FrameError::Malformed`] — never a panic, never a partial value.
+
+use crate::error::{ErrorCode, WireError};
+use crate::frame::FrameError;
+use sero_core::line::Line;
+
+// --- wire mirrors of in-process types ---------------------------------------
+
+/// Allocation-class hint carried by create/write (mirror of the fs
+/// `WriteClass`, which this crate cannot name without a cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireClass {
+    /// Ordinary read-write data.
+    Normal,
+    /// Data expected to be heated soon.
+    Archival,
+}
+
+/// A heated line on the wire: start block + order (a mirror of
+/// [`Line`], which it converts to/from losslessly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireLine {
+    /// First block of the line.
+    pub start: u64,
+    /// log2 of the line's block count.
+    pub order: u32,
+}
+
+impl From<Line> for WireLine {
+    fn from(line: Line) -> WireLine {
+        WireLine {
+            start: line.start(),
+            order: line.order(),
+        }
+    }
+}
+
+impl WireLine {
+    /// Reconstructs the in-process [`Line`].
+    ///
+    /// # Errors
+    ///
+    /// [`sero_core::line::LineError`] if the pair is not a valid aligned
+    /// line (a hostile or corrupt peer can claim anything).
+    pub fn to_line(self) -> Result<Line, sero_core::line::LineError> {
+        Line::new(self.start, self.order)
+    }
+}
+
+/// [`crate::Response::Stat`] payload — the wire mirror of the fs
+/// `FileInfo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireFileInfo {
+    /// Inode number.
+    pub ino: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Number of data blocks.
+    pub blocks: u64,
+    /// Modification time.
+    pub mtime: u64,
+    /// Protecting line, when heated.
+    pub heated: Option<WireLine>,
+}
+
+/// Verify verdicts that are *not* errors. Tamper evidence never takes
+/// this shape: it answers [`ErrorCode::TamperDetected`] instead, so a
+/// remote auditor cannot mistake a detection for success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireVerdict {
+    /// The heated hash matches the data.
+    Intact {
+        /// The protecting line.
+        line: WireLine,
+        /// The heated digest, as 32 raw bytes.
+        digest: Vec<u8>,
+        /// Heat timestamp from the payload.
+        timestamp: u64,
+        /// Caller-supplied metadata sealed at heat time.
+        metadata: Vec<u8>,
+    },
+    /// The file has no heated line; there is nothing to verify against.
+    NotHeated,
+}
+
+/// Lifecycle state of the served scrub pass (mirror of the scheduler's
+/// `SchedState`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireSchedState {
+    /// Accepting slices.
+    Running,
+    /// Paused between slices.
+    Paused,
+    /// Cancelled; the epoch did not advance.
+    Cancelled,
+    /// Work list drained; the epoch advanced.
+    Complete,
+}
+
+/// What one served scrub-tick did (mirror of the scheduler's
+/// `SliceOutcome`; `u128` device times saturate into `u64` on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireSliceOutcome {
+    /// Verified `lines` lines in `device_ns` of device time.
+    Ran {
+        /// Lines verified in this slice.
+        lines: u64,
+        /// Device time the slice consumed.
+        device_ns: u64,
+    },
+    /// The quantum's budget is exhausted until `resume_at_ns`. The
+    /// daemon advances the device clock to that instant before
+    /// answering — wall-clock time passes between requests, and the
+    /// simulated clock only moves when something spends it.
+    Throttled {
+        /// Device-clock time at which the next quantum opens.
+        resume_at_ns: u64,
+    },
+    /// The pass is paused; nothing ran.
+    Paused,
+    /// Nothing left to do: the pass completed or was cancelled.
+    Idle,
+}
+
+/// Point-in-time progress of the served scrub pass (mirror of
+/// `SchedProgress`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireScrubStatus {
+    /// Lifecycle state.
+    pub state: WireSchedState,
+    /// The epoch this pass will complete (or completed) as.
+    pub epoch: u64,
+    /// True when the pass runs incrementally.
+    pub incremental: bool,
+    /// Lines verified so far.
+    pub verified: u64,
+    /// Lines still queued.
+    pub remaining: u64,
+    /// Lines skipped as already covered (incremental mode).
+    pub skipped: u64,
+    /// Tamper findings so far.
+    pub tampered: u64,
+    /// Slices run so far.
+    pub slices: u64,
+    /// Scrub device time consumed so far.
+    pub scrub_device_ns: u64,
+}
+
+/// One device's row in a [`crate::Response::FleetStatus`] answer — the
+/// capacity, evidence, and load-probe numbers a fleet coordinator or
+/// auditor polls for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireMemberStatus {
+    /// Member index (0 for a single-device daemon; the wire shape
+    /// already fits a future multi-device server).
+    pub member: u32,
+    /// Total blocks on the device.
+    pub total_blocks: u64,
+    /// Blocks inside heated (read-only) lines.
+    pub read_only_blocks: u64,
+    /// Blocks still write-many.
+    pub wmrm_blocks: u64,
+    /// Number of heated lines.
+    pub heated_lines: u64,
+    /// Heated lines currently carrying a suspicion flag.
+    pub flagged_lines: u64,
+    /// Completed scrub passes.
+    pub scrub_epoch: u64,
+    /// Foreground requests the load probe has seen.
+    pub arrivals: u64,
+    /// EWMA inter-arrival gap, device ns.
+    pub ewma_gap_ns: u64,
+    /// EWMA busy time per request, device ns.
+    pub ewma_busy_ns: u64,
+    /// Measured utilization in parts-per-million (`busy / gap`).
+    pub utilization_ppm: u32,
+    /// The device clock.
+    pub device_clock_ns: u64,
+}
+
+// --- the command set ---------------------------------------------------------
+
+/// A client-to-server command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness / version probe.
+    Ping,
+    /// Create `name` with `data`.
+    Create {
+        /// File name.
+        name: String,
+        /// File contents.
+        data: Vec<u8>,
+        /// Allocation-class hint.
+        class: WireClass,
+    },
+    /// Read the full contents of `name`.
+    Read {
+        /// File name.
+        name: String,
+    },
+    /// Overwrite `name` with `data` (refused for heated files).
+    Write {
+        /// File name.
+        name: String,
+        /// New contents.
+        data: Vec<u8>,
+        /// Allocation-class hint.
+        class: WireClass,
+    },
+    /// Remove `name` (refused for heated files).
+    Remove {
+        /// File name.
+        name: String,
+    },
+    /// Metadata for `name`.
+    Stat {
+        /// File name.
+        name: String,
+    },
+    /// All file names.
+    List,
+    /// Heat `name`: relocate into a fresh line, burn the hash, freeze.
+    Heat {
+        /// File name.
+        name: String,
+        /// Metadata sealed into the hash-block payload.
+        metadata: Vec<u8>,
+        /// Timestamp sealed into the payload.
+        timestamp: u64,
+    },
+    /// Verify the heated line protecting `name`.
+    Verify {
+        /// File name.
+        name: String,
+    },
+    /// Start a background scrub pass served in slices via
+    /// [`Request::ScrubTick`]. `budget_ns == 0 && quantum_ns == 0`
+    /// requests a greedy (stop-the-world) pass; anything else is
+    /// validated like `SchedConfig::budgeted`.
+    ScrubStart {
+        /// Scrub device-time budget per quantum (0 with quantum 0 =
+        /// greedy).
+        budget_ns: u64,
+        /// Scheduling quantum.
+        quantum_ns: u64,
+        /// Verify only the delta since the last completed pass.
+        incremental: bool,
+    },
+    /// Grant the running pass one bounded slice.
+    ScrubTick,
+    /// Progress of the current (or last) pass.
+    ScrubStatus,
+    /// Capacity, evidence, and load-probe status of every served device.
+    FleetStatus,
+    /// Raw magnetic write behind the protocol's back — the §5 attacker's
+    /// interface, served only when the daemon explicitly enables it
+    /// (attack drills, tamper-detection smoke tests). `data` must be
+    /// exactly one sector.
+    RawWrite {
+        /// Physical block address.
+        pba: u64,
+        /// Sector contents.
+        data: Vec<u8>,
+    },
+}
+
+/// A server-to-client answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Anything that failed, wire-coded.
+    Error(WireError),
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// File created.
+    Created {
+        /// The new inode number.
+        ino: u64,
+    },
+    /// File contents.
+    Data {
+        /// The bytes read.
+        bytes: Vec<u8>,
+    },
+    /// Overwrite applied.
+    Written,
+    /// File removed.
+    Removed,
+    /// Answer to [`Request::Stat`].
+    Stat(WireFileInfo),
+    /// Answer to [`Request::List`].
+    Names {
+        /// All file names.
+        names: Vec<String>,
+    },
+    /// File heated.
+    Heated {
+        /// The protecting line.
+        line: WireLine,
+    },
+    /// A verify that found no evidence (evidence answers
+    /// [`ErrorCode::TamperDetected`] instead).
+    Verified(WireVerdict),
+    /// Scrub pass admitted.
+    ScrubStarted {
+        /// The epoch the pass will complete as.
+        epoch: u64,
+        /// True when the pass runs incrementally.
+        incremental: bool,
+        /// Lines queued for verification.
+        pending: u64,
+        /// Lines skipped as already covered.
+        skipped: u64,
+    },
+    /// Answer to [`Request::ScrubTick`].
+    ScrubTicked {
+        /// What the slice did.
+        outcome: WireSliceOutcome,
+        /// Progress after the slice.
+        status: WireScrubStatus,
+    },
+    /// Answer to [`Request::ScrubStatus`] (`None` when no pass was ever
+    /// started).
+    ScrubState {
+        /// Progress of the current or last pass.
+        status: Option<WireScrubStatus>,
+    },
+    /// Answer to [`Request::FleetStatus`].
+    FleetStatus {
+        /// One row per served device.
+        members: Vec<WireMemberStatus>,
+    },
+    /// Raw write applied (tamper evidence now lives on the medium).
+    RawWritten,
+}
+
+// --- byte codec --------------------------------------------------------------
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn new(tag: u8) -> Enc {
+        Enc(vec![tag])
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.0.push(v as u8);
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.0.extend_from_slice(v);
+    }
+
+    fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn malformed(reason: impl Into<String>) -> FrameError {
+    FrameError::Malformed {
+        reason: reason.into(),
+    }
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.pos + n > self.buf.len() {
+            return Err(malformed(format!(
+                "need {n} bytes at offset {}, payload has {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn bool(&mut self) -> Result<bool, FrameError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(malformed(format!("bool byte {other}"))),
+        }
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, FrameError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn str(&mut self) -> Result<String, FrameError> {
+        String::from_utf8(self.bytes()?).map_err(|_| malformed("string is not UTF-8"))
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos != self.buf.len() {
+            return Err(malformed(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn enc_class(e: &mut Enc, class: WireClass) {
+    e.u8(match class {
+        WireClass::Normal => 0,
+        WireClass::Archival => 1,
+    });
+}
+
+fn dec_class(d: &mut Dec<'_>) -> Result<WireClass, FrameError> {
+    match d.u8()? {
+        0 => Ok(WireClass::Normal),
+        1 => Ok(WireClass::Archival),
+        other => Err(malformed(format!("write-class byte {other}"))),
+    }
+}
+
+fn enc_line(e: &mut Enc, line: WireLine) {
+    e.u64(line.start);
+    e.u32(line.order);
+}
+
+fn dec_line(d: &mut Dec<'_>) -> Result<WireLine, FrameError> {
+    Ok(WireLine {
+        start: d.u64()?,
+        order: d.u32()?,
+    })
+}
+
+fn enc_status(e: &mut Enc, s: &WireScrubStatus) {
+    e.u8(match s.state {
+        WireSchedState::Running => 0,
+        WireSchedState::Paused => 1,
+        WireSchedState::Cancelled => 2,
+        WireSchedState::Complete => 3,
+    });
+    e.u64(s.epoch);
+    e.bool(s.incremental);
+    e.u64(s.verified);
+    e.u64(s.remaining);
+    e.u64(s.skipped);
+    e.u64(s.tampered);
+    e.u64(s.slices);
+    e.u64(s.scrub_device_ns);
+}
+
+fn dec_status(d: &mut Dec<'_>) -> Result<WireScrubStatus, FrameError> {
+    let state = match d.u8()? {
+        0 => WireSchedState::Running,
+        1 => WireSchedState::Paused,
+        2 => WireSchedState::Cancelled,
+        3 => WireSchedState::Complete,
+        other => return Err(malformed(format!("sched-state byte {other}"))),
+    };
+    Ok(WireScrubStatus {
+        state,
+        epoch: d.u64()?,
+        incremental: d.bool()?,
+        verified: d.u64()?,
+        remaining: d.u64()?,
+        skipped: d.u64()?,
+        tampered: d.u64()?,
+        slices: d.u64()?,
+        scrub_device_ns: d.u64()?,
+    })
+}
+
+impl Request {
+    /// Encodes the request payload (frame it with
+    /// [`crate::frame::encode_request`] or
+    /// [`crate::frame::write_frame`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e;
+        match self {
+            Request::Ping => e = Enc::new(0),
+            Request::Create { name, data, class } => {
+                e = Enc::new(1);
+                e.str(name);
+                enc_class(&mut e, *class);
+                e.bytes(data);
+            }
+            Request::Read { name } => {
+                e = Enc::new(2);
+                e.str(name);
+            }
+            Request::Write { name, data, class } => {
+                e = Enc::new(3);
+                e.str(name);
+                enc_class(&mut e, *class);
+                e.bytes(data);
+            }
+            Request::Remove { name } => {
+                e = Enc::new(4);
+                e.str(name);
+            }
+            Request::Stat { name } => {
+                e = Enc::new(5);
+                e.str(name);
+            }
+            Request::List => e = Enc::new(6),
+            Request::Heat {
+                name,
+                metadata,
+                timestamp,
+            } => {
+                e = Enc::new(7);
+                e.str(name);
+                e.u64(*timestamp);
+                e.bytes(metadata);
+            }
+            Request::Verify { name } => {
+                e = Enc::new(8);
+                e.str(name);
+            }
+            Request::ScrubStart {
+                budget_ns,
+                quantum_ns,
+                incremental,
+            } => {
+                e = Enc::new(9);
+                e.u64(*budget_ns);
+                e.u64(*quantum_ns);
+                e.bool(*incremental);
+            }
+            Request::ScrubTick => e = Enc::new(10),
+            Request::ScrubStatus => e = Enc::new(11),
+            Request::FleetStatus => e = Enc::new(12),
+            Request::RawWrite { pba, data } => {
+                e = Enc::new(13);
+                e.u64(*pba);
+                e.bytes(data);
+            }
+        }
+        e.0
+    }
+
+    /// Decodes a request payload.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] for unknown tags, short fields, bad
+    /// UTF-8, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Request, FrameError> {
+        let mut d = Dec::new(payload);
+        let req = match d.u8()? {
+            0 => Request::Ping,
+            1 => {
+                let name = d.str()?;
+                let class = dec_class(&mut d)?;
+                let data = d.bytes()?;
+                Request::Create { name, data, class }
+            }
+            2 => Request::Read { name: d.str()? },
+            3 => {
+                let name = d.str()?;
+                let class = dec_class(&mut d)?;
+                let data = d.bytes()?;
+                Request::Write { name, data, class }
+            }
+            4 => Request::Remove { name: d.str()? },
+            5 => Request::Stat { name: d.str()? },
+            6 => Request::List,
+            7 => {
+                let name = d.str()?;
+                let timestamp = d.u64()?;
+                let metadata = d.bytes()?;
+                Request::Heat {
+                    name,
+                    metadata,
+                    timestamp,
+                }
+            }
+            8 => Request::Verify { name: d.str()? },
+            9 => Request::ScrubStart {
+                budget_ns: d.u64()?,
+                quantum_ns: d.u64()?,
+                incremental: d.bool()?,
+            },
+            10 => Request::ScrubTick,
+            11 => Request::ScrubStatus,
+            12 => Request::FleetStatus,
+            13 => Request::RawWrite {
+                pba: d.u64()?,
+                data: d.bytes()?,
+            },
+            other => return Err(malformed(format!("unknown request tag {other}"))),
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response payload (frame it with
+    /// [`crate::frame::encode_response`] or
+    /// [`crate::frame::write_frame`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e;
+        match self {
+            Response::Error(err) => {
+                e = Enc::new(0);
+                e.u16(err.code.code());
+                e.str(&err.detail);
+            }
+            Response::Pong => e = Enc::new(1),
+            Response::Created { ino } => {
+                e = Enc::new(2);
+                e.u64(*ino);
+            }
+            Response::Data { bytes } => {
+                e = Enc::new(3);
+                e.bytes(bytes);
+            }
+            Response::Written => e = Enc::new(4),
+            Response::Removed => e = Enc::new(5),
+            Response::Stat(info) => {
+                e = Enc::new(6);
+                e.u64(info.ino);
+                e.u64(info.size);
+                e.u64(info.blocks);
+                e.u64(info.mtime);
+                match info.heated {
+                    None => e.u8(0),
+                    Some(line) => {
+                        e.u8(1);
+                        enc_line(&mut e, line);
+                    }
+                }
+            }
+            Response::Names { names } => {
+                e = Enc::new(7);
+                e.u32(names.len() as u32);
+                for name in names {
+                    e.str(name);
+                }
+            }
+            Response::Heated { line } => {
+                e = Enc::new(8);
+                enc_line(&mut e, *line);
+            }
+            Response::Verified(verdict) => {
+                e = Enc::new(9);
+                match verdict {
+                    WireVerdict::Intact {
+                        line,
+                        digest,
+                        timestamp,
+                        metadata,
+                    } => {
+                        e.u8(0);
+                        enc_line(&mut e, *line);
+                        e.bytes(digest);
+                        e.u64(*timestamp);
+                        e.bytes(metadata);
+                    }
+                    WireVerdict::NotHeated => e.u8(1),
+                }
+            }
+            Response::ScrubStarted {
+                epoch,
+                incremental,
+                pending,
+                skipped,
+            } => {
+                e = Enc::new(10);
+                e.u64(*epoch);
+                e.bool(*incremental);
+                e.u64(*pending);
+                e.u64(*skipped);
+            }
+            Response::ScrubTicked { outcome, status } => {
+                e = Enc::new(11);
+                match outcome {
+                    WireSliceOutcome::Ran { lines, device_ns } => {
+                        e.u8(0);
+                        e.u64(*lines);
+                        e.u64(*device_ns);
+                    }
+                    WireSliceOutcome::Throttled { resume_at_ns } => {
+                        e.u8(1);
+                        e.u64(*resume_at_ns);
+                    }
+                    WireSliceOutcome::Paused => e.u8(2),
+                    WireSliceOutcome::Idle => e.u8(3),
+                }
+                enc_status(&mut e, status);
+            }
+            Response::ScrubState { status } => {
+                e = Enc::new(12);
+                match status {
+                    None => e.u8(0),
+                    Some(s) => {
+                        e.u8(1);
+                        enc_status(&mut e, s);
+                    }
+                }
+            }
+            Response::FleetStatus { members } => {
+                e = Enc::new(13);
+                e.u32(members.len() as u32);
+                for m in members {
+                    e.u32(m.member);
+                    e.u64(m.total_blocks);
+                    e.u64(m.read_only_blocks);
+                    e.u64(m.wmrm_blocks);
+                    e.u64(m.heated_lines);
+                    e.u64(m.flagged_lines);
+                    e.u64(m.scrub_epoch);
+                    e.u64(m.arrivals);
+                    e.u64(m.ewma_gap_ns);
+                    e.u64(m.ewma_busy_ns);
+                    e.u32(m.utilization_ppm);
+                    e.u64(m.device_clock_ns);
+                }
+            }
+            Response::RawWritten => e = Enc::new(14),
+        }
+        e.0
+    }
+
+    /// Decodes a response payload.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] for unknown tags, short fields, bad
+    /// UTF-8, unknown error codes, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Response, FrameError> {
+        let mut d = Dec::new(payload);
+        let resp = match d.u8()? {
+            0 => {
+                let raw = d.u16()?;
+                let code = ErrorCode::from_code(raw)
+                    .ok_or_else(|| malformed(format!("unknown error code {raw}")))?;
+                Response::Error(WireError {
+                    code,
+                    detail: d.str()?,
+                })
+            }
+            1 => Response::Pong,
+            2 => Response::Created { ino: d.u64()? },
+            3 => Response::Data { bytes: d.bytes()? },
+            4 => Response::Written,
+            5 => Response::Removed,
+            6 => {
+                let ino = d.u64()?;
+                let size = d.u64()?;
+                let blocks = d.u64()?;
+                let mtime = d.u64()?;
+                let heated = match d.u8()? {
+                    0 => None,
+                    1 => Some(dec_line(&mut d)?),
+                    other => return Err(malformed(format!("option byte {other}"))),
+                };
+                Response::Stat(WireFileInfo {
+                    ino,
+                    size,
+                    blocks,
+                    mtime,
+                    heated,
+                })
+            }
+            7 => {
+                let n = d.u32()? as usize;
+                let mut names = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    names.push(d.str()?);
+                }
+                Response::Names { names }
+            }
+            8 => Response::Heated {
+                line: dec_line(&mut d)?,
+            },
+            9 => match d.u8()? {
+                0 => Response::Verified(WireVerdict::Intact {
+                    line: dec_line(&mut d)?,
+                    digest: d.bytes()?,
+                    timestamp: d.u64()?,
+                    metadata: d.bytes()?,
+                }),
+                1 => Response::Verified(WireVerdict::NotHeated),
+                other => return Err(malformed(format!("verdict byte {other}"))),
+            },
+            10 => Response::ScrubStarted {
+                epoch: d.u64()?,
+                incremental: d.bool()?,
+                pending: d.u64()?,
+                skipped: d.u64()?,
+            },
+            11 => {
+                let outcome = match d.u8()? {
+                    0 => WireSliceOutcome::Ran {
+                        lines: d.u64()?,
+                        device_ns: d.u64()?,
+                    },
+                    1 => WireSliceOutcome::Throttled {
+                        resume_at_ns: d.u64()?,
+                    },
+                    2 => WireSliceOutcome::Paused,
+                    3 => WireSliceOutcome::Idle,
+                    other => return Err(malformed(format!("slice-outcome byte {other}"))),
+                };
+                Response::ScrubTicked {
+                    outcome,
+                    status: dec_status(&mut d)?,
+                }
+            }
+            12 => Response::ScrubState {
+                status: match d.u8()? {
+                    0 => None,
+                    1 => Some(dec_status(&mut d)?),
+                    other => return Err(malformed(format!("option byte {other}"))),
+                },
+            },
+            13 => {
+                let n = d.u32()? as usize;
+                let mut members = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    members.push(WireMemberStatus {
+                        member: d.u32()?,
+                        total_blocks: d.u64()?,
+                        read_only_blocks: d.u64()?,
+                        wmrm_blocks: d.u64()?,
+                        heated_lines: d.u64()?,
+                        flagged_lines: d.u64()?,
+                        scrub_epoch: d.u64()?,
+                        arrivals: d.u64()?,
+                        ewma_gap_ns: d.u64()?,
+                        ewma_busy_ns: d.u64()?,
+                        utilization_ppm: d.u32()?,
+                        device_clock_ns: d.u64()?,
+                    });
+                }
+                Response::FleetStatus { members }
+            }
+            14 => Response::RawWritten,
+            other => return Err(malformed(format!("unknown response tag {other}"))),
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_line_round_trips_a_real_line() {
+        let line = Line::new(16, 3).unwrap();
+        let wire = WireLine::from(line);
+        assert_eq!(wire.to_line().unwrap(), line);
+        assert!(WireLine { start: 3, order: 3 }.to_line().is_err());
+    }
+
+    #[test]
+    fn every_request_variant_round_trips() {
+        let requests = vec![
+            Request::Ping,
+            Request::Create {
+                name: "a".into(),
+                data: vec![1, 2, 3],
+                class: WireClass::Archival,
+            },
+            Request::Read { name: "a".into() },
+            Request::Write {
+                name: "a".into(),
+                data: vec![],
+                class: WireClass::Normal,
+            },
+            Request::Remove { name: "a".into() },
+            Request::Stat { name: "a".into() },
+            Request::List,
+            Request::Heat {
+                name: "a".into(),
+                metadata: b"m".to_vec(),
+                timestamp: u64::MAX,
+            },
+            Request::Verify { name: "a".into() },
+            Request::ScrubStart {
+                budget_ns: 5,
+                quantum_ns: 10,
+                incremental: true,
+            },
+            Request::ScrubTick,
+            Request::ScrubStatus,
+            Request::FleetStatus,
+            Request::RawWrite {
+                pba: 9,
+                data: vec![0xEE; 8],
+            },
+        ];
+        for req in requests {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn every_response_variant_round_trips() {
+        let status = WireScrubStatus {
+            state: WireSchedState::Running,
+            epoch: 2,
+            incremental: true,
+            verified: 3,
+            remaining: 4,
+            skipped: 5,
+            tampered: 1,
+            slices: 7,
+            scrub_device_ns: 999,
+        };
+        let responses = vec![
+            Response::Error(WireError::new(ErrorCode::NotFound, "no such file")),
+            Response::Pong,
+            Response::Created { ino: 42 },
+            Response::Data {
+                bytes: vec![9; 700],
+            },
+            Response::Written,
+            Response::Removed,
+            Response::Stat(WireFileInfo {
+                ino: 1,
+                size: 2,
+                blocks: 3,
+                mtime: 4,
+                heated: Some(WireLine { start: 8, order: 3 }),
+            }),
+            Response::Stat(WireFileInfo {
+                ino: 1,
+                size: 2,
+                blocks: 3,
+                mtime: 4,
+                heated: None,
+            }),
+            Response::Names {
+                names: vec!["x".into(), "y".into()],
+            },
+            Response::Heated {
+                line: WireLine { start: 8, order: 3 },
+            },
+            Response::Verified(WireVerdict::Intact {
+                line: WireLine { start: 8, order: 3 },
+                digest: vec![7; 32],
+                timestamp: 12,
+                metadata: b"audit".to_vec(),
+            }),
+            Response::Verified(WireVerdict::NotHeated),
+            Response::ScrubStarted {
+                epoch: 1,
+                incremental: false,
+                pending: 6,
+                skipped: 0,
+            },
+            Response::ScrubTicked {
+                outcome: WireSliceOutcome::Ran {
+                    lines: 2,
+                    device_ns: 5,
+                },
+                status,
+            },
+            Response::ScrubTicked {
+                outcome: WireSliceOutcome::Throttled { resume_at_ns: 77 },
+                status,
+            },
+            Response::ScrubState { status: None },
+            Response::ScrubState {
+                status: Some(status),
+            },
+            Response::FleetStatus {
+                members: vec![WireMemberStatus {
+                    member: 0,
+                    total_blocks: 1024,
+                    read_only_blocks: 64,
+                    wmrm_blocks: 960,
+                    heated_lines: 8,
+                    flagged_lines: 1,
+                    scrub_epoch: 3,
+                    arrivals: 100,
+                    ewma_gap_ns: 5000,
+                    ewma_busy_ns: 2500,
+                    utilization_ppm: 500_000,
+                    device_clock_ns: 1_000_000,
+                }],
+            },
+            Response::RawWritten,
+        ];
+        for resp in responses {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_and_unknown_tags_are_malformed() {
+        let mut bytes = Request::List.encode();
+        bytes.push(0);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(FrameError::Malformed { .. })
+        ));
+        assert!(matches!(
+            Request::decode(&[200]),
+            Err(FrameError::Malformed { .. })
+        ));
+        assert!(matches!(
+            Response::decode(&[200]),
+            Err(FrameError::Malformed { .. })
+        ));
+        assert!(matches!(
+            Response::decode(&[]),
+            Err(FrameError::Malformed { .. })
+        ));
+    }
+}

@@ -1,0 +1,329 @@
+//! The wire-stable error surface: [`ErrorCode`] + [`WireError`].
+//!
+//! In-process errors are rich enums referencing device internals; on the
+//! wire they collapse to a stable numeric code (for programs) plus the
+//! original `Display` text (for humans). The conversions are *total*:
+//! every variant of [`SeroError`], [`SchedConfigError`], and (in
+//! `sero-fs`, where the type lives) `FsError` maps to exactly one code,
+//! so adding an error variant without deciding its wire meaning is a
+//! compile error, and no two different failure kinds share a code.
+
+use crate::frame::FrameError;
+use core::fmt;
+use sero_core::device::SeroError;
+use sero_core::sched::SchedConfigError;
+
+/// Wire-stable error codes (`u16` on the wire). See the crate docs for
+/// the full table. Codes are grouped by layer with gaps left for growth;
+/// a code, once shipped, is never renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    // --- file-system layer (FsError) -----------------------------------
+    /// No such file.
+    NotFound = 1,
+    /// A file with this name already exists.
+    Exists = 2,
+    /// The file is protected by a heated line; the operation would alter
+    /// history.
+    ReadOnlyFile = 3,
+    /// Not enough contiguous free space, even after cleaning.
+    NoSpace = 4,
+    /// File exceeds the maximum supported size.
+    FileTooLarge = 5,
+    /// Name rejected (empty or too long).
+    BadName = 6,
+    /// An on-device structure failed to parse.
+    Corrupt = 7,
+
+    // --- device layer (SeroError) ---------------------------------------
+    /// A sector-level failure (ECC, CRC, address check, out of range).
+    SectorIo = 16,
+    /// An invalid line description.
+    BadLine = 17,
+    /// Magnetic access to a heated hash block.
+    HashBlockAccess = 18,
+    /// Write refused: the block belongs to a heated line.
+    ReadOnlyBlock = 19,
+    /// The requested line overlaps an existing heated line.
+    OverlapsHeatedLine = 20,
+    /// A data block could not be read while hashing.
+    DataUnreadable = 21,
+    /// The heat operation's read-back verification failed.
+    HeatVerifyFailed = 22,
+    /// A magnetic write did not take on some dots.
+    WriteDegraded = 23,
+    /// A serialized scrub-state record failed to parse.
+    BadScrubState = 24,
+
+    // --- scrub scheduling knobs (SchedConfigError) ----------------------
+    /// `budget_ns == 0` passed to a validated constructor.
+    ZeroBudget = 32,
+    /// `quantum_ns == 0` passed to a validated constructor.
+    ZeroQuantum = 33,
+    /// The per-quantum budget exceeds the quantum.
+    BudgetExceedsQuantum = 34,
+
+    // --- verification verdicts ------------------------------------------
+    /// A verify found tamper evidence. The detail carries the full
+    /// report text; this is the paper's detection guarantee crossing the
+    /// wire, not an infrastructure failure.
+    TamperDetected = 48,
+
+    // --- protocol layer ---------------------------------------------------
+    /// A frame failed to decode (bad magic, bad CRC, truncated,
+    /// malformed payload).
+    BadFrame = 64,
+    /// The frame's version byte is not the one this peer speaks.
+    VersionMismatch = 65,
+    /// The command is recognised but this server refuses it (e.g. raw
+    /// writes without `--allow-raw`).
+    UnsupportedCommand = 66,
+    /// A request argument is out of range (e.g. a raw write that is not
+    /// exactly one sector).
+    InvalidArgument = 67,
+    /// A scrub pass is already running; cancel or drain it first.
+    ScrubActive = 68,
+    /// No scrub pass has been started.
+    NoScrub = 69,
+}
+
+impl ErrorCode {
+    /// Every code, for table tests and documentation generators.
+    pub const ALL: [ErrorCode; 26] = [
+        ErrorCode::NotFound,
+        ErrorCode::Exists,
+        ErrorCode::ReadOnlyFile,
+        ErrorCode::NoSpace,
+        ErrorCode::FileTooLarge,
+        ErrorCode::BadName,
+        ErrorCode::Corrupt,
+        ErrorCode::SectorIo,
+        ErrorCode::BadLine,
+        ErrorCode::HashBlockAccess,
+        ErrorCode::ReadOnlyBlock,
+        ErrorCode::OverlapsHeatedLine,
+        ErrorCode::DataUnreadable,
+        ErrorCode::HeatVerifyFailed,
+        ErrorCode::WriteDegraded,
+        ErrorCode::BadScrubState,
+        ErrorCode::ZeroBudget,
+        ErrorCode::ZeroQuantum,
+        ErrorCode::BudgetExceedsQuantum,
+        ErrorCode::TamperDetected,
+        ErrorCode::BadFrame,
+        ErrorCode::VersionMismatch,
+        ErrorCode::UnsupportedCommand,
+        ErrorCode::InvalidArgument,
+        ErrorCode::ScrubActive,
+        ErrorCode::NoScrub,
+    ];
+
+    /// The numeric wire value.
+    pub fn code(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes a wire value (`None` for codes this build does not know).
+    pub fn from_code(code: u16) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.code() == code)
+    }
+
+    /// The stable symbolic name (used by `sero-cli` output and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::NotFound => "not-found",
+            ErrorCode::Exists => "exists",
+            ErrorCode::ReadOnlyFile => "read-only-file",
+            ErrorCode::NoSpace => "no-space",
+            ErrorCode::FileTooLarge => "file-too-large",
+            ErrorCode::BadName => "bad-name",
+            ErrorCode::Corrupt => "corrupt",
+            ErrorCode::SectorIo => "sector-io",
+            ErrorCode::BadLine => "bad-line",
+            ErrorCode::HashBlockAccess => "hash-block-access",
+            ErrorCode::ReadOnlyBlock => "read-only-block",
+            ErrorCode::OverlapsHeatedLine => "overlaps-heated-line",
+            ErrorCode::DataUnreadable => "data-unreadable",
+            ErrorCode::HeatVerifyFailed => "heat-verify-failed",
+            ErrorCode::WriteDegraded => "write-degraded",
+            ErrorCode::BadScrubState => "bad-scrub-state",
+            ErrorCode::ZeroBudget => "zero-budget",
+            ErrorCode::ZeroQuantum => "zero-quantum",
+            ErrorCode::BudgetExceedsQuantum => "budget-exceeds-quantum",
+            ErrorCode::TamperDetected => "TAMPER-DETECTED",
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::VersionMismatch => "version-mismatch",
+            ErrorCode::UnsupportedCommand => "unsupported-command",
+            ErrorCode::InvalidArgument => "invalid-argument",
+            ErrorCode::ScrubActive => "scrub-active",
+            ErrorCode::NoScrub => "no-scrub",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.code())
+    }
+}
+
+/// An error as it travels the wire: a stable [`ErrorCode`] plus the
+/// originating error's full `Display` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The wire-stable code.
+    pub code: ErrorCode,
+    /// The originating error's human-readable rendering.
+    pub detail: String,
+}
+
+impl WireError {
+    /// Builds a wire error from a code and any displayable detail.
+    pub fn new(code: ErrorCode, detail: impl fmt::Display) -> WireError {
+        WireError {
+            code,
+            detail: detail.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.detail)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<SeroError> for WireError {
+    fn from(e: SeroError) -> WireError {
+        let code = match &e {
+            SeroError::Sector(_) => ErrorCode::SectorIo,
+            SeroError::Line(_) => ErrorCode::BadLine,
+            SeroError::HashBlockAccess { .. } => ErrorCode::HashBlockAccess,
+            SeroError::ReadOnly { .. } => ErrorCode::ReadOnlyBlock,
+            SeroError::OverlapsHeatedLine { .. } => ErrorCode::OverlapsHeatedLine,
+            SeroError::DataUnreadable { .. } => ErrorCode::DataUnreadable,
+            SeroError::HeatVerifyFailed { .. } => ErrorCode::HeatVerifyFailed,
+            SeroError::WriteDegraded { .. } => ErrorCode::WriteDegraded,
+            SeroError::BadScrubState { .. } => ErrorCode::BadScrubState,
+        };
+        WireError::new(code, e)
+    }
+}
+
+impl From<SchedConfigError> for WireError {
+    fn from(e: SchedConfigError) -> WireError {
+        let code = match &e {
+            SchedConfigError::ZeroBudget => ErrorCode::ZeroBudget,
+            SchedConfigError::ZeroQuantum => ErrorCode::ZeroQuantum,
+            SchedConfigError::BudgetExceedsQuantum { .. } => ErrorCode::BudgetExceedsQuantum,
+        };
+        WireError::new(code, e)
+    }
+}
+
+impl From<FrameError> for WireError {
+    fn from(e: FrameError) -> WireError {
+        let code = match &e {
+            FrameError::UnsupportedVersion { .. } => ErrorCode::VersionMismatch,
+            _ => ErrorCode::BadFrame,
+        };
+        WireError::new(code, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sero_core::line::Line;
+
+    #[test]
+    fn codes_round_trip_and_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for code in ErrorCode::ALL {
+            assert!(seen.insert(code.code()), "duplicate wire value {code}");
+            assert_eq!(ErrorCode::from_code(code.code()), Some(code));
+            assert!(!code.name().is_empty());
+        }
+        assert_eq!(ErrorCode::from_code(0), None);
+        assert_eq!(ErrorCode::from_code(u16::MAX), None);
+    }
+
+    #[test]
+    fn sero_error_conversion_is_total_and_keeps_display() {
+        let line = Line::new(0, 2).unwrap();
+        let cases: Vec<(SeroError, ErrorCode)> = vec![
+            (
+                SeroError::HashBlockAccess { pba: 7 },
+                ErrorCode::HashBlockAccess,
+            ),
+            (
+                SeroError::ReadOnly { line, pba: 1 },
+                ErrorCode::ReadOnlyBlock,
+            ),
+            (
+                SeroError::OverlapsHeatedLine {
+                    line,
+                    existing: line,
+                },
+                ErrorCode::OverlapsHeatedLine,
+            ),
+            (
+                SeroError::HeatVerifyFailed {
+                    line,
+                    reason: "torn".into(),
+                },
+                ErrorCode::HeatVerifyFailed,
+            ),
+            (
+                SeroError::WriteDegraded {
+                    pba: 3,
+                    unwritable_dots: 9,
+                },
+                ErrorCode::WriteDegraded,
+            ),
+            (
+                SeroError::BadScrubState {
+                    reason: "crc".into(),
+                },
+                ErrorCode::BadScrubState,
+            ),
+        ];
+        for (err, code) in cases {
+            let display = err.to_string();
+            let wire = WireError::from(err);
+            assert_eq!(wire.code, code);
+            assert_eq!(wire.detail, display, "display text must survive intact");
+        }
+    }
+
+    #[test]
+    fn sched_config_errors_map_one_to_one() {
+        for (err, code) in [
+            (SchedConfigError::ZeroBudget, ErrorCode::ZeroBudget),
+            (SchedConfigError::ZeroQuantum, ErrorCode::ZeroQuantum),
+            (
+                SchedConfigError::BudgetExceedsQuantum {
+                    budget_ns: 2,
+                    quantum_ns: 1,
+                },
+                ErrorCode::BudgetExceedsQuantum,
+            ),
+        ] {
+            let wire = WireError::from(err);
+            assert_eq!(wire.code, code);
+            assert_eq!(wire.detail, err.to_string());
+        }
+    }
+
+    #[test]
+    fn wire_error_display_carries_both_code_and_detail() {
+        let w = WireError::new(ErrorCode::TamperDetected, "hash mismatch at line 8+4");
+        let text = w.to_string();
+        assert!(text.contains("TAMPER-DETECTED"));
+        assert!(text.contains("48"));
+        assert!(text.contains("hash mismatch at line 8+4"));
+    }
+}

@@ -1,0 +1,366 @@
+//! The length-prefixed, CRC-guarded frame codec.
+//!
+//! Same discipline as the device's scrub-state records and the fs
+//! checkpoint: magic + version + length up front, CRC over everything at
+//! the back, reject-whole on any mismatch. See the crate docs for the
+//! byte layout. Two API shapes:
+//!
+//! * slice-based ([`encode_frame`]/[`decode_frame`]) for tests,
+//!   proptests, and callers that already hold a buffer;
+//! * stream-based ([`write_frame`]/[`read_frame`]) for the TCP daemon
+//!   and client, layered on [`std::io::Read`]/[`std::io::Write`].
+//!
+//! Decoding never panics and never yields a partial message: a frame
+//! either checks out completely or returns a [`FrameError`].
+
+use crate::command::{Request, Response};
+use crate::{FRAME_MAGIC, MAX_PAYLOAD_BYTES, PROTO_VERSION};
+use core::fmt;
+use sero_codec::crc32::crc32;
+use std::io::{Read, Write};
+
+/// Bytes of frame overhead around a payload: magic (4) + version (1) +
+/// kind (1) + length (4) + trailing CRC (4).
+pub const FRAME_OVERHEAD_BYTES: usize = 14;
+
+/// Offset of the payload inside a frame (header size).
+const HEADER_BYTES: usize = 10;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A client-to-server [`Request`].
+    Request,
+    /// A server-to-client [`Response`].
+    Response,
+}
+
+impl FrameKind {
+    fn byte(self) -> u8 {
+        match self {
+            FrameKind::Request => 0,
+            FrameKind::Response => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<FrameKind> {
+        match b {
+            0 => Some(FrameKind::Request),
+            1 => Some(FrameKind::Response),
+            _ => None,
+        }
+    }
+}
+
+/// Why a frame (or its payload) failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The underlying transport failed (or closed mid-frame).
+    Io {
+        /// The I/O error's rendering.
+        reason: String,
+    },
+    /// The first four bytes are not [`FRAME_MAGIC`].
+    BadMagic {
+        /// What was found instead.
+        found: [u8; 4],
+    },
+    /// The version byte is not [`PROTO_VERSION`].
+    UnsupportedVersion {
+        /// The version the peer sent.
+        found: u8,
+    },
+    /// The kind byte is neither request nor response.
+    BadKind {
+        /// The byte found.
+        found: u8,
+    },
+    /// The length field exceeds [`MAX_PAYLOAD_BYTES`].
+    Oversize {
+        /// The claimed payload length.
+        len: u64,
+    },
+    /// The buffer or stream ended before the frame did.
+    Truncated {
+        /// Bytes the frame needs.
+        needed: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// The trailing CRC does not match the header + payload bytes.
+    CrcMismatch {
+        /// CRC stored in the frame.
+        stored: u32,
+        /// CRC computed from the received bytes.
+        computed: u32,
+    },
+    /// The frame was intact but its payload is not a valid message
+    /// (unknown tag, bad UTF-8, trailing or missing bytes).
+    Malformed {
+        /// What failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io { reason } => write!(f, "frame transport error: {reason}"),
+            FrameError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:02x?}, want {FRAME_MAGIC:02x?}")
+            }
+            FrameError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported protocol version {found}, this peer speaks {PROTO_VERSION}"
+                )
+            }
+            FrameError::BadKind { found } => write!(f, "unknown frame kind byte {found:#04x}"),
+            FrameError::Oversize { len } => {
+                write!(
+                    f,
+                    "frame claims {len} payload bytes, limit is {MAX_PAYLOAD_BYTES}"
+                )
+            }
+            FrameError::Truncated { needed, have } => {
+                write!(f, "frame truncated: need {needed} bytes, have {have}")
+            }
+            FrameError::CrcMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "frame crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            FrameError::Malformed { reason } => write!(f, "malformed payload: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> FrameError {
+        FrameError::Io {
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// Wraps `payload` in a complete frame.
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD_BYTES,
+        "payload of {} bytes exceeds the frame limit",
+        payload.len()
+    );
+    let mut buf = Vec::with_capacity(FRAME_OVERHEAD_BYTES + payload.len());
+    buf.extend_from_slice(&FRAME_MAGIC);
+    buf.push(PROTO_VERSION);
+    buf.push(kind.byte());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Encodes `req` as a ready-to-send request frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    encode_frame(FrameKind::Request, &req.encode())
+}
+
+/// Encodes `resp` as a ready-to-send response frame.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    encode_frame(FrameKind::Response, &resp.encode())
+}
+
+/// Decodes one frame from the front of `buf`, returning the kind, the
+/// payload slice, and how many bytes the frame consumed.
+///
+/// # Errors
+///
+/// Any [`FrameError`] variant except `Io`/`Malformed`; the payload is
+/// *not* interpreted here — pass it to [`Request::decode`] /
+/// [`Response::decode`].
+pub fn decode_frame(buf: &[u8]) -> Result<(FrameKind, &[u8], usize), FrameError> {
+    if buf.len() < HEADER_BYTES {
+        return Err(FrameError::Truncated {
+            needed: HEADER_BYTES,
+            have: buf.len(),
+        });
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&buf[..4]);
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic { found: magic });
+    }
+    if buf[4] != PROTO_VERSION {
+        return Err(FrameError::UnsupportedVersion { found: buf[4] });
+    }
+    let kind = FrameKind::from_byte(buf[5]).ok_or(FrameError::BadKind { found: buf[5] })?;
+    let len = u32::from_le_bytes(buf[6..10].try_into().expect("4 bytes")) as usize;
+    if len > MAX_PAYLOAD_BYTES {
+        return Err(FrameError::Oversize { len: len as u64 });
+    }
+    let total = HEADER_BYTES + len + 4;
+    if buf.len() < total {
+        return Err(FrameError::Truncated {
+            needed: total,
+            have: buf.len(),
+        });
+    }
+    let stored = u32::from_le_bytes(buf[total - 4..total].try_into().expect("4 bytes"));
+    let computed = crc32(&buf[..total - 4]);
+    if stored != computed {
+        return Err(FrameError::CrcMismatch { stored, computed });
+    }
+    Ok((kind, &buf[HEADER_BYTES..HEADER_BYTES + len], total))
+}
+
+/// Writes one frame to `w` and flushes.
+///
+/// # Errors
+///
+/// [`FrameError::Io`] only.
+pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, payload: &[u8]) -> Result<(), FrameError> {
+    let frame = encode_frame(kind, payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one complete frame from `r`.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed the
+/// connection *between* frames); a close mid-frame is
+/// [`FrameError::Io`].
+///
+/// # Errors
+///
+/// Any [`FrameError`] except `Malformed` (payload interpretation is the
+/// caller's).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(FrameKind, Vec<u8>)>, FrameError> {
+    let mut header = [0u8; HEADER_BYTES];
+    // Distinguish "closed before any byte" (clean) from "closed inside
+    // the header" (an error).
+    let mut filled = 0usize;
+    while filled < HEADER_BYTES {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Io {
+                    reason: format!("connection closed {filled} bytes into a frame header"),
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&header[..4]);
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic { found: magic });
+    }
+    if header[4] != PROTO_VERSION {
+        return Err(FrameError::UnsupportedVersion { found: header[4] });
+    }
+    let kind = FrameKind::from_byte(header[5]).ok_or(FrameError::BadKind { found: header[5] })?;
+    let len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes")) as usize;
+    if len > MAX_PAYLOAD_BYTES {
+        return Err(FrameError::Oversize { len: len as u64 });
+    }
+    let mut rest = vec![0u8; len + 4];
+    r.read_exact(&mut rest)?;
+    let stored = u32::from_le_bytes(rest[len..].try_into().expect("4 bytes"));
+    let mut covered = header.to_vec();
+    covered.extend_from_slice(&rest[..len]);
+    let computed = crc32(&covered);
+    if stored != computed {
+        return Err(FrameError::CrcMismatch { stored, computed });
+    }
+    rest.truncate(len);
+    Ok(Some((kind, rest)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_through_slices_and_streams() {
+        let req = Request::Heat {
+            name: "q4-ledger".into(),
+            metadata: b"sealed".to_vec(),
+            timestamp: 1_199_145_600,
+        };
+        let bytes = encode_request(&req);
+        assert_eq!(bytes.len(), FRAME_OVERHEAD_BYTES + req.encode().len());
+
+        let (kind, payload, used) = decode_frame(&bytes).unwrap();
+        assert_eq!((kind, used), (FrameKind::Request, bytes.len()));
+        assert_eq!(Request::decode(payload).unwrap(), req);
+
+        let mut cursor = std::io::Cursor::new(bytes);
+        let (kind, payload) = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(kind, FrameKind::Request);
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_without_panicking() {
+        let good = encode_request(&Request::List);
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&bad_magic),
+            Err(FrameError::BadMagic { .. })
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = PROTO_VERSION + 1;
+        assert!(matches!(
+            decode_frame(&bad_version),
+            Err(FrameError::UnsupportedVersion { .. })
+        ));
+
+        let mut bad_kind = good.clone();
+        bad_kind[5] = 9;
+        assert!(matches!(
+            decode_frame(&bad_kind),
+            Err(FrameError::BadKind { found: 9 })
+        ));
+
+        let mut oversize = good.clone();
+        oversize[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&oversize),
+            Err(FrameError::Oversize { .. })
+        ));
+
+        let mut flipped = good.clone();
+        let at = flipped.len() - 5; // inside the payload
+        flipped[at] ^= 0x10;
+        assert!(matches!(
+            decode_frame(&flipped),
+            Err(FrameError::CrcMismatch { .. })
+        ));
+
+        assert!(matches!(
+            decode_frame(&good[..good.len() - 1]),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn mid_frame_close_is_an_io_error_not_a_clean_eof() {
+        let good = encode_request(&Request::List);
+        let mut cursor = std::io::Cursor::new(good[..6].to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Io { .. })
+        ));
+    }
+}

@@ -1,0 +1,122 @@
+//! **sero-proto** — the versioned command API and wire codec that lets
+//! remote parties drive a SERO device.
+//!
+//! Everything below the file system returns rich in-process types —
+//! [`VerifyOutcome`](sero_core::tamper::VerifyOutcome) carries a full
+//! [`TamperReport`](sero_core::tamper::TamperReport), scrubbing hands
+//! back scheduler handles, and three distinct error enums
+//! ([`SeroError`](sero_core::device::SeroError), `FsError`,
+//! [`SchedConfigError`](sero_core::sched::SchedConfigError)) reference
+//! device internals. None of that crosses a process boundary. This crate
+//! defines the surface that does:
+//!
+//! * [`Request`]/[`Response`] — one versioned enum pair covering the
+//!   whole served command set (create / read / write / remove / stat /
+//!   list / heat / verify / scrub-start / scrub-tick / scrub-status /
+//!   fleet-status, plus the raw-write attack surface);
+//! * [`frame`] — a length-prefixed binary frame codec (magic + version +
+//!   CRC, the same CRC-framed record discipline as the device's
+//!   scrub-state store);
+//! * [`ErrorCode`]/[`WireError`] — a single wire-stable error code every
+//!   in-process error maps into, so clients never parse prose.
+//!
+//! `SeroFs::handle(Request) -> Response` (in `sero-fs`) is the one
+//! dispatch path shared by in-process callers, tests, the `sero-server`
+//! daemon, and the `sero-cli` client: a command means the same thing no
+//! matter which side of the socket it runs on.
+//!
+//! # Frame layout
+//!
+//! Every message — request or response — travels in one frame:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------
+//!      0     4  magic            b"SERW"
+//!      4     1  version          PROTO_VERSION (currently 1)
+//!      5     1  kind             0 = request, 1 = response
+//!      6     4  payload length   u32 LE, at most MAX_PAYLOAD_BYTES
+//!     10     n  payload          encoded Request / Response
+//!   10+n     4  crc32            u32 LE over bytes [0, 10+n)
+//! ```
+//!
+//! The CRC covers the header *and* the payload, so a flipped version
+//! byte or length field is caught exactly like flipped payload bytes. A
+//! frame that fails any check — wrong magic, unknown version, bad kind,
+//! over-length, short read, CRC mismatch, or a payload with trailing or
+//! missing bytes — decodes to a [`frame::FrameError`]; it never panics
+//! and never yields a partial message.
+//!
+//! # Version negotiation
+//!
+//! Deliberately minimal, like the checkpoint and scrub-state records: the
+//! version byte is part of every frame, a decoder accepts exactly
+//! [`PROTO_VERSION`], and a server receiving a frame with any other
+//! version answers best-effort with [`ErrorCode::VersionMismatch`] (in
+//! its own version) and closes the connection. Old clients fail loudly
+//! and immediately rather than mis-parsing; new message kinds require a
+//! version bump, while new *commands* are just new enum tags — an old
+//! server answers them with [`ErrorCode::BadFrame`] since it cannot
+//! decode the tag.
+//!
+//! # Error-code table
+//!
+//! | code | name | produced by |
+//! |-----:|------|-------------|
+//! | 1–7  | `NotFound`, `Exists`, `ReadOnlyFile`, `NoSpace`, `FileTooLarge`, `BadName`, `Corrupt` | the file-system layer (`FsError`) |
+//! | 16–24 | `SectorIo`, `BadLine`, `HashBlockAccess`, `ReadOnlyBlock`, `OverlapsHeatedLine`, `DataUnreadable`, `HeatVerifyFailed`, `WriteDegraded`, `BadScrubState` | the device layer ([`SeroError`](sero_core::device::SeroError)) |
+//! | 32–34 | `ZeroBudget`, `ZeroQuantum`, `BudgetExceedsQuantum` | scrub scheduling knobs ([`SchedConfigError`](sero_core::sched::SchedConfigError)) |
+//! | 48   | `TamperDetected` | a verify whose line shows tamper evidence |
+//! | 64–69 | `BadFrame`, `VersionMismatch`, `UnsupportedCommand`, `InvalidArgument`, `ScrubActive`, `NoScrub` | the protocol layer itself |
+//!
+//! Every in-process error variant maps to exactly one code (the mapping
+//! is total — adding a variant without a code is a compile error), and
+//! the human-readable `Display` text rides along in
+//! [`WireError::detail`], so nothing is lost crossing the wire: the code
+//! is for programs, the detail for humans.
+//!
+//! Note the asymmetry the paper demands: **tamper evidence is not an
+//! infrastructure error.** A verify that finds evidence answers
+//! [`ErrorCode::TamperDetected`] with the full report text in the
+//! detail — remote auditors must see detection fail loudly, not as a
+//! `false` that a lazy caller ignores.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_proto::{frame, FrameKind, Request, Response};
+//!
+//! let req = Request::Read { name: "ledger.csv".into() };
+//! let bytes = frame::encode_request(&req);
+//! let (kind, payload, used) = frame::decode_frame(&bytes)?;
+//! assert_eq!(kind, FrameKind::Request);
+//! assert_eq!(used, bytes.len());
+//! assert_eq!(Request::decode(payload)?, req);
+//! # Ok::<(), sero_proto::frame::FrameError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod error;
+pub mod frame;
+
+pub use command::{
+    Request, Response, WireClass, WireFileInfo, WireLine, WireMemberStatus, WireSchedState,
+    WireScrubStatus, WireSliceOutcome, WireVerdict,
+};
+pub use error::{ErrorCode, WireError};
+pub use frame::{FrameError, FrameKind};
+
+/// The wire-format version this build speaks (see the module docs for
+/// the negotiation rules).
+pub const PROTO_VERSION: u8 = 1;
+
+/// Frame magic: the first four bytes of every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"SERW";
+
+/// Upper bound on a frame's payload. Frames claiming more are rejected
+/// before any allocation, so a corrupt or hostile length field cannot
+/// balloon memory.
+pub const MAX_PAYLOAD_BYTES: usize = 1 << 20;

@@ -1,0 +1,49 @@
+//! **sero-server** — a blocking TCP daemon serving one SERO file system
+//! over the `sero-proto` wire format.
+//!
+//! The daemon owns a [`SeroFs`](sero_fs::SeroFs) behind a mutex and
+//! serves the full command set through the one dispatch path,
+//! `SeroFs::handle` — a remote `verify` means exactly what an
+//! in-process `verify` means, tamper evidence included. Connections are
+//! handled by a configurable [`pool`]: thread-per-connection
+//! ([`pool::NaiveThreadPool`]) or a fixed shared-queue worker set
+//! ([`pool::SharedQueueThreadPool`], the default), which `exp_server`
+//! benchmarks against each other.
+//!
+//! Serialising every command through one mutex is deliberate for this
+//! iteration: the file system is single-device and the simulated device
+//! clock is shared state, so a coarse lock is both correct and honest
+//! about where the concurrency limit sits (see ROADMAP for the
+//! concurrent-foreground follow-up). The pool still matters: framing,
+//! decoding, and socket I/O all happen outside the lock.
+//!
+//! # Example
+//!
+//! ```
+//! use sero_core::device::SeroDevice;
+//! use sero_fs::fs::{FsConfig, SeroFs};
+//! use sero_server::{SeroServer, ServerConfig};
+//! use sero_proto::frame::{read_frame, write_frame};
+//! use sero_proto::{FrameKind, Request, Response};
+//! use std::net::TcpStream;
+//!
+//! let fs = SeroFs::format(SeroDevice::with_blocks(256), FsConfig::default())?;
+//! let server = SeroServer::bind("127.0.0.1:0", fs, ServerConfig::default())?;
+//! let handle = server.spawn()?;
+//!
+//! let mut conn = TcpStream::connect(handle.addr())?;
+//! write_frame(&mut conn, FrameKind::Request, &Request::Ping.encode())?;
+//! let (_, payload) = read_frame(&mut conn)?.expect("response");
+//! assert_eq!(Response::decode(&payload)?, Response::Pong);
+//!
+//! handle.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod server;
+
+pub use server::{PoolKind, SeroServer, ServerConfig, ServerHandle};

@@ -1,0 +1,183 @@
+//! Thread pools for connection handling.
+//!
+//! Two implementations behind one [`ThreadPool`] trait, so `exp_server`
+//! can benchmark the naive thread-per-connection baseline against the
+//! shared-queue pool the daemon defaults to:
+//!
+//! * [`NaiveThreadPool`] — spawns a fresh OS thread per job. Simple,
+//!   unbounded, pays thread creation on every connection.
+//! * [`SharedQueueThreadPool`] — a fixed set of workers draining one
+//!   shared channel. A worker that panics is replaced, so one
+//!   misbehaving connection cannot shrink the pool.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// A job: any closure the pool may run on any of its threads.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The minimal pool interface the server needs.
+pub trait ThreadPool {
+    /// Creates a pool with `threads` workers (ignored by implementations
+    /// without a fixed worker set).
+    fn new(threads: u32) -> Self
+    where
+        Self: Sized;
+
+    /// Runs `job` on some thread of the pool.
+    fn spawn<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static;
+}
+
+/// Thread-per-job: the baseline. `new`'s thread count is ignored.
+pub struct NaiveThreadPool;
+
+impl ThreadPool for NaiveThreadPool {
+    fn new(_threads: u32) -> NaiveThreadPool {
+        NaiveThreadPool
+    }
+
+    fn spawn<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        thread::spawn(job);
+    }
+}
+
+/// A fixed set of workers draining one shared queue.
+///
+/// Dropping the pool drops the sender; workers observe the closed
+/// channel and exit after finishing the job in hand.
+pub struct SharedQueueThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+fn worker_loop(receiver: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Take the job while holding the lock, release before running it.
+        let job = match receiver.lock() {
+            Ok(guard) => match guard.recv() {
+                Ok(job) => job,
+                Err(_) => return, // pool dropped
+            },
+            Err(_) => return, // a holder panicked mid-recv; shut down
+        };
+        // A panicking job must not kill the worker: swallow the panic
+        // (the connection that caused it is already lost) and keep
+        // serving. catch_unwind needs UnwindSafe; the job is moved in
+        // and never observed again, so the assertion is sound.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+impl ThreadPool for SharedQueueThreadPool {
+    fn new(threads: u32) -> SharedQueueThreadPool {
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                thread::spawn(move || worker_loop(receiver))
+            })
+            .collect();
+        SharedQueueThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    fn spawn<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.sender
+            .as_ref()
+            .expect("pool sender lives until drop")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+}
+
+impl Drop for SharedQueueThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn run_jobs<P: ThreadPool>(pool: &P, jobs: u32) -> Arc<AtomicU32> {
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..jobs {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        counter
+    }
+
+    fn wait_for(counter: &AtomicU32, expected: u32) {
+        for _ in 0..500 {
+            if counter.load(Ordering::SeqCst) == expected {
+                return;
+            }
+            thread::sleep(std::time::Duration::from_millis(2));
+        }
+        panic!(
+            "jobs did not finish: {} of {expected}",
+            counter.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn naive_pool_runs_all_jobs() {
+        let pool = NaiveThreadPool::new(0);
+        let counter = run_jobs(&pool, 32);
+        wait_for(&counter, 32);
+    }
+
+    #[test]
+    fn shared_queue_pool_runs_all_jobs() {
+        let pool = SharedQueueThreadPool::new(4);
+        let counter = run_jobs(&pool, 64);
+        wait_for(&counter, 64);
+    }
+
+    #[test]
+    fn shared_queue_pool_survives_panicking_jobs() {
+        let pool = SharedQueueThreadPool::new(2);
+        for _ in 0..8 {
+            pool.spawn(|| panic!("connection handler blew up"));
+        }
+        let counter = run_jobs(&pool, 16);
+        wait_for(&counter, 16);
+    }
+
+    #[test]
+    fn drop_joins_workers_after_queued_jobs_drain() {
+        let counter = Arc::new(AtomicU32::new(0));
+        {
+            let pool = SharedQueueThreadPool::new(2);
+            for _ in 0..16 {
+                let counter = Arc::clone(&counter);
+                pool.spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        // Drop joined the workers; everything queued before the drop ran.
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+}

@@ -1,0 +1,228 @@
+//! The TCP daemon: accept loop, per-connection frame loop, lifecycle.
+
+use crate::pool::{NaiveThreadPool, SharedQueueThreadPool, ThreadPool};
+use sero_fs::SeroFs;
+use sero_proto::frame::{read_frame, write_frame, FrameError};
+use sero_proto::{ErrorCode, FrameKind, Request, Response, WireError};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Which connection-handling pool the daemon uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Thread-per-connection (the baseline `exp_server` benchmarks
+    /// against).
+    Naive,
+    /// A fixed worker set draining one shared queue (the default).
+    SharedQueue,
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Connection-handling pool.
+    pub pool: PoolKind,
+    /// Worker threads (shared-queue pool only).
+    pub threads: u32,
+    /// Serve [`Request::RawWrite`] — the §5 attacker interface, for
+    /// tamper drills and smoke tests. Off by default: a production
+    /// daemon refuses raw writes with
+    /// [`ErrorCode::UnsupportedCommand`].
+    pub allow_raw: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            pool: PoolKind::SharedQueue,
+            threads: 4,
+            allow_raw: false,
+        }
+    }
+}
+
+enum Pool {
+    Naive(NaiveThreadPool),
+    Shared(SharedQueueThreadPool),
+}
+
+impl Pool {
+    fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        match self {
+            Pool::Naive(p) => p.spawn(job),
+            Pool::Shared(p) => p.spawn(job),
+        }
+    }
+}
+
+/// A bound, not-yet-running daemon serving one [`SeroFs`].
+pub struct SeroServer {
+    listener: TcpListener,
+    fs: Arc<Mutex<SeroFs>>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl SeroServer {
+    /// Binds to `addr` (use port 0 for an OS-assigned port).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from the bind.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        fs: SeroFs,
+        config: ServerConfig,
+    ) -> io::Result<SeroServer> {
+        Ok(SeroServer {
+            listener: TcpListener::bind(addr)?,
+            fs: Arc::new(Mutex::new(fs)),
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (the real port after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from the address query.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the calling thread until
+    /// [`ServerHandle::shutdown`] trips the stop flag.
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept-loop errors; per-connection errors are contained to
+    /// their connection.
+    pub fn run(self) -> io::Result<()> {
+        let pool = match self.config.pool {
+            PoolKind::Naive => Pool::Naive(NaiveThreadPool::new(self.config.threads)),
+            PoolKind::SharedQueue => Pool::Shared(SharedQueueThreadPool::new(self.config.threads)),
+        };
+        // Track a clone of every served stream so shutdown can sever
+        // them: a worker blocked in read_frame on an idle connection
+        // would otherwise pin the pool's drop-join forever.
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue, // transient accept failure
+            };
+            if let (Ok(clone), Ok(mut held)) = (stream.try_clone(), conns.lock()) {
+                held.push(clone);
+            }
+            let fs = Arc::clone(&self.fs);
+            let allow_raw = self.config.allow_raw;
+            pool.spawn(move || serve_connection(stream, &fs, allow_raw));
+        }
+        if let Ok(held) = conns.lock() {
+            for conn in held.iter() {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+        // Dropping the pool joins its workers; the severed connections
+        // guarantee each one drains promptly.
+        drop(pool);
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread and returns a handle
+    /// that can stop it.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::clone(&self.stop);
+        let thread = thread::spawn(move || self.run());
+        Ok(ServerHandle { addr, stop, thread })
+    }
+}
+
+/// Handle to a daemon running via [`SeroServer::spawn`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The daemon's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the daemon thread. Connections
+    /// already being served finish their current request.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag after an accept returns;
+        // a throwaway connection wakes it.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.thread.join();
+    }
+}
+
+/// Serves one connection: a loop of read-frame → dispatch → write-frame.
+/// Frame-level failures answer a best-effort error response and close;
+/// command-level failures answer [`Response::Error`] and keep going.
+fn serve_connection(stream: TcpStream, fs: &Mutex<SeroFs>, allow_raw: bool) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let (kind, payload) = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean EOF between frames
+            Err(e) => {
+                let resp = Response::Error(WireError::from(e));
+                let _ = write_frame(&mut writer, FrameKind::Response, &resp.encode());
+                return;
+            }
+        };
+        if kind != FrameKind::Request {
+            let resp = Response::Error(WireError::new(
+                ErrorCode::BadFrame,
+                "expected a request frame",
+            ));
+            let _ = write_frame(&mut writer, FrameKind::Response, &resp.encode());
+            return;
+        }
+        let response = match Request::decode(&payload) {
+            Ok(Request::RawWrite { .. }) if !allow_raw => Response::Error(WireError::new(
+                ErrorCode::UnsupportedCommand,
+                "raw writes are disabled; restart the daemon with --allow-raw for tamper drills",
+            )),
+            Ok(request) => match fs.lock() {
+                Ok(mut fs) => fs.handle(request),
+                // A panic inside handle() poisoned the lock. The fs state
+                // is suspect but the evidence machinery lives on the
+                // device; keep serving rather than going dark.
+                Err(poisoned) => poisoned.into_inner().handle(request),
+            },
+            Err(e @ FrameError::Malformed { .. }) => {
+                // The frame itself was sound (magic, CRC); only the
+                // payload was unintelligible. Answer and keep the
+                // connection.
+                Response::Error(WireError::from(e))
+            }
+            Err(e) => {
+                let resp = Response::Error(WireError::from(e));
+                let _ = write_frame(&mut writer, FrameKind::Response, &resp.encode());
+                return;
+            }
+        };
+        if write_frame(&mut writer, FrameKind::Response, &response.encode()).is_err() {
+            return;
+        }
+    }
+}

@@ -1,70 +1,114 @@
-//! Quickstart: the SERO device in five minutes.
+//! Quickstart: the SERO stack in five minutes, through the command API.
 //!
-//! Builds a simulated patterned-media device, stores data, heats a line,
-//! demonstrates tamper detection, and prints the device's simulated-time
-//! accounting.
+//! Every deployment path — in-process embedding, the test suite, and the
+//! `sero-server` wire daemon — drives the stack through one door:
+//! [`sero::fs::fs::SeroFs::handle`] taking a [`sero::proto::Request`].
+//! This example formats a file system, stores a file, freezes it under a
+//! heated line, tampers through the raw interface, and watches the
+//! verify command answer with the wire-stable `TAMPER-DETECTED` code.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use sero::core::prelude::*;
+use sero::fs::fs::{FsConfig, SeroFs};
+use sero::proto::{ErrorCode, Request, Response, WireClass};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== SERO quickstart ==\n");
 
-    // A device with 64 blocks of 512 bytes on a 100 nm-pitch medium.
-    let mut dev = SeroDevice::with_blocks(64);
+    // A file system over a device with 256 blocks of 512 bytes on a
+    // 100 nm-pitch medium.
+    let mut fs = SeroFs::format(
+        sero::core::device::SeroDevice::with_blocks(256),
+        FsConfig::default(),
+    )?;
     println!(
         "device: {} blocks, {:.1} Gbit/cm^2 medium",
-        dev.block_count(),
-        dev.probe().medium().geometry().areal_density_gbit_per_cm2()
+        fs.device().block_count(),
+        fs.device()
+            .probe()
+            .medium()
+            .geometry()
+            .areal_density_gbit_per_cm2()
     );
 
-    // 1. Ordinary WMRM use: write and rewrite freely.
-    dev.write_block(9, &[1u8; 512])?;
-    dev.write_block(9, &[2u8; 512])?;
-    println!(
-        "block 9 rewritten freely (WMRM phase), reads {:?}…",
-        &dev.read_block(9)?[..4]
-    );
+    // 1. Ordinary WMRM use: create and rewrite freely.
+    let create = Request::Create {
+        name: "ledger.csv".into(),
+        data: vec![7u8; 1500],
+        class: WireClass::Archival,
+    };
+    let Response::Created { ino } = fs.handle(create) else {
+        panic!("create refused")
+    };
+    println!("created ledger.csv as inode {ino} (rewritable WMRM phase)");
 
-    // 2. Freeze history: heat a line of 8 blocks (1 hash + 7 data).
-    let line = Line::new(8, 3)?;
-    for pba in line.data_blocks() {
-        dev.write_block(pba, &[pba as u8; 512])?;
-    }
-    let payload = dev.heat_line(line, b"quarter-end freeze".to_vec(), 1_199_145_600)?;
-    println!("\nheated {line}");
-    println!("  digest   : {}", payload.digest());
-    println!(
-        "  metadata : {:?}",
-        String::from_utf8_lossy(payload.metadata())
-    );
+    // 2. Freeze history: heat the file's line, sealing metadata and a
+    // timestamp into its hash block.
+    let heat = Request::Heat {
+        name: "ledger.csv".into(),
+        metadata: b"quarter-end freeze".to_vec(),
+        timestamp: 1_199_145_600,
+    };
+    let Response::Heated { line } = fs.handle(heat) else {
+        panic!("heat refused")
+    };
+    println!("heated line: start={} order={}", line.start, line.order);
 
-    // 3. Data stays readable, the line is now read-only.
-    assert_eq!(dev.read_block(9)?, [9u8; 512]);
-    assert!(dev.write_block(9, &[0u8; 512]).is_err());
-    println!("  data blocks still readable; writes refused");
+    // 3. Data stays readable; rewrites are refused with a wire code.
+    let read = Request::Read {
+        name: "ledger.csv".into(),
+    };
+    let Response::Data { bytes } = fs.handle(read.clone()) else {
+        panic!("read refused")
+    };
+    println!("data still readable ({} bytes)", bytes.len());
+    let rewrite = Request::Write {
+        name: "ledger.csv".into(),
+        data: vec![0u8; 8],
+        class: WireClass::Archival,
+    };
+    let Response::Error(e) = fs.handle(rewrite) else {
+        panic!("rewrite of a heated file must be refused")
+    };
+    println!("rewrite refused: {e}");
 
     // 4. Verification passes…
-    assert!(dev.verify_line(line)?.is_intact());
-    println!("  verify: intact");
+    let verify = Request::Verify {
+        name: "ledger.csv".into(),
+    };
+    let Response::Verified(verdict) = fs.handle(verify.clone()) else {
+        panic!("verify refused")
+    };
+    println!("verify: {verdict:?}");
 
-    // 5. …until someone rewrites history through the raw interface.
-    dev.probe_mut().mws(10, &[0xEE; 512])?;
-    match dev.verify_line(line)? {
-        VerifyOutcome::Tampered(report) => println!("\nafter raw rewrite of block 10:\n{report}"),
-        other => panic!("tampering missed: {other:?}"),
-    }
-
-    // 6. Simulated-time accounting.
-    let c = dev.probe().counters();
+    // 5. …until someone rewrites history through the §5 raw interface
+    // (the command a production `sero-server` only serves under
+    // `--allow-raw`).
+    let tamper = Request::RawWrite {
+        pba: line.start + 2,
+        data: vec![0xEE; 512],
+    };
+    let Response::RawWritten = fs.handle(tamper) else {
+        panic!("raw write refused")
+    };
+    let Response::Error(evidence) = fs.handle(verify) else {
+        panic!("tampering missed")
+    };
+    assert_eq!(evidence.code, ErrorCode::TamperDetected);
     println!(
-        "device time: {} | bit ops: {} mrb, {} mwb, {} ewb, {} erb",
-        dev.probe().clock(),
-        c.mrb,
-        c.mwb,
-        c.ewb,
-        c.erb
+        "\nafter raw rewrite of block {}:\n{}",
+        line.start + 2,
+        evidence.detail
+    );
+
+    // 6. Simulated-time and capacity accounting, over the same door.
+    let Response::FleetStatus { members } = fs.handle(Request::FleetStatus) else {
+        panic!("fleet status refused")
+    };
+    let m = &members[0];
+    println!(
+        "device time: {} ns | blocks: {} total, {} read-only | heated lines: {} ({} flagged)",
+        m.device_clock_ns, m.total_blocks, m.read_only_blocks, m.heated_lines, m.flagged_lines
     );
     Ok(())
 }

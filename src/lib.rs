@@ -21,6 +21,7 @@
 //! | fossilised index | [`fossil`] |
 //! | §5 attack battery | [`attack`] |
 //! | workload generators | [`workload`] |
+//! | wire protocol (commands, frames, error codes) | [`proto`] |
 //!
 //! # Quickstart
 //!
@@ -48,5 +49,6 @@ pub use sero_fossil as fossil;
 pub use sero_fs as fs;
 pub use sero_media as media;
 pub use sero_probe as probe;
+pub use sero_proto as proto;
 pub use sero_venti as venti;
 pub use sero_workload as workload;
