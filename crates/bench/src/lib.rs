@@ -11,7 +11,8 @@
 //! # The `BENCH_*.json` schema (`sero-bench/v1`)
 //!
 //! The perf-baseline binaries (`exp_scrub`, `exp_bulk_io`, `exp_registry`,
-//! `exp_sched`, `exp_fleet`, `exp_server`) each emit one JSON document, written to the current
+//! `exp_sched`, `exp_fleet`, `exp_server`, `exp_concurrency`) each emit
+//! one JSON document, written to the current
 //! directory (override with `SERO_BENCH_OUT_DIR`). Committed baselines
 //! live in `benchmarks/` at the repo root; CI regenerates the files with
 //! `SERO_BENCH_FAST=1` and runs `bench_compare` against the committed
@@ -123,6 +124,25 @@
 //!   asserted). The real-socket client swarm against a live
 //!   `sero-server` reports under `"host"` only (`swarm_<n>` latency
 //!   tails) — wall clock never gates CI.
+//! * `bench = "concurrency"` — the PR 7 concurrent foreground core
+//!   (`exp_concurrency`): one shuffled read script replayed against
+//!   identical file systems at queue depths 1/2/4/8 through
+//!   [`sero_fs::concurrent::ConcurrentFs::handle_batch`], where depth 1
+//!   *is* the old global-mutex schedule and deeper queues let
+//!   [`sero_core::admission`] coalesce reads into elevator sweeps:
+//!   `depth_{1,2,4,8}_device_ms`, `throughput_x2` / `throughput_x4` /
+//!   `throughput_x8` (depth-1 device time over depth-N; `throughput_x8`
+//!   carries the ≥ 2.5× acceptance bar, asserted), `reads_merged_at_8` /
+//!   `blocks_deduped_at_8` (admission-scheduler work proof), plus the
+//!   scrub-interleaving phase — a budgeted pass ticking between read
+//!   batches with one line tampered mid-workload, replayed serialized:
+//!   `scrub_depth8_device_ms` / `scrub_serial_device_ms`,
+//!   `scrub_ticks_depth8` / `scrub_ticks_serial`, `lines_verified`,
+//!   `tampered` (exactly the planted line, asserted) and
+//!   `evidence_identical` (1 iff responses, verdicts, and the sorted
+//!   line registry are byte-identical across schedules, asserted). The
+//!   8-thread swarm against a real `ConcurrentFs` vs a
+//!   `Mutex<SeroFs>` reports under `"host"` only.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -11,6 +11,27 @@
 //! [`SeroClient::verify`] returns `Err(ClientError::Server(e))` with
 //! `e.code == ErrorCode::TamperDetected` and the full report text in
 //! `e.detail` — a remote auditor cannot mistake detection for success.
+//!
+//! # The `sero-cli` binary
+//!
+//! `sero-cli [--addr HOST:PORT] <command> [args]` wraps this library
+//! for shells and scripts. The daemon address resolves in order:
+//! `--addr`, then the **`$SERO_ADDR`** environment variable, then
+//! `127.0.0.1:4150`. Exit codes are script-stable:
+//!
+//! | code | meaning |
+//! |---|---|
+//! | `0` | success |
+//! | `1` | the server refused the command (any wire error but tamper) |
+//! | `2` | usage error (bad command line; nothing was sent) |
+//! | `3` | connection or protocol failure |
+//! | `4` | **tamper evidence detected** — the report is on stderr |
+//!
+//! `4` is deliberately distinct from `1`: a cron job auditing a store
+//! can treat "refused" as retryable and "evidence" as an alarm. The
+//! daemon serves every connection through one shared concurrent
+//! command core, so any number of `sero-cli` invocations (and other
+//! clients) may run against it at once; see `docs/ARCHITECTURE.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

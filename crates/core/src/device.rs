@@ -45,8 +45,8 @@ use sero_codec::crc32::crc32;
 use sero_codec::manchester::Scan;
 use sero_crypto::{Digest, Sha256};
 use sero_probe::device::ProbeDevice;
-use sero_probe::sector::{SectorError, SECTOR_DATA_BYTES};
-use std::collections::BTreeMap;
+use sero_probe::sector::{DecodedSector, SectorError, SECTOR_DATA_BYTES};
+use std::collections::{BTreeMap, HashMap};
 
 /// Domain-separation tag for line digests.
 const LINE_HASH_DOMAIN: &[u8] = b"SERO-line-v1";
@@ -723,6 +723,139 @@ impl SeroDevice {
         // extents it spanned.
         self.load.note(t0, self.probe.clock().elapsed_ns());
         Ok(out)
+    }
+
+    /// Reads many blocks like [`SeroDevice::read_blocks`], but serves
+    /// *all* the extent runs in one elevator sweep, in whichever
+    /// direction starts nearer the sled: ascending, one head-of-batch
+    /// seek then settle-free streaming over the gaps between runs; or
+    /// descending, run by run from the top, so a batch that follows an
+    /// ascending one needs no cross-span backtrack seek. Consecutive
+    /// queue batches therefore alternate direction like a real elevator.
+    /// This is the admission scheduler's coalesced-read path — callers
+    /// pass the sorted, deduplicated union of a whole queue batch;
+    /// sectors come back in `pbas` order either way.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SeroDevice::read_blocks`]: hash-block touches
+    /// are refused (and flagged) up front; sector errors abort at the
+    /// failing block.
+    pub fn read_blocks_sweep(
+        &mut self,
+        pbas: &[u64],
+    ) -> Result<Vec<[u8; SECTOR_DATA_BYTES]>, SeroError> {
+        for &pba in pbas {
+            if let Some(line) = self.line_of(pba) {
+                if line.hash_block() == pba {
+                    self.flag_line(line);
+                    return Err(SeroError::HashBlockAccess { pba });
+                }
+            }
+        }
+        let t0 = self.probe.clock().elapsed_ns();
+        let runs = contiguous_runs(pbas);
+        let descending = match (runs.first(), runs.last()) {
+            (Some(&(first, _)), Some(&(last_start, last_len))) => {
+                let pos = self.probe.position_block();
+                pos.abs_diff(last_start + last_len - 1) < pos.abs_diff(first)
+            }
+            _ => false,
+        };
+        let mut by_pba: HashMap<u64, [u8; SECTOR_DATA_BYTES]> = HashMap::with_capacity(pbas.len());
+        let mut failure = None;
+        fn drain(
+            by_pba: &mut HashMap<u64, [u8; SECTOR_DATA_BYTES]>,
+            failure: &mut Option<SeroError>,
+            pba: u64,
+            sector: Result<DecodedSector, SectorError>,
+        ) -> bool {
+            match sector {
+                Ok(sector) => {
+                    by_pba.insert(pba, sector.data);
+                    true
+                }
+                Err(e) => {
+                    *failure = Some(SeroError::Sector(e));
+                    false
+                }
+            }
+        }
+        if descending {
+            // Top-down: each run is its own short descent (a seek per
+            // run, ascending streaming within it); total travel is one
+            // span instead of a backtrack seek plus a full sweep.
+            for run in runs.iter().rev() {
+                self.probe
+                    .read_block_runs_with(std::slice::from_ref(run), |pba, sector| {
+                        drain(&mut by_pba, &mut failure, pba, sector)
+                    })?;
+                if failure.is_some() {
+                    break;
+                }
+            }
+        } else {
+            self.probe.read_block_runs_with(&runs, |pba, sector| {
+                drain(&mut by_pba, &mut failure, pba, sector)
+            })?;
+        }
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        let out = pbas.iter().map(|p| by_pba[p]).collect();
+        self.load.note(t0, self.probe.clock().elapsed_ns());
+        Ok(out)
+    }
+
+    /// Writes many blocks like [`SeroDevice::write_blocks`], but streams
+    /// all the extent runs in one sled sweep — the admission scheduler's
+    /// coalesced-write path. `data[i]` lands on `pbas[i]`; pass ascending
+    /// addresses for the settle-free streaming to pay off.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SeroDevice::write_blocks`]: heated-line targets
+    /// are refused (and flagged) up front; the sweep stops at the first
+    /// degraded block with the remaining blocks untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pbas` and `data` differ in length — a caller bug.
+    pub fn write_blocks_sweep(
+        &mut self,
+        pbas: &[u64],
+        data: &[[u8; SECTOR_DATA_BYTES]],
+    ) -> Result<(), SeroError> {
+        assert_eq!(
+            pbas.len(),
+            data.len(),
+            "write_blocks_sweep needs one sector per address"
+        );
+        for &pba in pbas {
+            if let Some(line) = self.line_of(pba) {
+                self.flag_line(line);
+                return Err(SeroError::ReadOnly { line, pba });
+            }
+        }
+        let t0 = self.probe.clock().elapsed_ns();
+        let runs = contiguous_runs(pbas);
+        let mut degraded = None;
+        self.probe
+            .write_block_runs_with(&runs, data, |pba, report| {
+                if report.unwritable_dots > 0 {
+                    degraded = Some(SeroError::WriteDegraded {
+                        pba,
+                        unwritable_dots: report.unwritable_dots,
+                    });
+                    return false;
+                }
+                true
+            })?;
+        if let Some(e) = degraded {
+            return Err(e);
+        }
+        self.load.note(t0, self.probe.clock().elapsed_ns());
+        Ok(())
     }
 
     /// Writes many blocks with the same protocol checks as

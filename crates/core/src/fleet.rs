@@ -41,7 +41,13 @@
 //! pause/resume/cancel work between slices, a cancelled pass never
 //! advances the completed epoch, and evidence is byte-identical to an
 //! exclusive pass (`tests/fleet_props.rs` extends that equivalence to
-//! arbitrary cross-device interleavings).
+//! arbitrary cross-device interleavings). Fleet slices run un-locked
+//! ([`ScrubScheduler::run_slice`]): the fleet driver owns its member
+//! devices exclusively between foreground phases. A device served
+//! concurrently through `sero-fs`'s combiner instead takes the locked
+//! path ([`ScrubScheduler::run_slice_locked`]) so in-flight foreground
+//! writes defer scrub per line — see the concurrency model in
+//! `docs/ARCHITECTURE.md`.
 //!
 //! # Examples
 //!

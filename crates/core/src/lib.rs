@@ -47,19 +47,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod badblock;
 pub mod device;
 pub mod fleet;
 pub mod journal;
 pub mod layout;
 pub mod line;
+pub mod locks;
 pub mod sched;
 pub mod scrub;
 pub mod tamper;
 
+pub use admission::{AdmissionQueues, AdmissionStats, FgOp, FgResult, RegionMap, Ticket};
 pub use device::{LoadProbe, SeroDevice, SeroError};
 pub use fleet::{AdaptiveBudget, FleetConfig, FleetScheduler, FleetSliceOutcome};
 pub use line::Line;
+pub use locks::{LineLockTable, LineReadGuard, LineWriteGuard};
 pub use sched::{
     SchedConfig, SchedConfigError, SchedProgress, SchedState, ScrubScheduler, SliceOutcome,
 };
@@ -68,6 +72,9 @@ pub use tamper::{Evidence, TamperReport, VerifyOutcome};
 
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
+    pub use crate::admission::{
+        execute_serial, AdmissionQueues, AdmissionStats, FgOp, FgResult, RegionMap, Ticket,
+    };
     pub use crate::badblock::{classify_block, BlockClass};
     pub use crate::device::{LineRecord, LoadProbe, SeroDevice, SeroError, SeroStats};
     pub use crate::fleet::{
@@ -76,6 +83,7 @@ pub mod prelude {
     };
     pub use crate::layout::HashBlockPayload;
     pub use crate::line::Line;
+    pub use crate::locks::{LineLockTable, LineReadGuard, LineWriteGuard};
     pub use crate::sched::{
         SchedConfig, SchedConfigError, SchedProgress, SchedState, ScrubScheduler, SliceOutcome,
     };

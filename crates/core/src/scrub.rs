@@ -44,6 +44,13 @@
 //! parked at its shard's first track (a per-region controller rests in its
 //! region), so the farthest shard no longer pays a long cold seek.
 //!
+//! This module is the *exclusive* pass — it assumes nothing else touches
+//! the device while it runs. Verification interleaved with live
+//! foreground traffic goes through [`crate::sched::ScrubScheduler`]
+//! (budgeted slices), and under the concurrent foreground core through
+//! its lock-aware variant so a line mid-write is deferred, not read
+//! half-mutated (`docs/ARCHITECTURE.md` has the full model).
+//!
 //! # Examples
 //!
 //! ```

@@ -28,6 +28,7 @@
 
 pub mod alloc;
 pub mod cleaner;
+pub mod concurrent;
 pub mod error;
 pub mod fs;
 pub mod fsck;
@@ -35,6 +36,7 @@ pub mod inode;
 pub mod retention;
 pub mod serve;
 
+pub use concurrent::ConcurrentFs;
 pub use error::FsError;
 pub use fs::{FsConfig, SeroFs};
 
@@ -42,6 +44,7 @@ pub use fs::{FsConfig, SeroFs};
 pub mod prelude {
     pub use crate::alloc::{ClusterPolicy, WriteClass};
     pub use crate::cleaner::CleanStats;
+    pub use crate::concurrent::ConcurrentFs;
     pub use crate::error::FsError;
     pub use crate::fs::{FileInfo, FsConfig, FsStats, SeroFs};
     pub use crate::fsck::{recover_heated_files, RecoveredFile};

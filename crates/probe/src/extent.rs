@@ -166,6 +166,125 @@ impl ProbeDevice {
         })?;
         Ok(reports)
     }
+
+    // --- queue-aware staging ------------------------------------------------
+    //
+    // The admission scheduler (sero-core) merges queued foreground requests
+    // into one elevator sweep per batch. The per-extent APIs above still pay
+    // a full seek (steps + settle) at the head of *every* run; when a batch
+    // spans several scattered-but-ascending runs, the sled can instead keep
+    // moving over the gaps — the same settle-free streaming trick
+    // `ers_blocks_at` uses for hash blocks, applied to magnetic extents.
+
+    /// Streams several ascending extent runs in one sweep: a single
+    /// head-of-batch seek, then settle-free [`Actuator::stream_rows`] over
+    /// the gaps between runs (a run behind the sled falls back to a seek).
+    /// `runs` are `(start, count)` pairs; `sink` receives every block like
+    /// [`ProbeDevice::read_blocks_with`] and returns `false` to stop the
+    /// whole sweep — remaining blocks are neither read nor charged.
+    ///
+    /// [`Actuator::stream_rows`]: crate::actuator::Actuator::stream_rows
+    ///
+    /// # Errors
+    ///
+    /// [`SectorError::OutOfRange`] when any run exceeds the device,
+    /// checked up front before any I/O.
+    pub fn read_block_runs_with<F>(
+        &mut self,
+        runs: &[(u64, u64)],
+        mut sink: F,
+    ) -> Result<(), SectorError>
+    where
+        F: FnMut(u64, Result<DecodedSector, SectorError>) -> bool,
+    {
+        for &(start, count) in runs {
+            self.check_extent(start, count)?;
+        }
+        let mut first = true;
+        for &(start, count) in runs {
+            if count == 0 {
+                continue;
+            }
+            if first {
+                self.seek_block(start);
+                first = false;
+            } else {
+                self.stream_to_block(start);
+            }
+            for pba in start..start + count {
+                if pba > start {
+                    let ns = self.actuator.step_row();
+                    self.clock.advance(ns);
+                }
+                let sector = self.read_sector_here(pba);
+                if !sink(pba, sector) {
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Streams several ascending extent runs of writes in one sweep — the
+    /// write-side twin of [`ProbeDevice::read_block_runs_with`]. `blocks`
+    /// carries the concatenated payloads of every run, in run order; `sink`
+    /// receives each block's [`WriteReport`] and returns `false` to stop
+    /// the sweep with the remaining blocks untouched and uncharged.
+    ///
+    /// # Errors
+    ///
+    /// [`SectorError::OutOfRange`] when any run exceeds the device (checked
+    /// up front).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `blocks` does not carry exactly one payload per run
+    /// block — a caller bug, not a device condition.
+    pub fn write_block_runs_with<F>(
+        &mut self,
+        runs: &[(u64, u64)],
+        blocks: &[[u8; SECTOR_DATA_BYTES]],
+        mut sink: F,
+    ) -> Result<(), SectorError>
+    where
+        F: FnMut(u64, WriteReport) -> bool,
+    {
+        let total: u64 = runs.iter().map(|&(_, c)| c).sum();
+        assert_eq!(
+            total as usize,
+            blocks.len(),
+            "write_block_runs_with needs one payload per block"
+        );
+        for &(start, count) in runs {
+            self.check_extent(start, count)?;
+        }
+        let mut offset = 0usize;
+        let mut first = true;
+        for &(start, count) in runs {
+            if count == 0 {
+                continue;
+            }
+            if first {
+                self.seek_block(start);
+                first = false;
+            } else {
+                self.stream_to_block(start);
+            }
+            for (i, data) in blocks[offset..offset + count as usize].iter().enumerate() {
+                let pba = start + i as u64;
+                if i > 0 {
+                    let ns = self.actuator.step_row();
+                    self.clock.advance(ns);
+                }
+                let report = self.write_sector_here(pba, 0, data);
+                if !sink(pba, report) {
+                    return Ok(());
+                }
+            }
+            offset += count as usize;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +386,103 @@ mod tests {
         assert!(dev.read_blocks(0, 8).is_ok());
         // Empty extents are trivially fine.
         assert!(dev.read_blocks(8, 0).is_ok());
+    }
+
+    #[test]
+    fn run_sweep_matches_per_extent_reads() {
+        let mut swept = device(64);
+        let mut serial = device(64);
+        for dev in [&mut swept, &mut serial] {
+            for run in [4u64, 20, 40] {
+                let blocks: Vec<[u8; SECTOR_DATA_BYTES]> =
+                    (0..4).map(|i| payload((run + i) as u8)).collect();
+                dev.write_blocks(run, &blocks).unwrap();
+            }
+        }
+
+        let runs = [(4u64, 4u64), (20, 4), (40, 4)];
+        let mut via_sweep = Vec::new();
+        swept
+            .read_block_runs_with(&runs, |pba, sector| {
+                via_sweep.push((pba, sector.unwrap().data));
+                true
+            })
+            .unwrap();
+        let mut via_extents = Vec::new();
+        for &(start, count) in &runs {
+            serial
+                .read_blocks_with(start, count, |pba, sector| {
+                    via_extents.push((pba, sector.unwrap().data));
+                    true
+                })
+                .unwrap();
+        }
+        assert_eq!(via_sweep, via_extents);
+    }
+
+    #[test]
+    fn run_sweep_is_cheaper_than_per_run_seeks() {
+        let mut swept = device(256);
+        let mut serial = device(256);
+        let runs: Vec<(u64, u64)> = (0..8).map(|i| (i * 30, 4)).collect();
+        for dev in [&mut swept, &mut serial] {
+            for &(start, count) in &runs {
+                let blocks: Vec<[u8; SECTOR_DATA_BYTES]> =
+                    (0..count).map(|i| payload((start + i) as u8)).collect();
+                dev.write_blocks(start, &blocks).unwrap();
+            }
+        }
+
+        let t0 = swept.clock().elapsed_ns();
+        let seeks0 = swept.counters().seeks;
+        swept.read_block_runs_with(&runs, |_, _| true).unwrap();
+        let sweep_ns = swept.clock().elapsed_ns() - t0;
+        assert_eq!(
+            swept.counters().seeks - seeks0,
+            1,
+            "one seek for the whole ascending batch"
+        );
+
+        let t0 = serial.clock().elapsed_ns();
+        for &(start, count) in &runs {
+            serial.read_blocks_with(start, count, |_, _| true).unwrap();
+        }
+        let per_run_ns = serial.clock().elapsed_ns() - t0;
+        assert!(
+            sweep_ns < per_run_ns,
+            "sweep {sweep_ns} ns should beat per-run seeks {per_run_ns} ns"
+        );
+    }
+
+    #[test]
+    fn run_sweep_write_round_trips_and_stops_early() {
+        let mut dev = device(64);
+        let runs = [(2u64, 2u64), (10, 3)];
+        let blocks: Vec<[u8; SECTOR_DATA_BYTES]> = (0..5).map(payload).collect();
+        dev.write_block_runs_with(&runs, &blocks, |_, _| true)
+            .unwrap();
+        assert_eq!(dev.mrs(2).unwrap().data, payload(0));
+        assert_eq!(dev.mrs(11).unwrap().data, payload(3));
+
+        // Early stop leaves trailing blocks untouched and uncharged.
+        let before = dev.counters().mws;
+        let mut seen = 0;
+        dev.write_block_runs_with(&runs, &blocks, |_, _| {
+            seen += 1;
+            seen < 2
+        })
+        .unwrap();
+        assert_eq!(dev.counters().mws - before, 2);
+    }
+
+    #[test]
+    fn run_sweep_rejects_out_of_range_up_front() {
+        let mut dev = device(8);
+        let before = dev.counters().mrs;
+        assert!(dev
+            .read_block_runs_with(&[(0, 2), (6, 4)], |_, _| true)
+            .is_err());
+        assert_eq!(dev.counters().mrs, before, "no I/O before validation");
     }
 
     #[test]

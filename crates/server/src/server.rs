@@ -1,6 +1,7 @@
 //! The TCP daemon: accept loop, per-connection frame loop, lifecycle.
 
 use crate::pool::{NaiveThreadPool, SharedQueueThreadPool, ThreadPool};
+use sero_fs::concurrent::ConcurrentFs;
 use sero_fs::SeroFs;
 use sero_proto::frame::{read_frame, write_frame, FrameError};
 use sero_proto::{ErrorCode, FrameKind, Request, Response, WireError};
@@ -58,10 +59,13 @@ impl Pool {
     }
 }
 
-/// A bound, not-yet-running daemon serving one [`SeroFs`].
+/// A bound, not-yet-running daemon serving one [`SeroFs`] through a
+/// [`ConcurrentFs`]: workers call `handle` re-entrantly and the combiner
+/// merges queued reads into bulk sweeps, instead of every worker
+/// serializing on one global file-system mutex.
 pub struct SeroServer {
     listener: TcpListener,
-    fs: Arc<Mutex<SeroFs>>,
+    fs: ConcurrentFs,
     config: ServerConfig,
     stop: Arc<AtomicBool>,
 }
@@ -79,7 +83,7 @@ impl SeroServer {
     ) -> io::Result<SeroServer> {
         Ok(SeroServer {
             listener: TcpListener::bind(addr)?,
-            fs: Arc::new(Mutex::new(fs)),
+            fs: ConcurrentFs::new(fs),
             config,
             stop: Arc::new(AtomicBool::new(false)),
         })
@@ -121,7 +125,7 @@ impl SeroServer {
             if let (Ok(clone), Ok(mut held)) = (stream.try_clone(), conns.lock()) {
                 held.push(clone);
             }
-            let fs = Arc::clone(&self.fs);
+            let fs = self.fs.clone();
             let allow_raw = self.config.allow_raw;
             pool.spawn(move || serve_connection(stream, &fs, allow_raw));
         }
@@ -173,7 +177,7 @@ impl ServerHandle {
 /// Serves one connection: a loop of read-frame → dispatch → write-frame.
 /// Frame-level failures answer a best-effort error response and close;
 /// command-level failures answer [`Response::Error`] and keep going.
-fn serve_connection(stream: TcpStream, fs: &Mutex<SeroFs>, allow_raw: bool) {
+fn serve_connection(stream: TcpStream, fs: &ConcurrentFs, allow_raw: bool) {
     let mut reader = match stream.try_clone() {
         Ok(r) => r,
         Err(_) => return,
@@ -202,13 +206,7 @@ fn serve_connection(stream: TcpStream, fs: &Mutex<SeroFs>, allow_raw: bool) {
                 ErrorCode::UnsupportedCommand,
                 "raw writes are disabled; restart the daemon with --allow-raw for tamper drills",
             )),
-            Ok(request) => match fs.lock() {
-                Ok(mut fs) => fs.handle(request),
-                // A panic inside handle() poisoned the lock. The fs state
-                // is suspect but the evidence machinery lives on the
-                // device; keep serving rather than going dark.
-                Err(poisoned) => poisoned.into_inner().handle(request),
-            },
+            Ok(request) => fs.handle(request),
             Err(e @ FrameError::Malformed { .. }) => {
                 // The frame itself was sound (magic, CRC); only the
                 // payload was unintelligible. Answer and keep the

@@ -1,15 +1,20 @@
 //! Quickstart: the SERO stack in five minutes, through the command API.
 //!
 //! Every deployment path — in-process embedding, the test suite, and the
-//! `sero-server` wire daemon — drives the stack through one door:
-//! [`sero::fs::fs::SeroFs::handle`] taking a [`sero::proto::Request`].
-//! This example formats a file system, stores a file, freezes it under a
-//! heated line, tampers through the raw interface, and watches the
-//! verify command answer with the wire-stable `TAMPER-DETECTED` code.
+//! `sero-server` wire daemon — drives the stack through one door: a
+//! [`sero::proto::Request`] handed to [`sero::fs::fs::SeroFs::handle`]
+//! (exclusive access) or to a shared [`sero::fs::ConcurrentFs`] (what
+//! the daemon's worker threads use). This example formats a file
+//! system, stores a file, freezes it under a heated line, tampers
+//! through the raw interface, watches the verify command answer with
+//! the wire-stable `TAMPER-DETECTED` code — then hands the same file
+//! system to concurrent callers and lets the combiner merge their
+//! reads.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use sero::fs::fs::{FsConfig, SeroFs};
+use sero::fs::ConcurrentFs;
 use sero::proto::{ErrorCode, Request, Response, WireClass};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -109,6 +114,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "device time: {} ns | blocks: {} total, {} read-only | heated lines: {} ({} flagged)",
         m.device_clock_ns, m.total_blocks, m.read_only_blocks, m.heated_lines, m.flagged_lines
+    );
+
+    // 7. The concurrent front end: the same door, shared by threads.
+    // `ConcurrentFs` wraps the file system in a flat combiner — callers
+    // stage requests, one thread drains everyone's at once, and the
+    // admission scheduler merges queued reads into elevator sweeps
+    // (docs/ARCHITECTURE.md has the full concurrency model). This is
+    // exactly what `sero-server` workers share.
+    let cfs = ConcurrentFs::new(fs);
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let cfs = cfs.clone();
+            std::thread::spawn(move || {
+                for _ in 0..8 {
+                    let Response::Data { bytes } = cfs.handle(Request::Read {
+                        name: "ledger.csv".into(),
+                    }) else {
+                        panic!("concurrent read refused")
+                    };
+                    assert_eq!(bytes.len(), 1500);
+                }
+            })
+        })
+        .collect();
+    for r in readers {
+        r.join().expect("reader thread");
+    }
+    let stats = cfs.admission_stats();
+    println!(
+        "concurrent phase: 4 threads x 8 reads served; {} reads merged into sweeps",
+        stats.reads_merged
     );
     Ok(())
 }

@@ -16,7 +16,7 @@
 //! | hashing | [`crypto`] |
 //! | Manchester / CRC / Reed–Solomon / WOM codes | [`codec`] |
 //! | **SERO device: heat & verify lines** | [`core`] |
-//! | log-structured file system | [`fs`] |
+//! | log-structured file system + concurrent front end | [`fs`] |
 //! | content-addressed archival store | [`venti`] |
 //! | fossilised index | [`fossil`] |
 //! | §5 attack battery | [`attack`] |
@@ -35,6 +35,39 @@
 //! }
 //! dev.heat_line(line, b"frozen evidence".to_vec(), 1_199_145_600)?;
 //! assert!(dev.verify_line(line)?.is_intact());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! # Concurrency
+//!
+//! A [`fs::fs::SeroFs`] wants exclusive access (`&mut self`). To share
+//! one file system across threads — the `sero-server` deployment shape —
+//! wrap it in [`fs::ConcurrentFs`]: a cloneable handle whose flat
+//! combiner drains every caller's staged requests at once and lets the
+//! admission scheduler ([`core::admission`]) merge queued reads into
+//! elevator sweeps, while budgeted scrub slices interleave under the
+//! [`core::locks`] line-lock discipline. Any interleaving answers
+//! byte-identically to the serialized schedule — tamper evidence
+//! included. `docs/ARCHITECTURE.md` documents the model and its
+//! invariants; `examples/quickstart.rs` ends with a threaded demo.
+//!
+//! ```
+//! use sero::fs::fs::{FsConfig, SeroFs};
+//! use sero::fs::ConcurrentFs;
+//! use sero::proto::{Request, Response, WireClass};
+//!
+//! let mut fs = SeroFs::format(sero::core::device::SeroDevice::with_blocks(64), FsConfig::default())?;
+//! fs.handle(Request::Create {
+//!     name: "shared.bin".into(),
+//!     data: vec![9u8; 700],
+//!     class: WireClass::Normal,
+//! });
+//! let cfs = ConcurrentFs::new(fs); // clone per thread; handle(&self)
+//! let reader = {
+//!     let cfs = cfs.clone();
+//!     std::thread::spawn(move || cfs.handle(Request::Read { name: "shared.bin".into() }))
+//! };
+//! assert!(matches!(reader.join().unwrap(), Response::Data { .. }));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
