@@ -11,7 +11,8 @@
 //! # The `BENCH_*.json` schema (`sero-bench/v1`)
 //!
 //! The perf-baseline binaries (`exp_scrub`, `exp_bulk_io`, `exp_registry`,
-//! `exp_sched`, `exp_fleet`, `exp_server`, `exp_concurrency`) each emit
+//! `exp_sched`, `exp_fleet`, `exp_server`, `exp_concurrency`,
+//! `exp_faults`) each emit
 //! one JSON document, written to the current
 //! directory (override with `SERO_BENCH_OUT_DIR`). Committed baselines
 //! live in `benchmarks/` at the repo root; CI regenerates the files with
@@ -143,6 +144,21 @@
 //!   line registry are byte-identical across schedules, asserted). The
 //!   8-thread swarm against a real `ConcurrentFs` vs a
 //!   `Mutex<SeroFs>` reports under `"host"` only.
+//! * `bench = "faults"` — bounded degradation under a calibrated
+//!   transient-fault rate (`exp_faults`): two clones of one populated
+//!   file system replay identical mixed traffic, one with a seeded
+//!   [`sero_probe::faults::FaultPlan`] armed (transient read faults
+//!   absorbed by the device retry budget, correctable write dots, sled
+//!   stalls), then each runs a full scrub pass:
+//!   `p50_clean_us` / `p99_clean_us` / `p50_faulted_us` /
+//!   `p99_faulted_us`, `p99_faulted_over_clean` and
+//!   `scrub_faulted_over_clean` (both carry the ≤ 2× acceptance bar,
+//!   asserted), `scrub_clean_ms` / `scrub_faulted_ms`, the fired fault
+//!   counts `read_faults` / `write_faults` / `stalls` (nonzero,
+//!   asserted — the calibration proof), `quarantined` (0, asserted:
+//!   transient faults never reach quarantine), `lines_verified`,
+//!   `tampered` (0; namespaces, bytes, and line registries are
+//!   asserted identical to the fault-free twin).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -42,7 +42,8 @@ use sero_proto::{
     WireMemberStatus, WireScrubStatus, WireSliceOutcome, WireVerdict,
 };
 use std::fmt;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Everything that can go wrong on the client side of a command.
 #[derive(Debug)]
@@ -116,32 +117,175 @@ impl ClientError {
     pub fn is_tamper_detected(&self) -> bool {
         self.code() == Some(ErrorCode::TamperDetected)
     }
+
+    /// True when the failure happened in the transport (socket error,
+    /// deadline expiry, peer gone) rather than in the server's answer —
+    /// the class the client may retry for idempotent requests.
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io(_)
+                | ClientError::Frame(FrameError::Io { .. })
+                | ClientError::Disconnected
+        )
+    }
+
+    /// True when the failure was a client-side deadline expiring.
+    pub fn is_timeout(&self) -> bool {
+        match self {
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            ClientError::Frame(e) => e.is_timeout(),
+            _ => false,
+        }
+    }
 }
 
-/// A blocking client over one TCP connection.
+/// Deadlines and retry policy for a [`SeroClient`].
+///
+/// Retries apply **only** to idempotent requests (reads, `stat`, `list`,
+/// `verify`, scrub status, fleet status, ping) and **only** to
+/// transport-level failures ([`ClientError::is_transport`]): a mutation
+/// whose response was lost may or may not have been applied, so the
+/// client surfaces the transport error instead of guessing, and a typed
+/// answer from the server is a decision, not a fault.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection. `None` blocks.
+    pub connect_timeout: Option<Duration>,
+    /// Socket read deadline per response. `None` blocks forever — a
+    /// dead server then hangs the caller, so the default is finite.
+    pub read_timeout: Option<Duration>,
+    /// Socket write deadline per request.
+    pub write_timeout: Option<Duration>,
+    /// Total attempts (first try included) for idempotent requests.
+    /// `1` disables retry.
+    pub max_attempts: u32,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            jitter_seed: 0x5E50_C11E,
+        }
+    }
+}
+
+/// Only these request shapes are safe to send twice: re-asking cannot
+/// change device state, so a retry after a lost response is harmless.
+/// Everything else (create/write/remove/heat/scrub-start/scrub-tick/
+/// raw-write) mutates or advances state and is never retried.
+fn is_idempotent(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Ping
+            | Request::Read { .. }
+            | Request::Stat { .. }
+            | Request::List
+            | Request::Verify { .. }
+            | Request::ScrubStatus
+            | Request::FleetStatus
+    )
+}
+
+/// A blocking client over one TCP connection, with deadlines and
+/// self-healing retry for idempotent requests (see [`ClientConfig`]).
 pub struct SeroClient {
     stream: TcpStream,
+    /// Resolved server addresses, kept so a retry can reconnect.
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    /// xorshift64* state for backoff jitter.
+    jitter: u64,
 }
 
 impl SeroClient {
-    /// Connects to a `sero-server` at `addr`.
+    /// Connects to a `sero-server` at `addr` with the default
+    /// [`ClientConfig`].
     ///
     /// # Errors
     ///
     /// Socket errors from the connect.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<SeroClient, ClientError> {
+        SeroClient::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit deadlines and retry policy.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from the resolve or connect.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<SeroClient, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = connect_stream(&addrs, &config)?;
         Ok(SeroClient {
-            stream: TcpStream::connect(addr)?,
+            stream,
+            addrs,
+            jitter: config.jitter_seed | 1,
+            config,
         })
     }
 
+    /// The active configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
     /// Sends one request and reads one response.
+    ///
+    /// Idempotent requests that fail at the transport level (timeout,
+    /// dead peer, torn frame) are retried up to
+    /// [`ClientConfig::max_attempts`] times over a fresh connection with
+    /// exponential backoff plus jitter. Mutations are never retried, and
+    /// a server *answer* — even an error — is final.
     ///
     /// # Errors
     ///
     /// Socket and framing failures; a [`Response::Error`] answer becomes
     /// [`ClientError::Server`].
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let attempts = if is_idempotent(request) {
+            self.config.max_attempts.max(1)
+        } else {
+            1
+        };
+        let mut attempt = 1;
+        loop {
+            match self.call_once(request) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_transport() && attempt < attempts => {
+                    std::thread::sleep(self.backoff(attempt));
+                    // The old connection is suspect (mid-frame state,
+                    // dead peer); heal over a fresh one.
+                    if let Ok(fresh) = connect_stream(&self.addrs, &self.config) {
+                        self.stream = fresh;
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One attempt: no retry, whatever the request.
+    fn call_once(&mut self, request: &Request) -> Result<Response, ClientError> {
         write_frame(&mut self.stream, FrameKind::Request, &request.encode())?;
         let (kind, payload) = read_frame(&mut self.stream)?.ok_or(ClientError::Disconnected)?;
         if kind != FrameKind::Response {
@@ -154,6 +298,23 @@ impl SeroClient {
             Response::Error(e) => Err(ClientError::Server(e)),
             resp => Ok(resp),
         }
+    }
+
+    /// Exponential backoff with jitter: double per attempt up to the
+    /// cap, then scale by a factor in [0.5, 1.0) so synchronized
+    /// retriers spread out.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base = self.config.backoff_base.as_nanos() as u64;
+        let cap = self.config.backoff_cap.as_nanos() as u64;
+        let exp = base
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(32))
+            .min(cap);
+        // xorshift64*
+        self.jitter ^= self.jitter >> 12;
+        self.jitter ^= self.jitter << 25;
+        self.jitter ^= self.jitter >> 27;
+        let r = self.jitter.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        Duration::from_nanos(exp / 2 + r % (exp / 2).max(1))
     }
 
     /// Liveness probe.
@@ -366,6 +527,32 @@ impl SeroClient {
             other => Err(unexpected("raw-written", &other)),
         }
     }
+}
+
+/// Connects to the first address that answers, honouring the connect
+/// deadline, and applies the per-call socket deadlines to the stream.
+fn connect_stream(addrs: &[SocketAddr], config: &ClientConfig) -> Result<TcpStream, ClientError> {
+    let mut last: Option<std::io::Error> = None;
+    for addr in addrs {
+        let attempt = match config.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(addr, t),
+            None => TcpStream::connect(addr),
+        };
+        match attempt {
+            Ok(stream) => {
+                stream.set_read_timeout(config.read_timeout)?;
+                stream.set_write_timeout(config.write_timeout)?;
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(ClientError::Io(last.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "address resolved to nothing",
+        )
+    })))
 }
 
 fn unexpected(expected: &'static str, got: &Response) -> ClientError {

@@ -37,6 +37,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::faults::RetryPolicy;
 use crate::layout::{HashBlockPayload, PayloadError};
 use crate::line::{Line, LineError};
 use crate::tamper::{Evidence, TamperReport, VerifyOutcome};
@@ -46,7 +47,7 @@ use sero_codec::manchester::Scan;
 use sero_crypto::{Digest, Sha256};
 use sero_probe::device::ProbeDevice;
 use sero_probe::sector::{DecodedSector, SectorError, SECTOR_DATA_BYTES};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Domain-separation tag for line digests.
 const LINE_HASH_DOMAIN: &[u8] = b"SERO-line-v1";
@@ -357,6 +358,11 @@ pub struct SeroDevice {
     scrub_epoch: u64,
     /// Foreground arrival/busy estimate for adaptive scrub budgets.
     load: LoadProbe,
+    /// Bounded-retry policy for transient sector faults.
+    retry: RetryPolicy,
+    /// Blocks that exhausted their retries — suspect hardware the layers
+    /// above must route around (see [`crate::faults`]).
+    quarantined: BTreeSet<u64>,
 }
 
 impl SeroDevice {
@@ -367,6 +373,8 @@ impl SeroDevice {
             registry: BTreeMap::new(),
             scrub_epoch: 0,
             load: LoadProbe::default(),
+            retry: RetryPolicy::default(),
+            quarantined: BTreeSet::new(),
         }
     }
 
@@ -435,6 +443,96 @@ impl SeroDevice {
     #[must_use]
     pub fn load_probe(&self) -> &LoadProbe {
         &self.load
+    }
+
+    // --- fault tolerance --------------------------------------------------
+
+    /// The bounded-retry policy in force for transient sector faults.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Replaces the retry policy (see [`crate::faults::RetryPolicy`]).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = RetryPolicy::attempts(policy.max_attempts);
+    }
+
+    /// Blocks that exhausted their retries, in address order.
+    pub fn quarantined_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.quarantined.iter().copied()
+    }
+
+    /// Number of quarantined blocks.
+    pub fn quarantined_count(&self) -> u64 {
+        self.quarantined.len() as u64
+    }
+
+    /// True when `pba` has been quarantined.
+    pub fn is_quarantined(&self, pba: u64) -> bool {
+        self.quarantined.contains(&pba)
+    }
+
+    /// True when any block is quarantined — the trigger for the file
+    /// system's degraded mode (serve reads and `Verify`, refuse writes).
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+
+    /// Clears `pba` from quarantine after out-of-band repair (or a scrub
+    /// pass that found the region healthy again). Returns whether the
+    /// block was quarantined.
+    pub fn clear_quarantine(&mut self, pba: u64) -> bool {
+        self.quarantined.remove(&pba)
+    }
+
+    /// Quarantines `pba` after exhausted retries: the block is recorded
+    /// suspect and, if it lies inside a registered line, the line is
+    /// flagged so the next incremental scrub chases it — the same delta
+    /// refused protocol accesses feed.
+    fn quarantine_block(&mut self, pba: u64) {
+        self.quarantined.insert(pba);
+        if let Some(line) = self.line_of(pba) {
+            self.flag_line(line);
+        }
+    }
+
+    /// Bounded re-read of `pba` after a first failure `first`: up to
+    /// `retry.max_attempts` total tries, returning the first success or
+    /// the last error. Each attempt pays its own seek — a retry is a real
+    /// sled trip, not a free replay.
+    fn retry_read(&mut self, pba: u64, first: SectorError) -> Result<DecodedSector, SectorError> {
+        let mut last = first;
+        for _ in 1..self.retry.max_attempts {
+            match self.probe.mrs(pba) {
+                Ok(sector) => return Ok(sector),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// Bounded re-write of `pba` after a degraded first attempt reporting
+    /// `first_dots` unwritable dots. Magnetic writes are idempotent, so a
+    /// rewrite of the same data is safe; returns `Ok` once a clean report
+    /// comes back, or the final [`SeroError::WriteDegraded`].
+    fn retry_write(
+        &mut self,
+        pba: u64,
+        data: &[u8; SECTOR_DATA_BYTES],
+        first_dots: usize,
+    ) -> Result<(), SeroError> {
+        let mut dots = first_dots;
+        for _ in 1..self.retry.max_attempts {
+            match self.probe.mws(pba, data) {
+                Ok(report) if report.unwritable_dots == 0 => return Ok(()),
+                Ok(report) => dots = report.unwritable_dots,
+                Err(e) => return Err(SeroError::Sector(e)),
+            }
+        }
+        Err(SeroError::WriteDegraded {
+            pba,
+            unwritable_dots: dots,
+        })
     }
 
     /// Marks `line` as suspicious: the next incremental scrub will
@@ -643,9 +741,18 @@ impl SeroDevice {
             }
         }
         let start = self.probe.clock().elapsed_ns();
-        let data = self.probe.mrs(pba)?.data;
+        let sector = match self.probe.mrs(pba) {
+            Ok(sector) => sector,
+            Err(first) => match self.retry_read(pba, first) {
+                Ok(sector) => sector,
+                Err(e) => {
+                    self.quarantine_block(pba);
+                    return Err(SeroError::Sector(e));
+                }
+            },
+        };
         self.load.note(start, self.probe.clock().elapsed_ns());
-        Ok(data)
+        Ok(sector.data)
     }
 
     /// Writes a block magnetically.
@@ -668,14 +775,16 @@ impl SeroDevice {
         }
         let start = self.probe.clock().elapsed_ns();
         let report = self.probe.mws(pba, data)?;
+        let result = if report.unwritable_dots > 0 {
+            self.retry_write(pba, data, report.unwritable_dots)
+        } else {
+            Ok(())
+        };
         self.load.note(start, self.probe.clock().elapsed_ns());
-        if report.unwritable_dots > 0 {
-            return Err(SeroError::WriteDegraded {
-                pba,
-                unwritable_dots: report.unwritable_dots,
-            });
+        if result.is_err() {
+            self.quarantine_block(pba);
         }
-        Ok(())
+        result
     }
 
     /// Reads many blocks with the same protocol checks as
@@ -703,20 +812,43 @@ impl SeroDevice {
         let t0 = self.probe.clock().elapsed_ns();
         let mut out = Vec::with_capacity(pbas.len());
         for (start, count) in contiguous_runs(pbas) {
-            let mut failure = None;
-            self.probe
-                .read_blocks_with(start, count, |_, sector| match sector {
-                    Ok(sector) => {
-                        out.push(sector.data);
-                        true
+            // Stream the run; on a sector fault, retry the failing block
+            // alone, then resume the stream right after it. Only a block
+            // that exhausts its retries aborts the batch (quarantined),
+            // exactly where the single-block loop would have stopped.
+            let mut done = 0u64;
+            while done < count {
+                let mut failure: Option<(u64, SectorError)> = None;
+                self.probe.read_blocks_with(
+                    start + done,
+                    count - done,
+                    |pba, sector| match sector {
+                        Ok(sector) => {
+                            out.push(sector.data);
+                            true
+                        }
+                        Err(e) => {
+                            failure = Some((pba, e));
+                            false
+                        }
+                    },
+                )?;
+                match failure {
+                    None => break,
+                    Some((pba, first)) => {
+                        done = pba - start;
+                        match self.retry_read(pba, first) {
+                            Ok(sector) => {
+                                out.push(sector.data);
+                                done += 1;
+                            }
+                            Err(e) => {
+                                self.quarantine_block(pba);
+                                return Err(SeroError::Sector(e));
+                            }
+                        }
                     }
-                    Err(e) => {
-                        failure = Some(SeroError::Sector(e));
-                        false
-                    }
-                })?;
-            if let Some(e) = failure {
-                return Err(e);
+                }
             }
         }
         // One batched request is one foreground arrival, however many
@@ -763,10 +895,10 @@ impl SeroDevice {
             _ => false,
         };
         let mut by_pba: HashMap<u64, [u8; SECTOR_DATA_BYTES]> = HashMap::with_capacity(pbas.len());
-        let mut failure = None;
+        let mut failure: Option<(u64, SectorError)> = None;
         fn drain(
             by_pba: &mut HashMap<u64, [u8; SECTOR_DATA_BYTES]>,
-            failure: &mut Option<SeroError>,
+            failure: &mut Option<(u64, SectorError)>,
             pba: u64,
             sector: Result<DecodedSector, SectorError>,
         ) -> bool {
@@ -776,7 +908,7 @@ impl SeroDevice {
                     true
                 }
                 Err(e) => {
-                    *failure = Some(SeroError::Sector(e));
+                    *failure = Some((pba, e));
                     false
                 }
             }
@@ -799,8 +931,32 @@ impl SeroDevice {
                 drain(&mut by_pba, &mut failure, pba, sector)
             })?;
         }
-        if let Some(e) = failure {
-            return Err(e);
+        // Recovery: retry the failing block alone, then sweep whatever is
+        // still missing (the aborted tail) in ascending runs. Only a block
+        // that exhausts its retries aborts the batch — quarantined, as the
+        // single-block loop would have left it.
+        while let Some((pba, first)) = failure.take() {
+            match self.retry_read(pba, first) {
+                Ok(sector) => {
+                    by_pba.insert(pba, sector.data);
+                }
+                Err(e) => {
+                    self.quarantine_block(pba);
+                    return Err(SeroError::Sector(e));
+                }
+            }
+            let missing: Vec<u64> = pbas
+                .iter()
+                .copied()
+                .filter(|p| !by_pba.contains_key(p))
+                .collect();
+            if missing.is_empty() {
+                break;
+            }
+            self.probe
+                .read_block_runs_with(&contiguous_runs(&missing), |pba, sector| {
+                    drain(&mut by_pba, &mut failure, pba, sector)
+                })?;
         }
         let out = pbas.iter().map(|p| by_pba[p]).collect();
         self.load.note(t0, self.probe.clock().elapsed_ns());
@@ -839,20 +995,43 @@ impl SeroDevice {
         }
         let t0 = self.probe.clock().elapsed_ns();
         let runs = contiguous_runs(pbas);
-        let mut degraded = None;
+        let mut degraded: Option<(u64, usize)> = None;
         self.probe
             .write_block_runs_with(&runs, data, |pba, report| {
                 if report.unwritable_dots > 0 {
-                    degraded = Some(SeroError::WriteDegraded {
-                        pba,
-                        unwritable_dots: report.unwritable_dots,
-                    });
+                    degraded = Some((pba, report.unwritable_dots));
                     return false;
                 }
                 true
             })?;
-        if let Some(e) = degraded {
-            return Err(e);
+        // Recovery: rewrite the degraded block alone (magnetic writes are
+        // idempotent), then resume the sweep over the untouched tail. A
+        // block that stays degraded after its retries aborts the batch,
+        // quarantined, with the tail unwritten — as before.
+        while let Some((pba, dots)) = degraded.take() {
+            let at = pbas
+                .iter()
+                .position(|&p| p == pba)
+                .expect("degraded block is in the batch");
+            if let Err(e) = self.retry_write(pba, &data[at], dots) {
+                self.quarantine_block(pba);
+                return Err(e);
+            }
+            let tail_pbas = &pbas[at + 1..];
+            if tail_pbas.is_empty() {
+                break;
+            }
+            self.probe.write_block_runs_with(
+                &contiguous_runs(tail_pbas),
+                &data[at + 1..],
+                |pba, report| {
+                    if report.unwritable_dots > 0 {
+                        degraded = Some((pba, report.unwritable_dots));
+                        return false;
+                    }
+                    true
+                },
+            )?;
         }
         self.load.note(t0, self.probe.clock().elapsed_ns());
         Ok(())
@@ -893,23 +1072,37 @@ impl SeroDevice {
         let mut offset = 0usize;
         for (start, count) in contiguous_runs(pbas) {
             let count = count as usize;
-            // Stream the run so a degraded block stops the transfer with
-            // the trailing blocks untouched — exactly where the
-            // single-block loop would have stopped.
-            let mut degraded = None;
-            self.probe
-                .write_blocks_with(start, &data[offset..offset + count], |pba, report| {
-                    if report.unwritable_dots > 0 {
-                        degraded = Some(SeroError::WriteDegraded {
-                            pba,
-                            unwritable_dots: report.unwritable_dots,
-                        });
-                        return false;
+            let run_data = &data[offset..offset + count];
+            // Stream the run; a degraded block is rewritten alone (the
+            // write is idempotent) and the stream resumes after it. Only
+            // a block that stays degraded past its retries stops the
+            // transfer — quarantined, trailing blocks untouched, exactly
+            // where the single-block loop would have stopped.
+            let mut done = 0usize;
+            while done < count {
+                let mut degraded: Option<(u64, usize)> = None;
+                self.probe.write_blocks_with(
+                    start + done as u64,
+                    &run_data[done..],
+                    |pba, report| {
+                        if report.unwritable_dots > 0 {
+                            degraded = Some((pba, report.unwritable_dots));
+                            return false;
+                        }
+                        true
+                    },
+                )?;
+                match degraded {
+                    None => break,
+                    Some((pba, dots)) => {
+                        done = (pba - start) as usize;
+                        if let Err(e) = self.retry_write(pba, &run_data[done], dots) {
+                            self.quarantine_block(pba);
+                            return Err(e);
+                        }
+                        done += 1;
                     }
-                    true
-                })?;
-            if let Some(e) = degraded {
-                return Err(e);
+                }
             }
             offset += count;
         }
@@ -934,26 +1127,49 @@ impl SeroDevice {
         hasher.update(LINE_HASH_DOMAIN);
         hasher.update(&[line.order() as u8]);
         hasher.update(&line.start().to_le_bytes());
-        let mut failure = None;
-        self.probe.read_blocks_with(
-            line.start() + 1,
-            line.len() - 1,
-            |pba, sector| match sector {
-                Ok(sector) => {
-                    hasher.update(&pba.to_le_bytes());
-                    hasher.update(&sector.data);
-                    true
+        let first = line.start() + 1;
+        let total = line.len() - 1;
+        // Stream the data blocks through the hasher; a faulting block is
+        // retried alone and, on recovery, hashed in place so the digest
+        // stays position-exact. Exhausted retries quarantine the block
+        // and surface as `DataUnreadable`.
+        let mut done = 0u64;
+        while done < total {
+            let mut failure: Option<(u64, SectorError)> = None;
+            self.probe.read_blocks_with(
+                first + done,
+                total - done,
+                |pba, sector| match sector {
+                    Ok(sector) => {
+                        hasher.update(&pba.to_le_bytes());
+                        hasher.update(&sector.data);
+                        true
+                    }
+                    Err(e) => {
+                        failure = Some((pba, e));
+                        false
+                    }
+                },
+            )?;
+            match failure {
+                None => break,
+                Some((pba, e)) => {
+                    done = pba - first;
+                    match self.retry_read(pba, e) {
+                        Ok(sector) => {
+                            hasher.update(&pba.to_le_bytes());
+                            hasher.update(&sector.data);
+                            done += 1;
+                        }
+                        Err(source) => {
+                            self.quarantine_block(pba);
+                            return Err(SeroError::DataUnreadable { pba, source });
+                        }
+                    }
                 }
-                Err(source) => {
-                    failure = Some(SeroError::DataUnreadable { pba, source });
-                    false
-                }
-            },
-        )?;
-        match failure {
-            Some(e) => Err(e),
-            None => Ok(hasher.finalize()),
+            }
         }
+        Ok(hasher.finalize())
     }
 
     /// Heats `line`: the paper's atomic sequence — read, hash, burn,
@@ -1067,30 +1283,58 @@ impl SeroDevice {
         }
 
         // Recompute the digest, streaming the data blocks through the
-        // hasher in one extent read and collecting unreadable blocks as
-        // evidence.
+        // hasher and collecting unreadable blocks as evidence. A faulting
+        // block is retried alone before any evidence is minted — a
+        // transient fault must not masquerade as tampering — and only a
+        // block that exhausts its retries becomes `UnreadableDataBlock`
+        // evidence (and quarantined hardware).
         let mut hasher = Sha256::new();
         hasher.update(LINE_HASH_DOMAIN);
         hasher.update(&[line.order() as u8]);
         hasher.update(&line.start().to_le_bytes());
+        let first = line.start() + 1;
+        let total = line.len() - 1;
         let mut unreadable = false;
-        self.probe
-            .read_blocks_with(line.start() + 1, line.len() - 1, |pba, sector| {
-                match sector {
+        let mut done = 0u64;
+        while done < total {
+            let mut failure: Option<(u64, SectorError)> = None;
+            self.probe.read_blocks_with(
+                first + done,
+                total - done,
+                |pba, sector| match sector {
                     Ok(sector) => {
                         hasher.update(&pba.to_le_bytes());
                         hasher.update(&sector.data);
+                        true
                     }
                     Err(e) => {
-                        unreadable = true;
-                        report.push(Evidence::UnreadableDataBlock {
-                            pba,
-                            reason: e.to_string(),
-                        });
+                        failure = Some((pba, e));
+                        false
                     }
+                },
+            )?;
+            match failure {
+                None => break,
+                Some((pba, e)) => {
+                    done = pba - first;
+                    match self.retry_read(pba, e) {
+                        Ok(sector) => {
+                            hasher.update(&pba.to_le_bytes());
+                            hasher.update(&sector.data);
+                        }
+                        Err(e) => {
+                            self.quarantine_block(pba);
+                            unreadable = true;
+                            report.push(Evidence::UnreadableDataBlock {
+                                pba,
+                                reason: e.to_string(),
+                            });
+                        }
+                    }
+                    done += 1;
                 }
-                true
-            })?;
+            }
+        }
         if unreadable {
             self.flag_line(line);
             return Ok(VerifyOutcome::Tampered(report));

@@ -1,0 +1,72 @@
+//! Fault tolerance above the injection layer: retry policy and the
+//! quarantine discipline.
+//!
+//! The fault *injection* machinery lives in [`sero_probe::faults`] — at
+//! the sector choke points, below every protocol check — and is
+//! re-exported here so SERO-level code can arm a [`FaultPlan`] without
+//! reaching into the probe crate. What this module adds is the *survival*
+//! side of the contract:
+//!
+//! * [`RetryPolicy`] — how many bounded attempts [`crate::SeroDevice`]
+//!   gives a faulting sector before declaring it persistently bad.
+//! * The quarantine discipline (implemented on
+//!   [`crate::SeroDevice`]): a block that exhausts its retries is added
+//!   to the quarantine set and, if it lies inside a registered line, the
+//!   line is flagged — feeding the incremental-scrub delta the same way
+//!   refused protocol accesses do. The device keeps serving everything
+//!   else; "tamper evidence, never silence" extends to "typed errors,
+//!   never a wedge".
+//!
+//! The invariant the fault proptests pin (`tests/fault_props.rs`): under
+//! an arbitrary seeded [`FaultPlan`], every operation either returns the
+//! correct result or a typed error, and tamper evidence plus the final
+//! registry match a fault-free twin — modulo quarantined lines, which
+//! must always be flagged.
+
+pub use sero_probe::faults::{FaultPlan, FaultStats, PPM};
+
+/// Bounded-retry policy for transient sector faults.
+///
+/// `max_attempts` counts the *total* tries, first included: `1` disables
+/// retry entirely, the default `3` gives two re-reads/re-writes — enough
+/// for the depth-1 transient faults channel noise produces, while a
+/// persistently dead block still fails in bounded time and moves to
+/// quarantine instead of wedging the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per sector operation (≥ 1).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_attempts: 3 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — the pre-fault-layer behaviour,
+    /// useful for tests pinning first-failure semantics.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1 }
+    }
+
+    /// A policy with `max_attempts` total tries (clamped to ≥ 1).
+    pub fn attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_clamps_to_at_least_one_attempt() {
+        assert_eq!(RetryPolicy::attempts(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+        assert_eq!(RetryPolicy::default().max_attempts, 3);
+    }
+}

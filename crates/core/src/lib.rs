@@ -16,6 +16,9 @@
 //!   analysis.
 //! * [`badblock`] — classification that never mistakes a heated block for
 //!   a bad one (§3's addressing discussion).
+//! * [`faults`] — bounded-retry policy over the seeded fault-injection
+//!   plans of [`sero_probe::faults`]; persistently failing blocks move to
+//!   quarantine (suspect + flagged) instead of wedging the device.
 //! * [`scrub`] — whole-device verification of every heated line, sharded
 //!   over parallel workers (the §5.2 fsck argument made routine).
 //! * [`sched`] — background scrub scheduling under live foreground
@@ -50,6 +53,7 @@
 pub mod admission;
 pub mod badblock;
 pub mod device;
+pub mod faults;
 pub mod fleet;
 pub mod journal;
 pub mod layout;
@@ -61,6 +65,7 @@ pub mod tamper;
 
 pub use admission::{AdmissionQueues, AdmissionStats, FgOp, FgResult, RegionMap, Ticket};
 pub use device::{LoadProbe, SeroDevice, SeroError};
+pub use faults::{FaultPlan, FaultStats, RetryPolicy};
 pub use fleet::{AdaptiveBudget, FleetConfig, FleetScheduler, FleetSliceOutcome};
 pub use line::Line;
 pub use locks::{LineLockTable, LineReadGuard, LineWriteGuard};
@@ -77,6 +82,7 @@ pub mod prelude {
     };
     pub use crate::badblock::{classify_block, BlockClass};
     pub use crate::device::{LineRecord, LoadProbe, SeroDevice, SeroError, SeroStats};
+    pub use crate::faults::{FaultPlan, FaultStats, RetryPolicy};
     pub use crate::fleet::{
         AdaptiveBudget, FleetConfig, FleetMemberState, FleetOrdering, FleetProgress,
         FleetScheduler, FleetSliceOutcome,

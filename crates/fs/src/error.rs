@@ -51,6 +51,13 @@ pub enum FsError {
         /// What failed.
         reason: String,
     },
+    /// The file system is in degraded mode — some blocks are quarantined
+    /// after persistent device faults — so mutating operations are
+    /// refused. Reads, `stat`, `list`, and verification keep working.
+    Degraded {
+        /// Number of quarantined blocks behind the refusal.
+        quarantined_blocks: u64,
+    },
 }
 
 impl fmt::Display for FsError {
@@ -73,6 +80,12 @@ impl fmt::Display for FsError {
             }
             FsError::BadName { name } => write!(f, "bad file name {name:?}"),
             FsError::Corrupt { reason } => write!(f, "corrupt file system: {reason}"),
+            FsError::Degraded { quarantined_blocks } => {
+                write!(
+                    f,
+                    "degraded mode: {quarantined_blocks} quarantined blocks; writes refused, reads and verify still served"
+                )
+            }
         }
     }
 }
@@ -112,6 +125,9 @@ mod tests {
                 name: String::new(),
             },
             FsError::Corrupt { reason: "r".into() },
+            FsError::Degraded {
+                quarantined_blocks: 1,
+            },
         ];
         for e in all {
             assert!(!format!("{e}").is_empty());

@@ -113,6 +113,9 @@ pub struct FileInfo {
     pub blocks: usize,
     /// Modification time.
     pub mtime: u64,
+    /// True when the file system is in degraded mode (quarantined blocks
+    /// on the device): reads and verification are served, writes refused.
+    pub degraded: bool,
 }
 
 /// The SERO-aware log-structured file system.
@@ -379,7 +382,26 @@ impl SeroFs {
             heated: inode.heated,
             blocks: inode.blocks.len(),
             mtime: inode.mtime,
+            degraded: self.is_degraded(),
         })
+    }
+
+    /// True when the underlying device has quarantined blocks. In
+    /// degraded mode the file system keeps serving reads, `stat`, `list`,
+    /// `verify`, and scrubs, but refuses mutating operations with
+    /// [`FsError::Degraded`] — an archive that can no longer write
+    /// trustworthily must stay readable and auditable, never wedge.
+    pub fn is_degraded(&self) -> bool {
+        self.dev.is_degraded()
+    }
+
+    fn check_degraded(&mut self) -> Result<(), FsError> {
+        if self.dev.is_degraded() {
+            return Err(FsError::Degraded {
+                quarantined_blocks: self.dev.quarantined_count(),
+            });
+        }
+        Ok(())
     }
 
     fn lookup(&self, name: &str) -> Result<&Inode, FsError> {
@@ -445,6 +467,7 @@ impl SeroFs {
     /// [`FsError::Exists`], [`FsError::BadName`],
     /// [`FsError::FileTooLarge`], [`FsError::NoSpace`], device errors.
     pub fn create(&mut self, name: &str, data: &[u8], class: WriteClass) -> Result<u64, FsError> {
+        self.check_degraded()?;
         if name.is_empty() || name.len() > MAX_NAME_BYTES {
             return Err(FsError::BadName {
                 name: name.to_string(),
@@ -504,6 +527,7 @@ impl SeroFs {
     /// re-verifies it: an overwrite attempt on frozen data is exactly the
     /// activity a scrub should chase.
     pub fn write(&mut self, name: &str, data: &[u8], class: WriteClass) -> Result<(), FsError> {
+        self.check_degraded()?;
         let ino = {
             let inode = self.lookup(name)?;
             if let Some(line) = inode.heated {
@@ -540,6 +564,7 @@ impl SeroFs {
     /// writing the inode, which will be tamper-evident", so the protocol
     /// refuses outright and flags the line for the next incremental scrub.
     pub fn remove(&mut self, name: &str) -> Result<(), FsError> {
+        self.check_degraded()?;
         let ino = {
             let inode = self.lookup(name)?;
             if let Some(line) = inode.heated {
@@ -581,10 +606,11 @@ impl SeroFs {
         let ino = {
             let inode = self.lookup(name)?;
             if let Some(line) = inode.heated {
-                return Ok(line); // idempotent
+                return Ok(line); // idempotent (and safe while degraded)
             }
             inode.ino
         };
+        self.check_degraded()?;
         let (old_blocks, size, needs_indirect) = {
             let inode = &self.inodes[&ino];
             (

@@ -58,6 +58,7 @@ impl From<FsError> for WireError {
             FsError::FileTooLarge { .. } => ErrorCode::FileTooLarge,
             FsError::BadName { .. } => ErrorCode::BadName,
             FsError::Corrupt { .. } => ErrorCode::Corrupt,
+            FsError::Degraded { .. } => ErrorCode::Degraded,
         };
         WireError::new(code, e)
     }
@@ -134,6 +135,7 @@ impl SeroFs {
                     blocks: info.blocks as u64,
                     mtime: info.mtime,
                     heated: info.heated.map(Into::into),
+                    degraded: info.degraded,
                 }),
                 Err(e) => Response::Error(e.into()),
             },
@@ -321,6 +323,8 @@ impl SeroFs {
             ewma_busy_ns: probe.ewma_busy_ns(),
             utilization_ppm: (probe.utilization() * 1_000_000.0) as u32,
             device_clock_ns: wire_ns(dev.probe().clock().elapsed_ns()),
+            quarantined_blocks: dev.quarantined_count(),
+            degraded: dev.is_degraded(),
         }
     }
 }

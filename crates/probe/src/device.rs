@@ -32,6 +32,7 @@
 //! ```
 
 use crate::actuator::Actuator;
+use crate::faults::{FaultPlan, FaultState, FaultStats};
 use crate::sector::{
     DecodedSector, SectorCodec, SectorError, DATA_AREA_DOTS, DATA_AREA_FIRST_DOT, ELECTRICAL_CELLS,
     SECTOR_DATA_BYTES, SECTOR_DOTS, SECTOR_TOTAL_BYTES,
@@ -196,6 +197,7 @@ impl ProbeDeviceBuilder {
             probes: self.probes,
             blocks: self.blocks,
             rng: StdRng::seed_from_u64(self.seed),
+            faults: None,
         }
     }
 }
@@ -217,6 +219,9 @@ pub struct ProbeDevice {
     pub(crate) probes: u32,
     pub(crate) blocks: u64,
     pub(crate) rng: StdRng,
+    /// Armed fault-injection state, if any. Owns its own RNG, so arming
+    /// a plan never perturbs the channel-noise stream above.
+    pub(crate) faults: Option<FaultState>,
 }
 
 impl ProbeDevice {
@@ -267,6 +272,49 @@ impl ProbeDevice {
         &mut self.medium
     }
 
+    // --- fault injection --------------------------------------------------
+
+    /// Arms a seeded [`FaultPlan`]: bit-rot flips are applied to the
+    /// medium immediately, and every later sector read/write and seek
+    /// consults the plan at the same choke points real hardware faults
+    /// would surface through. Replaces any previously armed plan.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        let mut rotted = 0u64;
+        for &(pba, offset) in &plan.bit_rot {
+            if pba >= self.blocks {
+                continue;
+            }
+            let dot = self.block_first_dot(pba)
+                + DATA_AREA_FIRST_DOT as u64
+                + (offset as u64 % DATA_AREA_DOTS as u64);
+            // Heated dots cannot rot by magnetic decay — write_mag on
+            // them is refused, which is exactly the physical model.
+            if let Some(bit) = self.medium.state(dot).magnetic_bit() {
+                self.medium.write_mag(dot, !bit);
+                rotted += 1;
+            }
+        }
+        let mut state = FaultState::new(plan);
+        state.note_rotted(rotted);
+        self.faults = Some(state);
+    }
+
+    /// Disarms fault injection. Already-applied bit rot stays on the
+    /// medium (flips are physical, not scheduled).
+    pub fn disarm_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// The armed plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(FaultState::plan)
+    }
+
+    /// Counters of injected faults since the current plan was armed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(FaultState::stats)
+    }
+
     /// First dot index of block `pba`.
     pub fn block_first_dot(&self, pba: u64) -> u64 {
         pba * SECTOR_DOTS as u64
@@ -293,6 +341,10 @@ impl ProbeDevice {
         let ns = self.actuator.seek(pba as u32, 0);
         self.clock.advance(ns);
         self.counters.seeks += 1;
+        let stall = self.faults.as_mut().map_or(0, FaultState::on_seek);
+        if stall > 0 {
+            self.clock.advance(stall);
+        }
     }
 
     /// Streams the sled forward from its current row to block `pba`'s track
@@ -503,6 +555,12 @@ impl ProbeDevice {
         self.clock.advance(ns);
         self.counters.mrb += SECTOR_DOTS as u64;
         self.counters.mrs += 1;
+        // Fault injection sits after the physical read so the clock,
+        // counters, and channel RNG advance exactly as on a fault-free
+        // twin; only the decoded result is withheld.
+        if let Some(err) = self.faults.as_mut().and_then(|f| f.on_read(pba)) {
+            return Err(err);
+        }
         self.codec.decode(pba, &raw, &erased)
     }
 
@@ -566,8 +624,15 @@ impl ProbeDevice {
         self.clock.advance(ns);
         self.counters.mwb += SECTOR_DOTS as u64;
         self.counters.mws += 1;
+        // Injected write faults are phantom unwritable dots: the data
+        // landed on the medium, but the report claims heat damage — the
+        // same signal real stuck-at dots produce.
+        let phantom = self
+            .faults
+            .as_mut()
+            .map_or(0, |faults| faults.on_write(pba));
         WriteReport {
-            unwritable_dots: unwritable,
+            unwritable_dots: unwritable + phantom,
         }
     }
 

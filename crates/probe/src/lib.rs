@@ -21,6 +21,9 @@
 //!   batched `ers_cells_blocks` prefix probes, and the
 //!   `ers_sieve_blocks_with` prefix sieve registry scans run on — one
 //!   sweep per gap, candidates escalated to a full scan in place.
+//! * [`faults`] — deterministic, seeded fault injection at the sector
+//!   choke points: transient/persistent read and write faults, sled
+//!   stalls, and bit rot, armed via `ProbeDevice::arm_faults`.
 //!
 //! # Examples
 //!
@@ -43,10 +46,12 @@ pub mod actuator;
 pub mod device;
 pub mod escan;
 pub mod extent;
+pub mod faults;
 pub mod sector;
 pub mod timing;
 
 pub use device::{DotProbe, EwsReport, ProbeDevice, ProbeDeviceBuilder, WriteReport};
+pub use faults::{FaultPlan, FaultStats};
 pub use sector::{DecodedSector, SectorError, SECTOR_DATA_BYTES};
 
 #[cfg(test)]

@@ -71,6 +71,10 @@ pub struct WireFileInfo {
     pub mtime: u64,
     /// Protecting line, when heated.
     pub heated: Option<WireLine>,
+    /// True when the serving file system is in degraded mode
+    /// (quarantined blocks): reads and verification still work, mutating
+    /// commands answer [`ErrorCode::Degraded`].
+    pub degraded: bool,
 }
 
 /// Verify verdicts that are *not* errors. Tamper evidence never takes
@@ -186,6 +190,10 @@ pub struct WireMemberStatus {
     pub utilization_ppm: u32,
     /// The device clock.
     pub device_clock_ns: u64,
+    /// Blocks quarantined after persistent faults.
+    pub quarantined_blocks: u64,
+    /// True when the member is in degraded mode (writes refused).
+    pub degraded: bool,
 }
 
 // --- the command set ---------------------------------------------------------
@@ -682,6 +690,7 @@ impl Response {
                         enc_line(&mut e, line);
                     }
                 }
+                e.bool(info.degraded);
             }
             Response::Names { names } => {
                 e = Enc::new(7);
@@ -767,6 +776,8 @@ impl Response {
                     e.u64(m.ewma_busy_ns);
                     e.u32(m.utilization_ppm);
                     e.u64(m.device_clock_ns);
+                    e.u64(m.quarantined_blocks);
+                    e.bool(m.degraded);
                 }
             }
             Response::RawWritten => e = Enc::new(14),
@@ -813,6 +824,7 @@ impl Response {
                     blocks,
                     mtime,
                     heated,
+                    degraded: d.bool()?,
                 })
             }
             7 => {
@@ -884,6 +896,8 @@ impl Response {
                         ewma_busy_ns: d.u64()?,
                         utilization_ppm: d.u32()?,
                         device_clock_ns: d.u64()?,
+                        quarantined_blocks: d.u64()?,
+                        degraded: d.bool()?,
                     });
                 }
                 Response::FleetStatus { members }
@@ -979,6 +993,7 @@ mod tests {
                 blocks: 3,
                 mtime: 4,
                 heated: Some(WireLine { start: 8, order: 3 }),
+                degraded: false,
             }),
             Response::Stat(WireFileInfo {
                 ino: 1,
@@ -986,6 +1001,7 @@ mod tests {
                 blocks: 3,
                 mtime: 4,
                 heated: None,
+                degraded: true,
             }),
             Response::Names {
                 names: vec!["x".into(), "y".into()],
@@ -1035,6 +1051,8 @@ mod tests {
                     ewma_busy_ns: 2500,
                     utilization_ppm: 500_000,
                     device_clock_ns: 1_000_000,
+                    quarantined_blocks: 2,
+                    degraded: true,
                 }],
             },
             Response::RawWritten,

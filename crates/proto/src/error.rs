@@ -35,6 +35,10 @@ pub enum ErrorCode {
     BadName = 6,
     /// An on-device structure failed to parse.
     Corrupt = 7,
+    /// The file system is in degraded mode (quarantined blocks after
+    /// persistent device faults): mutating commands are refused while
+    /// reads, `stat`, `list`, and verification keep working.
+    Degraded = 8,
 
     // --- device layer (SeroError) ---------------------------------------
     /// A sector-level failure (ECC, CRC, address check, out of range).
@@ -90,7 +94,7 @@ pub enum ErrorCode {
 
 impl ErrorCode {
     /// Every code, for table tests and documentation generators.
-    pub const ALL: [ErrorCode; 26] = [
+    pub const ALL: [ErrorCode; 27] = [
         ErrorCode::NotFound,
         ErrorCode::Exists,
         ErrorCode::ReadOnlyFile,
@@ -98,6 +102,7 @@ impl ErrorCode {
         ErrorCode::FileTooLarge,
         ErrorCode::BadName,
         ErrorCode::Corrupt,
+        ErrorCode::Degraded,
         ErrorCode::SectorIo,
         ErrorCode::BadLine,
         ErrorCode::HashBlockAccess,
@@ -139,6 +144,7 @@ impl ErrorCode {
             ErrorCode::FileTooLarge => "file-too-large",
             ErrorCode::BadName => "bad-name",
             ErrorCode::Corrupt => "corrupt",
+            ErrorCode::Degraded => "degraded",
             ErrorCode::SectorIo => "sector-io",
             ErrorCode::BadLine => "bad-line",
             ErrorCode::HashBlockAccess => "hash-block-access",

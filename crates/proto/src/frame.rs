@@ -59,6 +59,10 @@ pub enum FrameError {
     Io {
         /// The I/O error's rendering.
         reason: String,
+        /// True when the failure was a read/write deadline expiring
+        /// (`WouldBlock`/`TimedOut`), so servers can reap idle peers and
+        /// clients can retry idempotent requests.
+        timed_out: bool,
     },
     /// The first four bytes are not [`FRAME_MAGIC`].
     BadMagic {
@@ -105,7 +109,13 @@ pub enum FrameError {
 impl fmt::Display for FrameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FrameError::Io { reason } => write!(f, "frame transport error: {reason}"),
+            FrameError::Io { reason, timed_out } => {
+                if *timed_out {
+                    write!(f, "frame transport timeout: {reason}")
+                } else {
+                    write!(f, "frame transport error: {reason}")
+                }
+            }
             FrameError::BadMagic { found } => {
                 write!(f, "bad frame magic {found:02x?}, want {FRAME_MAGIC:02x?}")
             }
@@ -138,9 +148,27 @@ impl fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
+impl FrameError {
+    /// True when this error is a transport deadline expiring, as opposed
+    /// to a dead peer or corrupt bytes.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io {
+                timed_out: true,
+                ..
+            }
+        )
+    }
+}
+
 impl From<std::io::Error> for FrameError {
     fn from(e: std::io::Error) -> FrameError {
         FrameError::Io {
+            timed_out: matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
             reason: e.to_string(),
         }
     }
@@ -250,6 +278,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(FrameKind, Vec<u8>)>, Fr
             Ok(0) => {
                 return Err(FrameError::Io {
                     reason: format!("connection closed {filled} bytes into a frame header"),
+                    timed_out: false,
                 })
             }
             Ok(n) => filled += n,

@@ -3,7 +3,12 @@
 //! ```text
 //! sero-server [--addr HOST:PORT] [--blocks N] [--pool naive|shared]
 //!             [--threads N] [--allow-raw]
+//!             [--read-timeout-ms N] [--write-timeout-ms N]
 //! ```
+//!
+//! `--read-timeout-ms` / `--write-timeout-ms` set the per-connection
+//! socket deadlines (0 disables); an idle or stalled peer past its read
+//! deadline is reaped rather than pinning a worker.
 //!
 //! `--allow-raw` additionally serves the raw-write attack surface, for
 //! tamper drills (the CI smoke test heats a file, raw-writes into its
@@ -18,6 +23,11 @@ struct Args {
     addr: String,
     blocks: u64,
     config: ServerConfig,
+}
+
+fn parse_timeout_ms(s: &str) -> Result<Option<std::time::Duration>, String> {
+    let ms: u64 = s.parse().map_err(|e| format!("{e}"))?;
+    Ok((ms > 0).then(|| std::time::Duration::from_millis(ms)))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,9 +59,18 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?;
             }
             "--allow-raw" => args.config.allow_raw = true,
+            "--read-timeout-ms" => {
+                args.config.read_timeout = parse_timeout_ms(&value("--read-timeout-ms")?)
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))?;
+            }
+            "--write-timeout-ms" => {
+                args.config.write_timeout = parse_timeout_ms(&value("--write-timeout-ms")?)
+                    .map_err(|e| format!("--write-timeout-ms: {e}"))?;
+            }
             "--help" | "-h" => {
                 return Err("usage: sero-server [--addr HOST:PORT] [--blocks N] \
-                     [--pool naive|shared] [--threads N] [--allow-raw]"
+                     [--pool naive|shared] [--threads N] [--allow-raw] \
+                     [--read-timeout-ms N] [--write-timeout-ms N]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),

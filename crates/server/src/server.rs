@@ -10,6 +10,11 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::Duration;
+
+/// How long the accept loop sleeps between polls of a quiet listener;
+/// also the bound on how stale a shutdown check can get.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
 /// Which connection-handling pool the daemon uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +38,13 @@ pub struct ServerConfig {
     /// daemon refuses raw writes with
     /// [`ErrorCode::UnsupportedCommand`].
     pub allow_raw: bool,
+    /// Per-connection read deadline. A peer that goes quiet mid-frame
+    /// (or idles between frames) past this is reaped — its worker goes
+    /// back to the pool instead of blocking forever. `None` disables.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write deadline. A peer that stops draining
+    /// responses cannot pin a worker in `write_all`. `None` disables.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -41,6 +53,8 @@ impl Default for ServerConfig {
             pool: PoolKind::SharedQueue,
             threads: 4,
             allow_raw: false,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
         }
     }
 }
@@ -114,14 +128,28 @@ impl SeroServer {
         // them: a worker blocked in read_frame on an idle connection
         // would otherwise pin the pool's drop-join forever.
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
-        for stream in self.listener.incoming() {
+        // A non-blocking listener bounds the shutdown check: a quiet
+        // listener polls every ACCEPT_POLL instead of parking in accept
+        // until a connection (possibly never) arrives.
+        self.listener.set_nonblocking(true)?;
+        loop {
             if self.stop.load(Ordering::SeqCst) {
                 break;
             }
-            let stream = match stream {
-                Ok(s) => s,
+            let stream = match self.listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(ACCEPT_POLL);
+                    continue;
+                }
                 Err(_) => continue, // transient accept failure
             };
+            // Accepted sockets may inherit the listener's non-blocking
+            // mode on some platforms; the frame loop wants deadlines,
+            // not busy-waiting.
+            let _ = stream.set_nonblocking(false);
+            let _ = stream.set_read_timeout(self.config.read_timeout);
+            let _ = stream.set_write_timeout(self.config.write_timeout);
             if let (Ok(clone), Ok(mut held)) = (stream.try_clone(), conns.lock()) {
                 held.push(clone);
             }
@@ -167,8 +195,8 @@ impl ServerHandle {
     /// already being served finish their current request.
     pub fn shutdown(self) {
         self.stop.store(true, Ordering::SeqCst);
-        // The accept loop only observes the flag after an accept returns;
-        // a throwaway connection wakes it.
+        // The polling accept loop notices the flag within ACCEPT_POLL on
+        // its own; a throwaway connection just wakes it immediately.
         let _ = TcpStream::connect(self.addr);
         let _ = self.thread.join();
     }
@@ -176,7 +204,9 @@ impl ServerHandle {
 
 /// Serves one connection: a loop of read-frame → dispatch → write-frame.
 /// Frame-level failures answer a best-effort error response and close;
-/// command-level failures answer [`Response::Error`] and keep going.
+/// command-level failures answer [`Response::Error`] and keep going. A
+/// read deadline expiring is the idle/stalled-peer reap: the connection
+/// closes silently and the worker returns to the pool.
 fn serve_connection(stream: TcpStream, fs: &ConcurrentFs, allow_raw: bool) {
     let mut reader = match stream.try_clone() {
         Ok(r) => r,
@@ -186,7 +216,8 @@ fn serve_connection(stream: TcpStream, fs: &ConcurrentFs, allow_raw: bool) {
     loop {
         let (kind, payload) = match read_frame(&mut reader) {
             Ok(Some(frame)) => frame,
-            Ok(None) => return, // clean EOF between frames
+            Ok(None) => return,                 // clean EOF between frames
+            Err(e) if e.is_timeout() => return, // idle/stalled peer: reap
             Err(e) => {
                 let resp = Response::Error(WireError::from(e));
                 let _ = write_frame(&mut writer, FrameKind::Response, &resp.encode());

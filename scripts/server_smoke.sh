@@ -7,6 +7,16 @@
 # locally as `./scripts/server_smoke.sh ./target/release`.
 set -euo pipefail
 
+# Watchdog: a wedged server or a CLI blocked on a dead socket must fail
+# this drill loudly, not hang the job. Re-exec the whole script under
+# timeout(1), which signals the entire process group — stray CLI
+# grandchildren included — and hard-kills whatever survives the grace.
+SMOKE_TIMEOUT="${SMOKE_TIMEOUT:-120}"
+if [ -z "${SMOKE_WATCHDOG:-}" ] && command -v timeout >/dev/null 2>&1; then
+  export SMOKE_WATCHDOG=1
+  exec timeout --kill-after=10 "$SMOKE_TIMEOUT" "$0" "$@"
+fi
+
 BIN_DIR="${1:-./target/release}"
 SERVER="$BIN_DIR/sero-server"
 CLI="$BIN_DIR/sero-cli"
@@ -16,9 +26,21 @@ export SERO_ADDR="$ADDR"
 [ -x "$SERVER" ] || { echo "missing $SERVER (build with: cargo build --release -p sero-server)"; exit 1; }
 [ -x "$CLI" ] || { echo "missing $CLI (build with: cargo build --release -p sero-client)"; exit 1; }
 
+SERVER_PID=""
+CLIENT_PIDS=()
+cleanup() {
+  # Reap stray CLI children first so none outlives the server they talk to.
+  if [ "${#CLIENT_PIDS[@]}" -gt 0 ]; then
+    kill "${CLIENT_PIDS[@]}" 2>/dev/null || true
+  fi
+  if [ -n "$SERVER_PID" ]; then
+    kill "$SERVER_PID" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
 "$SERVER" --addr "$ADDR" --blocks 2048 --allow-raw &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
 
 # Wait for the listener.
 for _ in $(seq 1 50); do
@@ -36,7 +58,6 @@ echo "== basic round trip =="
 "$CLI" ls | grep -qx ledger
 
 echo "== 8 concurrent clients =="
-CLIENT_PIDS=()
 for c in $(seq 1 8); do
   (
     for i in $(seq 1 10); do
@@ -49,6 +70,7 @@ done
 for pid in "${CLIENT_PIDS[@]}"; do
   wait "$pid"
 done
+CLIENT_PIDS=()
 for c in $(seq 1 8); do
   [ "$("$CLI" get "key-$c")" = "value-$c-10" ]
 done

@@ -1,0 +1,173 @@
+//! Degraded-mode operation end-to-end: when persistent faults put
+//! blocks in quarantine, the file system keeps serving reads, `stat`,
+//! `list`, and verification, refuses every mutation with the typed
+//! [`FsError::Degraded`] / wire [`ErrorCode::Degraded`], and reports its
+//! state through `stat` and `FleetStatus` — it degrades loudly instead
+//! of wedging or lying.
+
+use sero::core::faults::FaultPlan;
+use sero::fs::error::FsError;
+use sero::fs::fs::{FsConfig, SeroFs};
+use sero::proto::{ErrorCode, Request, Response, WireClass};
+
+fn fresh(blocks: u64) -> SeroFs {
+    SeroFs::format(
+        sero::core::device::SeroDevice::with_blocks(blocks),
+        FsConfig::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn transient_faults_stay_invisible_to_the_fs() {
+    let mut fs = fresh(256);
+    let body = vec![0x3C; 1400];
+    fs.create("journal", &body, sero::fs::alloc::WriteClass::Archival)
+        .unwrap();
+    let line = fs
+        .heat("journal", b"sealed".to_vec(), 1_199_145_600)
+        .unwrap();
+
+    // One flaky attempt on every data block of the line: the device
+    // retry absorbs them all before the fs ever sees an error.
+    let mut plan = FaultPlan::none();
+    for pba in line.data_blocks() {
+        plan = plan.flaky_read(pba, 1);
+    }
+    fs.device_mut().probe_mut().arm_faults(plan);
+    assert_eq!(fs.read("journal").unwrap(), body);
+    assert!(fs.device().probe().fault_stats().unwrap().read_faults > 0);
+    assert!(!fs.is_degraded());
+    assert!(!fs.stat("journal").unwrap().degraded);
+}
+
+#[test]
+fn quarantine_flips_the_fs_into_degraded_mode() {
+    let mut fs = fresh(256);
+    fs.create(
+        "ledger",
+        &[7u8; 1200],
+        sero::fs::alloc::WriteClass::Archival,
+    )
+    .unwrap();
+    fs.create("scratch", b"mutable", sero::fs::alloc::WriteClass::Normal)
+        .unwrap();
+    let line = fs.heat("ledger", b"audit".to_vec(), 1_199_145_600).unwrap();
+
+    // Dead data blocks inside the heated line (the file lives somewhere
+    // in it): the read exhausts the retry budget, quarantines the
+    // culprit, and flags the line.
+    let mut plan = FaultPlan::none();
+    for pba in line.data_blocks() {
+        plan = plan.dead_read(pba);
+    }
+    fs.device_mut().probe_mut().arm_faults(plan);
+    assert!(
+        matches!(fs.read("ledger"), Err(FsError::Device(_))),
+        "dead block surfaces typed, not silent"
+    );
+    assert!(fs.device().quarantined_count() >= 1);
+    assert!(fs.is_degraded());
+
+    // Mutations are refused with the typed degraded error…
+    for err in [
+        fs.write("scratch", b"update", sero::fs::alloc::WriteClass::Normal)
+            .unwrap_err(),
+        fs.create("new-file", b"x", sero::fs::alloc::WriteClass::Normal)
+            .unwrap_err(),
+        fs.remove("scratch").unwrap_err(),
+    ] {
+        match err {
+            FsError::Degraded { quarantined_blocks } => assert!(quarantined_blocks >= 1),
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+    }
+
+    // …while reads, stat, list, and verification keep serving.
+    assert_eq!(fs.read("scratch").unwrap(), b"mutable");
+    assert!(fs.stat("scratch").unwrap().degraded);
+    assert!(fs.list().contains(&"scratch".to_string()));
+    assert!(fs.verify("scratch").is_ok());
+    // Re-heating an already-heated file is idempotent and still allowed.
+    assert_eq!(
+        fs.heat("ledger", b"audit".to_vec(), 1_199_145_600).unwrap(),
+        line
+    );
+    // The flagged line feeds the scrub delta: the registry shows it.
+    assert!(
+        fs.device()
+            .heated_lines()
+            .any(|r| r.line == line && r.flagged),
+        "quarantined line must be flagged for the next scrub"
+    );
+
+    // Recovery: disarm + clear quarantine restores full service.
+    fs.device_mut().probe_mut().disarm_faults();
+    let quarantined: Vec<u64> = fs.device().quarantined_blocks().collect();
+    for pba in quarantined {
+        assert!(fs.device_mut().clear_quarantine(pba));
+    }
+    assert!(!fs.is_degraded());
+    fs.write("scratch", b"update", sero::fs::alloc::WriteClass::Normal)
+        .unwrap();
+    assert_eq!(fs.read("scratch").unwrap(), b"update");
+}
+
+#[test]
+fn degraded_mode_crosses_the_wire() {
+    let mut fs = fresh(256);
+    fs.handle(Request::Create {
+        name: "vault".into(),
+        data: vec![9u8; 1100],
+        class: WireClass::Archival,
+    });
+    let line = match fs.handle(Request::Heat {
+        name: "vault".into(),
+        metadata: b"case".to_vec(),
+        timestamp: 1,
+    }) {
+        Response::Heated { line } => line,
+        other => panic!("{other:?}"),
+    };
+
+    let mut plan = FaultPlan::none();
+    for pba in line.to_line().unwrap().data_blocks() {
+        plan = plan.dead_read(pba);
+    }
+    fs.device_mut().probe_mut().arm_faults(plan);
+    // Trip quarantine through the wire path itself.
+    match fs.handle(Request::Read {
+        name: "vault".into(),
+    }) {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::SectorIo),
+        other => panic!("{other:?}"),
+    }
+
+    // Writes answer the wire-stable degraded code with a helpful detail.
+    match fs.handle(Request::Create {
+        name: "blocked".into(),
+        data: b"x".to_vec(),
+        class: WireClass::Normal,
+    }) {
+        Response::Error(e) => {
+            assert_eq!(e.code, ErrorCode::Degraded);
+            assert!(e.detail.contains("quarantined"), "{}", e.detail);
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // Stat and FleetStatus both carry the degraded signal.
+    match fs.handle(Request::Stat {
+        name: "vault".into(),
+    }) {
+        Response::Stat(info) => assert!(info.degraded),
+        other => panic!("{other:?}"),
+    }
+    match fs.handle(Request::FleetStatus) {
+        Response::FleetStatus { members } => {
+            assert!(members[0].degraded);
+            assert!(members[0].quarantined_blocks >= 1);
+        }
+        other => panic!("{other:?}"),
+    }
+}

@@ -1,0 +1,326 @@
+//! The fault-injection invariant, pinned over arbitrary schedules:
+//! under any seeded [`FaultPlan`] — transient read/write faults, sled
+//! stalls, dead blocks, stuck dots, bit rot — every device operation
+//! returns either the **correct result** (byte-identical to a fault-free
+//! twin) or a **typed error**, never silent corruption and never a
+//! panic. Blocks whose faults outlast the retry budget land in
+//! quarantine, and a quarantined block's registered line is always
+//! flagged — so tamper evidence and scrub bookkeeping stay identical to
+//! the twin *modulo* quarantined lines, which are loud by construction.
+//!
+//! The CI fault matrix reruns this file across fixed seeds via
+//! `SERO_FAULT_SEED`, which offsets every fault-plan seed (the device
+//! seeds stay put, so the same storage sees different weather).
+
+use proptest::prelude::*;
+use sero::core::device::{SeroDevice, SeroError};
+use sero::core::faults::{FaultPlan, RetryPolicy};
+use sero::core::line::Line;
+use sero::core::scrub::{scrub_device, ScrubConfig};
+use sero::core::tamper::VerifyOutcome;
+use sero::probe::device::ProbeDevice;
+
+const T0: u64 = 1_199_145_600;
+
+/// CI matrix hook: every fault-plan seed is XORed with this offset.
+fn fault_seed(base: u64) -> u64 {
+    let offset = std::env::var("SERO_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    base ^ offset
+}
+
+fn pattern(pba: u64, salt: u8) -> [u8; 512] {
+    let mut s = [0u8; 512];
+    for (j, b) in s.iter_mut().enumerate() {
+        *b = (pba as u8).wrapping_mul(151).wrapping_add(j as u8) ^ salt;
+    }
+    s
+}
+
+/// A device with `slots` heated order-3 lines full of `pattern` data and
+/// one completed scrub pass. Built fault-free, so a pair constructed
+/// with the same arguments is byte-identical.
+fn seeded_device(seed: u64, salt: u8, slots: &[u64]) -> (SeroDevice, Vec<Line>) {
+    let mut dev = SeroDevice::new(ProbeDevice::builder().blocks(256).seed(seed).build());
+    let mut lines = Vec::new();
+    for &slot in slots {
+        let line = Line::new(slot * 8, 3).unwrap();
+        for pba in line.data_blocks() {
+            dev.write_block(pba, &pattern(pba, salt)).unwrap();
+        }
+        dev.heat_line(line, vec![salt], T0 + slot).unwrap();
+        lines.push(line);
+    }
+    scrub_device(&mut dev, &ScrubConfig::default()).unwrap();
+    (dev, lines)
+}
+
+fn bookkeeping(dev: &SeroDevice) -> Vec<(Line, u64, bool)> {
+    dev.heated_lines()
+        .map(|r| (r.line, r.verified_epoch, r.flagged))
+        .collect()
+}
+
+/// True when any block of `line` (hash block included) is quarantined.
+fn line_quarantined(dev: &SeroDevice, line: Line) -> bool {
+    line.blocks().any(|pba| dev.is_quarantined(pba))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Reads under an arbitrary transient-fault schedule: every
+    /// `read_block`, batch read, sweep read, and `verify_line` either
+    /// matches the fault-free twin exactly or fails typed with the
+    /// culprit quarantined — and every quarantined line is flagged.
+    #[test]
+    fn reads_under_faults_are_correct_or_typed_never_silent(
+        dev_seed in any::<u64>(),
+        salt in any::<u8>(),
+        raw_slots in proptest::collection::vec(0u64..24, 1..6),
+        plan_seed in any::<u64>(),
+        read_ppm in 0u32..60_000,
+        depth in 1u32..=2,
+        stall_ppm in 0u32..20_000,
+    ) {
+        let slots: std::collections::BTreeSet<u64> = raw_slots.into_iter().collect();
+        let slots: Vec<u64> = slots.into_iter().collect();
+        let (mut faulted, lines) = seeded_device(dev_seed, salt, &slots);
+        let (mut twin, _) = seeded_device(dev_seed, salt, &slots);
+
+        faulted.probe_mut().arm_faults(
+            FaultPlan::none()
+                .seed(fault_seed(plan_seed))
+                .transient_reads(read_ppm, depth)
+                .stalls(stall_ppm, 40_000),
+        );
+
+        // Single reads: correct bytes or typed error + quarantine.
+        for &line in &lines {
+            for pba in line.data_blocks() {
+                let want = twin.read_block(pba).unwrap();
+                match faulted.read_block(pba) {
+                    Ok(got) => prop_assert_eq!(got, want, "silent corruption at {}", pba),
+                    Err(SeroError::Sector(_)) => {
+                        prop_assert!(faulted.is_quarantined(pba));
+                    }
+                    Err(other) => prop_assert!(false, "untyped failure shape: {other:?}"),
+                }
+            }
+        }
+
+        // Batch + elevator-sweep paths (the torn-extent shape: faults
+        // strike mid-run). Either the whole batch matches or the call
+        // fails typed with the device degraded.
+        let all: Vec<u64> = lines.iter().flat_map(|l| l.data_blocks()).collect();
+        match (faulted.read_blocks(&all), twin.read_blocks(&all)) {
+            (Ok(got), Ok(want)) => prop_assert_eq!(got, want),
+            (Err(_), Ok(_)) => prop_assert!(faulted.is_degraded()),
+            (got, want) => prop_assert!(false, "twin disagrees: {got:?} vs {want:?}"),
+        }
+        match (faulted.read_blocks_sweep(&all), twin.read_blocks_sweep(&all)) {
+            (Ok(got), Ok(want)) => prop_assert_eq!(got, want),
+            (Err(_), Ok(_)) => prop_assert!(faulted.is_degraded()),
+            (got, want) => prop_assert!(false, "twin disagrees: {got:?} vs {want:?}"),
+        }
+
+        // Verification: a transient fault must never mint tamper
+        // evidence (retries absorb it); only quarantine-grade failures
+        // may — and then the line is flagged.
+        for &line in &lines {
+            let twin_ok = twin.verify_line(line).unwrap();
+            prop_assert!(matches!(twin_ok, VerifyOutcome::Intact { .. }));
+            match faulted.verify_line(line) {
+                Ok(VerifyOutcome::Intact { .. }) => {}
+                Ok(VerifyOutcome::Tampered(_)) => {
+                    prop_assert!(
+                        line_quarantined(&faulted, line),
+                        "evidence without quarantine under injected faults"
+                    );
+                }
+                Ok(other) => prop_assert!(false, "unexpected verdict: {other:?}"),
+                Err(_) => prop_assert!(faulted.is_degraded()),
+            }
+        }
+
+        // Registry equivalence modulo quarantined lines, which must be
+        // flagged. (Verified epochs can differ — the twin's clean pass
+        // bumps epochs the faulted device may have aborted — so compare
+        // the tamper-evidence shape: line set and flags.)
+        let twin_book = bookkeeping(&twin);
+        for (record, twin_record) in bookkeeping(&faulted).iter().zip(twin_book.iter()) {
+            prop_assert_eq!(record.0, twin_record.0, "line registry diverged");
+            if line_quarantined(&faulted, record.0) {
+                prop_assert!(record.2, "quarantined line not flagged");
+            } else {
+                prop_assert_eq!(record.2, twin_record.2, "flag diverged on a healthy line");
+            }
+        }
+
+        // Stalls only ever add device time, never subtract it. (Only
+        // comparable when nothing quarantined: an aborted batch does
+        // fewer physical reads than the twin.)
+        let stats = faulted.probe().fault_stats().unwrap();
+        if stats.stalls > 0 && !faulted.is_degraded() {
+            prop_assert!(
+                faulted.probe().clock().elapsed_ns() > twin.probe().clock().elapsed_ns()
+            );
+        }
+    }
+
+    /// The same plan over the same operations replays the same schedule:
+    /// fault counters, quarantine set, and every result agree between
+    /// two runs — the property CI's seed matrix depends on.
+    #[test]
+    fn same_seed_same_ops_replays_identically(
+        dev_seed in any::<u64>(),
+        salt in any::<u8>(),
+        raw_slots in proptest::collection::vec(0u64..24, 1..5),
+        plan_seed in any::<u64>(),
+        read_ppm in 0u32..80_000,
+        write_ppm in 0u32..80_000,
+    ) {
+        let slots: std::collections::BTreeSet<u64> = raw_slots.into_iter().collect();
+        let slots: Vec<u64> = slots.into_iter().collect();
+        let plan = FaultPlan::none()
+            .seed(fault_seed(plan_seed))
+            .transient_reads(read_ppm, 1)
+            .transient_writes(write_ppm, 48);
+
+        let mut results = Vec::new();
+        for _ in 0..2 {
+            let (mut dev, lines) = seeded_device(dev_seed, salt, &slots);
+            dev.probe_mut().arm_faults(plan.clone());
+            let mut outcomes: Vec<String> = Vec::new();
+            for &line in &lines {
+                for pba in line.data_blocks() {
+                    outcomes.push(format!("{:?}", dev.read_block(pba).map(|d| d[0])));
+                }
+            }
+            // Scratch writes in the free area exercise the write path.
+            for pba in 200..216 {
+                outcomes.push(format!("{:?}", dev.write_block(pba, &pattern(pba, salt))));
+            }
+            let stats = dev.probe().fault_stats().unwrap();
+            let quarantined: Vec<u64> = dev.quarantined_blocks().collect();
+            results.push((outcomes, stats.read_faults, stats.write_faults, quarantined));
+        }
+        prop_assert_eq!(&results[0], &results[1], "same seed, different schedule");
+    }
+}
+
+/// A block declared dead fails every read: the retry budget exhausts,
+/// the block is quarantined, its line is flagged (feeding the
+/// incremental-scrub delta), and the device degrades instead of wedging
+/// — while every other block still serves bytes identical to the twin.
+#[test]
+fn dead_block_quarantines_flags_and_degrades() {
+    let slots = [1u64, 3, 5];
+    let (mut faulted, lines) = seeded_device(0xD0A, 0x42, &slots);
+    let (mut twin, _) = seeded_device(0xD0A, 0x42, &slots);
+    let victim = lines[0].start() + 2;
+
+    faulted
+        .probe_mut()
+        .arm_faults(FaultPlan::none().seed(fault_seed(7)).dead_read(victim));
+
+    assert!(matches!(
+        faulted.read_block(victim),
+        Err(SeroError::Sector(_))
+    ));
+    assert!(faulted.is_quarantined(victim));
+    assert!(faulted.is_degraded());
+    let record = faulted
+        .heated_lines()
+        .find(|r| r.line == lines[0])
+        .expect("line registered");
+    assert!(record.flagged, "quarantined line must be flagged");
+
+    // Everything else still serves, byte-identical.
+    for &line in &lines[1..] {
+        for pba in line.data_blocks() {
+            assert_eq!(
+                faulted.read_block(pba).unwrap(),
+                twin.read_block(pba).unwrap()
+            );
+        }
+    }
+    // Verify on the dead line stays loud (evidence or typed error),
+    // never a silent Intact.
+    if let Ok(VerifyOutcome::Intact { .. }) = faulted.verify_line(lines[0]) {
+        panic!("dead block verified intact");
+    }
+    // The healthy lines still verify intact.
+    assert!(matches!(
+        faulted.verify_line(lines[1]).unwrap(),
+        VerifyOutcome::Intact { .. }
+    ));
+}
+
+/// With retry disabled (`RetryPolicy::none()`), a one-shot flaky fault
+/// surfaces and quarantines; with the default budget the identical
+/// schedule is absorbed invisibly. Pins that the retry layer — not luck
+/// — provides the transparency.
+#[test]
+fn retry_budget_is_what_absorbs_transient_faults() {
+    let slots = [2u64];
+    let (mut strict, lines) = seeded_device(0xBEE, 0x07, &slots);
+    let victim = lines[0].start() + 1;
+    let plan = FaultPlan::none().seed(fault_seed(11)).flaky_read(victim, 1);
+
+    strict.set_retry_policy(RetryPolicy::none());
+    strict.probe_mut().arm_faults(plan.clone());
+    assert!(
+        strict.read_block(victim).is_err(),
+        "no retry, fault surfaces"
+    );
+    assert!(strict.is_quarantined(victim));
+
+    let (mut lenient, _) = seeded_device(0xBEE, 0x07, &slots);
+    lenient.probe_mut().arm_faults(plan);
+    let got = lenient.read_block(victim).unwrap();
+    assert_eq!(got, pattern(victim, 0x07));
+    assert!(!lenient.is_degraded(), "one-shot fault absorbed by retry");
+
+    // A flaky streak as deep as the whole budget exhausts it.
+    let (mut exhausted, _) = seeded_device(0xBEE, 0x07, &slots);
+    let budget = exhausted.retry_policy().max_attempts;
+    exhausted.probe_mut().arm_faults(
+        FaultPlan::none()
+            .seed(fault_seed(11))
+            .flaky_read(victim, budget),
+    );
+    assert!(exhausted.read_block(victim).is_err());
+    assert!(exhausted.is_quarantined(victim));
+    // The fault was transient, so after disarm the block reads clean —
+    // quarantine is advisory bookkeeping, not data loss.
+    exhausted.probe_mut().disarm_faults();
+    assert!(exhausted.clear_quarantine(victim));
+    assert_eq!(exhausted.read_block(victim).unwrap(), pattern(victim, 0x07));
+}
+
+/// Bit rot flipped at arm time is *real* damage, not an injected error:
+/// the sector codec either corrects it transparently (same bytes as the
+/// twin) or the read fails typed. Either way, no wrong bytes.
+#[test]
+fn bit_rot_is_corrected_or_typed_never_wrong_bytes() {
+    let slots = [4u64];
+    let (mut faulted, lines) = seeded_device(0x807, 0x19, &slots);
+    let (mut twin, _) = seeded_device(0x807, 0x19, &slots);
+    let victim = lines[0].start() + 3;
+
+    let mut plan = FaultPlan::none().seed(fault_seed(13));
+    for offset in 0..6 {
+        plan = plan.rot_dot(victim, offset * 97);
+    }
+    faulted.probe_mut().arm_faults(plan);
+    assert!(faulted.probe().fault_stats().unwrap().rotted_dots > 0);
+
+    match faulted.read_block(victim) {
+        Ok(got) => assert_eq!(got, twin.read_block(victim).unwrap()),
+        Err(SeroError::Sector(_)) => assert!(faulted.is_quarantined(victim)),
+        Err(other) => panic!("untyped failure shape: {other:?}"),
+    }
+}

@@ -96,6 +96,7 @@ fn build_response(tag: usize, name: &str, data: &[u8], n1: u64, n2: u64, flag: b
             blocks: n1 % 64,
             mtime: n2,
             heated: flag.then_some(line),
+            degraded: !flag,
         }),
         5 => Response::Names {
             names: vec![name.into(), String::new()],

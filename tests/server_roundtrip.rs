@@ -59,7 +59,7 @@ fn eight_concurrent_clients_see_consistent_state() {
         ServerConfig {
             pool: PoolKind::SharedQueue,
             threads: 4,
-            allow_raw: false,
+            ..ServerConfig::default()
         },
     );
 
