@@ -12,7 +12,7 @@
 //!
 //! The perf-baseline binaries (`exp_scrub`, `exp_bulk_io`, `exp_registry`,
 //! `exp_sched`, `exp_fleet`, `exp_server`, `exp_concurrency`,
-//! `exp_faults`) each emit
+//! `exp_faults`, `exp_reactor`) each emit
 //! one JSON document, written to the current
 //! directory (override with `SERO_BENCH_OUT_DIR`). Committed baselines
 //! live in `benchmarks/` at the repo root; CI regenerates the files with
@@ -125,6 +125,31 @@
 //!   asserted). The real-socket client swarm against a live
 //!   `sero-server` reports under `"host"` only (`swarm_<n>` latency
 //!   tails) — wall clock never gates CI.
+//! * `bench = "reactor"` — the PR 9 readiness-driven wire server
+//!   (`exp_reactor`): the `exp_concurrency` read script replayed at
+//!   ready-set sizes 1/2/4/8/16, each window encoded to wire frames, fed
+//!   through [`sero_proto::frame::FrameAssembler`] in deterministically
+//!   varied chunk sizes, and dispatched as a single
+//!   [`sero_fs::concurrent::ConcurrentFs::handle_batch`] combining
+//!   window: `ready_{1,2,4,8,16}_device_ms`, `throughput_x{2,4,8,16}`
+//!   (`throughput_x8` carries the ≥ 2.5× acceptance bar, asserted),
+//!   `sim_depth8_ops_per_device_s` (the simulated admission curve the
+//!   host swarm must track), `frames_reassembled` / `reassembly_chunks`
+//!   (chunked-delivery work proof), `wire_script_commands` and
+//!   `responses_identical` (1 iff an identical command script —
+//!   including a raw-write tamper and the verify that detects it —
+//!   answers byte-for-byte the same over real sockets against a
+//!   pool-mode daemon and a reactor daemon, asserted), `tampered` (the
+//!   framed tamper drill's evidence, asserted). Real reactor swarms at
+//!   1/2/4/8/16 clients plus an idle-connection axis (0/128/256 silent
+//!   sockets held open alongside 8 active clients) report under
+//!   `"host"` only — but the binary itself **asserts**
+//!   `host.tracking.ratio ≥ 0.8` (the 8-client swarm's ops per
+//!   *device*-second against `sim_depth8_ops_per_device_s`), so a
+//!   reactor that stops forming deep combining windows fails the
+//!   regeneration run even though the compare step never reads
+//!   `"host"`. The `reactor_trace.json` latency tails are uploaded for
+//!   humans and never compared.
 //! * `bench = "concurrency"` — the PR 7 concurrent foreground core
 //!   (`exp_concurrency`): one shuffled read script replayed against
 //!   identical file systems at queue depths 1/2/4/8 through

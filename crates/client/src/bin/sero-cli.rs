@@ -19,6 +19,10 @@
 //!   raw-write PBA FILLBYTE             §5 attack surface (needs --allow-raw
 //!                                      on the daemon); writes one sector of
 //!                                      FILLBYTE repeated
+//!   idle-swarm N HOLD_SECS             open N connections, ping each, hold
+//!                                      them idle for HOLD_SECS, ping each
+//!                                      again, close; exercises the reactor's
+//!                                      idle-connection capacity
 //! ```
 //!
 //! The address defaults to `$SERO_ADDR`, then `127.0.0.1:4150`.
@@ -70,6 +74,28 @@ fn print_status(s: &WireScrubStatus) {
         s.slices,
         s.scrub_device_ns
     );
+}
+
+/// Opens `n` connections, pings every one once all are open (the server
+/// must answer while holding the rest idle), holds them `hold_secs`,
+/// then pings every one again — proving the connections survived the
+/// idle window and the server still answers on each. Prints `HOLDING n`
+/// once the population is up so scripts can overlap active work.
+fn idle_swarm(addr: &str, n: usize, hold_secs: u64) -> Result<ExitCode, ClientError> {
+    let mut swarm = Vec::with_capacity(n);
+    for _ in 0..n {
+        swarm.push(SeroClient::connect(addr)?);
+    }
+    for member in &mut swarm {
+        member.ping()?;
+    }
+    println!("HOLDING {n}");
+    std::thread::sleep(std::time::Duration::from_secs(hold_secs));
+    for member in &mut swarm {
+        member.ping()?;
+    }
+    println!("RELEASED {n}");
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
@@ -221,10 +247,16 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             })
         }
+        ("idle-swarm", [n, hold]) => {
+            let (Ok(n), Ok(hold)) = (n.parse::<usize>(), hold.parse::<u64>()) else {
+                return usage("idle-swarm wants numeric N and HOLD_SECS");
+            };
+            idle_swarm(&addr, n, hold)
+        }
         ("--help" | "-h" | "help", _) => {
             return usage(
                 "usage: sero-cli [--addr HOST:PORT] <ping|set|get|rm|ls|stat|heat|verify|\
-                 scrub-start|scrub-tick|scrub-status|fleet-status|raw-write> [args]",
+                 scrub-start|scrub-tick|scrub-status|fleet-status|raw-write|idle-swarm> [args]",
             )
         }
         _ => return usage(&format!("bad command or arguments: {command} (try --help)")),

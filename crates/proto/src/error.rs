@@ -90,11 +90,16 @@ pub enum ErrorCode {
     ScrubActive = 68,
     /// No scrub pass has been started.
     NoScrub = 69,
+    /// The server is at its connection cap (`--max-connections`): the
+    /// new connection is answered with this refusal and closed instead
+    /// of silently queueing in the accept backlog. Reconnect after an
+    /// existing connection closes or is reaped.
+    ServerBusy = 70,
 }
 
 impl ErrorCode {
     /// Every code, for table tests and documentation generators.
-    pub const ALL: [ErrorCode; 27] = [
+    pub const ALL: [ErrorCode; 28] = [
         ErrorCode::NotFound,
         ErrorCode::Exists,
         ErrorCode::ReadOnlyFile,
@@ -122,6 +127,7 @@ impl ErrorCode {
         ErrorCode::InvalidArgument,
         ErrorCode::ScrubActive,
         ErrorCode::NoScrub,
+        ErrorCode::ServerBusy,
     ];
 
     /// The numeric wire value.
@@ -164,6 +170,7 @@ impl ErrorCode {
             ErrorCode::InvalidArgument => "invalid-argument",
             ErrorCode::ScrubActive => "scrub-active",
             ErrorCode::NoScrub => "no-scrub",
+            ErrorCode::ServerBusy => "server-busy",
         }
     }
 }

@@ -245,6 +245,81 @@ pub fn decode_frame(buf: &[u8]) -> Result<(FrameKind, &[u8], usize), FrameError>
     Ok((kind, &buf[HEADER_BYTES..HEADER_BYTES + len], total))
 }
 
+/// Incremental frame reassembly over partial reads.
+///
+/// The readiness-driven server reads whatever bytes a socket has —
+/// which may be a one-byte drip, a split mid-header, or several
+/// coalesced frames — and feeds them here. [`FrameAssembler::next_frame`]
+/// yields complete frames exactly as [`decode_frame`] would have decoded
+/// the whole stream: a [`FrameError::Truncated`] from the decoder means
+/// "wait for more bytes" (`Ok(None)`), every other decode error is the
+/// peer speaking garbage and stays an error.
+///
+/// Memory is bounded without any extra knob: the first ten buffered
+/// bytes either parse into a sane header (bounding the frame at
+/// [`MAX_PAYLOAD_BYTES`] + overhead) or fail hard, so a hostile peer
+/// cannot grow the buffer past one maximum frame.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by decoded frames. Compacted
+    /// lazily so back-to-back small frames do not memmove per frame.
+    pos: usize,
+}
+
+/// Compact the assembler's buffer once this many consumed bytes pile up.
+const ASSEMBLER_COMPACT_AT: usize = 64 * 1024;
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Feeds bytes read from the transport, in arrival order.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet yielded as part of a complete frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when a partial frame is waiting for more bytes — the state a
+    /// stalled-peer reap cares about (silence mid-frame, not between
+    /// frames).
+    pub fn mid_frame(&self) -> bool {
+        self.pending() > 0
+    }
+
+    /// Yields the next complete frame, `Ok(None)` if more bytes are
+    /// needed first.
+    ///
+    /// # Errors
+    ///
+    /// Any hard [`FrameError`] from [`decode_frame`] — bad magic, bad
+    /// version, bad kind, oversize, CRC mismatch. Once an error is
+    /// returned the byte stream is unframeable and the connection should
+    /// be closed; the assembler does not resynchronise.
+    pub fn next_frame(&mut self) -> Result<Option<(FrameKind, Vec<u8>)>, FrameError> {
+        let (kind, payload, used) = match decode_frame(&self.buf[self.pos..]) {
+            Ok((kind, payload, used)) => (kind, payload.to_vec(), used),
+            Err(FrameError::Truncated { .. }) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        self.pos += used;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= ASSEMBLER_COMPACT_AT {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some((kind, payload)))
+    }
+}
+
 /// Writes one frame to `w` and flushes.
 ///
 /// # Errors
@@ -380,6 +455,63 @@ mod tests {
         assert!(matches!(
             decode_frame(&good[..good.len() - 1]),
             Err(FrameError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn assembler_reassembles_a_one_byte_drip() {
+        let req = Request::Read {
+            name: "dripped".into(),
+        };
+        let bytes = encode_request(&req);
+        let mut asm = FrameAssembler::new();
+        for (i, b) in bytes.iter().enumerate() {
+            assert!(asm.next_frame().unwrap().is_none(), "frame early at {i}");
+            asm.push(&[*b]);
+        }
+        let (kind, payload) = asm.next_frame().unwrap().expect("complete frame");
+        assert_eq!(kind, FrameKind::Request);
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+        assert!(!asm.mid_frame(), "buffer must drain completely");
+        assert!(asm.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn assembler_splits_coalesced_frames() {
+        let reqs = [Request::Ping, Request::List, Request::FleetStatus];
+        let mut wire = Vec::new();
+        for r in &reqs {
+            wire.extend_from_slice(&encode_request(r));
+        }
+        // Deliver everything in one read plus a trailing partial frame.
+        let tail = encode_request(&Request::Ping);
+        wire.extend_from_slice(&tail[..tail.len() / 2]);
+        let mut asm = FrameAssembler::new();
+        asm.push(&wire);
+        for r in &reqs {
+            let (_, payload) = asm.next_frame().unwrap().expect("coalesced frame");
+            assert_eq!(&Request::decode(&payload).unwrap(), r);
+        }
+        assert!(asm.next_frame().unwrap().is_none(), "tail is partial");
+        assert!(asm.mid_frame());
+        asm.push(&tail[tail.len() / 2..]);
+        assert!(asm.next_frame().unwrap().is_some());
+    }
+
+    #[test]
+    fn assembler_surfaces_hard_decode_errors() {
+        let mut asm = FrameAssembler::new();
+        asm.push(b"not a frame at all!");
+        assert!(matches!(asm.next_frame(), Err(FrameError::BadMagic { .. })));
+
+        let mut bad_crc = encode_request(&Request::List);
+        let at = bad_crc.len() - 1;
+        bad_crc[at] ^= 0x01;
+        let mut asm = FrameAssembler::new();
+        asm.push(&bad_crc);
+        assert!(matches!(
+            asm.next_frame(),
+            Err(FrameError::CrcMismatch { .. })
         ));
     }
 

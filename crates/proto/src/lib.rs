@@ -67,7 +67,7 @@
 //! | 16–24 | `SectorIo`, `BadLine`, `HashBlockAccess`, `ReadOnlyBlock`, `OverlapsHeatedLine`, `DataUnreadable`, `HeatVerifyFailed`, `WriteDegraded`, `BadScrubState` | the device layer ([`SeroError`](sero_core::device::SeroError)) |
 //! | 32–34 | `ZeroBudget`, `ZeroQuantum`, `BudgetExceedsQuantum` | scrub scheduling knobs ([`SchedConfigError`](sero_core::sched::SchedConfigError)) |
 //! | 48   | `TamperDetected` | a verify whose line shows tamper evidence |
-//! | 64–69 | `BadFrame`, `VersionMismatch`, `UnsupportedCommand`, `InvalidArgument`, `ScrubActive`, `NoScrub` | the protocol layer itself |
+//! | 64–70 | `BadFrame`, `VersionMismatch`, `UnsupportedCommand`, `InvalidArgument`, `ScrubActive`, `NoScrub`, `ServerBusy` | the protocol layer itself |
 //!
 //! Every in-process error variant maps to exactly one code (the mapping
 //! is total — adding a variant without a code is a compile error), and

@@ -1,21 +1,27 @@
-//! **sero-server** — a blocking TCP daemon serving one SERO file system
-//! over the `sero-proto` wire format.
+//! **sero-server** — the TCP daemon serving one SERO file system over
+//! the `sero-proto` wire format.
 //!
-//! The daemon owns a [`SeroFs`](sero_fs::SeroFs) behind a mutex and
-//! serves the full command set through the one dispatch path,
-//! `SeroFs::handle` — a remote `verify` means exactly what an
-//! in-process `verify` means, tamper evidence included. Connections are
-//! handled by a configurable [`pool`]: thread-per-connection
-//! ([`pool::NaiveThreadPool`]) or a fixed shared-queue worker set
-//! ([`pool::SharedQueueThreadPool`], the default), which `exp_server`
-//! benchmarks against each other.
+//! The daemon owns a [`SeroFs`](sero_fs::SeroFs) wrapped in a
+//! [`ConcurrentFs`](sero_fs::concurrent::ConcurrentFs) and serves the
+//! full command set through the one dispatch path — a remote `verify`
+//! means exactly what an in-process `verify` means, tamper evidence
+//! included. Two multiplexing strategies
+//! ([`ServerMode`]):
 //!
-//! Serialising every command through one mutex is deliberate for this
-//! iteration: the file system is single-device and the simulated device
-//! clock is shared state, so a coarse lock is both correct and honest
-//! about where the concurrency limit sits (see ROADMAP for the
-//! concurrent-foreground follow-up). The pool still matters: framing,
-//! decoding, and socket I/O all happen outside the lock.
+//! * **[`reactor`]** (the default) — one readiness-driven event loop
+//!   owning every socket in non-blocking mode, with per-connection
+//!   incremental frame reassembly and backpressured write buffers.
+//!   Every request readable in a sweep dispatches as a *single*
+//!   `ConcurrentFs::handle_batch` combining window, so n concurrent
+//!   clients form the depth-n admission batches the flat combiner and
+//!   the admission scheduler are built for. Deadlines, idle reap, and
+//!   the `--max-connections` refusal are reactor timers.
+//! * **[`pool`]** — the blocking thread-per-connection baseline
+//!   (naive or shared-queue workers), kept as the dispatch baseline
+//!   `exp_server` and `exp_reactor` benchmark against.
+//!
+//! Either way the wire surface is identical: same frames, same typed
+//! errors, same tamper evidence, byte for byte.
 //!
 //! # Example
 //!
@@ -44,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod pool;
+pub mod reactor;
 pub mod server;
 
-pub use server::{PoolKind, SeroServer, ServerConfig, ServerHandle};
+pub use server::{PoolKind, SeroServer, ServerConfig, ServerHandle, ServerMode};

@@ -7,7 +7,7 @@ use sero_proto::frame::{read_frame, write_frame, FrameError};
 use sero_proto::{ErrorCode, FrameKind, Request, Response, WireError};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
@@ -16,7 +16,19 @@ use std::time::Duration;
 /// also the bound on how stale a shutdown check can get.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
-/// Which connection-handling pool the daemon uses.
+/// How the daemon multiplexes connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// One readiness-driven event loop owning every socket (the
+    /// default): all requests readable in a sweep dispatch as a single
+    /// [`ConcurrentFs`] combining window. See [`crate::reactor`].
+    Reactor,
+    /// The blocking thread-per-connection path, kept as the dispatch
+    /// baseline `exp_server`/`exp_reactor` benchmark against.
+    Pool,
+}
+
+/// Which connection-handling pool the daemon uses (pool mode only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PoolKind {
     /// Thread-per-connection (the baseline `exp_server` benchmarks
@@ -29,7 +41,9 @@ pub enum PoolKind {
 /// Daemon configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Connection-handling pool.
+    /// Connection multiplexing strategy.
+    pub mode: ServerMode,
+    /// Connection-handling pool (pool mode only).
     pub pool: PoolKind,
     /// Worker threads (shared-queue pool only).
     pub threads: u32,
@@ -45,16 +59,22 @@ pub struct ServerConfig {
     /// Per-connection write deadline. A peer that stops draining
     /// responses cannot pin a worker in `write_all`. `None` disables.
     pub write_timeout: Option<Duration>,
+    /// Connection cap: past this many live connections a newcomer is
+    /// answered with a typed [`ErrorCode::ServerBusy`] refusal frame and
+    /// closed, instead of growing the accept queue silently.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
+            mode: ServerMode::Reactor,
             pool: PoolKind::SharedQueue,
             threads: 4,
             allow_raw: false,
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(10)),
+            max_connections: 1024,
         }
     }
 }
@@ -95,9 +115,24 @@ impl SeroServer {
         fs: SeroFs,
         config: ServerConfig,
     ) -> io::Result<SeroServer> {
+        SeroServer::bind_shared(addr, ConcurrentFs::new(fs), config)
+    }
+
+    /// Binds sharing an already-wrapped [`ConcurrentFs`]: the caller
+    /// keeps a clone and can observe the store (e.g. the simulated
+    /// device clock, for benchmarks) while the daemon serves it.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from the bind.
+    pub fn bind_shared(
+        addr: impl ToSocketAddrs,
+        fs: ConcurrentFs,
+        config: ServerConfig,
+    ) -> io::Result<SeroServer> {
         Ok(SeroServer {
             listener: TcpListener::bind(addr)?,
-            fs: ConcurrentFs::new(fs),
+            fs,
             config,
             stop: Arc::new(AtomicBool::new(false)),
         })
@@ -112,14 +147,27 @@ impl SeroServer {
         self.listener.local_addr()
     }
 
-    /// Runs the accept loop on the calling thread until
-    /// [`ServerHandle::shutdown`] trips the stop flag.
+    /// Runs the daemon on the calling thread until
+    /// [`ServerHandle::shutdown`] trips the stop flag: the readiness
+    /// reactor in [`ServerMode::Reactor`] (the default), the blocking
+    /// accept loop + pool in [`ServerMode::Pool`].
     ///
     /// # Errors
     ///
     /// Fatal accept-loop errors; per-connection errors are contained to
     /// their connection.
     pub fn run(self) -> io::Result<()> {
+        match self.config.mode {
+            ServerMode::Reactor => {
+                crate::reactor::run_reactor(self.listener, &self.fs, &self.config, &self.stop)
+            }
+            ServerMode::Pool => self.run_pool(),
+        }
+    }
+
+    /// The blocking accept loop: thread-per-connection via the
+    /// configured pool, with the connection cap enforced at accept time.
+    fn run_pool(self) -> io::Result<()> {
         let pool = match self.config.pool {
             PoolKind::Naive => Pool::Naive(NaiveThreadPool::new(self.config.threads)),
             PoolKind::SharedQueue => Pool::Shared(SharedQueueThreadPool::new(self.config.threads)),
@@ -128,6 +176,8 @@ impl SeroServer {
         // them: a worker blocked in read_frame on an idle connection
         // would otherwise pin the pool's drop-join forever.
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        // Live connections, for the --max-connections refusal.
+        let live: Arc<AtomicUsize> = Arc::new(AtomicUsize::new(0));
         // A non-blocking listener bounds the shutdown check: a quiet
         // listener polls every ACCEPT_POLL instead of parking in accept
         // until a connection (possibly never) arrives.
@@ -150,12 +200,21 @@ impl SeroServer {
             let _ = stream.set_nonblocking(false);
             let _ = stream.set_read_timeout(self.config.read_timeout);
             let _ = stream.set_write_timeout(self.config.write_timeout);
+            if live.load(Ordering::SeqCst) >= self.config.max_connections {
+                refuse_connection(stream, self.config.max_connections);
+                continue;
+            }
+            live.fetch_add(1, Ordering::SeqCst);
             if let (Ok(clone), Ok(mut held)) = (stream.try_clone(), conns.lock()) {
                 held.push(clone);
             }
             let fs = self.fs.clone();
             let allow_raw = self.config.allow_raw;
-            pool.spawn(move || serve_connection(stream, &fs, allow_raw));
+            let live = Arc::clone(&live);
+            pool.spawn(move || {
+                serve_connection(stream, &fs, allow_raw);
+                live.fetch_sub(1, Ordering::SeqCst);
+            });
         }
         if let Ok(held) = conns.lock() {
             for conn in held.iter() {
@@ -200,6 +259,18 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.addr);
         let _ = self.thread.join();
     }
+}
+
+/// Answers a connection over the cap with a typed
+/// [`ErrorCode::ServerBusy`] refusal frame and closes it — the peer gets
+/// a machine-readable reason instead of a silent queue or a bare reset.
+fn refuse_connection(mut stream: TcpStream, cap: usize) {
+    let resp = Response::Error(WireError::new(
+        ErrorCode::ServerBusy,
+        format!("connection refused: server is at --max-connections {cap}"),
+    ));
+    let _ = write_frame(&mut stream, FrameKind::Response, &resp.encode());
+    let _ = stream.shutdown(Shutdown::Write);
 }
 
 /// Serves one connection: a loop of read-frame → dispatch → write-frame.
