@@ -38,6 +38,7 @@ fn run(policy: ClusterPolicy, seed: u64) -> RunResult {
         FsConfig {
             segment_blocks: 64,
             checkpoint_blocks: 16,
+            index_blocks: 0,
             policy,
         },
     )

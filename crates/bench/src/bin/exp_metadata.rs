@@ -1,0 +1,361 @@
+//! EXP-METADATA — namespace scale: the LSM metadata index against the
+//! frame-cap and checkpoint-capacity walls.
+//!
+//! Three phases, all deterministic (store counters and simulated device
+//! state, never wall clock):
+//!
+//! 1. **Index scale sweep** ([`MetaIndex`] over [`VecStore`]): bulk-load
+//!    4k/16k/64k entries (1M too, outside `SERO_BENCH_FAST`), then
+//!    measure what scale does to the two costs that matter at mount and
+//!    at lookup. `open()` must read a *constant* page count — both
+//!    manifest slots plus the WAL region, never the segment heap — and
+//!    point lookups must stay sublinear (bloom-pruned level probes)
+//!    while the namespace grows 16× (256× in full mode). Both bars are
+//!    asserted in-binary.
+//! 2. **Tamper byte-identity**: one workload (create, heat, one raw §5
+//!    insider rewrite) replayed against a pre-index file system and an
+//!    indexed one with identical data geometry (64 metadata blocks
+//!    either way: all-checkpoint vs checkpoint+index). Every verify
+//!    verdict — digests, timestamps, metadata, the tamper report — and
+//!    every heated line's raw data bytes must be identical: the index
+//!    changes where *metadata* lives, never what the evidence says.
+//! 3. **Wire pagination**: a 10k-name namespace listed through
+//!    [`SeroFs::handle`] with cursor+limit pages, every response framed
+//!    with [`sero_proto::frame::encode_response`]. More than one frame,
+//!    no frame over 1 MiB, and the reassembled listing equals `list()`
+//!    — the fix for the old single-frame `List` that asserted past the
+//!    frame cap. The same file system is then remounted and must
+//!    hydrate from the index region alone (no per-inode probing).
+//!
+//! Emits `BENCH_metadata.json` (schema `sero-bench/v1`, see `sero-bench`'s
+//! crate docs).
+
+use sero_bench::json::Json;
+use sero_bench::{bench_out_path, fast_mode, row};
+use sero_core::device::SeroDevice;
+use sero_core::tamper::VerifyOutcome;
+use sero_fs::alloc::{ClusterPolicy, WriteClass};
+use sero_fs::fs::{FsConfig, SeroFs};
+use sero_index::{IndexGeometry, MetaIndex, VecStore, MANIFEST_SLOT_PAGES};
+use sero_proto::frame::encode_response;
+use sero_proto::{Request, Response, MAX_PAYLOAD_BYTES};
+use std::time::Instant;
+
+/// Point lookups sampled per scale (counter averages divide by this).
+const LOOKUP_SAMPLE: u64 = 256;
+
+/// Files in the tamper byte-identity workload.
+const ARCHIVE_FILES: usize = 16;
+
+/// Names in the pagination namespace.
+const LIST_FILES: usize = 10_000;
+
+fn scale_key(n: usize) -> String {
+    if n >= 1_000_000 {
+        format!("{}m", n / 1_000_000)
+    } else {
+        format!("{}k", n / 1_000)
+    }
+}
+
+/// Bulk-loads `entries` keys, reopens, and returns
+/// `(open_reads, wal_pages, avg lookup reads ×1000, bloom skips)`.
+fn index_sweep(entries: usize) -> (u64, u64, f64, u64) {
+    // Sized so the bottom level plus one compaction's worth of scratch
+    // always fits *contiguously* (segments are first-fit extents): ~24
+    // bytes per entry, ~21 entries per page, ×2 for the rewrite-in-flight
+    // copy, then ×2 again so fragmentation never starves the rewrite.
+    let pages = ((entries as u64) / 4).max(1024);
+    let geom = IndexGeometry::for_pages(pages).expect("geometry");
+    let mut store = VecStore::new(pages);
+    let mut idx = MetaIndex::format(&mut store, geom).expect("format");
+    for i in 0..entries {
+        let key = format!("file-{i:07}");
+        idx.put(&mut store, key.as_bytes(), &(i as u64).to_le_bytes())
+            .expect("put");
+    }
+    drop(idx);
+
+    store.reset_counters();
+    let (mut idx, report) = MetaIndex::open(&mut store, geom).expect("open");
+    let open_reads = store.reads();
+    assert!(!report.torn_tail, "bulk load closed cleanly");
+
+    // Warm the lazy segment headers once (a real mount's scan_all pays
+    // this), then measure steady-state point lookups.
+    let stride = (entries as u64 / LOOKUP_SAMPLE).max(1);
+    for s in 0..LOOKUP_SAMPLE {
+        let i = (s * stride) % entries as u64;
+        let key = format!("file-{i:07}");
+        let got = idx.get(&mut store, key.as_bytes()).expect("lookup");
+        assert_eq!(got, Some(i.to_le_bytes().to_vec()), "lost {key}");
+    }
+    store.reset_counters();
+    let blooms0 = idx.stats().bloom_skips;
+    for s in 0..LOOKUP_SAMPLE {
+        let i = (s * stride + stride / 2) % entries as u64;
+        let key = format!("file-{i:07}");
+        let got = idx.get(&mut store, key.as_bytes()).expect("lookup");
+        assert_eq!(got, Some(i.to_le_bytes().to_vec()), "lost {key}");
+    }
+    let lookup_avg = store.reads() as f64 / LOOKUP_SAMPLE as f64;
+    let bloom_skips = idx.stats().bloom_skips - blooms0;
+    let wal_pages = geom.heap_start() - geom.wal_start();
+    (open_reads, wal_pages, lookup_avg, bloom_skips)
+}
+
+/// Replays the shared tamper workload on `config` and returns the
+/// verdicts plus every heated line's raw data bytes.
+fn tamper_run(config: FsConfig) -> (Vec<VerifyOutcome>, Vec<Vec<u8>>) {
+    let mut fs = SeroFs::format(SeroDevice::with_blocks(4096), config).expect("format");
+    for i in 0..ARCHIVE_FILES {
+        let data: Vec<u8> = (0..1100u32).map(|j| (i as u32 * 37 + j) as u8).collect();
+        fs.create(&format!("evidence-{i:02}"), &data, WriteClass::Archival)
+            .expect("create");
+    }
+    let mut lines = Vec::new();
+    for i in 0..ARCHIVE_FILES {
+        let line = fs
+            .heat(
+                &format!("evidence-{i:02}"),
+                b"exp-metadata".to_vec(),
+                1_199_145_600 + i as u64,
+            )
+            .expect("heat");
+        lines.push(line);
+    }
+    // The §5 insider rewrites one protected block through the raw probe.
+    // Line layout is hash + inode + data; target the first data block so
+    // both layouts still mount and the digest walk finds the rewrite.
+    fs.device_mut()
+        .probe_mut()
+        .mws(lines[ARCHIVE_FILES / 2].start() + 2, &[0xEE; 512])
+        .expect("raw tamper");
+    fs.sync().expect("sync");
+
+    let mut fs = SeroFs::mount(fs.into_device()).expect("remount");
+    let mut verdicts = Vec::new();
+    let mut line_bytes = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        verdicts.push(fs.verify(&format!("evidence-{i:02}")).expect("verify"));
+        let mut bytes = Vec::new();
+        for pba in line.data_blocks() {
+            bytes.extend_from_slice(&fs.device_mut().read_block(pba).expect("read line"));
+        }
+        line_bytes.push(bytes);
+    }
+    (verdicts, line_bytes)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fast = fast_mode();
+    let scales: &[usize] = if fast {
+        &[4_000, 16_000, 64_000]
+    } else {
+        &[4_000, 16_000, 64_000, 1_000_000]
+    };
+
+    println!(
+        "EXP-METADATA: namespace scale sweep {:?}{}\n",
+        scales,
+        if fast { " (fast mode)" } else { "" },
+    );
+
+    // --- phase 1: index scale sweep -------------------------------------
+    let host_sweep = Instant::now();
+    let widths = [10, 12, 16, 14];
+    println!(
+        "{}",
+        row(
+            &["entries", "open reads", "lookup reads", "bloom skips"],
+            &widths
+        )
+    );
+    let mut sweep = Vec::new();
+    for &n in scales {
+        let (open_reads, wal_pages, lookup_avg, bloom_skips) = index_sweep(n);
+        let bound = 2 * MANIFEST_SLOT_PAGES + wal_pages;
+        assert!(
+            open_reads <= bound,
+            "open() read {open_reads} pages at {n} entries; \
+             the manifest+WAL bound is {bound} — it touched the heap"
+        );
+        println!(
+            "{}",
+            row(
+                &[
+                    &scale_key(n),
+                    &format!("{open_reads}"),
+                    &format!("{lookup_avg:.2}"),
+                    &format!("{bloom_skips}"),
+                ],
+                &widths
+            )
+        );
+        sweep.push((n, open_reads, lookup_avg, bloom_skips));
+    }
+    let (base_n, base_open, base_lookup, _) = sweep[0];
+    let (top_n, top_open, top_lookup, _) = *sweep.last().unwrap();
+    assert_eq!(
+        base_open, top_open,
+        "mount-time reads must not grow with the namespace"
+    );
+    let growth = top_lookup / base_lookup;
+    let entries_growth = top_n as f64 / base_n as f64;
+    assert!(
+        growth <= 4.0 && growth < entries_growth / 2.0,
+        "lookup reads grew {growth:.2}x while entries grew {entries_growth:.0}x — not sublinear"
+    );
+    let sweep_host_ms = host_sweep.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "\n  open reads constant at {top_open}; lookups {base_lookup:.2} -> {top_lookup:.2} \
+         pages ({growth:.2}x) while entries grew {entries_growth:.0}x\n"
+    );
+
+    // --- phase 2: tamper byte-identity -----------------------------------
+    // Identical data geometry: 64 metadata blocks either way, so every
+    // file, line, and digest lands at the same physical addresses.
+    let host_tamper = Instant::now();
+    let legacy = FsConfig {
+        segment_blocks: 64,
+        checkpoint_blocks: 64,
+        index_blocks: 0,
+        policy: ClusterPolicy::HeatAffinity,
+    };
+    let indexed = FsConfig {
+        segment_blocks: 64,
+        checkpoint_blocks: 16,
+        index_blocks: 48,
+        policy: ClusterPolicy::HeatAffinity,
+    };
+    let (verdicts_legacy, bytes_legacy) = tamper_run(legacy);
+    let (verdicts_indexed, bytes_indexed) = tamper_run(indexed);
+    assert_eq!(
+        verdicts_legacy, verdicts_indexed,
+        "indexing changed a verify verdict"
+    );
+    assert_eq!(
+        bytes_legacy, bytes_indexed,
+        "indexing changed protected line bytes"
+    );
+    let tampered = verdicts_indexed.iter().filter(|v| v.is_tampered()).count();
+    assert_eq!(tampered, 1, "exactly the planted line is tampered");
+    assert_eq!(
+        verdicts_indexed.iter().filter(|v| v.is_intact()).count(),
+        ARCHIVE_FILES - 1
+    );
+    let tamper_host_ms = host_tamper.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  tamper evidence: {ARCHIVE_FILES} verdicts byte-identical across \
+         pre-index and indexed layouts, 1 planted line found\n"
+    );
+
+    // --- phase 3: wire pagination + indexed mount at 10k names -----------
+    let host_list = Instant::now();
+    let big = FsConfig {
+        segment_blocks: 64,
+        checkpoint_blocks: 16,
+        index_blocks: 16_384,
+        policy: ClusterPolicy::HeatAffinity,
+    };
+    let mut fs = SeroFs::format(SeroDevice::with_blocks(65_536), big).expect("format big");
+    let filler = "n".repeat(50);
+    for i in 0..LIST_FILES {
+        fs.create(&format!("{i:05}-{filler}"), &[i as u8], WriteClass::Normal)
+            .expect("create");
+    }
+    fs.sync().expect("sync 10k");
+
+    let mut names = Vec::new();
+    let mut cursor: Option<String> = None;
+    let mut frames = 0u64;
+    let mut max_frame_bytes = 0usize;
+    loop {
+        let resp = fs.handle(Request::List {
+            cursor: cursor.take(),
+            limit: u32::MAX,
+        });
+        let framed = encode_response(&resp).expect("paged response frames");
+        frames += 1;
+        max_frame_bytes = max_frame_bytes.max(framed.len());
+        assert!(
+            framed.len() <= MAX_PAYLOAD_BYTES,
+            "a page frame of {} bytes broke the 1 MiB cap",
+            framed.len()
+        );
+        match resp {
+            Response::Names { names: page, next } => {
+                names.extend(page);
+                match next {
+                    Some(n) => cursor = Some(n),
+                    None => break,
+                }
+            }
+            other => panic!("list refused: {other:?}"),
+        }
+    }
+    assert!(
+        frames >= 2,
+        "a {LIST_FILES}-name listing must not fit one frame"
+    );
+    assert_eq!(names, fs.list(), "paginated listing diverged from list()");
+
+    // The same namespace must remount from the metadata regions alone.
+    let dev = fs.into_device();
+    let reads0 = dev.probe().counters().mrs;
+    let fs = SeroFs::mount(dev).expect("remount 10k");
+    let mount_reads = fs.device().probe().counters().mrs - reads0;
+    let metadata_blocks = fs.config().checkpoint_blocks + fs.config().index_blocks;
+    assert!(
+        mount_reads <= metadata_blocks,
+        "mount read {mount_reads} sectors for {LIST_FILES} files — it probed inode blocks"
+    );
+    let list_host_ms = host_list.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  pagination: {LIST_FILES} names in {frames} frames (max {max_frame_bytes} bytes); \
+         remount read {mount_reads} of {metadata_blocks} metadata blocks\n"
+    );
+
+    let mut metrics = Json::obj()
+        .set("lookup_growth", growth)
+        .set("tamper_identical", 1u64)
+        .set("tampered_found", tampered as u64)
+        .set("list_frames", frames)
+        .set("max_frame_bytes", max_frame_bytes as u64)
+        .set("names_listed", names.len() as u64)
+        .set("fs10k_mount_reads", mount_reads);
+    for &(n, open_reads, lookup_avg, bloom_skips) in &sweep {
+        let k = scale_key(n);
+        metrics = metrics
+            .set(&format!("open_reads_{k}"), open_reads)
+            .set(&format!("lookup_avg_reads_{k}"), lookup_avg)
+            .set(&format!("bloom_skips_{k}"), bloom_skips);
+    }
+    let doc = Json::obj()
+        .set("schema", "sero-bench/v1")
+        .set("bench", "metadata")
+        .set("fast_mode", fast)
+        .set(
+            "device",
+            Json::obj()
+                .set("sweep_scales", scales.len() as u64)
+                .set("sweep_top_entries", top_n as u64)
+                .set("lookup_sample", LOOKUP_SAMPLE)
+                .set("archive_files", ARCHIVE_FILES as u64)
+                .set("list_files", LIST_FILES as u64)
+                .set("list_name_bytes", 56u64)
+                .set("list_index_blocks", 16_384u64),
+        )
+        .set("metrics", metrics)
+        .set(
+            "host",
+            Json::obj()
+                .set("sweep_ms", sweep_host_ms)
+                .set("tamper_ms", tamper_host_ms)
+                .set("list_ms", list_host_ms),
+        );
+    let path = bench_out_path("metadata");
+    std::fs::write(&path, doc.render())?;
+    println!("  wrote {}", path.display());
+    Ok(())
+}

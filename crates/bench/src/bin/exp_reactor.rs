@@ -145,7 +145,7 @@ fn run_ready_set(depth: usize, script: &[Request]) -> (u128, Vec<Response>, u64,
     for window in script.chunks(depth) {
         let mut wire = Vec::new();
         for req in window {
-            wire.extend_from_slice(&encode_request(req));
+            wire.extend_from_slice(&encode_request(req).expect("bench request fits a frame"));
         }
         let mut batch = Vec::with_capacity(window.len());
         let mut at = 0;
@@ -188,7 +188,8 @@ fn run_framed_tamper() -> u64 {
     });
     let framed = encode_request(&Request::Verify {
         name: archive_name(0),
-    });
+    })
+    .expect("bench request fits a frame");
     let mut asm = FrameAssembler::new();
     asm.push(&framed);
     let (_, payload) = asm
@@ -261,7 +262,7 @@ fn run_wire_script(mode: ServerMode) -> Vec<Vec<u8>> {
     outs.push(call(&Request::Stat {
         name: archive_name(1),
     }));
-    outs.push(call(&Request::List));
+    outs.push(call(&Request::list_all()));
     outs.push(call(&Request::FleetStatus));
     drop(conn);
     handle.shutdown();

@@ -66,11 +66,11 @@ impl Replay {
     /// Encodes `req` to a frame, decodes it back (the server's receive
     /// path), handles it, and frames the response (the send path).
     fn call(&mut self, req: &Request) -> Response {
-        let framed = encode_request(req);
+        let framed = encode_request(req).expect("bench request fits a frame");
         let (_, payload, _) = decode_frame(&framed).expect("own frame decodes");
         let decoded = Request::decode(payload).expect("own payload decodes");
         let response = self.fs.handle(decoded);
-        let response_frame = encode_response(&response);
+        let response_frame = encode_response(&response).expect("bench response fits a frame");
         self.commands += 1;
         self.request_bytes += framed.len() as u64;
         self.response_bytes += response_frame.len() as u64;
@@ -142,7 +142,7 @@ fn run_replay() -> (Replay, u64, u64) {
             "clean replay must verify intact: {resp:?}"
         );
     }
-    replay.call(&Request::List);
+    replay.call(&Request::list_all());
     replay.call(&Request::FleetStatus);
 
     // A budgeted scrub pass driven entirely over the command path, the

@@ -12,7 +12,7 @@
 //!
 //! The perf-baseline binaries (`exp_scrub`, `exp_bulk_io`, `exp_registry`,
 //! `exp_sched`, `exp_fleet`, `exp_server`, `exp_concurrency`,
-//! `exp_faults`, `exp_reactor`) each emit
+//! `exp_faults`, `exp_reactor`, `exp_metadata`) each emit
 //! one JSON document, written to the current
 //! directory (override with `SERO_BENCH_OUT_DIR`). Committed baselines
 //! live in `benchmarks/` at the repo root; CI regenerates the files with
@@ -184,6 +184,29 @@
 //!   transient faults never reach quarantine), `lines_verified`,
 //!   `tampered` (0; namespaces, bytes, and line registries are
 //!   asserted identical to the fault-free twin).
+//! * `bench = "metadata"` — namespace scale on the PR 10 LSM index
+//!   (`exp_metadata`): a [`sero_index::MetaIndex`] bulk-load sweep at
+//!   4k/16k/64k entries (1M too outside fast mode) over a counted
+//!   [`sero_index::VecStore`], a tamper byte-identity workload replayed
+//!   on pre-index and indexed [`sero_fs::fs::FsConfig`] layouts with
+//!   identical data geometry, and a 10k-name listing paged through
+//!   `handle` + [`sero_proto::frame::encode_response`]:
+//!   `open_reads_{4k,16k,64k}` (page reads to reopen the index — equal
+//!   at every scale, the constant-mount-cost bar, asserted),
+//!   `lookup_avg_reads_{4k,16k,64k}` and `lookup_growth` (average point
+//!   -lookup page reads and their top-over-base ratio; the sublinearity
+//!   bar — ≤ 4× across a 16×/256× namespace growth — asserted),
+//!   `bloom_skips_{4k,16k,64k}` (segment probes pruned by the bloom
+//!   filters), `tamper_identical` (1 iff every verify verdict, digest,
+//!   timestamp, and protected line byte matches across the two
+//!   layouts, asserted) and `tampered_found` (exactly the planted §5
+//!   rewrite, asserted), `list_frames` (≥ 2, asserted: a 10k-name
+//!   listing must paginate), `max_frame_bytes` (every frame under the
+//!   1 MiB cap, asserted), `names_listed`, and `fs10k_mount_reads`
+//!   (sector reads to remount the 10k-file system — bounded by the
+//!   metadata regions, never per-inode probing, asserted). The full
+//!   (non-fast) run adds the `_1m` keys; the committed baseline is the
+//!   fast set.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

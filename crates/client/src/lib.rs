@@ -195,7 +195,7 @@ fn is_idempotent(request: &Request) -> bool {
         Request::Ping
             | Request::Read { .. }
             | Request::Stat { .. }
-            | Request::List
+            | Request::List { .. }
             | Request::Verify { .. }
             | Request::ScrubStatus
             | Request::FleetStatus
@@ -402,14 +402,42 @@ impl SeroClient {
         }
     }
 
-    /// All file names.
+    /// All file names, following pagination cursors until the listing is
+    /// complete. Each page is one request/response round trip, so no
+    /// single frame carries more than the protocol's payload limit no
+    /// matter how many files exist.
     ///
     /// # Errors
     ///
     /// See [`SeroClient::call`].
     pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
-        match self.call(&Request::List)? {
-            Response::Names { names } => Ok(names),
+        let mut all = Vec::new();
+        let mut cursor: Option<String> = None;
+        loop {
+            let (mut names, next) = self.list_page(cursor.take(), 0)?;
+            all.append(&mut names);
+            match next {
+                Some(next) => cursor = Some(next),
+                None => return Ok(all),
+            }
+        }
+    }
+
+    /// One page of file names: up to `limit` names after `cursor`
+    /// (exclusive; `limit == 0` lets the server fill the frame). Returns
+    /// the page and the cursor for the next one, `None` when the listing
+    /// is complete.
+    ///
+    /// # Errors
+    ///
+    /// See [`SeroClient::call`].
+    pub fn list_page(
+        &mut self,
+        cursor: Option<String>,
+        limit: u32,
+    ) -> Result<(Vec<String>, Option<String>), ClientError> {
+        match self.call(&Request::List { cursor, limit })? {
+            Response::Names { names, next } => Ok((names, next)),
             other => Err(unexpected("names", &other)),
         }
     }

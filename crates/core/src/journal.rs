@@ -527,6 +527,94 @@ impl ScrubStateStore {
     }
 }
 
+/// A bounds-checked pager over a reserved WMRM block range — the
+/// rewritable journal-region primitive under record stores like
+/// [`ScrubStateStore`] and the fs metadata index's WAL/segment region.
+///
+/// The one semantic it adds over raw block access: *virgin sectors read
+/// as zeros*. A patterned-media sector that was never magnetically
+/// written decodes as noise ([`SeroError::Sector`]); for a journal
+/// region that is simply "nothing here yet", so this pager maps it to a
+/// zero page instead of an error — exactly as [`ScrubStateStore::load`]
+/// treats its first virgin block as "no state". Every other device
+/// failure (a heated block inside the region, out-of-range addresses)
+/// stays loud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WmrmRegion {
+    start: u64,
+    blocks: u64,
+}
+
+impl WmrmRegion {
+    /// A pager over `blocks` WMRM blocks starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::BadRegion`] for an empty region.
+    pub fn new(start: u64, blocks: u64) -> Result<WmrmRegion, JournalError> {
+        if blocks == 0 {
+            return Err(JournalError::BadRegion {
+                reason: "WMRM region needs at least one block".to_string(),
+            });
+        }
+        Ok(WmrmRegion { start, blocks })
+    }
+
+    /// First block of the region.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Blocks (= pages) in the region.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Reads one page; a virgin (never-written) sector reads as zeros.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::BadRegion`] for a page outside the region; device
+    /// errors other than a virgin-sector decode.
+    pub fn read_page(
+        &self,
+        dev: &mut SeroDevice,
+        page: u64,
+    ) -> Result<[u8; SECTOR_DATA_BYTES], JournalError> {
+        if page >= self.blocks {
+            return Err(JournalError::BadRegion {
+                reason: format!("page {page} outside a {}-block region", self.blocks),
+            });
+        }
+        match dev.read_block(self.start + page) {
+            Ok(data) => Ok(data),
+            Err(SeroError::Sector(_)) => Ok([0u8; SECTOR_DATA_BYTES]),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Writes one page.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::BadRegion`] for a page outside the region; device
+    /// errors (a heated block inside the region refuses the write).
+    pub fn write_page(
+        &self,
+        dev: &mut SeroDevice,
+        page: u64,
+        data: &[u8; SECTOR_DATA_BYTES],
+    ) -> Result<(), JournalError> {
+        if page >= self.blocks {
+            return Err(JournalError::BadRegion {
+                reason: format!("page {page} outside a {}-block region", self.blocks),
+            });
+        }
+        dev.write_block(self.start + page, data)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -535,6 +623,31 @@ mod tests {
         let dev = SeroDevice::with_blocks(64);
         let journal = InstructionJournal::new(32, 32, 2).unwrap();
         (dev, journal)
+    }
+
+    #[test]
+    fn wmrm_region_pages_round_trip_and_virgin_reads_zero() {
+        let mut dev = SeroDevice::with_blocks(64);
+        let region = WmrmRegion::new(8, 4).unwrap();
+        // Virgin pages read as zeros, not as a sector error.
+        assert_eq!(
+            region.read_page(&mut dev, 0).unwrap(),
+            [0u8; SECTOR_DATA_BYTES]
+        );
+        let mut page = [0u8; SECTOR_DATA_BYTES];
+        page[..4].copy_from_slice(b"SWAL");
+        region.write_page(&mut dev, 2, &page).unwrap();
+        assert_eq!(region.read_page(&mut dev, 2).unwrap(), page);
+        // Bounds are enforced on both sides of the API.
+        assert!(matches!(
+            region.read_page(&mut dev, 4),
+            Err(JournalError::BadRegion { .. })
+        ));
+        assert!(matches!(
+            region.write_page(&mut dev, 4, &page),
+            Err(JournalError::BadRegion { .. })
+        ));
+        assert!(WmrmRegion::new(0, 0).is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! ```
 //! use sero_fs::alloc::{Allocator, BlockUse, ClusterPolicy, WriteClass};
 //!
-//! let mut alloc = Allocator::new(256, 64, 8, ClusterPolicy::HeatAffinity);
+//! let mut alloc = Allocator::new(256, 64, 8, 0, ClusterPolicy::HeatAffinity);
 //! let normal = alloc.alloc_block(WriteClass::Normal).unwrap();
 //! let archival = alloc.alloc_block(WriteClass::Archival).unwrap();
 //! assert!(normal < archival); // opposite ends of the device
@@ -71,6 +71,10 @@ pub enum BlockUse {
     HashBlock,
     /// Checkpoint region (never allocated, never cleaned).
     Checkpoint,
+    /// Metadata-index region (never allocated, never cleaned). The index
+    /// runs its own log-structured compaction *inside* this region; the
+    /// fs cleaner must never relocate its pages.
+    IndexRegion,
     /// Dead data awaiting the cleaner.
     Dead,
 }
@@ -96,7 +100,7 @@ pub struct SegmentInfo {
     pub dead: u64,
     /// Blocks pinned by heated lines (hash blocks and heated live data).
     pub heated: u64,
-    /// Checkpoint blocks.
+    /// Reserved blocks (checkpoint and metadata-index regions).
     pub reserved: u64,
 }
 
@@ -136,16 +140,20 @@ impl fmt::Display for Allocator {
 
 impl Allocator {
     /// Creates an allocator over `total_blocks`, with `segment_blocks` per
-    /// segment and the first `checkpoint_blocks` reserved.
+    /// segment, the first `checkpoint_blocks` reserved for the checkpoint,
+    /// and the `index_blocks` after them reserved for the metadata index
+    /// (pass 0 for an unindexed file system).
     ///
     /// # Panics
     ///
-    /// Panics unless `segment_blocks` divides `total_blocks` and the
-    /// checkpoint fits in the first segment.
+    /// Panics unless `segment_blocks` divides `total_blocks`, the
+    /// checkpoint fits in the first segment, and both reserved regions
+    /// fit the device.
     pub fn new(
         total_blocks: u64,
         segment_blocks: u64,
         checkpoint_blocks: u64,
+        index_blocks: u64,
         policy: ClusterPolicy,
     ) -> Allocator {
         assert!(
@@ -156,16 +164,27 @@ impl Allocator {
             checkpoint_blocks <= segment_blocks,
             "checkpoint must fit the first segment"
         );
+        assert!(
+            checkpoint_blocks + index_blocks <= total_blocks,
+            "reserved regions must fit the device"
+        );
         let mut uses = vec![BlockUse::Free; total_blocks as usize];
         for u in uses.iter_mut().take(checkpoint_blocks as usize) {
             *u = BlockUse::Checkpoint;
+        }
+        for u in uses
+            .iter_mut()
+            .skip(checkpoint_blocks as usize)
+            .take(index_blocks as usize)
+        {
+            *u = BlockUse::IndexRegion;
         }
         Allocator {
             heated: vec![false; total_blocks as usize],
             uses,
             segment_blocks,
             policy,
-            normal_cursor: checkpoint_blocks,
+            normal_cursor: checkpoint_blocks + index_blocks,
             archival_cursor: total_blocks,
         }
     }
@@ -297,7 +316,7 @@ impl Allocator {
             match u {
                 BlockUse::Free => seg.free += 1,
                 BlockUse::Dead => seg.dead += 1,
-                BlockUse::Checkpoint => seg.reserved += 1,
+                BlockUse::Checkpoint | BlockUse::IndexRegion => seg.reserved += 1,
                 _ => seg.live += 1,
             }
         }
@@ -316,7 +335,7 @@ mod tests {
     use super::*;
 
     fn alloc(policy: ClusterPolicy) -> Allocator {
-        Allocator::new(256, 64, 8, policy)
+        Allocator::new(256, 64, 8, 0, policy)
     }
 
     #[test]
@@ -358,7 +377,7 @@ mod tests {
 
     #[test]
     fn alloc_wraps_to_cleaned_space() {
-        let mut a = Allocator::new(64, 64, 0, ClusterPolicy::Naive);
+        let mut a = Allocator::new(64, 64, 0, 0, ClusterPolicy::Naive);
         // Fill everything.
         let mut got = Vec::new();
         while let Some(b) = a.alloc_block(WriteClass::Normal) {
@@ -383,7 +402,7 @@ mod tests {
 
     #[test]
     fn line_allocation_avoids_used_space() {
-        let mut a = Allocator::new(64, 64, 0, ClusterPolicy::Naive);
+        let mut a = Allocator::new(64, 64, 0, 0, ClusterPolicy::Naive);
         a.set_use(2, BlockUse::Data { ino: 9 });
         let line = a.alloc_line(2, WriteClass::Archival).unwrap();
         assert_eq!(line.start(), 4, "slot 0..4 is blocked by block 2");
@@ -391,7 +410,7 @@ mod tests {
 
     #[test]
     fn line_allocation_fails_when_fragmented() {
-        let mut a = Allocator::new(16, 16, 0, ClusterPolicy::Naive);
+        let mut a = Allocator::new(16, 16, 0, 0, ClusterPolicy::Naive);
         // Poison one block in every 4-aligned slot.
         for s in [0u64, 4, 8, 12] {
             a.set_use(s + 1, BlockUse::Dead);
@@ -436,6 +455,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "tile")]
     fn untiled_segments_panic() {
-        Allocator::new(100, 64, 0, ClusterPolicy::Naive);
+        Allocator::new(100, 64, 0, 0, ClusterPolicy::Naive);
+    }
+
+    #[test]
+    fn index_region_reserved_and_never_allocated() {
+        let mut a = Allocator::new(256, 64, 8, 56, ClusterPolicy::HeatAffinity);
+        for b in 8..64 {
+            assert_eq!(a.block_use(b), BlockUse::IndexRegion);
+        }
+        assert_eq!(a.free_blocks(), 192);
+        assert_eq!(a.alloc_block(WriteClass::Normal), Some(64));
+        let line = a.alloc_line(3, WriteClass::Normal).unwrap();
+        assert!(line.start() >= 64, "lines must skip the index region");
+        assert!(!BlockUse::IndexRegion.is_movable_live());
+        assert_eq!(a.segments()[0].reserved, 64);
     }
 }

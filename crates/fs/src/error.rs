@@ -51,6 +51,17 @@ pub enum FsError {
         /// What failed.
         reason: String,
     },
+    /// The checkpoint no longer fits its fixed block region. Nothing was
+    /// written — the previous checkpoint on the device stays intact. For
+    /// a namespace this large, format with [`crate::fs::FsConfig::indexed`]
+    /// (`crate::fs::FsConfig::indexed`) so directory and inode metadata
+    /// live in the scalable index instead of the checkpoint.
+    CheckpointOverflow {
+        /// Bytes the checkpoint needs.
+        bytes: usize,
+        /// Bytes the region holds.
+        capacity: usize,
+    },
     /// The file system is in degraded mode — some blocks are quarantined
     /// after persistent device faults — so mutating operations are
     /// refused. Reads, `stat`, `list`, and verification keep working.
@@ -80,6 +91,14 @@ impl fmt::Display for FsError {
             }
             FsError::BadName { name } => write!(f, "bad file name {name:?}"),
             FsError::Corrupt { reason } => write!(f, "corrupt file system: {reason}"),
+            FsError::CheckpointOverflow { bytes, capacity } => {
+                write!(
+                    f,
+                    "checkpoint of {bytes} bytes exceeds its {capacity}-byte region; \
+                     the previous checkpoint is untouched — reformat with an indexed \
+                     configuration to scale the namespace"
+                )
+            }
             FsError::Degraded { quarantined_blocks } => {
                 write!(
                     f,
@@ -125,6 +144,10 @@ mod tests {
                 name: String::new(),
             },
             FsError::Corrupt { reason: "r".into() },
+            FsError::CheckpointOverflow {
+                bytes: 9000,
+                capacity: 8184,
+            },
             FsError::Degraded {
                 quarantined_blocks: 1,
             },

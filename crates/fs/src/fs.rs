@@ -39,22 +39,30 @@
 use crate::alloc::{Allocator, BlockUse, ClusterPolicy, WriteClass};
 use crate::error::FsError;
 use crate::inode::{FileKind, Inode, MAX_BLOCKS, MAX_FILE_BYTES, MAX_NAME_BYTES, NDIRECT};
+use crate::meta;
 use sero_codec::crc32::crc32;
 use sero_core::device::{LoadProbe, ScrubStateRestore, SeroDevice};
 use sero_core::fleet::{
     FleetConfig, FleetMemberState, FleetProgress, FleetScheduler, FleetSliceOutcome,
 };
+use sero_core::journal::{JournalError, WmrmRegion};
 use sero_core::line::{Line, MAX_ORDER};
 use sero_core::sched::{
     SchedConfig, SchedProgress, SchedState, ScrubScheduler, SliceOutcome, SliceTrace,
 };
 use sero_core::scrub::{scrub_device, ScrubConfig, ScrubReport};
 use sero_core::tamper::VerifyOutcome;
+use sero_index::{
+    BlockStore, IndexError, IndexGeometry, IndexStats, MetaIndex, OpenReport, PAGE_BYTES,
+};
 use sero_probe::sector::SECTOR_DATA_BYTES;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Checkpoint magic ("SCKP").
 const CHECKPOINT_MAGIC: u32 = 0x53434B50;
+
+// One index page maps onto one device sector.
+const _: () = assert!(PAGE_BYTES == SECTOR_DATA_BYTES);
 
 /// File-system configuration, persisted in the checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +71,11 @@ pub struct FsConfig {
     pub segment_blocks: u64,
     /// Blocks reserved for the checkpoint (must fit one segment).
     pub checkpoint_blocks: u64,
+    /// Blocks reserved, immediately after the checkpoint, for the LSM
+    /// metadata index. `0` disables the index: the directory and inode
+    /// map then live in the checkpoint itself (the legacy v2 layout),
+    /// which caps the namespace at what `checkpoint_blocks` can hold.
+    pub index_blocks: u64,
     /// Allocation clustering policy.
     pub policy: ClusterPolicy,
 }
@@ -72,7 +85,23 @@ impl Default for FsConfig {
         FsConfig {
             segment_blocks: 64,
             checkpoint_blocks: 16,
+            index_blocks: 0,
             policy: ClusterPolicy::HeatAffinity,
+        }
+    }
+}
+
+impl FsConfig {
+    /// The default configuration with the metadata index enabled: the
+    /// rest of segment 0 (48 blocks) becomes the index region, the
+    /// checkpoint shrinks to superblock-scale state, and the namespace
+    /// is no longer bounded by `checkpoint_blocks`. Size `index_blocks`
+    /// up for large devices — the region must hold every directory
+    /// entry and inode record.
+    pub fn indexed() -> FsConfig {
+        FsConfig {
+            index_blocks: 48,
+            ..FsConfig::default()
         }
     }
 }
@@ -138,6 +167,78 @@ pub struct SeroFs {
     /// The scrub pass driven through the command API
     /// ([`SeroFs::handle`](crate::serve)), when one has been started.
     pub(crate) service_scrub: Option<ScrubScheduler>,
+    /// The metadata index, when the configuration reserves a region.
+    pub(crate) index: Option<MetaIndex>,
+    /// Write-back page cache over the index region. Index reads fill it;
+    /// index writes land here and are flushed to the device by
+    /// [`SeroFs::sync`], so per-operation device traffic is unchanged by
+    /// the index.
+    pub(crate) index_cache: BTreeMap<u64, [u8; PAGE_BYTES]>,
+    /// Cached index pages not yet written to the device.
+    pub(crate) index_dirty: BTreeSet<u64>,
+    /// What opening the index observed at mount.
+    pub(crate) index_open: Option<OpenReport>,
+}
+
+/// Adapts the reserved WMRM index region to the index's [`BlockStore`]
+/// through the file system's write-back page cache.
+struct FsIndexStore<'a> {
+    dev: &'a mut SeroDevice,
+    region: WmrmRegion,
+    cache: &'a mut BTreeMap<u64, [u8; PAGE_BYTES]>,
+    dirty: &'a mut BTreeSet<u64>,
+}
+
+impl BlockStore for FsIndexStore<'_> {
+    fn page_count(&self) -> u64 {
+        self.region.blocks()
+    }
+
+    fn read_page(&mut self, page: u64) -> Result<[u8; PAGE_BYTES], IndexError> {
+        if let Some(data) = self.cache.get(&page) {
+            return Ok(*data);
+        }
+        let data = self
+            .region
+            .read_page(self.dev, page)
+            .map_err(|e| IndexError::Store {
+                reason: e.to_string(),
+            })?;
+        self.cache.insert(page, data);
+        Ok(data)
+    }
+
+    fn write_page(&mut self, page: u64, data: &[u8; PAGE_BYTES]) -> Result<(), IndexError> {
+        if page >= self.region.blocks() {
+            return Err(IndexError::Store {
+                reason: format!(
+                    "page {page} outside the {}-page index region",
+                    self.region.blocks()
+                ),
+            });
+        }
+        self.cache.insert(page, *data);
+        self.dirty.insert(page);
+        Ok(())
+    }
+}
+
+/// Maps index failures into the file system's error vocabulary: an
+/// exhausted index region is a space problem, everything else is a
+/// metadata-integrity problem.
+fn index_err(e: IndexError) -> FsError {
+    match e {
+        IndexError::RegionFull {
+            needed_pages,
+            free_pages,
+        } => FsError::NoSpace {
+            needed: needed_pages,
+            free: free_pages,
+        },
+        other => FsError::Corrupt {
+            reason: format!("metadata index: {other}"),
+        },
+    }
 }
 
 impl SeroFs {
@@ -152,15 +253,23 @@ impl SeroFs {
             || dev.block_count() % config.segment_blocks != 0
             || config.checkpoint_blocks > config.segment_blocks
             || config.checkpoint_blocks == 0
+            || config.checkpoint_blocks + config.index_blocks > dev.block_count()
         {
             return Err(FsError::Corrupt {
                 reason: "configuration does not tile the device".to_string(),
             });
         }
+        if config.index_blocks > 0 {
+            // Fail loudly on an unusable geometry before touching the device.
+            IndexGeometry::for_pages(config.index_blocks).map_err(|e| FsError::Corrupt {
+                reason: format!("index region: {e}"),
+            })?;
+        }
         let alloc = Allocator::new(
             dev.block_count(),
             config.segment_blocks,
             config.checkpoint_blocks,
+            config.index_blocks,
             config.policy,
         );
         let mut fs = SeroFs {
@@ -175,25 +284,48 @@ impl SeroFs {
             stats: FsStats::default(),
             scrub_restore: None,
             service_scrub: None,
+            index: None,
+            index_cache: BTreeMap::new(),
+            index_dirty: BTreeSet::new(),
+            index_open: None,
         };
+        if config.index_blocks > 0 {
+            let geom = IndexGeometry::for_pages(config.index_blocks).expect("validated above");
+            let region = Self::index_region(&config).expect("index_blocks > 0");
+            let mut store = FsIndexStore {
+                dev: &mut fs.dev,
+                region,
+                cache: &mut fs.index_cache,
+                dirty: &mut fs.index_dirty,
+            };
+            fs.index = Some(MetaIndex::format(&mut store, geom).map_err(index_err)?);
+        }
+        fs.flush_index_pages()?;
         fs.write_checkpoint()?;
         Ok(fs)
     }
 
     /// Mounts an existing file system, reconstructing all in-memory state
-    /// from the checkpoint, the inode blocks, and a physical scan for
-    /// heated lines.
+    /// from the checkpoint, the metadata index (or, for unindexed file
+    /// systems, the inode blocks), and a physical scan for heated lines.
+    ///
+    /// An indexed mount never probes per-file device blocks: the
+    /// checkpoint carries only superblock-scale state, and the directory
+    /// and inode map are hydrated from the index — manifest, a bounded
+    /// WAL tail, and the index's own segments.
     ///
     /// # Errors
     ///
-    /// [`FsError::Corrupt`] when the checkpoint or an inode fails to parse.
+    /// [`FsError::Corrupt`] when the checkpoint, the index, or an inode
+    /// fails to parse.
     pub fn mount(mut dev: SeroDevice) -> Result<SeroFs, FsError> {
-        let (config, next_ino, inode_loc, directory, scrub_state) =
+        let (config, mut next_ino, mut inode_loc, mut directory, scrub_state) =
             Self::read_checkpoint(&mut dev)?;
         let mut alloc = Allocator::new(
             dev.block_count(),
             config.segment_blocks,
             config.checkpoint_blocks,
+            config.index_blocks,
             config.policy,
         );
 
@@ -217,39 +349,119 @@ impl SeroFs {
         // stays accessible and the next pass simply runs full.
         let scrub_restore = scrub_state.and_then(|state| dev.import_scrub_state(&state).ok());
 
-        // Load inodes and mark their blocks.
         let mut inodes = BTreeMap::new();
         let mut indirect_loc = BTreeMap::new();
-        for (&ino, &block) in &inode_loc {
-            let sector = dev.probe_mut().mrs(block).map_err(|e| FsError::Corrupt {
-                reason: format!("inode block {block} unreadable: {e}"),
-            })?;
-            let (mut inode, indirect_ptr) = Inode::decode(&sector.data)?;
-            let total = {
-                // decode() returns direct prefix only; recover the count.
-                let declared = inode.blocks.len();
-                if let Some(ptr) = indirect_ptr {
-                    // re-read count from size? The encoding stores n_blocks
-                    // explicitly; decode kept only the direct prefix, so
-                    // fetch the indirect block and extend.
-                    let ind = dev.probe_mut().mrs(ptr).map_err(|e| FsError::Corrupt {
-                        reason: format!("indirect block {ptr} unreadable: {e}"),
-                    })?;
-                    let n = (inode.size as usize).div_ceil(SECTOR_DATA_BYTES);
-                    inode.attach_indirect(&ind.data, n)?;
-                    indirect_loc.insert(ino, ptr);
-                    alloc.set_use(ptr, BlockUse::Indirect { ino });
-                    n
-                } else {
-                    declared
-                }
+        let mut index = None;
+        let mut index_cache = BTreeMap::new();
+        let mut index_dirty = BTreeSet::new();
+        let mut index_open = None;
+
+        if config.index_blocks > 0 {
+            // Indexed mount: hydrate the namespace from the index —
+            // manifest + bounded WAL tail + index segments — and never
+            // probe per-file inode blocks on the device.
+            let geom = IndexGeometry::for_pages(config.index_blocks).map_err(index_err)?;
+            let region = Self::index_region(&config).expect("index_blocks > 0");
+            let mut store = FsIndexStore {
+                dev: &mut dev,
+                region,
+                cache: &mut index_cache,
+                dirty: &mut index_dirty,
             };
-            debug_assert_eq!(inode.blocks.len(), total.max(inode.blocks.len()));
-            alloc.set_use(block, BlockUse::InodeBlock { ino });
-            for &b in &inode.blocks {
-                alloc.set_use(b, BlockUse::Data { ino });
+            let (mut idx, report) = MetaIndex::open(&mut store, geom).map_err(index_err)?;
+            let entries = idx.scan_all(&mut store).map_err(index_err)?;
+            let mut record_chunks: BTreeMap<u64, Vec<(u8, Vec<u8>)>> = BTreeMap::new();
+            for (key, value) in entries {
+                if let Some(raw_name) = key.strip_prefix(b"d/") {
+                    let name =
+                        String::from_utf8(raw_name.to_vec()).map_err(|_| FsError::Corrupt {
+                            reason: "index directory name is not UTF-8".to_string(),
+                        })?;
+                    let ino: [u8; 8] =
+                        value.as_slice().try_into().map_err(|_| FsError::Corrupt {
+                            reason: format!("index directory entry for {name:?} is not a u64"),
+                        })?;
+                    directory.insert(name, u64::from_le_bytes(ino));
+                } else if let Some(rest) = key.strip_prefix(b"i/") {
+                    if rest.len() != 9 {
+                        return Err(FsError::Corrupt {
+                            reason: "malformed inode-record key in index".to_string(),
+                        });
+                    }
+                    let ino = u64::from_be_bytes(rest[..8].try_into().expect("8"));
+                    record_chunks.entry(ino).or_default().push((rest[8], value));
+                } else {
+                    return Err(FsError::Corrupt {
+                        reason: "unknown key family in metadata index".to_string(),
+                    });
+                }
             }
-            inodes.insert(ino, inode);
+            for (ino, mut parts) in record_chunks {
+                parts.sort_by_key(|(chunk, _)| *chunk);
+                if parts.iter().enumerate().any(|(i, (c, _))| *c as usize != i) {
+                    return Err(FsError::Corrupt {
+                        reason: format!("inode {ino} record chunks are not contiguous"),
+                    });
+                }
+                let values: Vec<Vec<u8>> = parts.into_iter().map(|(_, v)| v).collect();
+                let record = meta::decode_record(&meta::assemble_record(&values)?)?;
+                if record.inode.ino != ino {
+                    return Err(FsError::Corrupt {
+                        reason: format!("inode record {ino} names ino {}", record.inode.ino),
+                    });
+                }
+                if let Some(loc) = record.inode_loc {
+                    alloc.set_use(loc, BlockUse::InodeBlock { ino });
+                    inode_loc.insert(ino, loc);
+                }
+                if let Some(loc) = record.indirect_loc {
+                    alloc.set_use(loc, BlockUse::Indirect { ino });
+                    indirect_loc.insert(ino, loc);
+                }
+                for &b in &record.inode.blocks {
+                    alloc.set_use(b, BlockUse::Data { ino });
+                }
+                // The checkpoint can trail the index by one sync; never
+                // hand out an ino the index already knows.
+                next_ino = next_ino.max(ino + 1);
+                inodes.insert(ino, record.inode);
+            }
+            index = Some(idx);
+            index_open = Some(report);
+        } else {
+            // Legacy mount: load inodes from the checkpoint's inode map
+            // and mark their blocks.
+            for (&ino, &block) in &inode_loc {
+                let sector = dev.probe_mut().mrs(block).map_err(|e| FsError::Corrupt {
+                    reason: format!("inode block {block} unreadable: {e}"),
+                })?;
+                let (mut inode, indirect_ptr) = Inode::decode(&sector.data)?;
+                let total = {
+                    // decode() returns direct prefix only; recover the count.
+                    let declared = inode.blocks.len();
+                    if let Some(ptr) = indirect_ptr {
+                        // re-read count from size? The encoding stores n_blocks
+                        // explicitly; decode kept only the direct prefix, so
+                        // fetch the indirect block and extend.
+                        let ind = dev.probe_mut().mrs(ptr).map_err(|e| FsError::Corrupt {
+                            reason: format!("indirect block {ptr} unreadable: {e}"),
+                        })?;
+                        let n = (inode.size as usize).div_ceil(SECTOR_DATA_BYTES);
+                        inode.attach_indirect(&ind.data, n)?;
+                        indirect_loc.insert(ino, ptr);
+                        alloc.set_use(ptr, BlockUse::Indirect { ino });
+                        n
+                    } else {
+                        declared
+                    }
+                };
+                debug_assert_eq!(inode.blocks.len(), total.max(inode.blocks.len()));
+                alloc.set_use(block, BlockUse::InodeBlock { ino });
+                for &b in &inode.blocks {
+                    alloc.set_use(b, BlockUse::Data { ino });
+                }
+                inodes.insert(ino, inode);
+            }
         }
 
         Ok(SeroFs {
@@ -264,6 +476,10 @@ impl SeroFs {
             stats: FsStats::default(),
             scrub_restore,
             service_scrub: None,
+            index,
+            index_cache,
+            index_dirty,
+            index_open,
         })
     }
 
@@ -297,6 +513,157 @@ impl SeroFs {
     /// The configuration in force.
     pub fn config(&self) -> FsConfig {
         self.config
+    }
+
+    /// True when this file system carries a metadata index.
+    pub fn has_index(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// What opening the index observed at mount (`None` for an unindexed
+    /// file system or a freshly formatted one): WAL records replayed and
+    /// whether a torn tail was truncated back to the last durable record.
+    pub fn index_open_report(&self) -> Option<OpenReport> {
+        self.index_open
+    }
+
+    /// Index runtime counters (flushes, compactions, bloom skips), when
+    /// an index is present.
+    pub fn index_stats(&self) -> Option<IndexStats> {
+        self.index.as_ref().map(|i| i.stats())
+    }
+
+    /// Resolves `name` through the on-index lookup path — memtable, then
+    /// bloom-filtered segments — rather than the in-memory directory.
+    /// Returns the inode number, or `None` when the index is absent or
+    /// has no such entry. This is the probe `exp_metadata` uses to
+    /// assert point-lookup cost.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupt`] for index corruption; device errors.
+    pub fn index_lookup(&mut self, name: &str) -> Result<Option<u64>, FsError> {
+        let key = meta::dir_key(name);
+        let Some((index, mut store)) = self.index_parts() else {
+            return Ok(None);
+        };
+        match index.get(&mut store, &key).map_err(index_err)? {
+            None => Ok(None),
+            Some(bytes) => {
+                let arr: [u8; 8] = bytes.as_slice().try_into().map_err(|_| FsError::Corrupt {
+                    reason: format!("index directory entry for {name:?} is not a u64"),
+                })?;
+                Ok(Some(u64::from_le_bytes(arr)))
+            }
+        }
+    }
+
+    // --- metadata index plumbing -----------------------------------------
+
+    /// The reserved index region, when the configuration has one.
+    fn index_region(config: &FsConfig) -> Option<WmrmRegion> {
+        (config.index_blocks > 0).then(|| {
+            WmrmRegion::new(config.checkpoint_blocks, config.index_blocks)
+                .expect("non-empty index region")
+        })
+    }
+
+    /// Splits the borrow: the index plus a [`BlockStore`] over the
+    /// device and the write-back cache.
+    fn index_parts(&mut self) -> Option<(&mut MetaIndex, FsIndexStore<'_>)> {
+        let region = Self::index_region(&self.config)?;
+        let index = self.index.as_mut()?;
+        Some((
+            index,
+            FsIndexStore {
+                dev: &mut self.dev,
+                region,
+                cache: &mut self.index_cache,
+                dirty: &mut self.index_dirty,
+            },
+        ))
+    }
+
+    /// Upserts `name → ino` into the index.
+    fn index_record_dirent(&mut self, name: &str, ino: u64) -> Result<(), FsError> {
+        let key = meta::dir_key(name);
+        let Some((index, mut store)) = self.index_parts() else {
+            return Ok(());
+        };
+        index
+            .put(&mut store, &key, &ino.to_le_bytes())
+            .map_err(index_err)
+    }
+
+    /// Upserts `ino`'s chunked inode record into the index. `fresh`
+    /// skips the stale-chunk deletes a brand-new record cannot need.
+    fn index_record_file(&mut self, ino: u64, fresh: bool) -> Result<(), FsError> {
+        if self.index.is_none() {
+            return Ok(());
+        }
+        let chunks = {
+            let inode = self.inodes.get(&ino).expect("recorded inode exists");
+            meta::chunk_record(&meta::encode_record(
+                inode,
+                self.inode_loc.get(&ino).copied(),
+                self.indirect_loc.get(&ino).copied(),
+            ))
+        };
+        let written = chunks.len() as u8;
+        let (index, mut store) = self.index_parts().expect("index present");
+        for (i, chunk) in chunks.iter().enumerate() {
+            index
+                .put(&mut store, &meta::ino_key(ino, i as u8), chunk)
+                .map_err(index_err)?;
+        }
+        if !fresh {
+            // A shrunken record must not leave stale continuation chunks
+            // behind for mount to assemble.
+            for stale in written..meta::MAX_RECORD_CHUNKS {
+                index
+                    .delete(&mut store, &meta::ino_key(ino, stale))
+                    .map_err(index_err)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops `name` and `ino`'s record from the index.
+    fn index_forget_file(&mut self, ino: u64, name: &str) -> Result<(), FsError> {
+        let dkey = meta::dir_key(name);
+        let Some((index, mut store)) = self.index_parts() else {
+            return Ok(());
+        };
+        index.delete(&mut store, &dkey).map_err(index_err)?;
+        for chunk in 0..meta::MAX_RECORD_CHUNKS {
+            index
+                .delete(&mut store, &meta::ino_key(ino, chunk))
+                .map_err(index_err)?;
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty cached index page to the device — called from
+    /// [`SeroFs::sync`], keeping index durability on the same cadence as
+    /// the checkpoint.
+    fn flush_index_pages(&mut self) -> Result<(), FsError> {
+        let Some(region) = Self::index_region(&self.config) else {
+            return Ok(());
+        };
+        let dirty: Vec<u64> = self.index_dirty.iter().copied().collect();
+        for page in dirty {
+            let data = self.index_cache.get(&page).expect("dirty page is cached");
+            region
+                .write_page(&mut self.dev, page, data)
+                .map_err(|e| match e {
+                    JournalError::Device(d) => FsError::Device(d),
+                    other => FsError::Corrupt {
+                        reason: format!("index flush: {other}"),
+                    },
+                })?;
+        }
+        self.index_dirty.clear();
+        Ok(())
     }
 
     /// Free blocks available for new data.
@@ -492,6 +859,21 @@ impl SeroFs {
         inode.blocks = blocks;
         self.inodes.insert(ino, inode);
         self.directory.insert(name.to_string(), ino);
+        // Record the file in the metadata index; an index that cannot
+        // take it (region full) fails the create cleanly — no phantom
+        // file survives in the in-memory maps.
+        if let Err(e) = self
+            .index_record_dirent(name, ino)
+            .and_then(|()| self.index_record_file(ino, true))
+        {
+            self.directory.remove(name);
+            if let Some(inode) = self.inodes.remove(&ino) {
+                for b in inode.blocks {
+                    self.alloc.set_use(b, BlockUse::Dead);
+                }
+            }
+            return Err(e);
+        }
         self.stats.files_created += 1;
         Ok(ino)
     }
@@ -553,6 +935,7 @@ impl SeroFs {
         for b in old_blocks {
             self.alloc.set_use(b, BlockUse::Dead);
         }
+        self.index_record_file(ino, false)?;
         Ok(())
     }
 
@@ -587,6 +970,7 @@ impl SeroFs {
             self.alloc.set_use(loc, BlockUse::Dead);
         }
         self.directory.remove(name);
+        self.index_forget_file(ino, name)?;
         self.stats.files_removed += 1;
         Ok(())
     }
@@ -700,6 +1084,9 @@ impl SeroFs {
         if let Some(ind) = indirect_block {
             self.indirect_loc.insert(ino, ind);
         }
+        // The record changed shape in every way that matters: heated
+        // line, relocated data blocks, in-line inode location.
+        self.index_record_file(ino, false)?;
         self.stats.heats += 1;
         Ok(line)
     }
@@ -814,11 +1201,14 @@ impl SeroFs {
         // Write every unheated inode that has no on-device home (or whose
         // cached home is stale). Heated inodes already live in their lines.
         let inos: Vec<u64> = self.inodes.keys().copied().collect();
+        let mut relocated = Vec::new();
         for ino in inos {
             let inode = &self.inodes[&ino];
             if inode.heated.is_some() && self.inode_loc.contains_key(&ino) {
                 continue;
             }
+            let prev_main = self.inode_loc.get(&ino).copied();
+            let prev_ind = self.indirect_loc.get(&ino).copied();
             let needs_indirect = inode.blocks.len() > NDIRECT;
             let ind_block = if needs_indirect {
                 Some(match self.indirect_loc.get(&ino) {
@@ -842,33 +1232,54 @@ impl SeroFs {
                 self.alloc.set_use(block, BlockUse::Indirect { ino });
                 self.indirect_loc.insert(ino, block);
             }
+            if prev_main != Some(main_block) || prev_ind != ind_block {
+                relocated.push(ino);
+            }
         }
+        // Inodes that moved get their index records refreshed so an
+        // indexed mount marks the right blocks live — then the dirty
+        // index pages hit the device before the checkpoint that a crash
+        // would recover through.
+        for ino in relocated {
+            self.index_record_file(ino, false)?;
+        }
+        self.flush_index_pages()?;
         self.write_checkpoint()
     }
 
     fn write_checkpoint(&mut self) -> Result<(), FsError> {
         let mut buf = Vec::new();
         buf.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
-        buf.extend_from_slice(&[2u8]); // version: 2 adds the scrub-state section
+        let indexed = self.index.is_some();
+        // Version 2 carries the whole namespace; version 3 is
+        // superblock-scale because the namespace lives in the metadata
+        // index — the checkpoint then stays O(1) no matter how many files
+        // exist, which is the whole point of indexing.
+        buf.push(if indexed { 3u8 } else { 2u8 });
         buf.extend_from_slice(&self.config.segment_blocks.to_le_bytes());
         buf.extend_from_slice(&self.config.checkpoint_blocks.to_le_bytes());
+        if indexed {
+            buf.extend_from_slice(&self.config.index_blocks.to_le_bytes());
+        }
         buf.push(match self.config.policy {
             ClusterPolicy::HeatAffinity => 1,
             ClusterPolicy::Naive => 2,
         });
         buf.extend_from_slice(&self.next_ino.to_le_bytes());
-        buf.extend_from_slice(&(self.inode_loc.len() as u32).to_le_bytes());
-        for (&ino, &block) in &self.inode_loc {
-            buf.extend_from_slice(&ino.to_le_bytes());
-            buf.extend_from_slice(&block.to_le_bytes());
+        if !indexed {
+            buf.extend_from_slice(&(self.inode_loc.len() as u32).to_le_bytes());
+            for (&ino, &block) in &self.inode_loc {
+                buf.extend_from_slice(&ino.to_le_bytes());
+                buf.extend_from_slice(&block.to_le_bytes());
+            }
+            buf.extend_from_slice(&(self.directory.len() as u32).to_le_bytes());
+            for (name, &ino) in &self.directory {
+                buf.extend_from_slice(&ino.to_le_bytes());
+                buf.push(name.len() as u8);
+                buf.extend_from_slice(name.as_bytes());
+            }
         }
-        buf.extend_from_slice(&(self.directory.len() as u32).to_le_bytes());
-        for (name, &ino) in &self.directory {
-            buf.extend_from_slice(&ino.to_le_bytes());
-            buf.push(name.len() as u8);
-            buf.extend_from_slice(name.as_bytes());
-        }
-        // v2: the device's scrub bookkeeping rides the checkpoint, so a
+        // The device's scrub bookkeeping rides the checkpoint, so a
         // remount resumes incremental scrubbing instead of a full pass.
         // The export is capped to whatever headroom the fixed checkpoint
         // region has left after the namespace — under pressure it drops
@@ -882,12 +1293,14 @@ impl SeroFs {
         let crc = crc32(&buf);
         buf.extend_from_slice(&crc.to_le_bytes());
 
+        // A namespace too large for the region is a typed, recoverable
+        // error: nothing has been written yet, so the previous checkpoint
+        // on the device is still whole and the mountable state is exactly
+        // what it was before this sync.
         if buf.len() > capacity {
-            return Err(FsError::Corrupt {
-                reason: format!(
-                    "checkpoint of {} bytes exceeds region of {capacity} bytes",
-                    buf.len()
-                ),
+            return Err(FsError::CheckpointOverflow {
+                bytes: buf.len(),
+                capacity,
             });
         }
 
@@ -947,7 +1360,7 @@ impl SeroFs {
             });
         }
         let version = body[pos];
-        if !(1..=2).contains(&version) {
+        if !(1..=3).contains(&version) {
             return Err(FsError::Corrupt {
                 reason: format!("unknown checkpoint version {version}"),
             });
@@ -957,6 +1370,14 @@ impl SeroFs {
         pos += 8;
         let checkpoint_blocks = u64::from_le_bytes(body[pos..pos + 8].try_into().expect("8"));
         pos += 8;
+        // v3 (indexed) records the index region size; v1/v2 predate it.
+        let index_blocks = if version >= 3 {
+            let v = u64::from_le_bytes(body[pos..pos + 8].try_into().expect("8"));
+            pos += 8;
+            v
+        } else {
+            0
+        };
         let policy = match body[pos] {
             1 => ClusterPolicy::HeatAffinity,
             2 => ClusterPolicy::Naive,
@@ -969,30 +1390,36 @@ impl SeroFs {
         pos += 1;
         let next_ino = u64::from_le_bytes(body[pos..pos + 8].try_into().expect("8"));
         pos += 8;
-        let n_inodes = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4")) as usize;
-        pos += 4;
         let mut inode_loc = BTreeMap::new();
-        for _ in 0..n_inodes {
-            let ino = u64::from_le_bytes(body[pos..pos + 8].try_into().expect("8"));
-            pos += 8;
-            let block = u64::from_le_bytes(body[pos..pos + 8].try_into().expect("8"));
-            pos += 8;
-            inode_loc.insert(ino, block);
-        }
-        let n_dirents = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4")) as usize;
-        pos += 4;
         let mut directory = BTreeMap::new();
-        for _ in 0..n_dirents {
-            let ino = u64::from_le_bytes(body[pos..pos + 8].try_into().expect("8"));
-            pos += 8;
-            let len = body[pos] as usize;
-            pos += 1;
-            let name =
-                String::from_utf8(body[pos..pos + len].to_vec()).map_err(|_| FsError::Corrupt {
-                    reason: "directory name not UTF-8".to_string(),
+        // v3 checkpoints are superblock-scale: the namespace lives in the
+        // metadata index, so there are no inode-location or directory
+        // sections to parse here.
+        if version <= 2 {
+            let n_inodes = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4")) as usize;
+            pos += 4;
+            for _ in 0..n_inodes {
+                let ino = u64::from_le_bytes(body[pos..pos + 8].try_into().expect("8"));
+                pos += 8;
+                let block = u64::from_le_bytes(body[pos..pos + 8].try_into().expect("8"));
+                pos += 8;
+                inode_loc.insert(ino, block);
+            }
+            let n_dirents = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4")) as usize;
+            pos += 4;
+            for _ in 0..n_dirents {
+                let ino = u64::from_le_bytes(body[pos..pos + 8].try_into().expect("8"));
+                pos += 8;
+                let len = body[pos] as usize;
+                pos += 1;
+                let name = String::from_utf8(body[pos..pos + len].to_vec()).map_err(|_| {
+                    FsError::Corrupt {
+                        reason: "directory name not UTF-8".to_string(),
+                    }
                 })?;
-            pos += len;
-            directory.insert(name, ino);
+                pos += len;
+                directory.insert(name, ino);
+            }
         }
         // v1 checkpoints predate persisted scrub state; their remounts
         // simply start unverified (full pass), exactly as before.
@@ -1017,6 +1444,7 @@ impl SeroFs {
             FsConfig {
                 segment_blocks,
                 checkpoint_blocks,
+                index_blocks,
                 policy,
             },
             next_ino,
@@ -1466,5 +1894,152 @@ mod tests {
         // A later exclusive scrub covers everything.
         let report = fs.scrub(&ScrubConfig::default()).unwrap();
         assert_eq!(report.summary.lines, 6);
+    }
+
+    #[test]
+    fn indexed_format_mount_round_trips_namespace() {
+        let mut fs = SeroFs::format(SeroDevice::with_blocks(1024), FsConfig::indexed()).unwrap();
+        assert!(fs.has_index());
+        for i in 0..8 {
+            fs.create(
+                &format!("file-{i}"),
+                &vec![i as u8; 1500],
+                WriteClass::Normal,
+            )
+            .unwrap();
+        }
+        fs.write("file-3", &[0x33; 4000], WriteClass::Normal)
+            .unwrap();
+        fs.heat("file-5", vec![], 77).unwrap();
+        fs.remove("file-6").unwrap();
+        fs.sync().unwrap();
+        let expected: Vec<String> = fs.list().into_iter().collect();
+        let heated = fs.stat("file-5").unwrap().heated;
+        assert!(heated.is_some());
+
+        let mut fs = SeroFs::mount(fs.into_device()).unwrap();
+        assert!(fs.has_index());
+        assert!(
+            !fs.device().is_degraded(),
+            "index reads must never touch virgin sectors (quarantine bait)"
+        );
+        let report = fs.index_open_report().expect("indexed mount reports");
+        assert!(!report.torn_tail, "clean shutdown leaves no torn WAL tail");
+        assert_eq!(fs.list().into_iter().collect::<Vec<_>>(), expected);
+        assert_eq!(fs.stat("file-5").unwrap().heated, heated);
+        assert_eq!(fs.read("file-3").unwrap(), vec![0x33; 4000]);
+        assert!(matches!(fs.stat("file-6"), Err(FsError::NotFound { .. })));
+        // Point lookups go through the LSM, not the in-memory directory.
+        let ino = fs.index_lookup("file-0").unwrap().expect("file-0 indexed");
+        assert_eq!(Some(&ino), fs.directory.get("file-0"));
+        assert_eq!(fs.index_lookup("no-such-file").unwrap(), None);
+    }
+
+    #[test]
+    fn indexed_mount_reads_no_inode_blocks() {
+        let mut fs = SeroFs::format(SeroDevice::with_blocks(1024), FsConfig::indexed()).unwrap();
+        for i in 0..24 {
+            fs.create(
+                &format!("probe-{i}"),
+                &vec![i as u8; 900],
+                WriteClass::Normal,
+            )
+            .unwrap();
+        }
+        fs.sync().unwrap();
+        // Sabotage one synced inode block on the device. A legacy mount
+        // would decode it and fail; an indexed mount never reads it.
+        let victim = *fs.inode_loc.get(&fs.directory["probe-7"]).unwrap();
+        let mut dev = fs.into_device();
+        dev.write_block(victim, &[0xFF; SECTOR_DATA_BYTES]).unwrap();
+
+        let before = dev.probe().counters().mrs;
+        let fs = SeroFs::mount(dev).unwrap();
+        let mount_reads = fs.device().probe().counters().mrs - before;
+        let metadata_blocks = fs.config().checkpoint_blocks + fs.config().index_blocks;
+        assert!(
+            mount_reads <= metadata_blocks,
+            "indexed mount read {mount_reads} sectors, more than the \
+             {metadata_blocks}-block metadata regions — it probed inode blocks"
+        );
+        assert_eq!(fs.stat("probe-7").unwrap().size, 900);
+        assert_eq!(fs.list().len(), 24);
+    }
+
+    #[test]
+    fn checkpoint_overflow_is_typed_and_previous_checkpoint_survives() {
+        // A deliberately tiny checkpoint region: 2 blocks ≈ 1 KiB.
+        let config = FsConfig {
+            segment_blocks: 64,
+            checkpoint_blocks: 2,
+            index_blocks: 0,
+            policy: ClusterPolicy::HeatAffinity,
+        };
+        let mut fs = SeroFs::format(SeroDevice::with_blocks(1024), config).unwrap();
+        for i in 0..3 {
+            fs.create(&format!("early-{i}"), &[i as u8; 600], WriteClass::Normal)
+                .unwrap();
+        }
+        fs.sync().unwrap();
+
+        for i in 0..30 {
+            fs.create(
+                &format!("late-{i:0>40}"),
+                &[i as u8; 600],
+                WriteClass::Normal,
+            )
+            .unwrap();
+        }
+        let err = fs.sync().unwrap_err();
+        match err {
+            FsError::CheckpointOverflow { bytes, capacity } => {
+                assert!(bytes > capacity, "{bytes} vs {capacity}");
+                assert_eq!(capacity, 2 * SECTOR_DATA_BYTES - 8);
+            }
+            other => panic!("expected CheckpointOverflow, got {other:?}"),
+        }
+
+        // Nothing was written: the device still mounts to the last
+        // successfully synced namespace.
+        let fs = SeroFs::mount(fs.into_device()).unwrap();
+        let names = fs.list();
+        assert_eq!(names.len(), 3);
+        assert!(names.iter().all(|n| n.starts_with("early-")));
+
+        // The same workload fits trivially under an indexed format: the
+        // checkpoint stays superblock-scale no matter the file count.
+        let mut fs = SeroFs::format(SeroDevice::with_blocks(1024), FsConfig::indexed()).unwrap();
+        for i in 0..3 {
+            fs.create(&format!("early-{i}"), &[i as u8; 600], WriteClass::Normal)
+                .unwrap();
+        }
+        for i in 0..30 {
+            fs.create(
+                &format!("late-{i:0>40}"),
+                &[i as u8; 600],
+                WriteClass::Normal,
+            )
+            .unwrap();
+        }
+        fs.sync().unwrap();
+        let fs2 = SeroFs::mount(fs.into_device()).unwrap();
+        assert_eq!(fs2.list().len(), 33);
+    }
+
+    #[test]
+    fn unindexed_checkpoints_remain_version_2() {
+        // The legacy (index-free) configuration must keep writing v2
+        // checkpoints byte-compatible with pre-index releases: mount the
+        // checkpoint, then re-read it raw and check the version byte.
+        let mut fs = SeroFs::format(SeroDevice::with_blocks(512), FsConfig::default()).unwrap();
+        fs.create("plain", b"contents", WriteClass::Normal).unwrap();
+        fs.sync().unwrap();
+        let mut dev = fs.into_device();
+        let first = dev.read_block(0).unwrap();
+        // Layout: u64 length ‖ u32 magic ‖ version byte.
+        assert_eq!(first[12], 2, "unindexed checkpoints stay at version 2");
+        let fs = SeroFs::mount(dev).unwrap();
+        assert!(!fs.has_index());
+        assert_eq!(fs.list(), vec!["plain".to_string()]);
     }
 }

@@ -33,6 +33,7 @@ pub mod error;
 pub mod fs;
 pub mod fsck;
 pub mod inode;
+mod meta;
 pub mod retention;
 pub mod serve;
 
@@ -473,6 +474,7 @@ mod tests {
                 FsConfig {
                     segment_blocks: 64,
                     checkpoint_blocks: 16,
+                    index_blocks: 0,
                     policy,
                 },
             )

@@ -1,0 +1,313 @@
+//! Index record schema: how the file system's metadata rides the
+//! [`sero_index::MetaIndex`].
+//!
+//! Two key families, both well under [`sero_index::MAX_KEY_BYTES`]:
+//!
+//! * `d/<name>` → inode number (u64 LE). One entry per directory name;
+//!   lexicographic key order makes paginated listing a range scan.
+//! * `i/<ino BE>/<chunk>` → one chunk of the inode record. Big-endian
+//!   inode numbers keep a file's chunks adjacent and ordered. Chunk 0
+//!   starts with the total chunk count, so a point lookup of chunk 0
+//!   tells the reader how many continuation keys to fetch; re-putting a
+//!   shrunken record deletes the stale tail chunks.
+//!
+//! The inode record carries everything mount needs so that it never
+//! touches inode blocks on the device: the full [`Inode`] (block
+//! pointers included) plus the device locations of its main and
+//! indirect blocks, which the allocator must mark as live on mount.
+
+use crate::error::FsError;
+use crate::inode::{FileKind, Inode, MAX_BLOCKS, MAX_NAME_BYTES};
+use sero_core::line::Line;
+use sero_index::MAX_VALUE_BYTES;
+
+/// Upper bound on chunks per inode record. The worst-case record (64-byte
+/// name, [`MAX_BLOCKS`] block pointers) is just over 1 KiB, i.e. three
+/// [`MAX_VALUE_BYTES`] chunks; one spare guards the arithmetic.
+pub(crate) const MAX_RECORD_CHUNKS: u8 = 4;
+
+/// The directory key for `name`.
+pub(crate) fn dir_key(name: &str) -> Vec<u8> {
+    let mut key = Vec::with_capacity(2 + name.len());
+    key.extend_from_slice(b"d/");
+    key.extend_from_slice(name.as_bytes());
+    key
+}
+
+/// The key of inode `ino`'s record chunk `chunk`.
+pub(crate) fn ino_key(ino: u64, chunk: u8) -> Vec<u8> {
+    let mut key = Vec::with_capacity(11);
+    key.extend_from_slice(b"i/");
+    key.extend_from_slice(&ino.to_be_bytes());
+    key.push(chunk);
+    key
+}
+
+/// A decoded inode record: the inode plus its on-device locations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct InodeRecord {
+    pub inode: Inode,
+    /// Device block holding the inode's main block, when synced.
+    pub inode_loc: Option<u64>,
+    /// Device block holding the indirect block, when one exists.
+    pub indirect_loc: Option<u64>,
+}
+
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            buf.push(1);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        None => buf.push(0),
+    }
+}
+
+/// Serialises an inode record (unchunked).
+pub(crate) fn encode_record(
+    inode: &Inode,
+    inode_loc: Option<u64>,
+    indirect_loc: Option<u64>,
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(128 + 8 * inode.blocks.len());
+    buf.extend_from_slice(&inode.ino.to_le_bytes());
+    buf.extend_from_slice(&inode.size.to_le_bytes());
+    buf.push(match inode.kind {
+        FileKind::Regular => 1,
+        FileKind::Directory => 2,
+    });
+    buf.extend_from_slice(&inode.link_count.to_le_bytes());
+    buf.extend_from_slice(&inode.mtime.to_le_bytes());
+    match inode.heated {
+        Some(line) => {
+            buf.extend_from_slice(&line.start().to_le_bytes());
+            buf.push(line.order() as u8);
+        }
+        None => {
+            buf.extend_from_slice(&u64::MAX.to_le_bytes());
+            buf.push(0);
+        }
+    }
+    buf.push(inode.name.len() as u8);
+    buf.extend_from_slice(inode.name.as_bytes());
+    put_opt_u64(&mut buf, inode_loc);
+    put_opt_u64(&mut buf, indirect_loc);
+    buf.extend_from_slice(&(inode.blocks.len() as u16).to_le_bytes());
+    for &b in &inode.blocks {
+        buf.extend_from_slice(&b.to_le_bytes());
+    }
+    buf
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FsError> {
+        if self.pos + n > self.buf.len() {
+            return Err(FsError::Corrupt {
+                reason: "inode record truncated".to_string(),
+            });
+        }
+        let v = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(v)
+    }
+    fn u8(&mut self) -> Result<u8, FsError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, FsError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+    fn u64(&mut self) -> Result<u64, FsError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn opt_u64(&mut self) -> Result<Option<u64>, FsError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            other => Err(FsError::Corrupt {
+                reason: format!("bad option byte {other} in inode record"),
+            }),
+        }
+    }
+}
+
+/// Parses an inode record assembled from its chunks.
+pub(crate) fn decode_record(buf: &[u8]) -> Result<InodeRecord, FsError> {
+    let mut r = Cursor { buf, pos: 0 };
+    let ino = r.u64()?;
+    let size = r.u64()?;
+    let kind = match r.u8()? {
+        1 => FileKind::Regular,
+        2 => FileKind::Directory,
+        other => {
+            return Err(FsError::Corrupt {
+                reason: format!("unknown file kind {other} in inode record"),
+            })
+        }
+    };
+    let link_count = r.u16()?;
+    let mtime = r.u64()?;
+    let heated_start = r.u64()?;
+    let heated_order = r.u8()?;
+    let heated = if heated_start == u64::MAX {
+        None
+    } else {
+        Some(
+            Line::new(heated_start, heated_order as u32).map_err(|e| FsError::Corrupt {
+                reason: format!("inode record carries invalid line: {e}"),
+            })?,
+        )
+    };
+    let name_len = r.u8()? as usize;
+    if name_len == 0 || name_len > MAX_NAME_BYTES {
+        return Err(FsError::Corrupt {
+            reason: format!("bad name length {name_len} in inode record"),
+        });
+    }
+    let name = String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| FsError::Corrupt {
+        reason: "inode record name is not UTF-8".to_string(),
+    })?;
+    let inode_loc = r.opt_u64()?;
+    let indirect_loc = r.opt_u64()?;
+    let n_blocks = r.u16()? as usize;
+    if n_blocks > MAX_BLOCKS {
+        return Err(FsError::Corrupt {
+            reason: format!("inode record claims {n_blocks} blocks"),
+        });
+    }
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        blocks.push(r.u64()?);
+    }
+    Ok(InodeRecord {
+        inode: Inode {
+            ino,
+            size,
+            kind,
+            link_count,
+            mtime,
+            heated,
+            name,
+            blocks,
+        },
+        inode_loc,
+        indirect_loc,
+    })
+}
+
+/// Splits a record into index-entry-sized chunks. Chunk 0 is prefixed
+/// with the total chunk count.
+pub(crate) fn chunk_record(record: &[u8]) -> Vec<Vec<u8>> {
+    // Chunk 0 loses one byte to the count prefix; keep every chunk at
+    // MAX_VALUE_BYTES or below.
+    let first_payload = (MAX_VALUE_BYTES - 1).min(record.len());
+    let rest = &record[first_payload..];
+    let n_rest = rest.len().div_ceil(MAX_VALUE_BYTES);
+    let total = 1 + n_rest;
+    assert!(total <= MAX_RECORD_CHUNKS as usize, "record chunk overflow");
+    let mut chunks = Vec::with_capacity(total);
+    let mut first = Vec::with_capacity(1 + first_payload);
+    first.push(total as u8);
+    first.extend_from_slice(&record[..first_payload]);
+    chunks.push(first);
+    for part in rest.chunks(MAX_VALUE_BYTES) {
+        chunks.push(part.to_vec());
+    }
+    chunks
+}
+
+/// Reassembles a record from chunk values fetched in chunk order. The
+/// caller passes exactly the chunks announced by chunk 0's count byte.
+pub(crate) fn assemble_record(chunks: &[Vec<u8>]) -> Result<Vec<u8>, FsError> {
+    let first = chunks.first().ok_or_else(|| FsError::Corrupt {
+        reason: "inode record has no chunk 0".to_string(),
+    })?;
+    let total = *first.first().ok_or_else(|| FsError::Corrupt {
+        reason: "inode record chunk 0 is empty".to_string(),
+    })? as usize;
+    if total == 0 || total > MAX_RECORD_CHUNKS as usize || chunks.len() != total {
+        return Err(FsError::Corrupt {
+            reason: format!(
+                "inode record announces {total} chunks, found {}",
+                chunks.len()
+            ),
+        });
+    }
+    let mut out = first[1..].to_vec();
+    for chunk in &chunks[1..] {
+        out.extend_from_slice(chunk);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_inode(blocks: usize) -> Inode {
+        let mut inode = Inode::new(42, "audit/ledger-2008.db", FileKind::Regular);
+        inode.size = (blocks * 512) as u64;
+        inode.mtime = 77;
+        inode.blocks = (1000..1000 + blocks as u64).collect();
+        inode
+    }
+
+    #[test]
+    fn record_round_trips_through_chunks() {
+        for blocks in [0, 1, NDIRECT_PLUS] {
+            let mut inode = sample_inode(blocks);
+            if blocks > 0 {
+                inode.heated = Some(Line::new(64, 3).unwrap());
+            }
+            let record = encode_record(&inode, Some(65), blocks.gt(&49).then_some(66));
+            let chunks = chunk_record(&record);
+            assert!(chunks.iter().all(|c| c.len() <= MAX_VALUE_BYTES));
+            let assembled = assemble_record(&chunks).unwrap();
+            assert_eq!(assembled, record);
+            let decoded = decode_record(&assembled).unwrap();
+            assert_eq!(decoded.inode, inode);
+            assert_eq!(decoded.inode_loc, Some(65));
+        }
+    }
+    const NDIRECT_PLUS: usize = MAX_BLOCKS;
+
+    #[test]
+    fn max_record_needs_at_most_three_chunks() {
+        let mut inode = sample_inode(MAX_BLOCKS);
+        inode.name = "n".repeat(MAX_NAME_BYTES);
+        let record = encode_record(&inode, Some(u64::MAX - 1), Some(u64::MAX - 2));
+        let chunks = chunk_record(&record);
+        assert!(chunks.len() <= 3);
+        assert!(chunks.len() < MAX_RECORD_CHUNKS as usize);
+    }
+
+    #[test]
+    fn keys_are_ordered_and_bounded() {
+        assert!(dir_key("a") < dir_key("b"));
+        assert!(ino_key(1, 0) < ino_key(1, 1));
+        assert!(
+            ino_key(1, 255) < ino_key(2, 0),
+            "BE inos keep chunks adjacent"
+        );
+        assert!(dir_key(&"x".repeat(MAX_NAME_BYTES)).len() <= sero_index::MAX_KEY_BYTES);
+        assert_eq!(ino_key(7, 2).len(), 11);
+    }
+
+    #[test]
+    fn corrupt_records_are_typed_errors() {
+        let inode = sample_inode(3);
+        let mut record = encode_record(&inode, None, None);
+        assert!(decode_record(&record[..record.len() - 4]).is_err());
+        record[16] = 9; // file kind byte
+        assert!(matches!(
+            decode_record(&record),
+            Err(FsError::Corrupt { .. })
+        ));
+        assert!(assemble_record(&[]).is_err());
+        assert!(assemble_record(&[vec![3, 0], vec![0]]).is_err());
+    }
+}

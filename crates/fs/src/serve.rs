@@ -58,6 +58,7 @@ impl From<FsError> for WireError {
             FsError::FileTooLarge { .. } => ErrorCode::FileTooLarge,
             FsError::BadName { .. } => ErrorCode::BadName,
             FsError::Corrupt { .. } => ErrorCode::Corrupt,
+            FsError::CheckpointOverflow { .. } => ErrorCode::NoSpace,
             FsError::Degraded { .. } => ErrorCode::Degraded,
         };
         WireError::new(code, e)
@@ -139,7 +140,7 @@ impl SeroFs {
                 }),
                 Err(e) => Response::Error(e.into()),
             },
-            Request::List => Response::Names { names: self.list() },
+            Request::List { cursor, limit } => self.handle_list(cursor.as_deref(), limit),
             Request::Heat {
                 name,
                 metadata,
@@ -192,6 +193,40 @@ impl SeroFs {
                 }
             }
         }
+    }
+
+    /// One page of the listing: names after `cursor` (exclusive), capped
+    /// by `limit` (0 = no caller cap) and by a byte budget of half the
+    /// frame payload limit — so the encoded [`Response::Names`] can never
+    /// trip the frame encoder no matter how many files exist.
+    fn handle_list(&mut self, cursor: Option<&str>, limit: u32) -> Response {
+        const PAGE_BYTE_BUDGET: usize = sero_proto::MAX_PAYLOAD_BYTES / 2;
+        let all = self.list();
+        let start = match cursor {
+            // Names are listed in sorted order, so the resume point is a
+            // partition, not a scan for an exact match — a name removed
+            // between pages does not strand the cursor.
+            Some(c) => all.partition_point(|n| n.as_str() <= c),
+            None => 0,
+        };
+        let mut names = Vec::new();
+        let mut bytes = 0usize;
+        for name in &all[start..] {
+            if limit != 0 && names.len() as u32 >= limit {
+                break;
+            }
+            bytes += 4 + name.len();
+            if bytes > PAGE_BYTE_BUDGET && !names.is_empty() {
+                break;
+            }
+            names.push(name.clone());
+        }
+        let next = if start + names.len() < all.len() {
+            names.last().cloned()
+        } else {
+            None
+        };
+        Response::Names { names, next }
     }
 
     fn handle_scrub_start(
@@ -379,9 +414,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(
-            fs.handle(Request::List),
+            fs.handle(Request::list_all()),
             Response::Names {
-                names: vec!["a.txt".into()]
+                names: vec!["a.txt".into()],
+                next: None,
             }
         );
         assert_eq!(

@@ -1,0 +1,148 @@
+//! A fixed-size bloom filter with double hashing.
+//!
+//! Each sealed segment carries one bloom filter over every key it holds
+//! (including tombstones), sized at ~10 bits per key with 7 probes — a
+//! ~1% false-positive rate. False *negatives* are impossible by
+//! construction: [`Bloom::insert`] sets exactly the bits
+//! [`Bloom::contains`] tests, and the filter is immutable once the
+//! segment seals. The property suite pins this.
+
+use crate::IndexError;
+
+/// Bits per key when sizing a filter.
+const BITS_PER_KEY: u64 = 10;
+
+/// Probes per key.
+const PROBES: u8 = 7;
+
+/// The filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bloom {
+    nbits: u64,
+    k: u8,
+    bits: Vec<u8>,
+}
+
+impl Bloom {
+    /// An empty filter sized for `entries` keys.
+    pub fn with_capacity(entries: u64) -> Bloom {
+        let nbits = (entries * BITS_PER_KEY).max(64);
+        Bloom {
+            nbits,
+            k: PROBES,
+            bits: vec![0u8; nbits.div_ceil(8) as usize],
+        }
+    }
+
+    /// Rebuilds a filter from its serialized parts.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::Corrupt`] when the byte length disagrees with
+    /// `nbits` or the parameters are degenerate.
+    pub fn from_parts(nbits: u64, k: u8, bits: Vec<u8>) -> Result<Bloom, IndexError> {
+        if nbits == 0 || k == 0 || bits.len() as u64 != nbits.div_ceil(8) {
+            return Err(IndexError::Corrupt {
+                reason: format!(
+                    "bloom parts disagree: {nbits} bits, k={k}, {} bytes",
+                    bits.len()
+                ),
+            });
+        }
+        Ok(Bloom { nbits, k, bits })
+    }
+
+    /// Filter size in bits.
+    pub fn nbits(&self) -> u64 {
+        self.nbits
+    }
+
+    /// Probe count.
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+
+    /// The raw bit array, for serialization.
+    pub fn bits(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Marks `key` present.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = hash_pair(key);
+        for i in 0..self.k {
+            let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.nbits;
+            self.bits[(bit / 8) as usize] |= 1 << (bit % 8);
+        }
+    }
+
+    /// True when `key` *may* be present; false means definitely absent.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let (h1, h2) = hash_pair(key);
+        (0..self.k).all(|i| {
+            let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.nbits;
+            self.bits[(bit / 8) as usize] & (1 << (bit % 8)) != 0
+        })
+    }
+}
+
+/// FNV-1a, then a splitmix64 finalization of it for the second hash of
+/// the double-hashing scheme (forced odd so the probe stride never
+/// degenerates to zero).
+fn hash_pair(key: &[u8]) -> (u64, u64) {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (h, (z ^ (z >> 31)) | 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = Bloom::with_capacity(1000);
+        let keys: Vec<String> = (0..1000).map(|i| format!("key-{i:05}")).collect();
+        for k in &keys {
+            b.insert(k.as_bytes());
+        }
+        for k in &keys {
+            assert!(b.contains(k.as_bytes()), "false negative on {k}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut b = Bloom::with_capacity(1000);
+        for i in 0..1000 {
+            b.insert(format!("present-{i}").as_bytes());
+        }
+        let hits = (0..10_000)
+            .filter(|i| b.contains(format!("absent-{i}").as_bytes()))
+            .count();
+        // ~1% expected at 10 bits/key; generous ceiling against hash luck.
+        assert!(hits < 400, "false positive rate too high: {hits}/10000");
+    }
+
+    #[test]
+    fn round_trips_through_parts() {
+        let mut b = Bloom::with_capacity(10);
+        b.insert(b"x");
+        let rebuilt = Bloom::from_parts(b.nbits(), b.k(), b.bits().to_vec()).unwrap();
+        assert_eq!(rebuilt, b);
+        assert!(rebuilt.contains(b"x"));
+    }
+
+    #[test]
+    fn bad_parts_rejected() {
+        assert!(Bloom::from_parts(0, 7, vec![]).is_err());
+        assert!(Bloom::from_parts(64, 0, vec![0; 8]).is_err());
+        assert!(Bloom::from_parts(64, 7, vec![0; 7]).is_err());
+    }
+}

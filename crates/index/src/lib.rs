@@ -1,0 +1,355 @@
+//! An SSTable/LSM metadata index with per-segment bloom filters.
+//!
+//! `sero-fs` keeps every inode and directory entry in in-memory
+//! `BTreeMap`s and used to persist them as one monolithic checkpoint that
+//! had to fit a fixed block region — none of which survives 10^6–10^8
+//! objects. This crate is the scalable replacement: a log-structured
+//! merge index in the spirit of LFS's log discipline, persisted in a
+//! WMRM (rewritable) region with the same CRC-framed record contract as
+//! the scrub-state store.
+//!
+//! The moving parts, bottom to top:
+//!
+//! * [`BlockStore`] — the page-granular storage abstraction. The file
+//!   system adapts a reserved `SeroDevice` region to it; [`VecStore`] is
+//!   the RAM-backed implementation the property tests and the 1M-file
+//!   `exp_metadata` baseline run against (with read/write counters, so
+//!   sublinearity is asserted on *counted page I/O*, not wall clock).
+//! * Write-ahead log — every [`MetaIndex::put`]/[`MetaIndex::delete`]
+//!   appends one CRC-framed record (`magic ‖ generation ‖ key ‖ value ‖
+//!   crc32`) to the WAL region and mirrors it into the memtable. Records
+//!   carry the WAL *generation*; a flush bumps the generation, so stale
+//!   records left over from before the flush are skipped on replay
+//!   without any erase pass.
+//! * Sorted segments ([`segment`]) — when the memtable fills (or the WAL
+//!   region would overflow), it is flushed into one immutable sorted
+//!   segment: CRC-framed header (fence keys + bloom filter) followed by
+//!   CRC-tailed data pages. Segments are never rewritten in place;
+//!   compaction writes replacements to fresh pages and frees the old
+//!   ones only after the manifest commits.
+//! * Manifest — a double-slotted, sequence-numbered, CRC-framed record
+//!   naming every live segment and the current WAL generation. Opening
+//!   the index reads both slots, picks the newest valid one, and replays
+//!   the *bounded* WAL tail — mount cost is manifest + WAL region, never
+//!   a device scan. A torn WAL tail or a corrupt slot recovers to the
+//!   last durable manifest, never a partial index.
+//! * Levelled compaction ([`lsm`]) — level 0 collects memtable flushes;
+//!   when it exceeds its fan-out the level is merged one level down.
+//!   Tombstones are dropped only when a merge reaches the bottom level.
+//!
+//! # Examples
+//!
+//! ```
+//! use sero_index::{IndexGeometry, MetaIndex, VecStore};
+//!
+//! let geom = IndexGeometry::for_pages(64)?;
+//! let mut store = VecStore::new(64);
+//! let mut index = MetaIndex::format(&mut store, geom)?;
+//! index.put(&mut store, b"d/hello.txt", &7u64.to_le_bytes())?;
+//!
+//! // Reopen: manifest + bounded WAL replay, no scan.
+//! let (mut index, report) = MetaIndex::open(&mut store, geom)?;
+//! assert_eq!(report.wal_replayed, 1);
+//! assert!(!report.torn_tail);
+//! assert_eq!(
+//!     index.get(&mut store, b"d/hello.txt")?,
+//!     Some(7u64.to_le_bytes().to_vec())
+//! );
+//! # Ok::<(), sero_index::IndexError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod lsm;
+pub mod segment;
+
+pub use bloom::Bloom;
+pub use lsm::{IndexStats, MetaIndex, OpenReport};
+
+use core::fmt;
+
+/// Bytes per index page. One page maps to one 512-byte device sector, so
+/// a reserved region of `n` blocks hosts an `n`-page index.
+pub const PAGE_BYTES: usize = 512;
+
+/// Pages per manifest slot (two slots precede the WAL region).
+pub const MANIFEST_SLOT_PAGES: u64 = 2;
+
+/// Longest key the index accepts.
+pub const MAX_KEY_BYTES: usize = 80;
+
+/// Longest value the index accepts. Callers with bigger records chunk
+/// them across continuation keys (the file system does this for inode
+/// records) so that every entry fits one data page whole.
+pub const MAX_VALUE_BYTES: usize = 416;
+
+/// Errors from the index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The region geometry cannot host an index.
+    Geometry {
+        /// Explanation.
+        reason: String,
+    },
+    /// The backing store failed.
+    Store {
+        /// Explanation from the store.
+        reason: String,
+    },
+    /// A CRC-framed structure failed validation.
+    Corrupt {
+        /// What failed, and why.
+        reason: String,
+    },
+    /// The segment heap has no extent big enough for a new segment.
+    RegionFull {
+        /// Contiguous pages the write needed.
+        needed_pages: u64,
+        /// Free pages remaining (possibly fragmented).
+        free_pages: u64,
+    },
+    /// Key or value exceeds the per-entry limits.
+    Oversize {
+        /// Offered key length.
+        key_len: usize,
+        /// Offered value length.
+        value_len: usize,
+    },
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Geometry { reason } => write!(f, "bad index geometry: {reason}"),
+            IndexError::Store { reason } => write!(f, "index store error: {reason}"),
+            IndexError::Corrupt { reason } => write!(f, "corrupt index structure: {reason}"),
+            IndexError::RegionFull {
+                needed_pages,
+                free_pages,
+            } => write!(
+                f,
+                "index region full: need {needed_pages} contiguous pages, {free_pages} free"
+            ),
+            IndexError::Oversize { key_len, value_len } => write!(
+                f,
+                "index entry oversize: key {key_len} B (max {MAX_KEY_BYTES}), \
+                 value {value_len} B (max {MAX_VALUE_BYTES})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// Page-granular storage under the index.
+///
+/// Implementations must give read-your-writes semantics; pages never
+/// written may return anything (a fresh device region decodes as zeros).
+pub trait BlockStore {
+    /// Pages available to the index.
+    fn page_count(&self) -> u64;
+    /// Reads one page.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::Store`] on backing-store failure.
+    fn read_page(&mut self, page: u64) -> Result<[u8; PAGE_BYTES], IndexError>;
+    /// Writes one page.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::Store`] on backing-store failure.
+    fn write_page(&mut self, page: u64, data: &[u8; PAGE_BYTES]) -> Result<(), IndexError>;
+}
+
+/// RAM-backed [`BlockStore`] with I/O counters — the property-test and
+/// `exp_metadata` substrate. The counters make "mount cost is bounded"
+/// and "lookup cost is sublinear" *assertable*: they count pages
+/// actually transferred, independent of any clock.
+#[derive(Debug, Clone)]
+pub struct VecStore {
+    pages: Vec<[u8; PAGE_BYTES]>,
+    reads: u64,
+    writes: u64,
+}
+
+impl VecStore {
+    /// A zero-filled store of `pages` pages.
+    pub fn new(pages: u64) -> VecStore {
+        VecStore {
+            pages: vec![[0u8; PAGE_BYTES]; pages as usize],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Pages read since construction (or the last reset).
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Pages written since construction (or the last reset).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Zeroes both I/O counters.
+    pub fn reset_counters(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+    }
+
+    /// Flips every bit of one byte — the fault-injection hook the
+    /// corruption property tests use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `page`/`offset` are out of range.
+    pub fn corrupt_byte(&mut self, page: u64, offset: usize) {
+        self.pages[page as usize][offset] ^= 0xFF;
+    }
+}
+
+impl BlockStore for VecStore {
+    fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    fn read_page(&mut self, page: u64) -> Result<[u8; PAGE_BYTES], IndexError> {
+        self.reads += 1;
+        self.pages
+            .get(page as usize)
+            .copied()
+            .ok_or_else(|| IndexError::Store {
+                reason: format!("page {page} out of range"),
+            })
+    }
+
+    fn write_page(&mut self, page: u64, data: &[u8; PAGE_BYTES]) -> Result<(), IndexError> {
+        self.writes += 1;
+        let n = self.pages.len();
+        let slot = self
+            .pages
+            .get_mut(page as usize)
+            .ok_or_else(|| IndexError::Store {
+                reason: format!("page {page} out of range ({n} pages)"),
+            })?;
+        *slot = *data;
+        Ok(())
+    }
+}
+
+/// Layout of an index region: two manifest slots, a WAL region, and the
+/// segment heap, in that order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexGeometry {
+    /// Total pages the index may use.
+    pub pages: u64,
+    /// Pages reserved for the write-ahead log.
+    pub wal_pages: u64,
+}
+
+impl IndexGeometry {
+    /// Smallest region an index can live in.
+    pub const MIN_PAGES: u64 = 2 * MANIFEST_SLOT_PAGES + 2 + 8;
+
+    /// A geometry over `pages` with a proportional WAL
+    /// (1/8th of the region, clamped to [2, 64] pages).
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::Geometry`] when `pages < MIN_PAGES`.
+    pub fn for_pages(pages: u64) -> Result<IndexGeometry, IndexError> {
+        let wal_pages = (pages / 8).clamp(2, 64);
+        IndexGeometry::new(pages, wal_pages)
+    }
+
+    /// A geometry with an explicit WAL size.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::Geometry`] unless manifest + WAL + at least 8 heap
+    /// pages fit.
+    pub fn new(pages: u64, wal_pages: u64) -> Result<IndexGeometry, IndexError> {
+        let overhead = 2 * MANIFEST_SLOT_PAGES + wal_pages;
+        if wal_pages < 2 || pages < overhead + 8 {
+            return Err(IndexError::Geometry {
+                reason: format!(
+                    "{pages} pages cannot host 2×{MANIFEST_SLOT_PAGES} manifest pages, \
+                     a {wal_pages}-page WAL and ≥ 8 heap pages"
+                ),
+            });
+        }
+        Ok(IndexGeometry { pages, wal_pages })
+    }
+
+    /// First WAL page.
+    pub fn wal_start(&self) -> u64 {
+        2 * MANIFEST_SLOT_PAGES
+    }
+
+    /// First segment-heap page.
+    pub fn heap_start(&self) -> u64 {
+        self.wal_start() + self.wal_pages
+    }
+
+    /// Pages in the segment heap.
+    pub fn heap_pages(&self) -> u64 {
+        self.pages - self.heap_start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_layout_partitions_the_region() {
+        let g = IndexGeometry::for_pages(64).unwrap();
+        assert_eq!(g.wal_start(), 4);
+        assert_eq!(g.heap_start(), 4 + g.wal_pages);
+        assert_eq!(g.heap_pages() + g.wal_pages + 4, 64);
+    }
+
+    #[test]
+    fn tiny_regions_rejected() {
+        assert!(IndexGeometry::for_pages(IndexGeometry::MIN_PAGES - 1).is_err());
+        assert!(IndexGeometry::for_pages(IndexGeometry::MIN_PAGES).is_ok());
+        assert!(IndexGeometry::new(64, 1).is_err());
+        assert!(IndexGeometry::new(64, 60).is_err());
+    }
+
+    #[test]
+    fn vec_store_counts_io_and_bounds_pages() {
+        let mut s = VecStore::new(4);
+        assert_eq!(s.page_count(), 4);
+        s.write_page(1, &[7u8; PAGE_BYTES]).unwrap();
+        assert_eq!(s.read_page(1).unwrap()[0], 7);
+        assert_eq!((s.reads(), s.writes()), (1, 1));
+        s.reset_counters();
+        assert_eq!((s.reads(), s.writes()), (0, 0));
+        assert!(s.read_page(9).is_err());
+        assert!(s.write_page(9, &[0u8; PAGE_BYTES]).is_err());
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            IndexError::Geometry { reason: "x".into() },
+            IndexError::Store { reason: "y".into() },
+            IndexError::Corrupt { reason: "z".into() },
+            IndexError::RegionFull {
+                needed_pages: 3,
+                free_pages: 1,
+            },
+            IndexError::Oversize {
+                key_len: 999,
+                value_len: 0,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

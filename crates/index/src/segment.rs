@@ -1,0 +1,377 @@
+//! The immutable sorted-segment (SSTable) on-page format.
+//!
+//! A segment is a contiguous page run: a CRC-framed header (level,
+//! entry count, one fence key per data page, and the segment's bloom
+//! filter) followed by self-validating data pages. Entries never span
+//! pages, every data page ends in a CRC32 over its contents, and the
+//! header is framed `magic ‖ length ‖ body ‖ crc32` exactly like the
+//! scrub-state record — a flipped byte anywhere surfaces as a typed
+//! [`IndexError::Corrupt`], never as silently wrong data.
+//!
+//! Layout:
+//!
+//! ```text
+//! page 0..h   header frame, chunked: "SSEG" ‖ len ‖ body ‖ crc32
+//! page h..n   data pages: count:u16 ‖ entries ‖ zero pad ‖ crc32
+//! entry       klen:u16 ‖ vlen:u16 ‖ key ‖ value   (vlen 0xFFFF ⇒ tombstone)
+//! ```
+
+use crate::bloom::Bloom;
+use crate::{IndexError, MAX_KEY_BYTES, MAX_VALUE_BYTES, PAGE_BYTES};
+use sero_codec::crc32::crc32;
+
+/// Magic framing a segment header ("SSEG").
+pub const SEGMENT_MAGIC: u32 = 0x5353_4547;
+
+/// Bytes of a data page available to entries (count prefix and CRC
+/// suffix excluded).
+pub const DATA_PAGE_CAP: usize = PAGE_BYTES - 2 - 4;
+
+/// One key with either a value or a tombstone.
+pub type Entry = (Vec<u8>, Option<Vec<u8>>);
+
+/// Tombstone sentinel in the `vlen` field.
+const TOMBSTONE_VLEN: u16 = 0xFFFF;
+
+/// Encoded size of one entry on a data page.
+pub fn entry_bytes(key: &[u8], value: Option<&[u8]>) -> usize {
+    4 + key.len() + value.map_or(0, <[u8]>::len)
+}
+
+/// Packs sorted `entries` into data pages, returning the pages and one
+/// fence key (the first key) per page.
+///
+/// # Panics
+///
+/// Panics when an entry exceeds [`MAX_KEY_BYTES`]/[`MAX_VALUE_BYTES`]
+/// (the index validates at the put boundary) or `entries` is empty.
+pub fn pack_data_pages(entries: &[Entry]) -> (Vec<[u8; PAGE_BYTES]>, Vec<Vec<u8>>) {
+    assert!(!entries.is_empty(), "segments are never empty");
+    let mut pages = Vec::new();
+    let mut fences = Vec::new();
+    let mut page = [0u8; PAGE_BYTES];
+    let mut pos = 2usize;
+    let mut count = 0u16;
+
+    let seal = |page: &mut [u8; PAGE_BYTES], count: &mut u16, pos: &mut usize| {
+        page[0..2].copy_from_slice(&count.to_le_bytes());
+        let crc = crc32(&page[..PAGE_BYTES - 4]);
+        page[PAGE_BYTES - 4..].copy_from_slice(&crc.to_le_bytes());
+        *count = 0;
+        *pos = 2;
+    };
+
+    for (key, value) in entries {
+        assert!(key.len() <= MAX_KEY_BYTES, "oversize key reached packing");
+        assert!(
+            value.as_ref().is_none_or(|v| v.len() <= MAX_VALUE_BYTES),
+            "oversize value reached packing"
+        );
+        let need = entry_bytes(key, value.as_deref());
+        if pos + need > 2 + DATA_PAGE_CAP {
+            seal(&mut page, &mut count, &mut pos);
+            pages.push(page);
+            page = [0u8; PAGE_BYTES];
+        }
+        if count == 0 {
+            fences.push(key.clone());
+        }
+        page[pos..pos + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+        let vlen = value.as_ref().map_or(TOMBSTONE_VLEN, |v| v.len() as u16);
+        page[pos + 2..pos + 4].copy_from_slice(&vlen.to_le_bytes());
+        pos += 4;
+        page[pos..pos + key.len()].copy_from_slice(key);
+        pos += key.len();
+        if let Some(v) = value {
+            page[pos..pos + v.len()].copy_from_slice(v);
+            pos += v.len();
+        }
+        count += 1;
+    }
+    seal(&mut page, &mut count, &mut pos);
+    pages.push(page);
+    (pages, fences)
+}
+
+/// Decodes one data page into entries.
+///
+/// # Errors
+///
+/// [`IndexError::Corrupt`] on CRC mismatch or a malformed entry table.
+pub fn unpack_data_page(page: &[u8; PAGE_BYTES]) -> Result<Vec<Entry>, IndexError> {
+    let stored = u32::from_le_bytes(page[PAGE_BYTES - 4..].try_into().expect("4"));
+    let computed = crc32(&page[..PAGE_BYTES - 4]);
+    if stored != computed {
+        return Err(IndexError::Corrupt {
+            reason: format!("data page crc mismatch: stored {stored:#010x} vs {computed:#010x}"),
+        });
+    }
+    let count = u16::from_le_bytes(page[0..2].try_into().expect("2")) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut pos = 2usize;
+    for _ in 0..count {
+        if pos + 4 > PAGE_BYTES - 4 {
+            return Err(IndexError::Corrupt {
+                reason: "data page entry table overruns the page".to_string(),
+            });
+        }
+        let klen = u16::from_le_bytes(page[pos..pos + 2].try_into().expect("2")) as usize;
+        let vlen_raw = u16::from_le_bytes(page[pos + 2..pos + 4].try_into().expect("2"));
+        pos += 4;
+        let vlen = if vlen_raw == TOMBSTONE_VLEN {
+            0
+        } else {
+            vlen_raw as usize
+        };
+        if klen > MAX_KEY_BYTES || vlen > MAX_VALUE_BYTES || pos + klen + vlen > PAGE_BYTES - 4 {
+            return Err(IndexError::Corrupt {
+                reason: format!("data page entry oversize: klen {klen}, vlen {vlen}"),
+            });
+        }
+        let key = page[pos..pos + klen].to_vec();
+        pos += klen;
+        let value = if vlen_raw == TOMBSTONE_VLEN {
+            None
+        } else {
+            Some(page[pos..pos + vlen].to_vec())
+        };
+        pos += vlen;
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+/// The decoded segment header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// LSM level this segment belongs to.
+    pub level: u8,
+    /// Entries across all data pages (tombstones included).
+    pub entry_count: u64,
+    /// Data pages following the header.
+    pub data_pages: u32,
+    /// First key of each data page, in order.
+    pub fences: Vec<Vec<u8>>,
+    /// Bloom filter over every key in the segment.
+    pub bloom: Bloom,
+}
+
+impl SegmentHeader {
+    /// Serializes the header as a CRC frame, chunked into whole pages.
+    pub fn encode_pages(&self) -> Vec<[u8; PAGE_BYTES]> {
+        let mut body = Vec::new();
+        body.push(self.level);
+        body.extend_from_slice(&self.entry_count.to_le_bytes());
+        body.extend_from_slice(&self.data_pages.to_le_bytes());
+        body.extend_from_slice(&(self.fences.len() as u32).to_le_bytes());
+        for fence in &self.fences {
+            body.extend_from_slice(&(fence.len() as u16).to_le_bytes());
+            body.extend_from_slice(fence);
+        }
+        body.push(self.bloom.k());
+        body.extend_from_slice(&self.bloom.nbits().to_le_bytes());
+        body.extend_from_slice(self.bloom.bits());
+
+        let mut framed = Vec::with_capacity(12 + body.len());
+        framed.extend_from_slice(&SEGMENT_MAGIC.to_le_bytes());
+        framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&body);
+        framed.extend_from_slice(&crc32(&framed).to_le_bytes());
+
+        let mut pages = Vec::with_capacity(framed.len().div_ceil(PAGE_BYTES));
+        for chunk in framed.chunks(PAGE_BYTES) {
+            let mut page = [0u8; PAGE_BYTES];
+            page[..chunk.len()].copy_from_slice(chunk);
+            pages.push(page);
+        }
+        pages
+    }
+
+    /// Pages a frame of `body_len` bytes occupies.
+    pub fn frame_pages(body_len: usize) -> u64 {
+        (12 + body_len).div_ceil(PAGE_BYTES) as u64
+    }
+
+    /// Body length declared by the frame's first page, if the magic
+    /// matches.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::Corrupt`] on a bad magic.
+    pub fn peek_body_len(first_page: &[u8; PAGE_BYTES]) -> Result<usize, IndexError> {
+        let magic = u32::from_le_bytes(first_page[..4].try_into().expect("4"));
+        if magic != SEGMENT_MAGIC {
+            return Err(IndexError::Corrupt {
+                reason: format!("segment header magic {magic:#010x}"),
+            });
+        }
+        Ok(u32::from_le_bytes(first_page[4..8].try_into().expect("4")) as usize)
+    }
+
+    /// Decodes a header frame (pages concatenated, padding allowed).
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::Corrupt`] on truncation, CRC mismatch, or
+    /// inconsistent fields.
+    pub fn decode(framed: &[u8]) -> Result<SegmentHeader, IndexError> {
+        let corrupt = |reason: String| IndexError::Corrupt { reason };
+        if framed.len() < 12 {
+            return Err(corrupt("segment header truncated".to_string()));
+        }
+        let body_len = u32::from_le_bytes(framed[4..8].try_into().expect("4")) as usize;
+        let magic = u32::from_le_bytes(framed[..4].try_into().expect("4"));
+        if magic != SEGMENT_MAGIC {
+            return Err(corrupt(format!("segment header magic {magic:#010x}")));
+        }
+        if framed.len() < 12 + body_len {
+            return Err(corrupt("segment header shorter than declared".to_string()));
+        }
+        let stored = u32::from_le_bytes(framed[8 + body_len..12 + body_len].try_into().expect("4"));
+        let computed = crc32(&framed[..8 + body_len]);
+        if stored != computed {
+            return Err(corrupt(format!(
+                "segment header crc mismatch: stored {stored:#010x} vs {computed:#010x}"
+            )));
+        }
+        let body = &framed[8..8 + body_len];
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], IndexError> {
+            if *pos + n > body.len() {
+                return Err(IndexError::Corrupt {
+                    reason: "segment header body truncated".to_string(),
+                });
+            }
+            let s = &body[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let level = take(&mut pos, 1)?[0];
+        let entry_count = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+        let data_pages = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4"));
+        let fence_count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4"));
+        if fence_count != data_pages {
+            return Err(corrupt(format!(
+                "segment header fences {fence_count} disagree with {data_pages} data pages"
+            )));
+        }
+        let mut fences = Vec::with_capacity(fence_count as usize);
+        for _ in 0..fence_count {
+            let flen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2")) as usize;
+            if flen > MAX_KEY_BYTES {
+                return Err(corrupt(format!("fence key of {flen} bytes")));
+            }
+            fences.push(take(&mut pos, flen)?.to_vec());
+        }
+        let k = take(&mut pos, 1)?[0];
+        let nbits = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+        let bloom_bytes = nbits.div_ceil(8) as usize;
+        let bloom = Bloom::from_parts(nbits, k, take(&mut pos, bloom_bytes)?.to_vec())?;
+        Ok(SegmentHeader {
+            level,
+            entry_count,
+            data_pages,
+            fences,
+            bloom,
+        })
+    }
+}
+
+/// Builds a complete segment image from sorted entries: header pages
+/// followed by data pages.
+///
+/// # Panics
+///
+/// Panics on an empty entry set (callers skip empty flushes).
+pub fn build_segment(entries: &[Entry], level: u8) -> (Vec<[u8; PAGE_BYTES]>, SegmentHeader) {
+    let (data, fences) = pack_data_pages(entries);
+    let mut bloom = Bloom::with_capacity(entries.len() as u64);
+    for (key, _) in entries {
+        bloom.insert(key);
+    }
+    let header = SegmentHeader {
+        level,
+        entry_count: entries.len() as u64,
+        data_pages: data.len() as u32,
+        fences,
+        bloom,
+    };
+    let mut pages = header.encode_pages();
+    pages.extend(data);
+    (pages, header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<Entry> {
+        (0..n)
+            .map(|i| {
+                let v = if i % 7 == 3 {
+                    None
+                } else {
+                    Some(vec![i as u8; i % 40])
+                };
+                (format!("key-{i:06}").into_bytes(), v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn data_pages_round_trip() {
+        let entries = sample(200);
+        let (pages, fences) = pack_data_pages(&entries);
+        assert!(pages.len() > 1, "200 entries need several pages");
+        assert_eq!(fences.len(), pages.len());
+        let mut back = Vec::new();
+        for p in &pages {
+            back.extend(unpack_data_page(p).unwrap());
+        }
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn flipped_byte_is_typed_corruption() {
+        let (mut pages, _) = pack_data_pages(&sample(50));
+        pages[0][17] ^= 0xFF;
+        assert!(matches!(
+            unpack_data_page(&pages[0]),
+            Err(IndexError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn header_round_trips_through_pages() {
+        let entries = sample(500);
+        let (pages, header) = build_segment(&entries, 1);
+        let body_len = SegmentHeader::peek_body_len(&pages[0]).unwrap();
+        let header_pages = SegmentHeader::frame_pages(body_len) as usize;
+        let mut framed = Vec::new();
+        for p in &pages[..header_pages] {
+            framed.extend_from_slice(p);
+        }
+        let decoded = SegmentHeader::decode(&framed).unwrap();
+        assert_eq!(decoded, header);
+        assert_eq!(decoded.level, 1);
+        assert_eq!(decoded.entry_count, 500);
+        assert_eq!(header_pages + decoded.data_pages as usize, pages.len());
+        // Every key (tombstones included) answers the bloom filter.
+        for (key, _) in &entries {
+            assert!(decoded.bloom.contains(key));
+        }
+    }
+
+    #[test]
+    fn corrupt_header_rejected() {
+        let (pages, _) = build_segment(&sample(10), 0);
+        let mut framed: Vec<u8> = pages[0].to_vec();
+        framed[20] ^= 0x01;
+        assert!(matches!(
+            SegmentHeader::decode(&framed),
+            Err(IndexError::Corrupt { .. })
+        ));
+        let empty = [0u8; PAGE_BYTES];
+        assert!(SegmentHeader::peek_body_len(&empty).is_err());
+    }
+}

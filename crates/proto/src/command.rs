@@ -236,8 +236,19 @@ pub enum Request {
         /// File name.
         name: String,
     },
-    /// All file names.
-    List,
+    /// File names, paginated. Both fields encode *appended* to the
+    /// original bare tag — and only when non-default — so a `list_all`
+    /// request is byte-identical to what protocol-version-1 clients have
+    /// always sent, and old servers decode it unchanged.
+    List {
+        /// Resume after this name (exclusive); `None` starts from the
+        /// beginning. Obtained from [`Response::Names::next`].
+        cursor: Option<String>,
+        /// Maximum names per page; `0` means "as many as fit one frame"
+        /// (the server still paginates rather than overflow
+        /// [`crate::MAX_PAYLOAD_BYTES`]).
+        limit: u32,
+    },
     /// Heat `name`: relocate into a fresh line, burn the hash, freeze.
     Heat {
         /// File name.
@@ -306,10 +317,15 @@ pub enum Response {
     Removed,
     /// Answer to [`Request::Stat`].
     Stat(WireFileInfo),
-    /// Answer to [`Request::List`].
+    /// Answer to [`Request::List`] — one page.
     Names {
-        /// All file names.
+        /// The names of this page, in listing order.
         names: Vec<String>,
+        /// When `Some`, more names follow: pass it back as
+        /// [`Request::List`]'s `cursor`. Encoded only when present, so a
+        /// final (or small) page is byte-identical to the pre-pagination
+        /// shape.
+        next: Option<String>,
     },
     /// File heated.
     Heated {
@@ -453,6 +469,10 @@ impl<'a> Dec<'a> {
         String::from_utf8(self.bytes()?).map_err(|_| malformed("string is not UTF-8"))
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn finish(self) -> Result<(), FrameError> {
         if self.pos != self.buf.len() {
             return Err(malformed(format!(
@@ -530,6 +550,15 @@ fn dec_status(d: &mut Dec<'_>) -> Result<WireScrubStatus, FrameError> {
 }
 
 impl Request {
+    /// A [`Request::List`] for everything: first page, server-chosen
+    /// page size. Encodes byte-identically to the pre-pagination `List`.
+    pub fn list_all() -> Request {
+        Request::List {
+            cursor: None,
+            limit: 0,
+        }
+    }
+
     /// Encodes the request payload (frame it with
     /// [`crate::frame::encode_request`] or
     /// [`crate::frame::write_frame`]).
@@ -561,7 +590,22 @@ impl Request {
                 e = Enc::new(5);
                 e.str(name);
             }
-            Request::List => e = Enc::new(6),
+            Request::List { cursor, limit } => {
+                e = Enc::new(6);
+                // Appended, and only when non-default: a full listing
+                // from page one stays the one-byte wire shape of
+                // protocol clients that predate pagination.
+                if cursor.is_some() || *limit != 0 {
+                    match cursor {
+                        None => e.u8(0),
+                        Some(c) => {
+                            e.u8(1);
+                            e.str(c);
+                        }
+                    }
+                    e.u32(*limit);
+                }
+            }
             Request::Heat {
                 name,
                 metadata,
@@ -623,7 +667,24 @@ impl Request {
             }
             4 => Request::Remove { name: d.str()? },
             5 => Request::Stat { name: d.str()? },
-            6 => Request::List,
+            6 => {
+                if d.remaining() == 0 {
+                    Request::List {
+                        cursor: None,
+                        limit: 0,
+                    }
+                } else {
+                    let cursor = match d.u8()? {
+                        0 => None,
+                        1 => Some(d.str()?),
+                        other => return Err(malformed(format!("option byte {other}"))),
+                    };
+                    Request::List {
+                        cursor,
+                        limit: d.u32()?,
+                    }
+                }
+            }
             7 => {
                 let name = d.str()?;
                 let timestamp = d.u64()?;
@@ -692,11 +753,17 @@ impl Response {
                 }
                 e.bool(info.degraded);
             }
-            Response::Names { names } => {
+            Response::Names { names, next } => {
                 e = Enc::new(7);
                 e.u32(names.len() as u32);
                 for name in names {
                     e.str(name);
+                }
+                // Appended only when a further page exists: a complete
+                // answer keeps the pre-pagination byte shape.
+                if let Some(next) = next {
+                    e.u8(1);
+                    e.str(next);
                 }
             }
             Response::Heated { line } => {
@@ -833,7 +900,15 @@ impl Response {
                 for _ in 0..n {
                     names.push(d.str()?);
                 }
-                Response::Names { names }
+                let next = if d.remaining() == 0 {
+                    None
+                } else {
+                    match d.u8()? {
+                        1 => Some(d.str()?),
+                        other => return Err(malformed(format!("option byte {other}"))),
+                    }
+                };
+                Response::Names { names, next }
             }
             8 => Response::Heated {
                 line: dec_line(&mut d)?,
@@ -939,7 +1014,19 @@ mod tests {
             },
             Request::Remove { name: "a".into() },
             Request::Stat { name: "a".into() },
-            Request::List,
+            Request::list_all(),
+            Request::List {
+                cursor: None,
+                limit: 500,
+            },
+            Request::List {
+                cursor: Some("m/0042".into()),
+                limit: 0,
+            },
+            Request::List {
+                cursor: Some("m/0042".into()),
+                limit: 128,
+            },
             Request::Heat {
                 name: "a".into(),
                 metadata: b"m".to_vec(),
@@ -1005,6 +1092,15 @@ mod tests {
             }),
             Response::Names {
                 names: vec!["x".into(), "y".into()],
+                next: None,
+            },
+            Response::Names {
+                names: vec!["x".into(), "y".into()],
+                next: Some("y".into()),
+            },
+            Response::Names {
+                names: Vec::new(),
+                next: None,
             },
             Response::Heated {
                 line: WireLine { start: 8, order: 3 },
@@ -1064,8 +1160,26 @@ mod tests {
     }
 
     #[test]
+    fn pagination_fields_append_to_the_legacy_wire_shape() {
+        // A list-everything request is the one byte v1 clients always
+        // sent, and a complete answer carries no pagination suffix — so
+        // both directions interoperate with pre-pagination peers.
+        assert_eq!(Request::list_all().encode(), vec![6]);
+        let full = Response::Names {
+            names: vec!["a".into()],
+            next: None,
+        };
+        let mut legacy = vec![7u8];
+        legacy.extend_from_slice(&1u32.to_le_bytes());
+        legacy.extend_from_slice(&1u32.to_le_bytes());
+        legacy.push(b'a');
+        assert_eq!(full.encode(), legacy);
+        assert_eq!(Response::decode(&legacy).unwrap(), full);
+    }
+
+    #[test]
     fn trailing_bytes_and_unknown_tags_are_malformed() {
-        let mut bytes = Request::List.encode();
+        let mut bytes = Request::Ping.encode();
         bytes.push(0);
         assert!(matches!(
             Request::decode(&bytes),

@@ -95,11 +95,16 @@ pub enum ErrorCode {
     /// of silently queueing in the accept backlog. Reconnect after an
     /// existing connection closes or is reaped.
     ServerBusy = 70,
+    /// The answer would not fit one frame. List-shaped requests avoid
+    /// this by paginating (`cursor` + `limit`); anything else that
+    /// overflows [`crate::MAX_PAYLOAD_BYTES`] is answered with this code
+    /// instead of the connection dying on an encoder assertion.
+    OversizeResponse = 71,
 }
 
 impl ErrorCode {
     /// Every code, for table tests and documentation generators.
-    pub const ALL: [ErrorCode; 28] = [
+    pub const ALL: [ErrorCode; 29] = [
         ErrorCode::NotFound,
         ErrorCode::Exists,
         ErrorCode::ReadOnlyFile,
@@ -128,6 +133,7 @@ impl ErrorCode {
         ErrorCode::ScrubActive,
         ErrorCode::NoScrub,
         ErrorCode::ServerBusy,
+        ErrorCode::OversizeResponse,
     ];
 
     /// The numeric wire value.
@@ -171,6 +177,7 @@ impl ErrorCode {
             ErrorCode::ScrubActive => "scrub-active",
             ErrorCode::NoScrub => "no-scrub",
             ErrorCode::ServerBusy => "server-busy",
+            ErrorCode::OversizeResponse => "oversize-response",
         }
     }
 }

@@ -175,12 +175,19 @@ impl From<std::io::Error> for FrameError {
 }
 
 /// Wraps `payload` in a complete frame.
-pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
-    assert!(
-        payload.len() <= MAX_PAYLOAD_BYTES,
-        "payload of {} bytes exceeds the frame limit",
-        payload.len()
-    );
+///
+/// # Errors
+///
+/// [`FrameError::Oversize`] when the payload exceeds
+/// [`MAX_PAYLOAD_BYTES`]. Encoding a too-large message is a *typed*
+/// failure, never a panic: the caller decides whether to paginate, chunk,
+/// or answer the peer with [`crate::error::ErrorCode::OversizeResponse`].
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if payload.len() > MAX_PAYLOAD_BYTES {
+        return Err(FrameError::Oversize {
+            len: payload.len() as u64,
+        });
+    }
     let mut buf = Vec::with_capacity(FRAME_OVERHEAD_BYTES + payload.len());
     buf.extend_from_slice(&FRAME_MAGIC);
     buf.push(PROTO_VERSION);
@@ -189,16 +196,26 @@ pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
     buf.extend_from_slice(payload);
     let crc = crc32(&buf);
     buf.extend_from_slice(&crc.to_le_bytes());
-    buf
+    Ok(buf)
 }
 
 /// Encodes `req` as a ready-to-send request frame.
-pub fn encode_request(req: &Request) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`FrameError::Oversize`] when the encoded request would not fit one
+/// frame.
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, FrameError> {
     encode_frame(FrameKind::Request, &req.encode())
 }
 
 /// Encodes `resp` as a ready-to-send response frame.
-pub fn encode_response(resp: &Response) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`FrameError::Oversize`] when the encoded response would not fit one
+/// frame.
+pub fn encode_response(resp: &Response) -> Result<Vec<u8>, FrameError> {
     encode_frame(FrameKind::Response, &resp.encode())
 }
 
@@ -324,9 +341,10 @@ impl FrameAssembler {
 ///
 /// # Errors
 ///
-/// [`FrameError::Io`] only.
+/// [`FrameError::Oversize`] when the payload exceeds the frame limit
+/// (nothing is written), [`FrameError::Io`] from the transport.
 pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, payload: &[u8]) -> Result<(), FrameError> {
-    let frame = encode_frame(kind, payload);
+    let frame = encode_frame(kind, payload)?;
     w.write_all(&frame)?;
     w.flush()?;
     Ok(())
@@ -398,7 +416,7 @@ mod tests {
             metadata: b"sealed".to_vec(),
             timestamp: 1_199_145_600,
         };
-        let bytes = encode_request(&req);
+        let bytes = encode_request(&req).unwrap();
         assert_eq!(bytes.len(), FRAME_OVERHEAD_BYTES + req.encode().len());
 
         let (kind, payload, used) = decode_frame(&bytes).unwrap();
@@ -414,7 +432,7 @@ mod tests {
 
     #[test]
     fn corrupt_frames_are_rejected_without_panicking() {
-        let good = encode_request(&Request::List);
+        let good = encode_request(&Request::list_all()).unwrap();
 
         let mut bad_magic = good.clone();
         bad_magic[0] ^= 0xFF;
@@ -463,7 +481,7 @@ mod tests {
         let req = Request::Read {
             name: "dripped".into(),
         };
-        let bytes = encode_request(&req);
+        let bytes = encode_request(&req).unwrap();
         let mut asm = FrameAssembler::new();
         for (i, b) in bytes.iter().enumerate() {
             assert!(asm.next_frame().unwrap().is_none(), "frame early at {i}");
@@ -478,13 +496,13 @@ mod tests {
 
     #[test]
     fn assembler_splits_coalesced_frames() {
-        let reqs = [Request::Ping, Request::List, Request::FleetStatus];
+        let reqs = [Request::Ping, Request::list_all(), Request::FleetStatus];
         let mut wire = Vec::new();
         for r in &reqs {
-            wire.extend_from_slice(&encode_request(r));
+            wire.extend_from_slice(&encode_request(r).unwrap());
         }
         // Deliver everything in one read plus a trailing partial frame.
-        let tail = encode_request(&Request::Ping);
+        let tail = encode_request(&Request::Ping).unwrap();
         wire.extend_from_slice(&tail[..tail.len() / 2]);
         let mut asm = FrameAssembler::new();
         asm.push(&wire);
@@ -504,7 +522,7 @@ mod tests {
         asm.push(b"not a frame at all!");
         assert!(matches!(asm.next_frame(), Err(FrameError::BadMagic { .. })));
 
-        let mut bad_crc = encode_request(&Request::List);
+        let mut bad_crc = encode_request(&Request::list_all()).unwrap();
         let at = bad_crc.len() - 1;
         bad_crc[at] ^= 0x01;
         let mut asm = FrameAssembler::new();
@@ -517,7 +535,7 @@ mod tests {
 
     #[test]
     fn mid_frame_close_is_an_io_error_not_a_clean_eof() {
-        let good = encode_request(&Request::List);
+        let good = encode_request(&Request::list_all()).unwrap();
         let mut cursor = std::io::Cursor::new(good[..6].to_vec());
         assert!(matches!(
             read_frame(&mut cursor),

@@ -87,7 +87,7 @@
 //! use sero_proto::{frame, FrameKind, Request, Response};
 //!
 //! let req = Request::Read { name: "ledger.csv".into() };
-//! let bytes = frame::encode_request(&req);
+//! let bytes = frame::encode_request(&req)?;
 //! let (kind, payload, used) = frame::decode_frame(&bytes)?;
 //! assert_eq!(kind, FrameKind::Request);
 //! assert_eq!(used, bytes.len());

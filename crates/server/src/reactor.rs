@@ -127,7 +127,19 @@ impl Conn {
     }
 
     fn queue_response(&mut self, resp: &Response) {
-        self.outbox.extend_from_slice(&encode_response(resp));
+        match encode_response(resp) {
+            Ok(frame) => self.outbox.extend_from_slice(&frame),
+            Err(e) => {
+                // An answer too large for one frame becomes a typed
+                // refusal instead of killing the connection. The
+                // substitute is a short error payload, so its own encode
+                // cannot overflow.
+                let refusal = Response::Error(WireError::new(ErrorCode::OversizeResponse, e));
+                let frame = encode_response(&refusal)
+                    .expect("a short error response always fits one frame");
+                self.outbox.extend_from_slice(&frame);
+            }
+        }
     }
 
     fn outbox_pending(&self) -> usize {
@@ -477,13 +489,16 @@ mod tests {
         // Three requests in a single write: the reactor decodes all of
         // them from one readable sweep and answers in order.
         let mut wire = Vec::new();
-        wire.extend_from_slice(&encode_request(&Request::Ping));
-        wire.extend_from_slice(&encode_request(&Request::List));
-        wire.extend_from_slice(&encode_request(&Request::Ping));
+        wire.extend_from_slice(&encode_request(&Request::Ping).unwrap());
+        wire.extend_from_slice(&encode_request(&Request::list_all()).unwrap());
+        wire.extend_from_slice(&encode_request(&Request::Ping).unwrap());
         conn.write_all(&wire).unwrap();
         let expect = [
             Response::Pong,
-            Response::Names { names: Vec::new() },
+            Response::Names {
+                names: Vec::new(),
+                next: None,
+            },
             Response::Pong,
         ];
         for want in expect {

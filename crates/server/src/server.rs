@@ -321,8 +321,20 @@ fn serve_connection(stream: TcpStream, fs: &ConcurrentFs, allow_raw: bool) {
                 return;
             }
         };
-        if write_frame(&mut writer, FrameKind::Response, &response.encode()).is_err() {
-            return;
+        match write_frame(&mut writer, FrameKind::Response, &response.encode()) {
+            Ok(()) => {}
+            Err(FrameError::Oversize { len }) => {
+                // Too big for one frame: answer a typed refusal instead
+                // of dying. The substitute is short and always encodes.
+                let refusal = Response::Error(WireError::new(
+                    ErrorCode::OversizeResponse,
+                    format!("response of {len} bytes exceeds the frame limit"),
+                ));
+                if write_frame(&mut writer, FrameKind::Response, &refusal.encode()).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
         }
     }
 }

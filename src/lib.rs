@@ -16,6 +16,7 @@
 //! | hashing | [`crypto`] |
 //! | Manchester / CRC / Reed–Solomon / WOM codes | [`codec`] |
 //! | **SERO device: heat & verify lines** | [`core`] |
+//! | LSM metadata index (WAL, segments, blooms, manifest) | [`index`] |
 //! | log-structured file system + concurrent front end | [`fs`] |
 //! | content-addressed archival store | [`venti`] |
 //! | fossilised index | [`fossil`] |
@@ -80,6 +81,7 @@ pub use sero_core as core;
 pub use sero_crypto as crypto;
 pub use sero_fossil as fossil;
 pub use sero_fs as fs;
+pub use sero_index as index;
 pub use sero_media as media;
 pub use sero_probe as probe;
 pub use sero_proto as proto;

@@ -37,7 +37,10 @@ fn build_request(tag: usize, name: &str, data: &[u8], n1: u64, n2: u64, flag: bo
         },
         4 => Request::Remove { name: name.into() },
         5 => Request::Stat { name: name.into() },
-        6 => Request::List,
+        6 => Request::List {
+            cursor: flag.then(|| name.into()),
+            limit: (n2 % 1024) as u32,
+        },
         7 => Request::Heat {
             name: name.into(),
             metadata: data.to_vec(),
@@ -100,6 +103,7 @@ fn build_response(tag: usize, name: &str, data: &[u8], n1: u64, n2: u64, flag: b
         }),
         5 => Response::Names {
             names: vec![name.into(), String::new()],
+            next: flag.then(|| name.into()),
         },
         6 => Response::Heated { line },
         7 => {
@@ -150,7 +154,7 @@ proptest! {
         let name = String::from_utf8(name_bytes).unwrap();
 
         let req = build_request(tag, &name, &data, n1, n2, flag);
-        let framed = frame::encode_request(&req);
+        let framed = frame::encode_request(&req).unwrap();
         let (kind, payload, used) = decode_frame(&framed).expect("own frame must decode");
         prop_assert_eq!(kind, FrameKind::Request);
         prop_assert_eq!(used, framed.len());
@@ -159,7 +163,7 @@ proptest! {
         prop_assert_eq!(decoded.encode(), payload.to_vec(), "re-encode must be byte-identical");
 
         let resp = build_response(tag, &name, &data, n1, n2, flag);
-        let framed = frame::encode_response(&resp);
+        let framed = frame::encode_response(&resp).unwrap();
         let (kind, payload, _) = decode_frame(&framed).expect("own frame must decode");
         prop_assert_eq!(kind, FrameKind::Response);
         let decoded = Response::decode(payload).expect("own payload must decode");
@@ -179,7 +183,7 @@ proptest! {
         xor in 1u8..=255,
     ) {
         let req = build_request(tag, "x", &data, n1, n1, false);
-        let mut framed = frame::encode_request(&req);
+        let mut framed = frame::encode_request(&req).unwrap();
         let at = flip_at.index(framed.len());
         framed[at] ^= xor;
 
@@ -217,7 +221,7 @@ proptest! {
         cut_at in any::<proptest::sample::Index>(),
     ) {
         let req = build_request(tag, "y", &data, n1, n1, true);
-        let framed = frame::encode_request(&req);
+        let framed = frame::encode_request(&req).unwrap();
         let cut = cut_at.index(framed.len()); // strictly shorter
         let short = &framed[..cut];
 
@@ -268,7 +272,7 @@ proptest! {
     ) {
         prop_assume!(version != PROTO_VERSION);
         let req = build_request(tag, "z", b"", n1, n1, false);
-        let mut framed = frame::encode_request(&req);
+        let mut framed = frame::encode_request(&req).unwrap();
         framed[4] = version;
         prop_assert!(matches!(
             decode_frame(&framed),

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 fn nth_request(tag: usize, fill: &[u8]) -> Request {
     match tag % 5 {
         0 => Request::Ping,
-        1 => Request::List,
+        1 => Request::list_all(),
         2 => Request::Read {
             name: "chunked".into(),
         },
@@ -85,7 +85,7 @@ proptest! {
     ) {
         let mut wire = Vec::new();
         for &tag in &tags {
-            wire.extend_from_slice(&encode_request(&nth_request(tag, &fill)));
+            wire.extend_from_slice(&encode_request(&nth_request(tag, &fill)).unwrap());
         }
         let want = whole_buffer_frames(&wire);
         prop_assert_eq!(want.len(), tags.len());
@@ -108,7 +108,7 @@ proptest! {
         tag in 0usize..5,
         fill in proptest::collection::vec(any::<u8>(), 0..300),
     ) {
-        let wire = encode_request(&nth_request(tag, &fill));
+        let wire = encode_request(&nth_request(tag, &fill)).unwrap();
         let header = FRAME_OVERHEAD_BYTES - 4;
         let want = whole_buffer_frames(&wire);
         for cut in [4, header, wire.len() - 4] {
@@ -134,7 +134,7 @@ proptest! {
         chunk_sizes in proptest::collection::vec(1usize..32, 1..20),
     ) {
         for stream in [junk.clone(), {
-            let mut framed = encode_request(&Request::List);
+            let mut framed = encode_request(&Request::list_all()).unwrap();
             let at = flip_at.index(framed.len());
             framed[at] ^= xor;
             framed
@@ -202,7 +202,7 @@ fn stalled_mid_frame_peer_is_reaped_without_pinning_others() {
 
     // Three stallers, each a different depth into a frame: half the
     // magic, the full header, and a torn payload.
-    let torn = encode_request(&Request::Read { name: "x".into() });
+    let torn = encode_request(&Request::Read { name: "x".into() }).unwrap();
     let mut stallers: Vec<TcpStream> = [2usize, 10, torn.len() - 2]
         .into_iter()
         .map(|cut| {
